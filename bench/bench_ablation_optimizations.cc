@@ -1,0 +1,90 @@
+// Ablation (library addition, DESIGN.md §4): each of the five Section 4.4
+// optimizations toggled individually, plus the strict error-bound guard,
+// measured by compression ratio and worst observed error. Quantifies which
+// optimization buys what, and what the hard-guarantee guard costs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/operb.h"
+#include "eval/metrics.h"
+#include "eval/verifier.h"
+
+namespace {
+
+struct Config {
+  const char* name;
+  operb::core::OperbOptions options;
+};
+
+void Run(const std::vector<operb::traj::Trajectory>& dataset,
+         const Config& config, double zeta) {
+  using namespace operb;  // NOLINT
+  std::vector<traj::PiecewiseRepresentation> reps;
+  double worst = 0.0;
+  for (const auto& t : dataset) {
+    reps.push_back(core::SimplifyOperb(t, config.options));
+    const auto v = eval::VerifyErrorBound(t, reps.back(), zeta);
+    if (v.worst_distance > worst) worst = v.worst_distance;
+  }
+  const double ratio =
+      eval::AggregateCompressionRatio(dataset, reps) * 100.0;
+  std::printf("  %-22s ratio %6.2f%%  worst_err %6.2f m (%5.1f%% of zeta)\n",
+              config.name, ratio, worst, 100.0 * worst / zeta);
+}
+
+}  // namespace
+
+int main() {
+  using namespace operb;  // NOLINT
+  bench::Banner(
+      "Ablation: OPERB optimizations (1)-(5) and the error-bound guard",
+      "paper asserts each optimization improves the ratio; the guard is a "
+      "library addition restoring a provable bound");
+
+  for (auto kind : datagen::AllDatasetKinds()) {
+    const auto dataset = bench::MakeDataset(kind, 6, 8000);
+    for (double zeta : {20.0, 40.0}) {
+      std::printf("\n[%s, zeta=%.0f m]\n",
+                  std::string(datagen::DatasetName(kind)).c_str(), zeta);
+      std::vector<Config> configs;
+      configs.push_back({"raw (all off)", core::OperbOptions::Raw(zeta)});
+      {
+        auto o = core::OperbOptions::Raw(zeta);
+        o.opt_first_active = true;
+        configs.push_back({"+1 first-active", o});
+      }
+      {
+        auto o = core::OperbOptions::Raw(zeta);
+        o.opt_adjusted_distance = true;
+        configs.push_back({"+2 adjusted-distance", o});
+      }
+      {
+        auto o = core::OperbOptions::Raw(zeta);
+        o.opt_closer_line = true;
+        configs.push_back({"+3 closer-line", o});
+      }
+      {
+        auto o = core::OperbOptions::Raw(zeta);
+        o.opt_missing_active = true;
+        configs.push_back({"+4 missing-active", o});
+      }
+      {
+        auto o = core::OperbOptions::Raw(zeta);
+        o.opt_absorb = true;
+        configs.push_back({"+5 absorb", o});
+      }
+      configs.push_back(
+          {"all five (guarded)", core::OperbOptions::Optimized(zeta)});
+      {
+        auto o = core::OperbOptions::Optimized(zeta);
+        o.strict_bound_guard = false;
+        configs.push_back({"all five (paper mode)", o});
+      }
+      for (const Config& c : configs) Run(dataset, c, zeta);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 15 (Exp-2.1): compression ratio vs zeta (lower is better).
+// Paper shape: ratios fall as zeta grows; GeoLife lowest, Taxi highest;
+// OPERB comparable with DP/FBQS; OPERB-A best everywhere (84.2%, 86.4%,
+// 97.1%, 94.7% of DP on Taxi/Truck/SerCar/GeoLife).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace operb;  // NOLINT
+  bench::Banner(
+      "Figure 15: compression ratio (%) vs zeta",
+      "ratios fall with zeta; GeoLife lowest / Taxi highest; OPERB ~ DP ~ "
+      "FBQS; OPERB-A best on all datasets");
+
+  const std::vector<baselines::Algorithm> algos{
+      baselines::Algorithm::kDP, baselines::Algorithm::kFBQS,
+      baselines::Algorithm::kOPERB, baselines::Algorithm::kOPERBA};
+
+  for (auto kind : datagen::AllDatasetKinds()) {
+    const auto dataset = bench::MakeDataset(kind, 8, 8000);
+    std::printf("\n[%s] compression ratio %%\n%8s",
+                std::string(datagen::DatasetName(kind)).c_str(), "zeta_m");
+    for (auto algo : algos) {
+      std::printf(" %11s",
+                  std::string(baselines::AlgorithmName(algo)).c_str());
+    }
+    std::printf(" %12s %12s\n", "OPERB/FBQS", "OPERB-A/DP");
+
+    double sum_vs_fbqs = 0.0, sum_vs_dp = 0.0;
+    int rows = 0;
+    for (double zeta : {5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0}) {
+      std::printf("%8.0f", zeta);
+      double r_dp = 0, r_fbqs = 0, r_operb = 0, r_operba = 0;
+      for (auto algo : algos) {
+        const auto s = bench::MakePaperSimplifier(algo, zeta);
+        std::vector<traj::PiecewiseRepresentation> reps;
+        for (const auto& t : dataset) reps.push_back(s->Simplify(t));
+        const double ratio =
+            eval::AggregateCompressionRatio(dataset, reps) * 100.0;
+        std::printf(" %11.2f", ratio);
+        if (algo == baselines::Algorithm::kDP) r_dp = ratio;
+        if (algo == baselines::Algorithm::kFBQS) r_fbqs = ratio;
+        if (algo == baselines::Algorithm::kOPERB) r_operb = ratio;
+        if (algo == baselines::Algorithm::kOPERBA) r_operba = ratio;
+      }
+      std::printf(" %11.1f%% %11.1f%%\n", 100.0 * r_operb / r_fbqs,
+                  100.0 * r_operba / r_dp);
+      sum_vs_fbqs += r_operb / r_fbqs;
+      sum_vs_dp += r_operba / r_dp;
+      ++rows;
+    }
+    std::printf("  average: OPERB %.1f%% of FBQS; OPERB-A %.1f%% of DP\n",
+                100.0 * sum_vs_fbqs / rows, 100.0 * sum_vs_dp / rows);
+  }
+  std::printf(
+      "\npaper averages: OPERB/FBQS = (107.2, 98.3, 92.9, 85.1)%%;\n"
+      "                OPERB-A/DP = (84.2, 86.4, 97.1, 94.7)%% on "
+      "(Taxi, Truck, SerCar, GeoLife)\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 19 (Exp-4): trajectory interpolation.
+//  (1) patching ratio Np/Na vs zeta, gamma_m = pi/3. Paper: averages
+//      (50.5, 60.3, 63.2, 51.5)% on (Taxi, Truck, SerCar, GeoLife),
+//      decreasing from zeta ~ 30-40 m.
+//  (2) patching ratio vs gamma_m at zeta = 40 m. Paper: decreases with
+//      gamma_m — slowly to ~75 deg, fast in (75, 145), fastest beyond.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/operb_a.h"
+#include "geo/angle.h"
+
+namespace {
+
+operb::core::OperbAStats RunOnDataset(
+    const std::vector<operb::traj::Trajectory>& dataset,
+    operb::core::OperbAOptions options) {
+  // Paper-faithful configuration (see bench_util.h).
+  options.base.strict_bound_guard = false;
+  operb::core::OperbAStats total;
+  for (const auto& t : dataset) {
+    operb::core::OperbAStats s;
+    operb::core::SimplifyOperbA(t, options, &s);
+    total.anomalous_segments += s.anomalous_segments;
+    total.patches_applied += s.patches_applied;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace operb;  // NOLINT
+  bench::Banner(
+      "Figure 19-(1): patching ratio vs zeta (gamma_m = 60 deg)",
+      "averages (50.5, 60.3, 63.2, 51.5)% on (Taxi, Truck, SerCar, "
+      "GeoLife); decreasing for larger zeta");
+
+  std::printf("%8s", "zeta_m");
+  for (auto kind : datagen::AllDatasetKinds()) {
+    std::printf(" %10s", std::string(datagen::DatasetName(kind)).c_str());
+  }
+  std::printf("\n");
+  std::vector<std::vector<traj::Trajectory>> datasets;
+  for (auto kind : datagen::AllDatasetKinds()) {
+    datasets.push_back(bench::MakeDataset(kind, 8, 8000));
+  }
+  std::vector<double> sums(datasets.size(), 0.0);
+  int rows = 0;
+  for (double zeta : {10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 100.0}) {
+    std::printf("%8.0f", zeta);
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      const auto stats =
+          RunOnDataset(datasets[d], core::OperbAOptions::Optimized(zeta));
+      const double pct = stats.PatchingRatio() * 100.0;
+      sums[d] += pct;
+      std::printf(" %9.1f%%", pct);
+    }
+    std::printf("\n");
+    ++rows;
+  }
+  std::printf("%8s", "avg");
+  for (double s : sums) std::printf(" %9.1f%%", s / rows);
+  std::printf("\n");
+
+  bench::Banner(
+      "Figure 19-(2): patching ratio vs gamma_m (zeta = 40 m)",
+      "monotonically decreasing; slow to ~75 deg, fast in (75,145), "
+      "fastest beyond 145 deg");
+  std::printf("%10s", "gamma_deg");
+  for (auto kind : datagen::AllDatasetKinds()) {
+    std::printf(" %10s", std::string(datagen::DatasetName(kind)).c_str());
+  }
+  std::printf("\n");
+  for (double deg : {0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0, 105.0, 120.0,
+                     135.0, 150.0, 165.0, 180.0}) {
+    std::printf("%10.0f", deg);
+    for (const auto& dataset : datasets) {
+      core::OperbAOptions opts = core::OperbAOptions::Optimized(40.0);
+      opts.gamma_m = geo::DegToRad(deg);
+      const auto stats = RunOnDataset(dataset, opts);
+      std::printf(" %9.1f%%", stats.PatchingRatio() * 100.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

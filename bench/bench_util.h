@@ -1,0 +1,84 @@
+#ifndef OPERB_BENCH_BENCH_UTIL_H_
+#define OPERB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/simplifier.h"
+#include "common/stopwatch.h"
+#include "datagen/profiles.h"
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::bench {
+
+/// Shared fixed seed so every figure sees the same datasets.
+inline constexpr std::uint64_t kBenchSeed = 20170401;
+
+/// Generates the scaled-down stand-in for one of the paper's datasets.
+inline std::vector<traj::Trajectory> MakeDataset(
+    datagen::DatasetKind kind, std::size_t trajectories, std::size_t points,
+    std::uint64_t seed = kBenchSeed) {
+  datagen::DatasetSpec spec;
+  spec.kind = kind;
+  spec.num_trajectories = trajectories;
+  spec.points_per_trajectory = points;
+  spec.seed = seed;
+  return datagen::GenerateDataset(spec);
+}
+
+/// Runs `simplifier` over the dataset, returning {seconds per full pass,
+/// representations of the last pass}. Repeats the pass until at least
+/// `min_millis` of work has been timed so fast algorithms get stable
+/// numbers on fast machines.
+struct TimedRun {
+  double seconds = 0.0;
+  std::vector<traj::PiecewiseRepresentation> representations;
+};
+
+inline TimedRun TimeSimplifier(const baselines::Simplifier& simplifier,
+                               const std::vector<traj::Trajectory>& dataset,
+                               double min_millis = 80.0) {
+  TimedRun run;
+  int passes = 0;
+  Stopwatch watch;
+  do {
+    run.representations.clear();
+    run.representations.reserve(dataset.size());
+    for (const traj::Trajectory& t : dataset) {
+      run.representations.push_back(simplifier.Simplify(t));
+    }
+    ++passes;
+  } while (watch.ElapsedMillis() < min_millis);
+  run.seconds = watch.ElapsedSeconds() / passes;
+  return run;
+}
+
+/// Figure benches reproduce the paper's configuration: OPERB/OPERB-A with
+/// the heuristics verbatim (no strict-bound guard). The ablation bench
+/// quantifies the guarded default separately.
+inline std::unique_ptr<baselines::Simplifier> MakePaperSimplifier(
+    baselines::Algorithm algorithm, double zeta) {
+  return baselines::MakeSimplifier(algorithm, zeta,
+                                   baselines::OperbFidelity::kPaperFaithful);
+}
+
+/// Total number of points across a dataset.
+inline std::size_t TotalPoints(const std::vector<traj::Trajectory>& dataset) {
+  std::size_t n = 0;
+  for (const auto& t : dataset) n += t.size();
+  return n;
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper reference: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace operb::bench
+
+#endif  // OPERB_BENCH_BENCH_UTIL_H_

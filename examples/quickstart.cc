@@ -1,0 +1,45 @@
+// Quickstart: compress one GPS trajectory with OPERB-A in ~20 lines.
+//
+// Build & run:   ./quickstart
+
+#include <cstdio>
+
+#include "core/operb_a.h"
+#include "datagen/profiles.h"
+#include "datagen/rng.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace operb;  // NOLINT: example brevity
+
+  // A realistic drive: ~33 minutes of urban driving sampled every 3-5 s.
+  datagen::Rng rng(1);
+  const traj::Trajectory drive = datagen::GenerateTrajectory(
+      datagen::DatasetProfile::For(datagen::DatasetKind::kSerCar),
+      /*num_points=*/500, &rng);
+
+  // Compress with an error bound of 30 meters.
+  const core::OperbAOptions options = core::OperbAOptions::Optimized(30.0);
+  core::OperbAStats stats;
+  const traj::PiecewiseRepresentation compressed =
+      core::SimplifyOperbA(drive, options, &stats);
+
+  const auto error = eval::MeasureError(drive, compressed);
+  std::printf("input:  %zu points (%.1f km, %.0f s)\n", drive.size(),
+              drive.PathLength() / 1000.0, drive.Duration());
+  std::printf("output: %zu line segments (%zu stored points, ratio %.1f%%)\n",
+              compressed.size(), compressed.StoredPointCount(),
+              100.0 * eval::CompressionRatio(drive, compressed));
+  std::printf("error:  avg %.2f m, max %.2f m (bound 30 m)\n", error.average,
+              error.max);
+  std::printf("patches: %zu of %zu anomalous segments eliminated\n",
+              stats.patches_applied, stats.anomalous_segments);
+
+  // The representation is a sequence of continuous directed segments.
+  for (std::size_t i = 0; i < std::min<std::size_t>(compressed.size(), 5);
+       ++i) {
+    std::printf("  L%zu: %s\n", i, compressed[i].ToString().c_str());
+  }
+  if (compressed.size() > 5) std::printf("  ...\n");
+  return 0;
+}

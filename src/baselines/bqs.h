@@ -1,0 +1,87 @@
+#ifndef OPERB_BASELINES_BQS_H_
+#define OPERB_BASELINES_BQS_H_
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::baselines {
+
+/// Per-quadrant convex bound used by BQS/FBQS [12].
+///
+/// For the points that fell into one quadrant around the window start Ps,
+/// the summary keeps the axis-aligned bounding box, the two bounding
+/// directions (the points Ph/Pl with the largest/smallest angle from Ps)
+/// and the actual trajectory points achieving each extreme (at most 8
+/// "significant points"). The convex region box ∩ wedge(Pl..Ph) contains
+/// every summarized point, so distances from its corner vertices to a
+/// candidate line upper-bound the distance of every point, while the
+/// significant points' own distances lower-bound the maximum.
+class QuadrantSummary {
+ public:
+  void Reset(geo::Vec2 origin);
+  void Add(geo::Vec2 p);
+  bool empty() const { return count_ == 0; }
+
+  /// Max distance from any point in the bounding region to the infinite
+  /// line through `a` and `b` (an upper bound for all summarized points).
+  double UpperBound(geo::Vec2 a, geo::Vec2 b) const;
+
+  /// Max distance of the stored significant points to the line (a lower
+  /// bound for the true maximum over summarized points).
+  double LowerBound(geo::Vec2 a, geo::Vec2 b) const;
+
+ private:
+  geo::Vec2 origin_;
+  geo::BoundingBox box_;
+  std::size_t count_ = 0;
+  geo::Vec2 p_high_;  ///< Ph: max angle from the origin
+  geo::Vec2 p_low_;   ///< Pl: min angle from the origin
+  std::array<geo::Vec2, 4> box_points_;  ///< achieving min/max x, min/max y
+};
+
+/// The open-window state shared by BQS and FBQS: the window start and the
+/// four quadrant summaries of all interior points added so far.
+class BqsWindow {
+ public:
+  explicit BqsWindow(geo::Vec2 start);
+
+  /// Adds an interior point to its quadrant's summary.
+  void Add(geo::Vec2 p);
+
+  struct Bounds {
+    double upper = 0.0;
+    double lower = 0.0;
+  };
+  /// Distance bounds of all interior points against the candidate line
+  /// start -> `end`.
+  Bounds BoundsForLine(geo::Vec2 end) const;
+
+  geo::Vec2 start() const { return start_; }
+
+ private:
+  geo::Vec2 start_;
+  std::array<QuadrantSummary, 4> quadrants_;
+};
+
+/// Full BQS [12]: on ambiguous bounds (lower <= zeta < upper) falls back
+/// to scanning the buffered window, so it stays exact but needs the
+/// buffer (not one-pass; O(n^2) worst case).
+traj::PiecewiseRepresentation SimplifyBqs(const traj::Trajectory& trajectory,
+                                          double zeta);
+
+/// FBQS [12]: buffer-free variant — an ambiguous bound closes the window
+/// (the previously verified line is emitted). Linear time, O(1) state;
+/// the fastest pre-existing LS algorithm and the paper's main speed
+/// comparator.
+traj::PiecewiseRepresentation SimplifyFbqs(const traj::Trajectory& trajectory,
+                                           double zeta);
+
+}  // namespace operb::baselines
+
+#endif  // OPERB_BASELINES_BQS_H_

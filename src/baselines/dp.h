@@ -1,0 +1,36 @@
+#ifndef OPERB_BASELINES_DP_H_
+#define OPERB_BASELINES_DP_H_
+
+#include <cstddef>
+
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::baselines {
+
+/// Batch Douglas-Peucker simplification [6] (the paper's Figure 3).
+///
+/// Splits at the point of maximum distance to the line P_first -> P_last
+/// until every point is within `zeta` of its segment's line. O(n^2) worst
+/// case, O(n log n) typical; batch (needs the whole trajectory).
+///
+/// `SimplifyDp` is the production entry point and uses an explicit work
+/// stack (no recursion, safe for multi-million point trajectories).
+/// `SimplifyDpRecursive` is a literal transcription of the paper's
+/// recursive pseudocode, kept as a cross-checking reference for tests.
+traj::PiecewiseRepresentation SimplifyDp(const traj::Trajectory& trajectory,
+                                         double zeta);
+
+traj::PiecewiseRepresentation SimplifyDpRecursive(
+    const traj::Trajectory& trajectory, double zeta);
+
+/// Top-down DP using the time-synchronized (SED) distance [15]: splits at
+/// the point whose position deviates most from where linear interpolation
+/// in *time* along the candidate segment would put it. Preserves speed
+/// changes that plain DP compresses away.
+traj::PiecewiseRepresentation SimplifyDpSed(const traj::Trajectory& trajectory,
+                                            double zeta);
+
+}  // namespace operb::baselines
+
+#endif  // OPERB_BASELINES_DP_H_

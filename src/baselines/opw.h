@@ -1,0 +1,29 @@
+#ifndef OPERB_BASELINES_OPW_H_
+#define OPERB_BASELINES_OPW_H_
+
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::baselines {
+
+/// Distance criterion for the open-window algorithm.
+enum class OpwDistance {
+  kEuclidean,    ///< perpendicular distance to the window's line
+  kSynchronous,  ///< time-interpolated (SED) distance [15]
+};
+
+/// Open-window online simplification (Meratnia & de By [15]; the paper's
+/// Section 3.2 "OPW").
+///
+/// Grows a window [Ps..Pk]; while every buffered point stays within
+/// `zeta` of the candidate line Ps->Pk the window extends, otherwise the
+/// segment Ps->P_{k-1} is produced and a new window starts at P_{k-1}.
+/// Each extension re-checks the whole window, so worst-case time is
+/// O(n^2); the buffer makes space O(window). Online but *not* one-pass.
+traj::PiecewiseRepresentation SimplifyOpw(
+    const traj::Trajectory& trajectory, double zeta,
+    OpwDistance distance = OpwDistance::kEuclidean);
+
+}  // namespace operb::baselines
+
+#endif  // OPERB_BASELINES_OPW_H_

@@ -1,0 +1,75 @@
+#ifndef OPERB_BASELINES_SIMPLIFIER_H_
+#define OPERB_BASELINES_SIMPLIFIER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::baselines {
+
+/// Uniform interface over all simplification algorithms in this library
+/// (the paper's contribution and every baseline), used by the evaluation
+/// harness and examples.
+///
+/// Instances carry their parameters (zeta and algorithm-specific options)
+/// and are stateless across Simplify() calls, so one instance can process
+/// a whole dataset.
+class Simplifier {
+ public:
+  virtual ~Simplifier() = default;
+
+  /// Short identifier as used in the paper's figures ("DP", "FBQS",
+  /// "OPERB", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Produces a piecewise-line representation error-bounded by the
+  /// configured zeta. Trajectories with fewer than two points yield an
+  /// empty representation.
+  virtual traj::PiecewiseRepresentation Simplify(
+      const traj::Trajectory& trajectory) const = 0;
+};
+
+/// The algorithms the paper evaluates (Section 6.1) plus the extra
+/// baselines this library ships.
+enum class Algorithm {
+  kDP,           ///< batch Douglas-Peucker [6]
+  kDPSED,        ///< top-down DP with synchronous Euclidean distance [15]
+  kOPW,          ///< open-window online algorithm [15], Euclidean distance
+  kOPWSED,       ///< OPW with synchronous Euclidean distance [15]
+  kBQS,          ///< bounded quadrant system [12]
+  kFBQS,         ///< fast (buffer-free) BQS [12]
+  kRawOPERB,     ///< OPERB without optimizations (Figure 7 only)
+  kOPERB,        ///< OPERB with the five optimizations
+  kRawOPERBA,    ///< Raw-OPERB + interpolation
+  kOPERBA,       ///< OPERB + interpolation (OPERB-A)
+};
+
+/// All algorithms, in the order the paper's figures list them.
+std::vector<Algorithm> AllAlgorithms();
+
+/// Paper-style display name ("DP", "OPERB-A", ...).
+std::string_view AlgorithmName(Algorithm algorithm);
+
+/// How the OPERB-family simplifiers treat the heuristic optimizations'
+/// error bound (see core::OperbOptions::strict_bound_guard):
+///  - kGuarded (library default): the O(1) drift guard enforces a hard
+///    zeta guarantee, at a small compression cost;
+///  - kPaperFaithful: the paper's heuristics verbatim — what the paper's
+///    figures measured. Bounded in practice on GPS-like data, but without
+///    a worst-case guarantee.
+/// Non-OPERB algorithms are unaffected.
+enum class OperbFidelity { kGuarded, kPaperFaithful };
+
+/// Creates a configured simplifier. `zeta` is the error bound in meters
+/// and must be positive (checked).
+std::unique_ptr<Simplifier> MakeSimplifier(
+    Algorithm algorithm, double zeta,
+    OperbFidelity fidelity = OperbFidelity::kGuarded);
+
+}  // namespace operb::baselines
+
+#endif  // OPERB_BASELINES_SIMPLIFIER_H_

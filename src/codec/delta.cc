@@ -1,0 +1,114 @@
+#include "codec/delta.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace operb::codec {
+
+namespace {
+
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void PutVarint(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+bool GetVarint(const std::vector<std::uint8_t>& data, std::size_t* pos,
+               std::uint64_t* v) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift <= 63) {
+    const std::uint8_t byte = data[(*pos)++];
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+std::int64_t Quantize(double v, double resolution) {
+  return static_cast<std::int64_t>(std::llround(v / resolution));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> DeltaEncode(const traj::Trajectory& trajectory,
+                                      const DeltaCodecOptions& options) {
+  std::vector<std::uint8_t> out;
+  out.reserve(trajectory.size() * 6 + 16);
+  PutVarint(trajectory.size(), &out);
+  std::int64_t px = 0, py = 0, pt = 0;
+  for (const geo::Point& p : trajectory) {
+    const std::int64_t qx = Quantize(p.x, options.position_resolution_m);
+    const std::int64_t qy = Quantize(p.y, options.position_resolution_m);
+    const std::int64_t qt = Quantize(p.t, options.time_resolution_s);
+    PutVarint(ZigZag(qx - px), &out);
+    PutVarint(ZigZag(qy - py), &out);
+    PutVarint(ZigZag(qt - pt), &out);
+    px = qx;
+    py = qy;
+    pt = qt;
+  }
+  return out;
+}
+
+Result<traj::Trajectory> DeltaDecode(const std::vector<std::uint8_t>& data,
+                                     const DeltaCodecOptions& options) {
+  std::size_t pos = 0;
+  std::uint64_t count = 0;
+  if (!GetVarint(data, &pos, &count)) {
+    return Status::Corruption("truncated point count");
+  }
+  // Sanity bound: each point needs at least 3 bytes.
+  if (count > data.size()) {
+    return Status::Corruption("implausible point count");
+  }
+  traj::Trajectory out;
+  out.reserve(count);
+  std::int64_t px = 0, py = 0, pt = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t dx = 0, dy = 0, dt = 0;
+    if (!GetVarint(data, &pos, &dx) || !GetVarint(data, &pos, &dy) ||
+        !GetVarint(data, &pos, &dt)) {
+      return Status::Corruption("truncated delta stream at point " +
+                                std::to_string(i));
+    }
+    px += UnZigZag(dx);
+    py += UnZigZag(dy);
+    pt += UnZigZag(dt);
+    out.AppendUnchecked(
+        {static_cast<double>(px) * options.position_resolution_m,
+         static_cast<double>(py) * options.position_resolution_m,
+         static_cast<double>(pt) * options.time_resolution_s});
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("trailing bytes after delta stream");
+  }
+  return out;
+}
+
+double DeltaCompressionRatio(const traj::Trajectory& trajectory,
+                             const DeltaCodecOptions& options) {
+  if (trajectory.empty()) return 0.0;
+  const double raw_bytes = static_cast<double>(trajectory.size()) * 24.0;
+  const double enc_bytes =
+      static_cast<double>(DeltaEncode(trajectory, options).size());
+  return enc_bytes / raw_bytes;
+}
+
+}  // namespace operb::codec

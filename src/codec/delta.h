@@ -1,0 +1,42 @@
+#ifndef OPERB_CODEC_DELTA_H_
+#define OPERB_CODEC_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "traj/trajectory.h"
+
+namespace operb::codec {
+
+/// Quantization parameters for the lossless delta codec.
+///
+/// "Lossless" here is relative to the quantized grid: positions are
+/// rounded to `position_resolution_m` (1 cm default, far below GPS noise)
+/// and timestamps to `time_resolution_s` (1 ms default), then encoded
+/// exactly. Decode reproduces the quantized values bit-for-bit.
+struct DeltaCodecOptions {
+  double position_resolution_m = 0.01;
+  double time_resolution_s = 0.001;
+};
+
+/// Delta compression of trajectories (the lossless baseline the paper's
+/// related work cites [19]): consecutive differences of the quantized
+/// coordinates, zigzag-mapped and varint-encoded. Provides the "zero
+/// error, O(n), modest ratio" contrast point for the compression-ratio
+/// discussion.
+std::vector<std::uint8_t> DeltaEncode(const traj::Trajectory& trajectory,
+                                      const DeltaCodecOptions& options = {});
+
+/// Inverse of DeltaEncode. Returns Corruption on malformed input.
+Result<traj::Trajectory> DeltaDecode(const std::vector<std::uint8_t>& data,
+                                     const DeltaCodecOptions& options = {});
+
+/// Compression ratio of the encoding against raw storage (24 bytes per
+/// point: three doubles); in [0, ~1] for sane inputs, lower is better.
+double DeltaCompressionRatio(const traj::Trajectory& trajectory,
+                             const DeltaCodecOptions& options = {});
+
+}  // namespace operb::codec
+
+#endif  // OPERB_CODEC_DELTA_H_

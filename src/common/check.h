@@ -1,0 +1,40 @@
+#ifndef OPERB_COMMON_CHECK_H_
+#define OPERB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checks that stay enabled in release builds.
+///
+/// These guard internal invariants whose violation would make further
+/// execution meaningless (not user input errors, which are reported via
+/// Status). Modeled after the CHECK macros used throughout the
+/// Google/Arrow/RocksDB codebases.
+#define OPERB_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "OPERB_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define OPERB_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "OPERB_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define OPERB_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define OPERB_DCHECK(cond) OPERB_CHECK(cond)
+#endif
+
+#endif  // OPERB_COMMON_CHECK_H_

@@ -1,0 +1,80 @@
+#ifndef OPERB_COMMON_RESULT_H_
+#define OPERB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace operb {
+
+/// Either a value of type `T` or a non-OK `Status`.
+///
+/// The idiomatic call pattern:
+///
+///   Result<Trajectory> r = ReadCsvTrajectory(path);
+///   if (!r.ok()) return r.status();
+///   Trajectory t = std::move(r).value();
+///
+/// or, inside a Status/Result-returning function:
+///
+///   OPERB_ASSIGN_OR_RETURN(Trajectory t, ReadCsvTrajectory(path));
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status; OK() if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace operb
+
+#define OPERB_RESULT_CONCAT_INNER_(a, b) a##b
+#define OPERB_RESULT_CONCAT_(a, b) OPERB_RESULT_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on failure returns its status from the
+/// enclosing function, on success binds the value to `lhs`.
+#define OPERB_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  auto OPERB_RESULT_CONCAT_(_operb_result_, __LINE__) = (rexpr);            \
+  if (!OPERB_RESULT_CONCAT_(_operb_result_, __LINE__).ok())                 \
+    return OPERB_RESULT_CONCAT_(_operb_result_, __LINE__).status();        \
+  lhs = std::move(OPERB_RESULT_CONCAT_(_operb_result_, __LINE__)).value()
+
+#endif  // OPERB_COMMON_RESULT_H_

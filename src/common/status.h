@@ -1,0 +1,96 @@
+#ifndef OPERB_COMMON_STATUS_H_
+#define OPERB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace operb {
+
+/// Error category for a failed operation. Mirrors the small set of
+/// conditions this library can actually produce; IO-heavy modules
+/// (trajectory readers, codecs) return kIOError / kCorruption, while
+/// algorithm entry points validate their inputs with kInvalidArgument.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kCorruption = 3,
+  kNotFound = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// The success path carries no allocation: an OK status is two words.
+/// Failure statuses carry a code plus a message. The API follows the
+/// RocksDB/Arrow convention: factory functions per code, `ok()` for
+/// checking, and `ToString()` for logging.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace operb
+
+/// Propagates a non-OK Status to the caller. Usable only in functions
+/// returning Status.
+#define OPERB_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::operb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // OPERB_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef OPERB_COMMON_STOPWATCH_H_
+#define OPERB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace operb {
+
+/// Monotonic wall-clock stopwatch used by the evaluation harness.
+///
+/// Deliberately trivial: start on construction (or Restart()), read
+/// elapsed time in the unit the caller needs. Benchmarks that need
+/// statistical rigor use google-benchmark instead; this type backs the
+/// paper-figure harnesses, which time whole dataset passes (seconds of
+/// work, where a plain steady_clock delta is accurate enough).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace operb
+
+#endif  // OPERB_COMMON_STOPWATCH_H_

@@ -1,0 +1,186 @@
+#include "core/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geo/angle.h"
+
+namespace operb::core {
+
+FittingFunction::FittingFunction(geo::Vec2 anchor, const OperbOptions& options)
+    : anchor_(anchor),
+      zeta_(options.zeta),
+      step_width_(options.zeta * options.step_length_factor),
+      half_width_(options.zeta * options.step_length_factor / 2.0),
+      slack_(options.zeta * options.activation_slack_factor),
+      opt_closer_line_(options.opt_closer_line),
+      opt_missing_active_(options.opt_missing_active) {
+  reach_slop_ = std::max(slack_, half_width_);
+}
+
+std::int64_t FittingFunction::ZoneIndex(double radius) const {
+  return static_cast<std::int64_t>(std::ceil(radius / step_width_ - 0.5));
+}
+
+double FittingFunction::DistanceToLine(geo::Vec2 p) const {
+  if (IsUndirected()) return geo::Distance(p, anchor_);
+  const geo::Vec2 dir = dir_;
+  return std::fabs(dir.Cross(p - anchor_));
+}
+
+double FittingFunction::SignedOffset(geo::Vec2 p) const {
+  const geo::Vec2 dir = dir_;
+  return dir.Cross(p - anchor_);
+}
+
+void FittingFunction::ObserveOffset(double signed_offset) {
+  if (signed_offset >= 0.0) {
+    d_plus_max_ = std::max(d_plus_max_, signed_offset);
+  } else {
+    d_minus_max_ = std::max(d_minus_max_, -signed_offset);
+  }
+}
+
+void FittingFunction::ObservePoint(geo::Vec2 p) {
+  const geo::Vec2 rel = p - anchor_;
+  const geo::Vec2 dir = dir_;
+  const double offset = dir.Cross(rel);
+  ObserveOffset(offset);
+  if (dir.Dot(rel) >= 0.0) {
+    // Ahead of the anchor: future rotations move the line under it.
+    if (offset >= 0.0) {
+      drift_plus_ = std::max(drift_plus_, offset);
+    } else {
+      drift_minus_ = std::max(drift_minus_, -offset);
+    }
+  } else {
+    // Behind the anchor: its radius bounds the distance to any line
+    // through the anchor, rotation-independently.
+    drift_back_ = std::max(drift_back_, rel.Norm());
+  }
+}
+
+int FittingFunction::SignFunction(double delta) {
+  // Normalize into (-2pi, 2pi): the difference of two angles in [0, 2pi)
+  // already lies there, but activation adds rotations, so re-fold.
+  double d = std::fmod(delta, geo::kTwoPi * 2.0);
+  if (d >= geo::kTwoPi) d -= geo::kTwoPi;
+  if (d <= -geo::kTwoPi) d += geo::kTwoPi;
+  const double pi = geo::kPi;
+  if ((d > -2.0 * pi && d <= -1.5 * pi) || (d >= -pi && d <= -0.5 * pi) ||
+      (d >= 0.0 && d <= 0.5 * pi) || (d >= pi && d < 1.5 * pi)) {
+    return 1;
+  }
+  return -1;
+}
+
+FittingFunction::ActivationPlan FittingFunction::PlanActivation(
+    geo::Vec2 p) const {
+  return PlanActivation(p, (p - anchor_).Norm());
+}
+
+FittingFunction::ActivationPlan FittingFunction::PlanActivation(
+    geo::Vec2 p, double radius) const {
+  const geo::Vec2 r = p - anchor_;
+  OPERB_DCHECK(IsActive(radius));
+  ActivationPlan plan;
+  plan.zone = ZoneIndex(radius);
+  OPERB_DCHECK(plan.zone >= 1);
+  plan.new_length = static_cast<double>(plan.zone) * step_width_;
+
+  if (IsUndirected()) {
+    // Case (2): the first active point fixes L's direction; the chord
+    // anchor->p coincides with the new line.
+    plan.first_activation = true;
+    return plan;
+  }
+
+  // Case (3): rotate L toward the new active point.
+  const double cross = dir_.Cross(r);
+  const double dot = dir_.Dot(r);
+  const double d = std::fabs(cross);
+  plan.distance = d;
+  // Full alignment angle toward the point: rotating this much would put L
+  // through p. No optimization may rotate past it. The arcsin argument is
+  // d / (j * zeta/2), clamped against float noise.
+  const double full_angle = std::asin(std::min(1.0, d / plan.new_length));
+
+  // The paper's sign function f on delta = R.theta - L.theta, evaluated
+  // without atan2: its +1 intervals are exactly where sin(delta) and
+  // cos(delta) share a sign, i.e. cross * dot >= 0 (see SignFunction; the
+  // two agree except on the measure-zero boundary delta = 3pi/2).
+  plan.sign = (cross * dot >= 0.0) ? 1 : -1;
+
+  // Optimization (3): use the side's historical max distance dx >= d
+  // instead of d, which rotates L closer to the active point.
+  double dx = d;
+  if (opt_closer_line_) {
+    const double side_max = (plan.sign == 1) ? d_plus_max_ : d_minus_max_;
+    dx = std::max(dx, std::min(side_max, plan.new_length));
+  }
+  // Optimization (4): compensate for skipped zones between consecutive
+  // active points by scaling the per-zone rotation by delta_j.
+  double delta_j = 1.0;
+  if (opt_missing_active_ && last_active_zone_ >= 0 &&
+      plan.zone - last_active_zone_ > 1) {
+    delta_j = static_cast<double>(plan.zone - last_active_zone_);
+  }
+
+  const double base_angle =
+      dx == d ? full_angle : std::asin(std::min(1.0, dx / plan.new_length));
+  const double step_raw = base_angle * delta_j / static_cast<double>(plan.zone);
+  plan.rotation = std::min(step_raw, full_angle);
+  return plan;
+}
+
+bool FittingFunction::ActivationKeepsBound(const ActivationPlan& plan) const {
+  if (plan.first_activation) return true;  // chord == line, drift intact
+  const double reach = plan.new_length + reach_slop_;
+  // Residual angle between the would-be chord anchor->p and the rotated
+  // line (the beta_3 term of Lemma 4's proof). The point's radius is at
+  // least new_length - zeta/4 (zone membership), bounding the
+  // point-to-line angle from above.
+  const double min_radius = std::max(1e-300, plan.new_length - half_width_);
+  const double chord_angle =
+      std::max(0.0, std::asin(std::min(1.0, plan.distance / min_radius)) -
+                        plan.rotation);
+  // The chord is the current line rotated by rotation + chord_angle
+  // toward side `sign` (p lies on it). Forward points on that side only
+  // get closer; the opposite side drifts by at most angle * reach. The
+  // behind-the-anchor budget never pays for rotations.
+  double plus = drift_plus_;
+  double minus = drift_minus_;
+  const double charge = (plan.rotation + chord_angle) * reach;
+  if (plan.sign == 1) {
+    minus += charge;
+  } else {
+    plus += charge;
+  }
+  return std::max(std::max(plus, minus), drift_back_) <= zeta_;
+}
+
+void FittingFunction::ApplyActivation(geo::Vec2 p,
+                                      const ActivationPlan& plan) {
+  if (plan.first_activation) {
+    SetTheta((p - anchor_).Angle());
+    length_ = plan.new_length;
+    last_active_zone_ = plan.zone;
+    return;
+  }
+  const double reach = plan.new_length + reach_slop_;
+  SetTheta(theta_ + static_cast<double>(plan.sign) * plan.rotation);
+  length_ = plan.new_length;
+  last_active_zone_ = plan.zone;
+  if (plan.sign == 1) {
+    drift_minus_ += plan.rotation * reach;
+  } else {
+    drift_plus_ += plan.rotation * reach;
+  }
+}
+
+void FittingFunction::Activate(geo::Vec2 p) {
+  ApplyActivation(p, PlanActivation(p));
+}
+
+}  // namespace operb::core

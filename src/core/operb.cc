@@ -1,0 +1,277 @@
+#include "core/operb.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "geo/distance.h"
+
+namespace operb::core {
+
+OperbStream::OperbStream(const OperbOptions& options) : options_(options) {
+  OPERB_CHECK_MSG(options.Validate().ok(), "invalid OperbOptions");
+  // The drift guard is only needed where Theorem 2's proof does not apply:
+  // any of the heuristic optimizations (2)-(4), or a non-paper fitting
+  // parameterization.
+  const bool paper_fitting = options_.step_length_factor == 0.5 &&
+                             options_.activation_slack_factor == 0.25;
+  guard_engaged_ = options_.strict_bound_guard &&
+                   (options_.opt_adjusted_distance ||
+                    options_.opt_closer_line || options_.opt_missing_active ||
+                    !paper_fitting);
+}
+
+std::vector<traj::RepresentedSegment> OperbStream::TakeEmitted() {
+  std::vector<traj::RepresentedSegment> out;
+  out.swap(emitted_);
+  return out;
+}
+
+void OperbStream::Push(const geo::Point& p) {
+  OPERB_DCHECK(mode_ != Mode::kFinished);
+  const geo::Vec2 pos = p.pos();
+  const std::size_t idx = next_index_++;
+  last_pos_ = pos;
+  last_index_ = idx;
+  ++stats_.points_processed;
+
+  if (mode_ == Mode::kIdle) {
+    // The very first point anchors the first segment.
+    StartSegment(pos, idx, /*detached=*/false);
+    covered_index_ = idx;
+    mode_ = Mode::kSeek;
+    return;
+  }
+  ProcessPoint(pos, idx);
+}
+
+void OperbStream::ProcessPoint(geo::Vec2 pos, std::size_t idx) {
+  // A point may be re-dispatched once: when it breaks the current segment
+  // it continues against the freshly started one (still O(1) per point).
+  for (int pass = 0; pass < 3; ++pass) {
+    switch (mode_) {
+      case Mode::kAbsorb: {
+        // Optimization (5): the pending segment keeps representing points
+        // while they stay within zeta of its line.
+        const double d = std::fabs(pending_unit_.Cross(pos - pending_.start));
+        if (options_.opt_absorb && d <= options_.zeta) {
+          pending_.last_index = idx;
+          covered_index_ = idx;
+          ++stats_.points_absorbed;
+          return;
+        }
+        EmitPending();
+        continue;  // re-dispatch against the new segment (kSeek)
+      }
+      case Mode::kSeek: {
+        const double r = geo::Distance(pos, anchor_pos_);
+        ++points_in_segment_;
+        // Optimization (1): postpone the first active point to radius
+        // > zeta (default threshold: the activation slack, zeta/4). Every
+        // point skipped here is within the threshold of the anchor, hence
+        // within zeta of any line through it.
+        const double threshold =
+            options_.opt_first_active
+                ? options_.zeta
+                : options_.zeta * options_.activation_slack_factor;
+        if (r <= threshold) {
+          covered_index_ = idx;
+          // A pre-direction point sits within `r` of any line through the
+          // anchor; charge it to the drift budget.
+          fitting_->NoteDriftDistance(r);
+          if (points_in_segment_ >= options_.max_points_per_segment) {
+            ++stats_.cap_breaks;
+            // Degenerate cap break while seeking: close at the current
+            // point (all consumed points are within `threshold` of the
+            // anchor, so the bound holds for any segment through it).
+            SetActive(pos, idx, r);
+            covered_index_ = idx;
+            mode_ = Mode::kExtend;
+            BreakSegment();
+            return;
+          }
+          return;
+        }
+        // First active point: case (2) of the fitting function.
+        fitting_->Activate(pos);
+        SetActive(pos, idx, r);
+        covered_index_ = idx;
+        mode_ = Mode::kExtend;
+        return;
+      }
+      case Mode::kExtend: {
+        const double r = geo::Distance(pos, anchor_pos_);
+        if (points_in_segment_ + 1 >= options_.max_points_per_segment) {
+          ++stats_.cap_breaks;
+          BreakSegment();
+          continue;
+        }
+        const bool is_active = fitting_->IsActive(r);
+        const double offset = fitting_->SignedOffset(pos);
+        const double d_line = std::fabs(offset);
+
+        // The paper's distance condition d(P, L) <= zeta/2, or — with
+        // optimization (2) — the relaxed d+max + d-max <= zeta.
+        bool distance_ok;
+        if (options_.opt_adjusted_distance) {
+          const double tentative_plus =
+              std::max(offset > 0.0 ? offset : 0.0, fitting_->d_plus_max());
+          const double tentative_minus =
+              std::max(offset < 0.0 ? -offset : 0.0, fitting_->d_minus_max());
+          distance_ok = (tentative_plus + tentative_minus) <= options_.zeta;
+        } else {
+          distance_ok = d_line <= options_.zeta / 2.0;
+        }
+
+        if (!is_active) {
+          // Inactive points must additionally stay within zeta of the
+          // candidate segment R_a = anchor -> active (they will be
+          // represented by it if the segment breaks here or later).
+          const double d_ra = std::fabs(ra_unit_.Cross(pos - anchor_pos_));
+          if (distance_ok && d_ra <= options_.zeta) {
+            if (guard_engaged_) {
+              fitting_->ObservePoint(pos);
+            } else {
+              fitting_->ObserveOffset(offset);
+            }
+            covered_index_ = idx;
+            ++points_in_segment_;
+            return;
+          }
+          BreakSegment();
+          continue;
+        }
+        // Active candidate: combined when the distance condition holds
+        // and (when the heuristic optimizations are in play) the drift
+        // guard proves every represented point stays within zeta of the
+        // would-be chord.
+        if (distance_ok) {
+          const FittingFunction::ActivationPlan plan =
+              fitting_->PlanActivation(pos, r);
+          if (!guard_engaged_ || fitting_->ActivationKeepsBound(plan)) {
+            // d+-max per the paper uses the distance to L_{i-1} (before
+            // the rotation); the drift budgets take the post-rotation
+            // position.
+            fitting_->ObserveOffset(offset);
+            fitting_->ApplyActivation(pos, plan);
+            if (guard_engaged_) fitting_->ObservePoint(pos);
+            SetActive(pos, idx, r);
+            covered_index_ = idx;
+            ++points_in_segment_;
+            return;
+          }
+        }
+        BreakSegment();
+        continue;
+      }
+      case Mode::kIdle:
+      case Mode::kFinished:
+        OPERB_CHECK_MSG(false, "ProcessPoint in invalid mode");
+    }
+  }
+  OPERB_CHECK_MSG(false, "point re-dispatched more than twice");
+}
+
+void OperbStream::SetActive(geo::Vec2 pos, std::size_t idx, double radius) {
+  active_pos_ = pos;
+  active_index_ = idx;
+  // radius > zeta/4 whenever a point becomes active, so the division is
+  // safe except for the degenerate cap-break-while-seeking path.
+  ra_unit_ = radius > 0.0 ? (pos - anchor_pos_) / radius : geo::Vec2{1.0, 0.0};
+}
+
+void OperbStream::BreakSegment() {
+  // The segment anchor -> active is determined; it represents everything
+  // consumed so far ([segment_first_index_, covered_index_]).
+  pending_.start = anchor_pos_;
+  pending_.end = active_pos_;
+  pending_.first_index = segment_first_index_;
+  pending_.last_index = covered_index_;
+  pending_.start_is_patch = anchor_detached_;
+  pending_.end_is_patch = false;  // finalized in EmitPending
+  pending_end_index_ = active_index_;
+  const geo::Vec2 d = pending_.end - pending_.start;
+  const double len = d.Norm();
+  pending_unit_ = len > 0.0 ? d / len : geo::Vec2{1.0, 0.0};
+  mode_ = Mode::kAbsorb;
+}
+
+void OperbStream::EmitPending() {
+  pending_.end_is_patch = (pending_.last_index != pending_end_index_);
+  emitted_.push_back(pending_);
+  ++stats_.segments_emitted;
+  StartSegment(pending_.end, pending_.last_index, pending_.end_is_patch);
+  mode_ = Mode::kSeek;
+}
+
+void OperbStream::StartSegment(geo::Vec2 anchor, std::size_t chain_index,
+                               bool detached) {
+  anchor_pos_ = anchor;
+  segment_first_index_ = chain_index;
+  anchor_detached_ = detached;
+  points_in_segment_ = 1;  // the anchor itself
+  fitting_.emplace(anchor, options_);
+}
+
+void OperbStream::Finish() {
+  if (mode_ == Mode::kIdle || mode_ == Mode::kFinished) {
+    mode_ = Mode::kFinished;
+    return;
+  }
+  if (mode_ == Mode::kAbsorb) {
+    EmitPending();  // transitions to kSeek with an empty segment
+  }
+  if (covered_index_ > segment_first_index_) {
+    // The open segment has content.
+    traj::RepresentedSegment s;
+    s.start = anchor_pos_;
+    s.first_index = segment_first_index_;
+    s.last_index = covered_index_;
+    s.start_is_patch = anchor_detached_;
+    if (mode_ == Mode::kExtend) {
+      s.end = active_pos_;
+      s.end_is_patch = (covered_index_ != active_index_);
+    } else {
+      // kSeek: every consumed point is within the activation threshold
+      // (<= zeta) of the anchor, so any line through the anchor bounds
+      // them; end at the last sample for an exact tail.
+      s.end = last_pos_;
+      s.end_is_patch = false;
+    }
+    emitted_.push_back(s);
+    ++stats_.segments_emitted;
+  }
+  // Closing segment: guarantee the representation ends at the last sample.
+  if (options_.emit_closing_segment && !emitted_.empty()) {
+    const traj::RepresentedSegment& tail = emitted_.back();
+    if (tail.end_is_patch || tail.last_index != last_index_) {
+      traj::RepresentedSegment close;
+      close.start = tail.end;
+      close.end = last_pos_;
+      close.first_index = tail.last_index;
+      close.last_index = last_index_;
+      close.start_is_patch = tail.end_is_patch;
+      close.end_is_patch = false;
+      emitted_.push_back(close);
+      ++stats_.segments_emitted;
+    }
+  }
+  mode_ = Mode::kFinished;
+}
+
+traj::PiecewiseRepresentation SimplifyOperb(const traj::Trajectory& trajectory,
+                                            const OperbOptions& options,
+                                            OperbStats* stats) {
+  OperbStream stream(options);
+  traj::PiecewiseRepresentation out;
+  if (trajectory.size() < 2) {
+    if (stats != nullptr) *stats = stream.stats();
+    return out;
+  }
+  for (const geo::Point& p : trajectory) stream.Push(p);
+  stream.Finish();
+  for (traj::RepresentedSegment& s : stream.TakeEmitted()) out.Append(s);
+  if (stats != nullptr) *stats = stream.stats();
+  return out;
+}
+
+}  // namespace operb::core

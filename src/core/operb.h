@@ -1,0 +1,136 @@
+#ifndef OPERB_CORE_OPERB_H_
+#define OPERB_CORE_OPERB_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/fitting.h"
+#include "core/options.h"
+#include "geo/point.h"
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::core {
+
+/// Counters describing one OPERB run (all O(1) state).
+struct OperbStats {
+  std::size_t points_processed = 0;
+  std::size_t segments_emitted = 0;
+  /// Points consumed by optimization (5) after their segment was
+  /// determined.
+  std::size_t points_absorbed = 0;
+  /// Segment breaks forced by the 4x10^5 per-segment cap.
+  std::size_t cap_breaks = 0;
+};
+
+/// One-pass streaming OPERB (Section 4.3 with the Section 4.4
+/// optimizations).
+///
+/// Usage:
+///
+///   OperbStream stream(OperbOptions::Optimized(40.0));
+///   for (const geo::Point& p : samples) {
+///     stream.Push(p);
+///     for (const auto& seg : stream.TakeEmitted()) Send(seg);
+///   }
+///   stream.Finish();
+///   for (const auto& seg : stream.TakeEmitted()) Send(seg);
+///
+/// Each pushed point is examined once (one distance check against the
+/// fitted line L plus one against the current candidate segment R_a),
+/// giving O(n) total time and O(1) working state — the properties
+/// Theorem 5 claims. Segments become available as soon as they are
+/// determined, so a sensor can transmit them immediately.
+///
+/// Deviations from the paper's pseudocode (documented in DESIGN.md):
+///  - Figure 7 line 3 also updates P_e (required for Example 5's output);
+///  - when the input ends on trailing inactive points, a closing segment
+///    to the final sample is appended unless
+///    `options.emit_closing_segment` is false.
+class OperbStream {
+ public:
+  /// Precondition: options.Validate().ok().
+  explicit OperbStream(const OperbOptions& options);
+
+  /// Feeds the next trajectory point. Timestamps must be strictly
+  /// increasing (not re-validated here; see traj::StreamCleaner).
+  void Push(const geo::Point& p);
+
+  /// Declares end-of-input and flushes the pending state. Push() must not
+  /// be called afterwards.
+  void Finish();
+
+  /// Returns the segments emitted since the previous call and clears the
+  /// internal buffer.
+  std::vector<traj::RepresentedSegment> TakeEmitted();
+
+  /// Emitted-but-not-yet-taken segments (no transfer).
+  const std::vector<traj::RepresentedSegment>& emitted() const {
+    return emitted_;
+  }
+
+  const OperbStats& stats() const { return stats_; }
+  const OperbOptions& options() const { return options_; }
+
+ private:
+  enum class Mode {
+    kIdle,       ///< nothing pushed yet
+    kSeek,       ///< collecting points before the first active point
+    kExtend,     ///< fitted line has a direction; combining active points
+    kAbsorb,     ///< optimization (5): feeding a determined segment
+    kFinished,
+  };
+
+  void ProcessPoint(geo::Vec2 pos, std::size_t idx);
+  void SetActive(geo::Vec2 pos, std::size_t idx, double radius);
+  /// Determines the current segment (anchor -> active point) covering
+  /// everything consumed so far and transitions to kAbsorb or restarts.
+  void BreakSegment();
+  void EmitPending();
+  /// Starts a fresh segment whose geometric start is `anchor` and whose
+  /// covered range chains at `chain_index`.
+  void StartSegment(geo::Vec2 anchor, std::size_t chain_index, bool detached);
+
+  OperbOptions options_;
+  bool guard_engaged_ = false;
+  Mode mode_ = Mode::kIdle;
+  std::vector<traj::RepresentedSegment> emitted_;
+  OperbStats stats_;
+
+  // Current segment state.
+  std::optional<FittingFunction> fitting_;
+  geo::Vec2 anchor_pos_;
+  std::size_t segment_first_index_ = 0;
+  bool anchor_detached_ = false;
+  std::size_t points_in_segment_ = 0;
+
+  // Last active point (valid in kExtend). `ra_unit_` caches the unit
+  // direction of the candidate chord R_a = anchor -> active so the
+  // per-point distance check is a single cross product.
+  geo::Vec2 active_pos_;
+  std::size_t active_index_ = 0;
+  geo::Vec2 ra_unit_;
+
+  // Determined segment being extended by absorption (valid in kAbsorb);
+  // `pending_unit_` caches its line direction.
+  traj::RepresentedSegment pending_;
+  std::size_t pending_end_index_ = 0;
+  geo::Vec2 pending_unit_;
+
+  // Coverage/bookkeeping.
+  std::size_t covered_index_ = 0;  ///< last consumed original index
+  std::size_t next_index_ = 0;
+  geo::Vec2 last_pos_;
+  std::size_t last_index_ = 0;
+};
+
+/// Batch convenience wrapper: runs OperbStream over `trajectory`.
+/// Precondition: options.Validate().ok().
+traj::PiecewiseRepresentation SimplifyOperb(const traj::Trajectory& trajectory,
+                                            const OperbOptions& options,
+                                            OperbStats* stats = nullptr);
+
+}  // namespace operb::core
+
+#endif  // OPERB_CORE_OPERB_H_

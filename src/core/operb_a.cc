@@ -1,0 +1,121 @@
+#include "core/operb_a.h"
+
+#include "common/check.h"
+#include "core/patch.h"
+
+namespace operb::core {
+
+LazyPatcher::LazyPatcher(const OperbAOptions& options) : options_(options) {
+  OPERB_CHECK_MSG(options.Validate().ok(), "invalid OperbAOptions");
+}
+
+std::vector<traj::RepresentedSegment> LazyPatcher::TakeEmitted() {
+  std::vector<traj::RepresentedSegment> out;
+  out.swap(emitted_);
+  return out;
+}
+
+void LazyPatcher::Accept(traj::RepresentedSegment segment) {
+  if (IsAnomalous(segment)) ++anomalous_segments_;
+
+  if (!x_.has_value()) {
+    x_ = segment;
+    return;
+  }
+  if (!y_.has_value()) {
+    if (options_.enable_patching && IsAnomalous(segment)) {
+      // Park the anomalous segment until its successor determines whether
+      // a patch point exists.
+      y_ = segment;
+      return;
+    }
+    Emit(*x_);
+    x_ = segment;
+    return;
+  }
+
+  // x_ = R_{i-1}, y_ = anomalous R_i, segment = R_{i+1}.
+  const std::optional<geo::Vec2> g =
+      ComputePatchPoint(*x_, segment, options_);
+  if (g.has_value()) {
+    ++patches_applied_;
+    // Extend R_{i-1} along its own line to G; R_{i+1} now starts from G on
+    // its own line. The eliminated anomalous segment's two points split
+    // between the neighbours — its start (== R_{i-1}'s old end) lies on
+    // R_{i-1}'s line and its end (== R_{i+1}'s start) on R_{i+1}'s line —
+    // so neither index range changes and no error is introduced
+    // (Section 5.2). The junction leaves a one-index gap between the
+    // neighbours' covered ranges, which the representation validator and
+    // the metrics recognize via the patch flags.
+    x_->end = *g;
+    x_->end_is_patch = true;
+    Emit(*x_);
+    segment.start = *g;
+    segment.start_is_patch = true;
+    x_ = segment;
+    y_.reset();
+    return;
+  }
+  // No patch: release the buffer in order.
+  Emit(*x_);
+  Emit(*y_);
+  y_.reset();
+  x_ = segment;
+}
+
+void LazyPatcher::Finish() {
+  if (x_.has_value()) Emit(*x_);
+  if (y_.has_value()) Emit(*y_);
+  x_.reset();
+  y_.reset();
+}
+
+OperbAStream::OperbAStream(const OperbAOptions& options)
+    : options_(options), inner_(options.base), patcher_(options) {}
+
+void OperbAStream::DrainInner() {
+  for (traj::RepresentedSegment& s : inner_.TakeEmitted()) {
+    patcher_.Accept(s);
+  }
+}
+
+void OperbAStream::Push(const geo::Point& p) {
+  inner_.Push(p);
+  DrainInner();
+}
+
+void OperbAStream::Finish() {
+  inner_.Finish();
+  DrainInner();
+  patcher_.Finish();
+}
+
+std::vector<traj::RepresentedSegment> OperbAStream::TakeEmitted() {
+  return patcher_.TakeEmitted();
+}
+
+OperbAStats OperbAStream::stats() const {
+  OperbAStats s;
+  s.base = inner_.stats();
+  s.anomalous_segments = patcher_.anomalous_segments();
+  s.patches_applied = patcher_.patches_applied();
+  return s;
+}
+
+traj::PiecewiseRepresentation SimplifyOperbA(
+    const traj::Trajectory& trajectory, const OperbAOptions& options,
+    OperbAStats* stats) {
+  OperbAStream stream(options);
+  traj::PiecewiseRepresentation out;
+  if (trajectory.size() < 2) {
+    if (stats != nullptr) *stats = stream.stats();
+    return out;
+  }
+  for (const geo::Point& p : trajectory) stream.Push(p);
+  stream.Finish();
+  for (traj::RepresentedSegment& s : stream.TakeEmitted()) out.Append(s);
+  if (stats != nullptr) *stats = stream.stats();
+  return out;
+}
+
+}  // namespace operb::core

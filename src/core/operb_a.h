@@ -1,0 +1,106 @@
+#ifndef OPERB_CORE_OPERB_A_H_
+#define OPERB_CORE_OPERB_A_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/operb.h"
+#include "core/options.h"
+#include "geo/point.h"
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::core {
+
+/// Counters describing one OPERB-A run.
+struct OperbAStats {
+  OperbStats base;
+  /// The paper's N_a: anomalous line segments produced before
+  /// interpolation (segments representing only their own two endpoints).
+  std::size_t anomalous_segments = 0;
+  /// The paper's N_p: patch points successfully interpolated.
+  std::size_t patches_applied = 0;
+
+  /// The paper's patching ratio N_p / N_a (0 when no anomalies occurred).
+  double PatchingRatio() const {
+    return anomalous_segments == 0
+               ? 0.0
+               : static_cast<double>(patches_applied) /
+                     static_cast<double>(anomalous_segments);
+  }
+};
+
+/// The lazy output policy of Section 5.2, as a segment-stream filter.
+///
+/// Determined segments enter via Accept(); at most two are buffered (the
+/// candidate predecessor X and an anomalous segment Y awaiting its
+/// successor). When the successor S arrives, a patch point G is attempted
+/// for Y: on success X is extended to G and emitted, and G->S.end becomes
+/// the new pending candidate; otherwise X and Y are emitted unchanged.
+class LazyPatcher {
+ public:
+  explicit LazyPatcher(const OperbAOptions& options);
+
+  /// Feeds the next determined segment; emitted segments accumulate in
+  /// emitted().
+  void Accept(traj::RepresentedSegment segment);
+
+  /// Flushes the buffer (trailing anomalous segments are emitted as-is).
+  void Finish();
+
+  std::vector<traj::RepresentedSegment> TakeEmitted();
+  const std::vector<traj::RepresentedSegment>& emitted() const {
+    return emitted_;
+  }
+
+  std::size_t anomalous_segments() const { return anomalous_segments_; }
+  std::size_t patches_applied() const { return patches_applied_; }
+
+ private:
+  static bool IsAnomalous(const traj::RepresentedSegment& s) {
+    return s.PointCount() == 2;
+  }
+  void Emit(const traj::RepresentedSegment& s) { emitted_.push_back(s); }
+
+  OperbAOptions options_;
+  std::vector<traj::RepresentedSegment> emitted_;
+  std::optional<traj::RepresentedSegment> x_;  ///< pending predecessor
+  std::optional<traj::RepresentedSegment> y_;  ///< pending anomalous segment
+  std::size_t anomalous_segments_ = 0;
+  std::size_t patches_applied_ = 0;
+};
+
+/// One-pass streaming OPERB-A (Section 5): OPERB's segment stream piped
+/// through the lazy patching policy. Same Push/Finish/TakeEmitted contract
+/// as OperbStream; output segments are delayed by at most two segments
+/// (the lazy buffer), and the working state remains O(1).
+class OperbAStream {
+ public:
+  /// Precondition: options.Validate().ok().
+  explicit OperbAStream(const OperbAOptions& options);
+
+  void Push(const geo::Point& p);
+  void Finish();
+
+  std::vector<traj::RepresentedSegment> TakeEmitted();
+
+  OperbAStats stats() const;
+  const OperbAOptions& options() const { return options_; }
+
+ private:
+  void DrainInner();
+
+  OperbAOptions options_;
+  OperbStream inner_;
+  LazyPatcher patcher_;
+};
+
+/// Batch convenience wrapper. Precondition: options.Validate().ok().
+traj::PiecewiseRepresentation SimplifyOperbA(
+    const traj::Trajectory& trajectory, const OperbAOptions& options,
+    OperbAStats* stats = nullptr);
+
+}  // namespace operb::core
+
+#endif  // OPERB_CORE_OPERB_A_H_

@@ -1,0 +1,42 @@
+#ifndef OPERB_DATAGEN_FREE_WALKER_H_
+#define OPERB_DATAGEN_FREE_WALKER_H_
+
+#include "datagen/rng.h"
+#include "traj/trajectory.h"
+
+namespace operb::datagen {
+
+/// Free-space smooth random movement (no road network).
+///
+/// Models GeoLife-style pedestrian/bicycle traces: the heading follows an
+/// Ornstein-Uhlenbeck process (smooth curvature, occasional meanders)
+/// instead of the sharp grid turns of the vehicle model. "Suitable for
+/// freely moving objects" is exactly the regime the paper cites LS
+/// methods for.
+struct FreeWalkerParams {
+  double speed_mps = 2.5;             ///< walking/cycling pace
+  double speed_jitter_fraction = 0.3;
+  /// Mean-reversion rate of the heading process (1/s). Larger values
+  /// straighten the path.
+  double heading_reversion = 0.1;
+  /// Heading diffusion (rad / sqrt(s)). The stationary curvature std-dev
+  /// is volatility / sqrt(2 * reversion) ~ 0.13 rad/s: gentle meanders,
+  /// rare sharp turns — pedestrian/bicycle movement.
+  double heading_volatility = 0.06;
+
+  double sampling_interval_s = 3.0;
+  double sampling_jitter_fraction = 0.1;
+  double dropout_probability = 0.01;
+  /// Stationary GPS noise sigma (Gauss-Markov; see datagen/noise.h).
+  double gps_noise_m = 4.0;
+  double gps_noise_correlation_s = 90.0;
+  double start_time_s = 0.0;
+};
+
+/// Generates `num_points` samples starting at the origin.
+traj::Trajectory SimulateFreeWalk(std::size_t num_points,
+                                  const FreeWalkerParams& params, Rng* rng);
+
+}  // namespace operb::datagen
+
+#endif  // OPERB_DATAGEN_FREE_WALKER_H_

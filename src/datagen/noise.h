@@ -1,0 +1,49 @@
+#ifndef OPERB_DATAGEN_NOISE_H_
+#define OPERB_DATAGEN_NOISE_H_
+
+#include <cmath>
+
+#include "datagen/rng.h"
+#include "geo/point.h"
+
+namespace operb::datagen {
+
+/// First-order Gauss-Markov (AR(1)) GPS error model.
+///
+/// GPS positioning error is dominated by slowly varying components
+/// (atmospheric delay, multipath, ephemeris error), so consecutive fixes
+/// share most of their error — the error *drifts* with a correlation time
+/// of the order of a minute rather than being white. Modeling it as an
+/// Ornstein-Uhlenbeck process per axis,
+///
+///   e_{k+1} = rho * e_k + sqrt(1 - rho^2) * sigma * N(0,1),
+///   rho = exp(-dt / correlation_time),
+///
+/// keeps the stationary std-dev at `sigma` for every sampling rate while
+/// making densely sampled fixes nearly share their error — which is what
+/// lets dense trajectories compress far below the noise floor (and what a
+/// white-noise model gets wrong).
+class GaussMarkovNoise {
+ public:
+  GaussMarkovNoise(double sigma_m, double correlation_time_s)
+      : sigma_(sigma_m), tau_(correlation_time_s) {}
+
+  /// Advances the error process by `dt` seconds and returns the offset.
+  geo::Vec2 Sample(double dt, Rng* rng) {
+    if (sigma_ <= 0.0) return {0.0, 0.0};
+    const double rho = (tau_ > 0.0) ? std::exp(-dt / tau_) : 0.0;
+    const double diffusion = sigma_ * std::sqrt(1.0 - rho * rho);
+    state_.x = rho * state_.x + diffusion * rng->Normal();
+    state_.y = rho * state_.y + diffusion * rng->Normal();
+    return state_;
+  }
+
+ private:
+  double sigma_;
+  double tau_;
+  geo::Vec2 state_{0.0, 0.0};
+};
+
+}  // namespace operb::datagen
+
+#endif  // OPERB_DATAGEN_NOISE_H_

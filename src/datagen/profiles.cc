@@ -1,0 +1,140 @@
+#include "datagen/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "datagen/free_walker.h"
+#include "datagen/road_network.h"
+#include "datagen/vehicle_sim.h"
+
+namespace operb::datagen {
+
+std::vector<DatasetKind> AllDatasetKinds() {
+  return {DatasetKind::kTaxi, DatasetKind::kTruck, DatasetKind::kSerCar,
+          DatasetKind::kGeoLife};
+}
+
+std::string_view DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kTaxi:
+      return "Taxi";
+    case DatasetKind::kTruck:
+      return "Truck";
+    case DatasetKind::kSerCar:
+      return "SerCar";
+    case DatasetKind::kGeoLife:
+      return "GeoLife";
+  }
+  return "unknown";
+}
+
+DatasetProfile DatasetProfile::For(DatasetKind kind) {
+  DatasetProfile p;
+  p.kind = kind;
+  switch (kind) {
+    case DatasetKind::kTaxi:
+      // Beijing taxis: urban grid, one point per minute.
+      p.road_network = true;
+      p.block_meters = 400.0;
+      p.cruise_speed_mps = 11.0;
+      p.sampling_min_s = 60.0;
+      p.sampling_max_s = 60.0;
+      p.gps_noise_m = 4.0;
+      p.dropout_probability = 0.02;
+      break;
+    case DatasetKind::kTruck:
+      // Inter-city trucks: long straight arterials, mixed sampling rates.
+      p.road_network = true;
+      p.block_meters = 2500.0;
+      p.cruise_speed_mps = 18.0;
+      p.sampling_min_s = 1.0;
+      p.sampling_max_s = 60.0;
+      p.gps_noise_m = 4.0;
+      p.dropout_probability = 0.02;
+      break;
+    case DatasetKind::kSerCar:
+      // Rental cars: urban grid, 3-5 s sampling.
+      p.road_network = true;
+      p.block_meters = 450.0;
+      p.cruise_speed_mps = 12.0;
+      p.sampling_min_s = 3.0;
+      p.sampling_max_s = 5.0;
+      p.gps_noise_m = 3.0;
+      p.dropout_probability = 0.02;
+      break;
+    case DatasetKind::kGeoLife:
+      // Pedestrians/cyclists in free space, 1-5 s sampling.
+      p.road_network = false;
+      p.cruise_speed_mps = 2.5;
+      p.sampling_min_s = 1.0;
+      p.sampling_max_s = 5.0;
+      p.gps_noise_m = 4.0;
+      p.dropout_probability = 0.01;
+      break;
+  }
+  return p;
+}
+
+traj::Trajectory GenerateTrajectory(const DatasetProfile& profile,
+                                    std::size_t num_points, Rng* rng) {
+  OPERB_CHECK(num_points >= 2);
+  const double interval =
+      rng->Uniform(profile.sampling_min_s,
+                   std::nextafter(profile.sampling_max_s, 1e308));
+
+  if (!profile.road_network) {
+    FreeWalkerParams params;
+    params.speed_mps = profile.cruise_speed_mps * rng->Uniform(0.7, 1.4);
+    params.sampling_interval_s = interval;
+    params.gps_noise_m = profile.gps_noise_m;
+    params.dropout_probability = profile.dropout_probability;
+    return SimulateFreeWalk(num_points, params, rng);
+  }
+
+  RoadNetwork::Params net_params;
+  net_params.block_meters = profile.block_meters;
+  const RoadNetwork network = RoadNetwork::Build(net_params, rng);
+
+  VehicleSimParams sim;
+  sim.cruise_speed_mps = profile.cruise_speed_mps;
+  sim.sampling_interval_s = interval;
+  sim.gps_noise_m = profile.gps_noise_m;
+  sim.dropout_probability = profile.dropout_probability;
+  sim.slowdown_radius_m = std::min(60.0, profile.block_meters / 6.0);
+
+  // Size the walk so the drive produces at least num_points samples:
+  // points-per-hop ~= block / (speed * interval). Regenerate with more
+  // hops if dropouts or slowdowns left the trajectory short.
+  const double points_per_hop =
+      profile.block_meters / (profile.cruise_speed_mps * interval);
+  std::size_t hops = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(num_points) / std::max(0.05, points_per_hop) *
+                1.3)) + 2;
+  traj::Trajectory t;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto walk = network.RandomWalk(hops, rng);
+    t = SimulateVehicle(network.WalkToWaypoints(walk), sim, rng);
+    if (t.size() >= num_points) break;
+    hops = hops * 2 + 4;
+  }
+  OPERB_CHECK_MSG(t.size() >= num_points,
+                  "vehicle simulation failed to reach the point target");
+  t.mutable_points().resize(num_points);
+  return t;
+}
+
+std::vector<traj::Trajectory> GenerateDataset(const DatasetSpec& spec) {
+  Rng root(spec.seed ^ (static_cast<std::uint64_t>(spec.kind) << 32));
+  const DatasetProfile profile = DatasetProfile::For(spec.kind);
+  std::vector<traj::Trajectory> out;
+  out.reserve(spec.num_trajectories);
+  for (std::size_t i = 0; i < spec.num_trajectories; ++i) {
+    Rng child = root.Fork();
+    out.push_back(
+        GenerateTrajectory(profile, spec.points_per_trajectory, &child));
+  }
+  return out;
+}
+
+}  // namespace operb::datagen

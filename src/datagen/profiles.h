@@ -1,0 +1,57 @@
+#ifndef OPERB_DATAGEN_PROFILES_H_
+#define OPERB_DATAGEN_PROFILES_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "datagen/rng.h"
+#include "traj/trajectory.h"
+
+namespace operb::datagen {
+
+/// The four dataset profiles of the paper's Table 1, reproduced
+/// synthetically (see DESIGN.md §3 for the substitution argument).
+///
+///   Taxi    — urban road network, 60 s sampling (sparsest)
+///   Truck   — inter-city arterials, mixed 1–60 s sampling, long blocks
+///   SerCar  — urban road network, 3–5 s sampling (dense vehicle data)
+///   GeoLife — free-space walking/cycling, 1–5 s sampling (densest)
+enum class DatasetKind { kTaxi, kTruck, kSerCar, kGeoLife };
+
+std::vector<DatasetKind> AllDatasetKinds();
+std::string_view DatasetName(DatasetKind kind);
+
+/// Shape parameters of one profile (exposed so tests/benches can assert
+/// against them and ablations can perturb them).
+struct DatasetProfile {
+  DatasetKind kind = DatasetKind::kTaxi;
+  bool road_network = true;       ///< vehicle-on-grid vs free walker
+  double block_meters = 400.0;    ///< grid block size (road kinds)
+  double cruise_speed_mps = 11.0;
+  double sampling_min_s = 60.0;   ///< per-trajectory interval drawn
+  double sampling_max_s = 60.0;   ///< uniformly from [min, max]
+  double gps_noise_m = 3.0;
+  double dropout_probability = 0.02;
+
+  static DatasetProfile For(DatasetKind kind);
+};
+
+/// How much data to generate.
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kTaxi;
+  std::size_t num_trajectories = 10;
+  std::size_t points_per_trajectory = 10000;
+  std::uint64_t seed = 42;
+};
+
+/// Generates one trajectory with exactly `num_points` samples.
+traj::Trajectory GenerateTrajectory(const DatasetProfile& profile,
+                                    std::size_t num_points, Rng* rng);
+
+/// Generates a whole dataset (deterministic in spec.seed).
+std::vector<traj::Trajectory> GenerateDataset(const DatasetSpec& spec);
+
+}  // namespace operb::datagen
+
+#endif  // OPERB_DATAGEN_PROFILES_H_

@@ -1,0 +1,76 @@
+#ifndef OPERB_DATAGEN_RNG_H_
+#define OPERB_DATAGEN_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "geo/angle.h"
+
+namespace operb::datagen {
+
+/// Deterministic, platform-independent PRNG (SplitMix64) with the handful
+/// of distributions the generators need.
+///
+/// The standard library's distribution objects are implementation-defined,
+/// so using them would make "same seed, same dataset" only true per
+/// libstdc++ version. Everything here is pinned down bit-for-bit, which
+/// the reproducibility tests rely on.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t NextBelow(std::uint64_t n) { return NextU64() % n; }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (pair-cached).
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double a = geo::kTwoPi * u2;
+    cached_ = r * std::sin(a);
+    has_cached_ = true;
+    return r * std::cos(a);
+  }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Derives an independent child stream (for per-trajectory seeding).
+  Rng Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  std::uint64_t state_;
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace operb::datagen
+
+#endif  // OPERB_DATAGEN_RNG_H_

@@ -1,0 +1,74 @@
+#include "datagen/road_network.h"
+
+#include "common/check.h"
+
+namespace operb::datagen {
+
+RoadNetwork RoadNetwork::Build(const Params& params, Rng* rng) {
+  OPERB_CHECK(params.rows >= 2 && params.cols >= 2);
+  RoadNetwork net;
+  const std::size_t n = params.rows * params.cols;
+  net.nodes_.reserve(n);
+  net.adjacency_.assign(n, {});
+  const double jitter = params.jitter_fraction * params.block_meters;
+  for (std::size_t r = 0; r < params.rows; ++r) {
+    for (std::size_t c = 0; c < params.cols; ++c) {
+      const double x = static_cast<double>(c) * params.block_meters +
+                       rng->Uniform(-jitter, jitter);
+      const double y = static_cast<double>(r) * params.block_meters +
+                       rng->Uniform(-jitter, jitter);
+      net.nodes_.push_back({x, y});
+    }
+  }
+  auto id = [&](std::size_t r, std::size_t c) {
+    return r * params.cols + c;
+  };
+  for (std::size_t r = 0; r < params.rows; ++r) {
+    for (std::size_t c = 0; c < params.cols; ++c) {
+      if (c + 1 < params.cols) {
+        net.adjacency_[id(r, c)].push_back(id(r, c + 1));
+        net.adjacency_[id(r, c + 1)].push_back(id(r, c));
+      }
+      if (r + 1 < params.rows) {
+        net.adjacency_[id(r, c)].push_back(id(r + 1, c));
+        net.adjacency_[id(r + 1, c)].push_back(id(r, c));
+      }
+    }
+  }
+  return net;
+}
+
+std::vector<std::size_t> RoadNetwork::RandomWalk(std::size_t num_hops,
+                                                 Rng* rng) const {
+  OPERB_CHECK(!nodes_.empty());
+  std::vector<std::size_t> walk;
+  walk.reserve(num_hops + 1);
+  std::size_t current = rng->NextBelow(nodes_.size());
+  std::size_t previous = current;
+  walk.push_back(current);
+  for (std::size_t hop = 0; hop < num_hops; ++hop) {
+    const std::vector<std::size_t>& nbrs = adjacency_[current];
+    OPERB_CHECK(!nbrs.empty());
+    std::size_t next = nbrs[rng->NextBelow(nbrs.size())];
+    // Re-draw once or twice to avoid an immediate U-turn when the node has
+    // an alternative; occasional U-turns are fine (and realistic).
+    for (int attempt = 0; attempt < 2 && next == previous && nbrs.size() > 1;
+         ++attempt) {
+      next = nbrs[rng->NextBelow(nbrs.size())];
+    }
+    previous = current;
+    current = next;
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+std::vector<geo::Vec2> RoadNetwork::WalkToWaypoints(
+    const std::vector<std::size_t>& walk) const {
+  std::vector<geo::Vec2> out;
+  out.reserve(walk.size());
+  for (std::size_t id : walk) out.push_back(nodes_[id]);
+  return out;
+}
+
+}  // namespace operb::datagen

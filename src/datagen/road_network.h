@@ -1,0 +1,57 @@
+#ifndef OPERB_DATAGEN_ROAD_NETWORK_H_
+#define OPERB_DATAGEN_ROAD_NETWORK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datagen/rng.h"
+#include "geo/point.h"
+
+namespace operb::datagen {
+
+/// A synthetic urban road network: a jittered grid of intersections with
+/// 4-neighbour connectivity.
+///
+/// The paper's Taxi/SerCar trajectories are "vehicles running on an urban
+/// road network" whose crossroads cause the sudden direction changes that
+/// motivate OPERB-A's patch points (Figure 9). A jittered grid reproduces
+/// exactly that structure: long near-straight stretches punctuated by
+/// sharp turns at intersections.
+class RoadNetwork {
+ public:
+  struct Params {
+    std::size_t rows = 24;
+    std::size_t cols = 24;
+    /// Block edge length in meters (Beijing-ish city blocks ~400 m).
+    double block_meters = 400.0;
+    /// Random displacement of each intersection, as a fraction of the
+    /// block length (bends the grid so streets are not axis-aligned).
+    double jitter_fraction = 0.18;
+  };
+
+  /// Builds a deterministic network from `rng`.
+  static RoadNetwork Build(const Params& params, Rng* rng);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  geo::Vec2 node(std::size_t id) const { return nodes_[id]; }
+  const std::vector<std::size_t>& neighbors(std::size_t id) const {
+    return adjacency_[id];
+  }
+
+  /// A random walk of `num_hops` edges starting from a random node,
+  /// avoiding immediate backtracking where possible (vehicles rarely
+  /// U-turn at every corner). Returns the node id sequence.
+  std::vector<std::size_t> RandomWalk(std::size_t num_hops, Rng* rng) const;
+
+  /// The walk as a waypoint polyline in meters.
+  std::vector<geo::Vec2> WalkToWaypoints(
+      const std::vector<std::size_t>& walk) const;
+
+ private:
+  std::vector<geo::Vec2> nodes_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace operb::datagen
+
+#endif  // OPERB_DATAGEN_ROAD_NETWORK_H_

@@ -1,0 +1,53 @@
+#ifndef OPERB_DATAGEN_VEHICLE_SIM_H_
+#define OPERB_DATAGEN_VEHICLE_SIM_H_
+
+#include <vector>
+
+#include "datagen/rng.h"
+#include "geo/point.h"
+#include "traj/trajectory.h"
+
+namespace operb::datagen {
+
+/// Kinematic + sensor model turning a waypoint polyline into a sampled
+/// GPS trajectory.
+///
+/// The vehicle moves along the polyline with a speed that fluctuates
+/// around `cruise_speed_mps` and drops near waypoints (intersections),
+/// and the GPS sensor samples its position every `sampling_interval_s`
+/// (with optional jitter and dropouts) adding isotropic Gaussian noise.
+struct VehicleSimParams {
+  double cruise_speed_mps = 11.0;   ///< ~40 km/h urban
+  double speed_jitter_fraction = 0.25;
+  /// Fraction of cruise speed when passing a waypoint (slow turns).
+  double turn_slowdown_fraction = 0.45;
+  /// Distance from a waypoint within which the slowdown applies.
+  double slowdown_radius_m = 60.0;
+
+  double sampling_interval_s = 5.0;
+  /// Uniform +/- jitter applied to each sampling interval (fraction).
+  double sampling_jitter_fraction = 0.1;
+  /// Probability that a scheduled sample is lost (models the unsampled
+  /// sudden track changes OPERB-A's interpolation compensates for).
+  double dropout_probability = 0.02;
+
+  /// Stationary GPS noise sigma in meters (Gauss-Markov process; see
+  /// datagen/noise.h).
+  double gps_noise_m = 3.0;
+  /// Correlation time of the GPS error drift in seconds. <= 0 degrades
+  /// to white noise.
+  double gps_noise_correlation_s = 90.0;
+
+  /// Timestamp of the first sample.
+  double start_time_s = 0.0;
+};
+
+/// Simulates the drive and returns the sampled trajectory. The number of
+/// produced points depends on path length, speed and sampling interval;
+/// callers size the waypoint walk to hit a target point count.
+traj::Trajectory SimulateVehicle(const std::vector<geo::Vec2>& waypoints,
+                                 const VehicleSimParams& params, Rng* rng);
+
+}  // namespace operb::datagen
+
+#endif  // OPERB_DATAGEN_VEHICLE_SIM_H_

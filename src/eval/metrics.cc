@@ -1,0 +1,104 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geo/distance.h"
+
+namespace operb::eval {
+
+double CompressionRatio(const traj::Trajectory& original,
+                        const traj::PiecewiseRepresentation& representation) {
+  if (original.empty()) return 0.0;
+  return static_cast<double>(representation.StoredPointCount()) /
+         static_cast<double>(original.size());
+}
+
+double AggregateCompressionRatio(
+    const std::vector<traj::Trajectory>& originals,
+    const std::vector<traj::PiecewiseRepresentation>& representations) {
+  OPERB_CHECK(originals.size() == representations.size());
+  std::size_t stored = 0;
+  std::size_t raw = 0;
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    stored += representations[i].StoredPointCount();
+    raw += originals[i].size();
+  }
+  return raw == 0 ? 0.0
+                  : static_cast<double>(stored) / static_cast<double>(raw);
+}
+
+namespace {
+
+/// Accumulates the distance of every original point to the line of its
+/// covering segment.
+void AccumulateError(const traj::Trajectory& original,
+                     const traj::PiecewiseRepresentation& representation,
+                     double* sum, double* max, std::size_t* count) {
+  // Attribute each original point to exactly one segment: a boundary
+  // point shared by two segments goes to the earlier one; a patched
+  // junction's index gap means both junction points get attributed (each
+  // to the side whose line it lies on).
+  std::size_t next = 0;
+  for (const traj::RepresentedSegment& s : representation) {
+    const std::size_t begin = std::max(s.first_index, next);
+    next = s.last_index + 1;
+    for (std::size_t i = begin; i <= s.last_index; ++i) {
+      const double d =
+          geo::PointToLineDistance(original[i].pos(), s.start, s.end);
+      *sum += d;
+      *max = std::max(*max, d);
+      ++*count;
+    }
+  }
+}
+
+}  // namespace
+
+ErrorStats MeasureError(const traj::Trajectory& original,
+                        const traj::PiecewiseRepresentation& representation) {
+  ErrorStats stats;
+  double sum = 0.0;
+  AccumulateError(original, representation, &sum, &stats.max, &stats.points);
+  stats.average = stats.points == 0
+                      ? 0.0
+                      : sum / static_cast<double>(stats.points);
+  return stats;
+}
+
+ErrorStats AggregateError(
+    const std::vector<traj::Trajectory>& originals,
+    const std::vector<traj::PiecewiseRepresentation>& representations) {
+  OPERB_CHECK(originals.size() == representations.size());
+  ErrorStats stats;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    AccumulateError(originals[i], representations[i], &sum, &stats.max,
+                    &stats.points);
+  }
+  stats.average =
+      stats.points == 0 ? 0.0 : sum / static_cast<double>(stats.points);
+  return stats;
+}
+
+std::map<std::size_t, std::size_t> SegmentSizeDistribution(
+    const std::vector<traj::PiecewiseRepresentation>& representations) {
+  std::map<std::size_t, std::size_t> z;
+  for (const traj::PiecewiseRepresentation& rep : representations) {
+    for (const traj::RepresentedSegment& s : rep) {
+      ++z[s.PointCount()];
+    }
+  }
+  return z;
+}
+
+std::size_t CountAnomalousSegments(
+    const traj::PiecewiseRepresentation& representation) {
+  std::size_t n = 0;
+  for (const traj::RepresentedSegment& s : representation) {
+    if (s.PointCount() == 2) ++n;
+  }
+  return n;
+}
+
+}  // namespace operb::eval

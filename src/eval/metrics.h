@@ -1,0 +1,55 @@
+#ifndef OPERB_EVAL_METRICS_H_
+#define OPERB_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::eval {
+
+/// Compression ratio of one representation: |T| / |T_dot| (stored points
+/// over original points). Lower is better; matches the paper's Section
+/// 6.2.2 definition.
+double CompressionRatio(const traj::Trajectory& original,
+                        const traj::PiecewiseRepresentation& representation);
+
+/// Aggregate compression ratio over a dataset:
+/// (sum |T_j|) / (sum |T_dot_j|).
+double AggregateCompressionRatio(
+    const std::vector<traj::Trajectory>& originals,
+    const std::vector<traj::PiecewiseRepresentation>& representations);
+
+/// Per-point distance statistics of a representation against its original
+/// trajectory. Each point is measured against the *line* of the segment
+/// that represents it (the paper's error definition).
+struct ErrorStats {
+  double average = 0.0;  ///< the paper's "average error" (Figure 18)
+  double max = 0.0;
+  std::size_t points = 0;
+};
+
+ErrorStats MeasureError(const traj::Trajectory& original,
+                        const traj::PiecewiseRepresentation& representation);
+
+/// Dataset-level average error: sum of all point distances over the total
+/// point count (exactly the Section 6.2.3 formula).
+ErrorStats AggregateError(
+    const std::vector<traj::Trajectory>& originals,
+    const std::vector<traj::PiecewiseRepresentation>& representations);
+
+/// Segment-size distribution Z(k) of Figure 17: Z[k] = number of segments
+/// representing exactly k data points (endpoints double-counted between
+/// adjacent segments).
+std::map<std::size_t, std::size_t> SegmentSizeDistribution(
+    const std::vector<traj::PiecewiseRepresentation>& representations);
+
+/// Number of anomalous segments (PointCount() == 2) in a representation.
+std::size_t CountAnomalousSegments(
+    const traj::PiecewiseRepresentation& representation);
+
+}  // namespace operb::eval
+
+#endif  // OPERB_EVAL_METRICS_H_

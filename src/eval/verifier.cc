@@ -1,0 +1,55 @@
+#include "eval/verifier.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "geo/distance.h"
+
+namespace operb::eval {
+
+std::string VerificationResult::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{bounded=%d, worst=%.6f at %zu, violations=%zu}", bounded,
+                worst_distance, worst_index, violations);
+  return buf;
+}
+
+VerificationResult VerifyErrorBound(
+    const traj::Trajectory& original,
+    const traj::PiecewiseRepresentation& representation, double zeta,
+    double slack) {
+  VerificationResult result;
+  const double limit = zeta * (1.0 + slack) + 1e-9;
+  const auto& segs = representation.segments();
+  std::size_t next = 0;
+  for (std::size_t si = 0; si < segs.size(); ++si) {
+    const traj::RepresentedSegment& s = segs[si];
+    const std::size_t begin = std::max(s.first_index, next);
+    next = s.last_index + 1;
+    for (std::size_t i = begin; i <= s.last_index && i < original.size();
+         ++i) {
+      const geo::Vec2 p = original[i].pos();
+      double d = geo::PointToLineDistance(p, s.start, s.end);
+      if (d > limit && si > 0) {
+        d = std::min(d, geo::PointToLineDistance(p, segs[si - 1].start,
+                                                 segs[si - 1].end));
+      }
+      if (d > limit && si + 1 < segs.size()) {
+        d = std::min(d, geo::PointToLineDistance(p, segs[si + 1].start,
+                                                 segs[si + 1].end));
+      }
+      if (d > result.worst_distance) {
+        result.worst_distance = d;
+        result.worst_index = i;
+      }
+      if (d > limit) {
+        result.bounded = false;
+        ++result.violations;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace operb::eval

@@ -1,0 +1,39 @@
+#ifndef OPERB_EVAL_VERIFIER_H_
+#define OPERB_EVAL_VERIFIER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::eval {
+
+/// Result of checking a representation against the paper's error-bound
+/// definition.
+struct VerificationResult {
+  bool bounded = true;
+  /// Worst distance found from a point to its nearest candidate line.
+  double worst_distance = 0.0;
+  std::size_t worst_index = 0;
+  std::size_t violations = 0;
+
+  std::string ToString() const;
+};
+
+/// Verifies the paper's error-bound definition (Section 3.2): every
+/// original point must lie within `zeta` of the line of *some* output
+/// segment. The check is existential; this verifier tests the covering
+/// segment and its immediate neighbors (which is where OPERB's absorb
+/// optimization and the closing segment can shift coverage), in O(n).
+///
+/// `slack` forgives floating-point rounding (distances up to
+/// zeta * (1 + slack) pass).
+VerificationResult VerifyErrorBound(
+    const traj::Trajectory& original,
+    const traj::PiecewiseRepresentation& representation, double zeta,
+    double slack = 1e-9);
+
+}  // namespace operb::eval
+
+#endif  // OPERB_EVAL_VERIFIER_H_

@@ -1,0 +1,29 @@
+#include "geo/angle.h"
+
+namespace operb::geo {
+
+double NormalizeAngle2Pi(double theta) {
+  double r = std::fmod(theta, kTwoPi);
+  if (r < 0.0) r += kTwoPi;
+  // fmod of a value infinitesimally below 2*pi can round to 2*pi exactly;
+  // fold it back so the contract [0, 2*pi) holds.
+  if (r >= kTwoPi) r = 0.0;
+  return r;
+}
+
+double NormalizeAnglePi(double theta) {
+  double r = std::fmod(theta, kTwoPi);
+  if (r > kPi) r -= kTwoPi;
+  if (r <= -kPi) r += kTwoPi;
+  return r;
+}
+
+double IncludedAngle(double theta1, double theta2) {
+  return NormalizeAngle2Pi(theta2) - NormalizeAngle2Pi(theta1);
+}
+
+double AbsoluteTurnAngle(double theta1, double theta2) {
+  return std::fabs(NormalizeAnglePi(theta2 - theta1));
+}
+
+}  // namespace operb::geo

@@ -1,0 +1,35 @@
+#ifndef OPERB_GEO_ANGLE_H_
+#define OPERB_GEO_ANGLE_H_
+
+#include <cmath>
+#include <numbers>
+
+namespace operb::geo {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Normalizes an angle to [0, 2*pi). This is the domain the paper uses for
+/// a directed line segment's angle L.theta.
+double NormalizeAngle2Pi(double theta);
+
+/// Normalizes an angle to (-pi, pi]. Useful for signed angular
+/// differences (turn angles).
+double NormalizeAnglePi(double theta);
+
+/// The included angle from direction `theta1` to direction `theta2`
+/// as the paper defines it: L2.theta - L1.theta with both angles in
+/// [0, 2*pi), so the result lies in (-2*pi, 2*pi).
+double IncludedAngle(double theta1, double theta2);
+
+/// Absolute turn angle between two directions, in [0, pi].
+double AbsoluteTurnAngle(double theta1, double theta2);
+
+/// Degrees/radians conversions (benchmarks sweep gamma_m in degrees as the
+/// paper's Figure 19-(2) does).
+constexpr double DegToRad(double deg) { return deg * kPi / 180.0; }
+constexpr double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+}  // namespace operb::geo
+
+#endif  // OPERB_GEO_ANGLE_H_

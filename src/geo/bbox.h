@@ -1,0 +1,54 @@
+#ifndef OPERB_GEO_BBOX_H_
+#define OPERB_GEO_BBOX_H_
+
+#include <array>
+#include <limits>
+
+#include "geo/point.h"
+
+namespace operb::geo {
+
+/// Axis-aligned bounding box accumulated point by point.
+///
+/// BQS builds one per quadrant; the datagen and eval modules use it for
+/// extents. An empty box reports IsEmpty() and contains nothing.
+struct BoundingBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  void Extend(Vec2 p) {
+    if (p.x < min_x) min_x = p.x;
+    if (p.y < min_y) min_y = p.y;
+    if (p.x > max_x) max_x = p.x;
+    if (p.y > max_y) max_y = p.y;
+  }
+
+  void Extend(const BoundingBox& o) {
+    if (o.IsEmpty()) return;
+    Extend(Vec2{o.min_x, o.min_y});
+    Extend(Vec2{o.max_x, o.max_y});
+  }
+
+  bool Contains(Vec2 p) const {
+    return !IsEmpty() && p.x >= min_x && p.x <= max_x && p.y >= min_y &&
+           p.y <= max_y;
+  }
+
+  double Width() const { return IsEmpty() ? 0.0 : max_x - min_x; }
+  double Height() const { return IsEmpty() ? 0.0 : max_y - min_y; }
+
+  /// Corners in counter-clockwise order starting from (min_x, min_y).
+  /// Precondition: !IsEmpty().
+  std::array<Vec2, 4> Corners() const {
+    return {Vec2{min_x, min_y}, Vec2{max_x, min_y}, Vec2{max_x, max_y},
+            Vec2{min_x, max_y}};
+  }
+};
+
+}  // namespace operb::geo
+
+#endif  // OPERB_GEO_BBOX_H_

@@ -1,0 +1,56 @@
+#include "geo/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace operb::geo {
+
+double PointToLineDistance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len = ab.Norm();
+  if (len == 0.0) return Distance(p, a);
+  return std::fabs(ab.Cross(p - a)) / len;
+}
+
+double PointToLineDistance(Vec2 p, const AnchoredLine& line) {
+  const Vec2 dir = Vec2::FromAngle(line.theta);
+  return std::fabs(dir.Cross(p - line.anchor));
+}
+
+double PointToSegmentDistance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.SquaredNorm();
+  if (len2 == 0.0) return Distance(p, a);
+  const double t = std::clamp((p - a).Dot(ab) / len2, 0.0, 1.0);
+  return Distance(p, a + ab * t);
+}
+
+double SignedPointToLineOffset(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len = ab.Norm();
+  if (len == 0.0) return Distance(p, a);
+  return ab.Cross(p - a) / len;
+}
+
+double SignedPointToLineOffset(Vec2 p, const AnchoredLine& line) {
+  const Vec2 dir = Vec2::FromAngle(line.theta);
+  return dir.Cross(p - line.anchor);
+}
+
+double ProjectionParameter(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.SquaredNorm();
+  if (len2 == 0.0) return 0.0;
+  return (p - a).Dot(ab) / len2;
+}
+
+double SynchronousEuclideanDistance(const Point& p, const Point& a,
+                                    const Point& b) {
+  const double dt = b.t - a.t;
+  if (dt == 0.0) return Distance(p.pos(), a.pos());
+  const double u = (p.t - a.t) / dt;
+  const Vec2 expected = a.pos() + (b.pos() - a.pos()) * u;
+  return Distance(p.pos(), expected);
+}
+
+}  // namespace operb::geo

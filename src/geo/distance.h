@@ -1,0 +1,46 @@
+#ifndef OPERB_GEO_DISTANCE_H_
+#define OPERB_GEO_DISTANCE_H_
+
+#include "geo/point.h"
+#include "geo/segment.h"
+
+namespace operb::geo {
+
+/// Distance from point `p` to the infinite line through `a` and `b`.
+///
+/// This is the paper's d(P, L): "the Euclidean distance from Pi to the
+/// line PsPe, commonly adopted by most existing LS methods". If the line
+/// is degenerate (a == b) the distance to the point `a` is returned.
+double PointToLineDistance(Vec2 p, Vec2 a, Vec2 b);
+
+/// Distance from `p` to the infinite line through `anchor` with direction
+/// `theta`. Zero-length anchored lines still have a direction, so no
+/// degenerate case arises; callers that want "distance to a not-yet-
+/// directed L0" should use Distance(p, anchor) explicitly.
+double PointToLineDistance(Vec2 p, const AnchoredLine& line);
+
+/// Distance from `p` to the closed segment [a, b] (clamped projection).
+double PointToSegmentDistance(Vec2 p, Vec2 a, Vec2 b);
+
+/// Signed perpendicular offset of `p` from the directed line a->b:
+/// positive when `p` lies to the left of the direction of travel.
+/// Degenerate lines return +Distance(p, a).
+double SignedPointToLineOffset(Vec2 p, Vec2 a, Vec2 b);
+
+/// Signed offset against an anchored line's direction.
+double SignedPointToLineOffset(Vec2 p, const AnchoredLine& line);
+
+/// Parameter of the orthogonal projection of `p` onto the line a->b
+/// (0 at `a`, 1 at `b`); 0 for degenerate lines.
+double ProjectionParameter(Vec2 p, Vec2 a, Vec2 b);
+
+/// Synchronous (time-aware) Euclidean distance used by OPW-SED [15]:
+/// distance from `p` to the point obtained by interpolating the segment
+/// `a`->`b` linearly in time at p.t. Falls back to the distance to `a`
+/// when the segment spans no time.
+double SynchronousEuclideanDistance(const Point& p, const Point& a,
+                                    const Point& b);
+
+}  // namespace operb::geo
+
+#endif  // OPERB_GEO_DISTANCE_H_

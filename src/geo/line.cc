@@ -1,0 +1,21 @@
+#include "geo/line.h"
+
+#include <cmath>
+
+namespace operb::geo {
+
+std::optional<LineIntersection> IntersectLines(Vec2 a0, Vec2 da, Vec2 b0,
+                                               Vec2 db, double eps) {
+  const double denom = da.Cross(db);
+  // Scale-aware parallelism test: |da x db| compared against |da||db|.
+  const double scale = da.Norm() * db.Norm();
+  if (scale == 0.0 || std::fabs(denom) <= eps * scale) return std::nullopt;
+  const Vec2 diff = b0 - a0;
+  LineIntersection out;
+  out.s = diff.Cross(db) / denom;
+  out.t = diff.Cross(da) / denom;
+  out.point = a0 + da * out.s;
+  return out;
+}
+
+}  // namespace operb::geo

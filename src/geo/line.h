@@ -1,0 +1,32 @@
+#ifndef OPERB_GEO_LINE_H_
+#define OPERB_GEO_LINE_H_
+
+#include <optional>
+
+#include "geo/point.h"
+
+namespace operb::geo {
+
+/// Result of intersecting two parametric lines
+///   a0 + s * da   and   b0 + t * db.
+struct LineIntersection {
+  Vec2 point;
+  /// Parameter along the first line (in units of |da|... i.e. the raw `s`).
+  double s = 0.0;
+  /// Parameter along the second line.
+  double t = 0.0;
+};
+
+/// Intersects two infinite lines given in point+direction form. Returns
+/// nullopt when the directions are parallel within `eps` (relative to the
+/// direction magnitudes), which includes degenerate zero directions.
+///
+/// The parameters let the caller reason about *where* on each line the
+/// intersection lies; OPERB-A's patch-point conditions are expressed as
+/// constraints on them.
+std::optional<LineIntersection> IntersectLines(Vec2 a0, Vec2 da, Vec2 b0,
+                                               Vec2 db, double eps = 1e-12);
+
+}  // namespace operb::geo
+
+#endif  // OPERB_GEO_LINE_H_

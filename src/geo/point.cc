@@ -1,0 +1,19 @@
+#include "geo/point.h"
+
+#include <cstdio>
+
+namespace operb::geo {
+
+std::string Vec2::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f)", x, y);
+  return buf;
+}
+
+std::string Point::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f @ %.3f)", x, y, t);
+  return buf;
+}
+
+}  // namespace operb::geo

@@ -1,0 +1,97 @@
+#ifndef OPERB_GEO_POINT_H_
+#define OPERB_GEO_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace operb::geo {
+
+/// A 2-D vector / point in a local planar (meter) coordinate system.
+///
+/// The simplification algorithms work in a projected plane: `x` is meters
+/// east, `y` meters north of some local reference (see
+/// geo/projection.h for the WGS-84 mapping). Vector arithmetic is provided
+/// so distance/angle code reads like the math in the paper.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  constexpr double Dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  /// 2-D cross product (z component of the 3-D cross product). Positive
+  /// when `o` is counter-clockwise from `*this`.
+  constexpr double Cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  /// Euclidean norm. Uses sqrt(x^2+y^2) rather than std::hypot: inputs
+  /// are meter-scale offsets, far from overflow/underflow, and this is
+  /// the hottest scalar in the one-pass simplifiers.
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+
+  /// Angle with the +x axis in radians, in (-pi, pi]. Zero vector maps to 0.
+  double Angle() const { return (x == 0.0 && y == 0.0) ? 0.0 : std::atan2(y, x); }
+
+  /// Unit vector with the given angle (radians) from the +x axis.
+  static Vec2 FromAngle(double theta) {
+    return {std::cos(theta), std::sin(theta)};
+  }
+
+  std::string ToString() const;
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double Distance(Vec2 a, Vec2 b) { return (a - b).Norm(); }
+
+inline double SquaredDistance(Vec2 a, Vec2 b) { return (a - b).SquaredNorm(); }
+
+/// A trajectory sample: planar position plus timestamp.
+///
+/// This is the paper's data point P(x, y, t): "a moving object is located
+/// at longitude x and latitude y at time t", after projection to local
+/// meters. `t` is seconds (fractional allowed) since an arbitrary epoch;
+/// trajectories require strictly increasing `t`.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  double t = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double x_in, double y_in, double t_in)
+      : x(x_in), y(y_in), t(t_in) {}
+
+  constexpr Vec2 pos() const { return {x, y}; }
+
+  constexpr bool operator==(const Point&) const = default;
+
+  std::string ToString() const;
+};
+
+}  // namespace operb::geo
+
+#endif  // OPERB_GEO_POINT_H_

@@ -1,0 +1,61 @@
+#include "geo/polygon_clip.h"
+
+#include <cmath>
+
+namespace operb::geo {
+
+HalfPlane HalfPlane::LeftOf(Vec2 a, Vec2 b) {
+  // Left of a->b means cross(b-a, p-a) >= 0, i.e.
+  // (b-a).x*(p-a).y - (b-a).y*(p-a).x >= 0. Rearranged into n.p <= c with
+  // n = (dy, -dx) and c = n.a.
+  const Vec2 d = b - a;
+  HalfPlane hp;
+  hp.normal = {d.y, -d.x};
+  hp.offset = hp.normal.Dot(a);
+  return hp;
+}
+
+HalfPlane HalfPlane::RightOf(Vec2 a, Vec2 b) {
+  const Vec2 d = b - a;
+  HalfPlane hp;
+  hp.normal = {-d.y, d.x};
+  hp.offset = hp.normal.Dot(a);
+  return hp;
+}
+
+std::vector<Vec2> ClipPolygon(const std::vector<Vec2>& polygon,
+                              const HalfPlane& hp) {
+  std::vector<Vec2> out;
+  const size_t n = polygon.size();
+  if (n == 0) return out;
+  out.reserve(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec2 cur = polygon[i];
+    const Vec2 nxt = polygon[(i + 1) % n];
+    const double ec = hp.Evaluate(cur);
+    const double en = hp.Evaluate(nxt);
+    const bool cur_in = ec <= 1e-9;
+    const bool nxt_in = en <= 1e-9;
+    if (cur_in) out.push_back(cur);
+    if (cur_in != nxt_in) {
+      // The edge crosses the boundary; interpolate the crossing point.
+      const double denom = ec - en;
+      if (std::fabs(denom) > 0.0) {
+        const double t = ec / denom;
+        out.push_back(cur + (nxt - cur) * t);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Vec2> ClipPolygon(std::vector<Vec2> polygon,
+                              const std::vector<HalfPlane>& hps) {
+  for (const HalfPlane& hp : hps) {
+    polygon = ClipPolygon(polygon, hp);
+    if (polygon.empty()) break;
+  }
+  return polygon;
+}
+
+}  // namespace operb::geo

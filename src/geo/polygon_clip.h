@@ -1,0 +1,44 @@
+#ifndef OPERB_GEO_POLYGON_CLIP_H_
+#define OPERB_GEO_POLYGON_CLIP_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace operb::geo {
+
+/// A half-plane { p : n . p <= c } described by an outward... rather an
+/// inward test: Contains(p) is true when p satisfies the inequality.
+struct HalfPlane {
+  Vec2 normal;  ///< need not be unit length
+  double offset = 0.0;
+
+  /// Half-plane of points on the *left* of the directed line a->b
+  /// (inclusive of the line itself).
+  static HalfPlane LeftOf(Vec2 a, Vec2 b);
+  /// Half-plane of points on the *right* of the directed line a->b.
+  static HalfPlane RightOf(Vec2 a, Vec2 b);
+
+  bool Contains(Vec2 p) const { return normal.Dot(p) <= offset + 1e-9; }
+
+  /// Signed crossing value; <= 0 inside.
+  double Evaluate(Vec2 p) const { return normal.Dot(p) - offset; }
+};
+
+/// Clips a convex polygon (counter-clockwise vertex list) against a
+/// half-plane using the Sutherland–Hodgman step. Returns the clipped
+/// polygon (possibly empty).
+///
+/// BQS uses this to derive the vertices of the convex region
+/// (bounding box ∩ angular wedge) whose corner distances upper-bound the
+/// distance of every buffered point to the current candidate line.
+std::vector<Vec2> ClipPolygon(const std::vector<Vec2>& polygon,
+                              const HalfPlane& hp);
+
+/// Convenience: clip by several half-planes in sequence.
+std::vector<Vec2> ClipPolygon(std::vector<Vec2> polygon,
+                              const std::vector<HalfPlane>& hps);
+
+}  // namespace operb::geo
+
+#endif  // OPERB_GEO_POLYGON_CLIP_H_

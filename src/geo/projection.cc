@@ -1,0 +1,42 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+#include "geo/angle.h"
+
+namespace operb::geo {
+
+namespace {
+constexpr double kEarthRadiusMeters = 6371008.8;  // IUGG mean radius
+}  // namespace
+
+double HaversineMeters(LatLon a, LatLon b) {
+  const double phi1 = DegToRad(a.lat);
+  const double phi2 = DegToRad(b.lat);
+  const double dphi = DegToRad(b.lat - a.lat);
+  const double dlambda = DegToRad(b.lon - a.lon);
+  const double s = std::sin(dphi / 2.0);
+  const double u = std::sin(dlambda / 2.0);
+  const double h = s * s + std::cos(phi1) * std::cos(phi2) * u * u;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+LocalProjector::LocalProjector(LatLon reference) : reference_(reference) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kPi / 180.0;
+  meters_per_deg_lon_ =
+      meters_per_deg_lat_ * std::cos(DegToRad(reference.lat));
+}
+
+Vec2 LocalProjector::Project(LatLon c) const {
+  return {(c.lon - reference_.lon) * meters_per_deg_lon_,
+          (c.lat - reference_.lat) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjector::Unproject(Vec2 p) const {
+  LatLon c;
+  c.lon = reference_.lon + p.x / meters_per_deg_lon_;
+  c.lat = reference_.lat + p.y / meters_per_deg_lat_;
+  return c;
+}
+
+}  // namespace operb::geo

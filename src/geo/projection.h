@@ -1,0 +1,44 @@
+#ifndef OPERB_GEO_PROJECTION_H_
+#define OPERB_GEO_PROJECTION_H_
+
+#include "geo/point.h"
+
+namespace operb::geo {
+
+/// A WGS-84 coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance in meters between two WGS-84 coordinates
+/// (haversine formula, spherical earth of mean radius).
+double HaversineMeters(LatLon a, LatLon b);
+
+/// Equirectangular projection around a reference coordinate.
+///
+/// Error bounds in the paper are expressed in meters (zeta = 10..100 m)
+/// while GPS logs carry degrees. For city-scale extents (tens of km) the
+/// equirectangular local projection distorts distances by well under 0.1%,
+/// far below GPS noise, so all simplifiers run in this projected plane.
+class LocalProjector {
+ public:
+  explicit LocalProjector(LatLon reference);
+
+  /// Meters east/north of the reference.
+  Vec2 Project(LatLon c) const;
+
+  /// Inverse of Project().
+  LatLon Unproject(Vec2 p) const;
+
+  LatLon reference() const { return reference_; }
+
+ private:
+  LatLon reference_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+}  // namespace operb::geo
+
+#endif  // OPERB_GEO_PROJECTION_H_

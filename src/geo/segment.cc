@@ -1,0 +1,21 @@
+#include "geo/segment.h"
+
+#include <cstdio>
+
+namespace operb::geo {
+
+std::string DirectedSegment::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "[(%.4f, %.4f) -> (%.4f, %.4f)]", start.x,
+                start.y, end.x, end.y);
+  return buf;
+}
+
+std::string AnchoredLine::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "{anchor=(%.4f, %.4f), |L|=%.4f, theta=%.6f}",
+                anchor.x, anchor.y, length, theta);
+  return buf;
+}
+
+}  // namespace operb::geo

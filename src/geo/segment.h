@@ -1,0 +1,66 @@
+#ifndef OPERB_GEO_SEGMENT_H_
+#define OPERB_GEO_SEGMENT_H_
+
+#include <string>
+
+#include "geo/angle.h"
+#include "geo/point.h"
+
+namespace operb::geo {
+
+/// A directed line segment from `start` to `end` (the paper's L = Ps->Pe).
+///
+/// Degenerate (zero-length) segments are permitted — the fitting function
+/// starts from L0 = Ps->Ps — and the distance helpers treat them as a
+/// point.
+struct DirectedSegment {
+  Vec2 start;
+  Vec2 end;
+
+  constexpr DirectedSegment() = default;
+  constexpr DirectedSegment(Vec2 s, Vec2 e) : start(s), end(e) {}
+
+  double Length() const { return Distance(start, end); }
+  constexpr bool IsDegenerate() const { return start == end; }
+
+  /// Direction angle with the x-axis, normalized to [0, 2*pi) as the paper
+  /// defines L.theta. Degenerate segments report 0.
+  double Theta() const {
+    if (IsDegenerate()) return 0.0;
+    return NormalizeAngle2Pi((end - start).Angle());
+  }
+
+  constexpr Vec2 Displacement() const { return end - start; }
+
+  /// Point at parameter `t` along the segment (t=0 start, t=1 end).
+  constexpr Vec2 At(double t) const {
+    return start + (end - start) * t;
+  }
+
+  std::string ToString() const;
+};
+
+/// A directed line described by an anchor point, direction angle and
+/// length — the representation the fitting function evolves: a triple
+/// (Ps, |L|, L.theta). Unlike DirectedSegment the direction survives a
+/// zero length (case (2) of the fitting function assigns theta before the
+/// length reaches a full step).
+struct AnchoredLine {
+  Vec2 anchor;
+  double length = 0.0;
+  double theta = 0.0;
+
+  constexpr AnchoredLine() = default;
+  AnchoredLine(Vec2 anchor_in, double length_in, double theta_in)
+      : anchor(anchor_in), length(length_in), theta(theta_in) {}
+
+  Vec2 Endpoint() const { return anchor + Vec2::FromAngle(theta) * length; }
+
+  DirectedSegment ToSegment() const { return {anchor, Endpoint()}; }
+
+  std::string ToString() const;
+};
+
+}  // namespace operb::geo
+
+#endif  // OPERB_GEO_SEGMENT_H_

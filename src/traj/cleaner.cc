@@ -1,0 +1,46 @@
+#include "traj/cleaner.h"
+
+#include <cmath>
+
+namespace operb::traj {
+
+std::optional<geo::Point> StreamCleaner::Push(const geo::Point& p) {
+  if (!last_.has_value()) {
+    last_ = p;
+    ++stats_.accepted;
+    return p;
+  }
+  const geo::Point& prev = *last_;
+  const double dt = p.t - prev.t;
+  if (std::fabs(dt) <= options_.duplicate_time_epsilon &&
+      geo::Distance(p.pos(), prev.pos()) <=
+          options_.duplicate_distance_epsilon) {
+    ++stats_.duplicates_dropped;
+    return std::nullopt;
+  }
+  if (dt <= 0.0) {
+    ++stats_.out_of_order_dropped;
+    return std::nullopt;
+  }
+  if (options_.max_speed_mps > 0.0) {
+    const double speed = geo::Distance(p.pos(), prev.pos()) / dt;
+    if (speed > options_.max_speed_mps) {
+      ++stats_.outliers_dropped;
+      return std::nullopt;
+    }
+  }
+  last_ = p;
+  ++stats_.accepted;
+  return p;
+}
+
+Trajectory StreamCleaner::CleanAll(const std::vector<geo::Point>& raw) {
+  Trajectory out;
+  out.reserve(raw.size());
+  for (const geo::Point& p : raw) {
+    if (auto kept = Push(p)) out.AppendUnchecked(*kept);
+  }
+  return out;
+}
+
+}  // namespace operb::traj

@@ -1,0 +1,61 @@
+#ifndef OPERB_TRAJ_CLEANER_H_
+#define OPERB_TRAJ_CLEANER_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "geo/point.h"
+#include "traj/trajectory.h"
+
+namespace operb::traj {
+
+/// Statistics reported by StreamCleaner about what it dropped/reordered.
+struct CleanerStats {
+  std::size_t accepted = 0;
+  std::size_t duplicates_dropped = 0;
+  std::size_t out_of_order_dropped = 0;
+  std::size_t outliers_dropped = 0;
+};
+
+/// Options for StreamCleaner.
+struct CleanerOptions {
+  /// Points whose timestamp equals the previous accepted one (within
+  /// `duplicate_time_epsilon`) and whose position is within
+  /// `duplicate_distance_epsilon` meters are duplicates.
+  double duplicate_time_epsilon = 1e-9;
+  double duplicate_distance_epsilon = 1e-6;
+  /// Maximum plausible speed in m/s; a point implying a faster move from
+  /// the previous accepted point is dropped as a GPS outlier. <= 0
+  /// disables the check.
+  double max_speed_mps = 0.0;
+};
+
+/// Repairs a raw sensor stream into a valid Trajectory, online.
+///
+/// The paper's introduction reports that online transmission of raw
+/// trajectories "seriously aggravates ... out-of-order and duplicate data
+/// points"; compressing on-device presumes a sanitized stream. The cleaner
+/// is a one-pass filter matching that deployment: duplicates and
+/// out-of-order arrivals are dropped, and (optionally) physically
+/// impossible jumps are rejected by a speed gate.
+class StreamCleaner {
+ public:
+  explicit StreamCleaner(CleanerOptions options = {}) : options_(options) {}
+
+  /// Feeds one raw sample; returns the sample if it should be kept.
+  std::optional<geo::Point> Push(const geo::Point& p);
+
+  const CleanerStats& stats() const { return stats_; }
+
+  /// Convenience: cleans a whole point vector into a valid Trajectory.
+  Trajectory CleanAll(const std::vector<geo::Point>& raw);
+
+ private:
+  CleanerOptions options_;
+  CleanerStats stats_;
+  std::optional<geo::Point> last_;
+};
+
+}  // namespace operb::traj
+
+#endif  // OPERB_TRAJ_CLEANER_H_

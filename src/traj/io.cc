@@ -1,0 +1,143 @@
+#include "traj/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace operb::traj {
+
+namespace {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on " + path);
+  return ss.str();
+}
+
+bool IsBlankOrComment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteCsv(const Trajectory& trajectory, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# x_meters,y_meters,t_seconds\n";
+  char buf[128];
+  for (const geo::Point& p : trajectory) {
+    std::snprintf(buf, sizeof(buf), "%.9g,%.9g,%.9g\n", p.x, p.y, p.t);
+    out << buf;
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<Trajectory> ParseCsv(const std::string& content) {
+  Trajectory out;
+  std::istringstream in(content);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (IsBlankOrComment(line)) continue;
+    double x = 0.0, y = 0.0, t = 0.0;
+    if (std::sscanf(line.c_str(), "%lf,%lf,%lf", &x, &y, &t) != 3) {
+      return Status::Corruption("malformed CSV row at line " +
+                                std::to_string(lineno));
+    }
+    Status st = out.Append({x, y, t});
+    if (!st.ok()) {
+      return Status::Corruption("line " + std::to_string(lineno) + ": " +
+                                st.message());
+    }
+  }
+  return out;
+}
+
+Result<Trajectory> ReadCsv(const std::string& path) {
+  OPERB_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ParseCsv(content);
+}
+
+Result<Trajectory> ReadGeoLifePlt(const std::string& path,
+                                  const PltReadOptions& options) {
+  OPERB_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  std::istringstream in(content);
+  std::string line;
+  // PLT files carry six header lines before the data rows.
+  for (int i = 0; i < 6; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption("PLT file " + path + " truncated in header");
+    }
+  }
+  Trajectory out;
+  bool have_projector = options.use_fixed_reference;
+  geo::LocalProjector projector(options.reference);
+  double t0 = 0.0;
+  bool have_t0 = false;
+  std::size_t lineno = 6;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (IsBlankOrComment(line)) continue;
+    double lat = 0.0, lon = 0.0, zero = 0.0, alt = 0.0, days = 0.0;
+    if (std::sscanf(line.c_str(), "%lf,%lf,%lf,%lf,%lf", &lat, &lon, &zero,
+                    &alt, &days) != 5) {
+      return Status::Corruption("malformed PLT row at line " +
+                                std::to_string(lineno));
+    }
+    if (lat < -90.0 || lat > 90.0 || lon < -180.0 || lon > 180.0) {
+      return Status::Corruption("out-of-range coordinate at line " +
+                                std::to_string(lineno));
+    }
+    if (!have_projector) {
+      projector = geo::LocalProjector({lat, lon});
+      have_projector = true;
+    }
+    const double t_abs = days * 86400.0;  // fractional days -> seconds
+    if (!have_t0) {
+      t0 = t_abs;
+      have_t0 = true;
+    }
+    const geo::Vec2 xy = projector.Project({lat, lon});
+    Status st = out.Append({xy.x, xy.y, t_abs - t0});
+    if (!st.ok()) {
+      return Status::Corruption("line " + std::to_string(lineno) + ": " +
+                                st.message());
+    }
+  }
+  return out;
+}
+
+Status WriteRepresentationCsv(const PiecewiseRepresentation& representation,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# x,y,first_index,last_index\n";
+  char buf[160];
+  for (const RepresentedSegment& s : representation) {
+    std::snprintf(buf, sizeof(buf), "%.9g,%.9g,%zu,%zu\n", s.start.x,
+                  s.start.y, s.first_index, s.last_index);
+    out << buf;
+  }
+  if (!representation.empty()) {
+    const RepresentedSegment& last = representation[representation.size() - 1];
+    std::snprintf(buf, sizeof(buf), "%.9g,%.9g,%zu,%zu\n", last.end.x,
+                  last.end.y, last.last_index, last.last_index);
+    out << buf;
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace operb::traj

@@ -1,0 +1,49 @@
+#ifndef OPERB_TRAJ_IO_H_
+#define OPERB_TRAJ_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geo/projection.h"
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::traj {
+
+/// Plain CSV format used by this library: one `x,y,t` row per point, in
+/// projected meters, `#`-prefixed comment lines allowed. The natural
+/// interchange format for already-projected data and for test fixtures.
+Status WriteCsv(const Trajectory& trajectory, const std::string& path);
+Result<Trajectory> ReadCsv(const std::string& path);
+
+/// GeoLife PLT format reader.
+///
+/// GeoLife (the one public dataset in the paper's Table 1) ships one
+/// `.plt` file per trajectory: six header lines, then
+/// `lat,lon,0,altitude_ft,days_since_1899,date,time` rows. Coordinates
+/// are projected to local meters around the first point (or around
+/// `reference` if provided), timestamps become seconds since the first
+/// sample. Invalid rows yield Corruption.
+struct PltReadOptions {
+  /// Optional fixed projection reference; by default the first point.
+  bool use_fixed_reference = false;
+  geo::LatLon reference;
+};
+Result<Trajectory> ReadGeoLifePlt(const std::string& path,
+                                  const PltReadOptions& options = {});
+
+/// Serializes a piecewise representation: one `x,y,first,last` row per
+/// segment start, plus a final row for the last endpoint. Suitable for
+/// downstream plotting.
+Status WriteRepresentationCsv(const PiecewiseRepresentation& representation,
+                              const std::string& path);
+
+/// Parses the in-memory content of a CSV trajectory (exposed separately so
+/// tests and network receivers can bypass the filesystem).
+Result<Trajectory> ParseCsv(const std::string& content);
+
+}  // namespace operb::traj
+
+#endif  // OPERB_TRAJ_IO_H_

@@ -1,0 +1,94 @@
+#include "traj/piecewise.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace operb::traj {
+
+namespace {
+
+bool NearlyEqual(geo::Vec2 a, geo::Vec2 b) {
+  // Endpoints are copied, not recomputed, so exact equality normally
+  // holds; the epsilon only forgives benign float noise from patch-point
+  // construction.
+  return std::fabs(a.x - b.x) <= 1e-6 && std::fabs(a.y - b.y) <= 1e-6;
+}
+
+}  // namespace
+
+std::string RepresentedSegment::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "[(%.3f,%.3f)->(%.3f,%.3f) covers %zu..%zu%s%s]", start.x,
+                start.y, end.x, end.y, first_index, last_index,
+                start_is_patch ? " start*" : "", end_is_patch ? " end*" : "");
+  return buf;
+}
+
+Status PiecewiseRepresentation::ValidateAgainst(
+    const Trajectory& original) const {
+  if (original.size() < 2) {
+    if (!segments_.empty()) {
+      return Status::InvalidArgument(
+          "representation of a <2 point trajectory must be empty");
+    }
+    return Status::OK();
+  }
+  if (segments_.empty()) {
+    return Status::InvalidArgument("empty representation");
+  }
+  if (segments_.front().first_index != 0) {
+    return Status::InvalidArgument("first segment does not start at index 0");
+  }
+  if (segments_.back().last_index != original.size() - 1) {
+    return Status::InvalidArgument("last segment does not end at last index");
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const RepresentedSegment& s = segments_[i];
+    if (s.first_index > s.last_index || s.last_index >= original.size()) {
+      return Status::InvalidArgument("segment " + std::to_string(i) +
+                                     " has an invalid index range");
+    }
+    if (!s.start_is_patch &&
+        !NearlyEqual(s.start, original[s.first_index].pos())) {
+      return Status::InvalidArgument(
+          "segment " + std::to_string(i) +
+          " start does not match its first represented point");
+    }
+    if (!s.end_is_patch && !NearlyEqual(s.end, original[s.last_index].pos())) {
+      return Status::InvalidArgument(
+          "segment " + std::to_string(i) +
+          " end does not match its last represented point");
+    }
+    if (i > 0) {
+      const RepresentedSegment& prev = segments_[i - 1];
+      // Ordinary neighbours share their boundary point; a patched
+      // junction (both sides flagged) instead skips exactly the
+      // eliminated anomalous segment's boundary, leaving a one-index gap.
+      const bool patched_junction = prev.end_is_patch && s.start_is_patch;
+      const bool chains =
+          s.first_index == prev.last_index ||
+          (patched_junction && s.first_index == prev.last_index + 1);
+      if (!chains) {
+        return Status::InvalidArgument("index ranges of segments " +
+                                       std::to_string(i - 1) + " and " +
+                                       std::to_string(i) + " do not chain");
+      }
+      if (!NearlyEqual(s.start, prev.end)) {
+        return Status::InvalidArgument("segments " + std::to_string(i - 1) +
+                                       " and " + std::to_string(i) +
+                                       " are not continuous");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string PiecewiseRepresentation::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "PiecewiseRepresentation{%zu segments}",
+                segments_.size());
+  return buf;
+}
+
+}  // namespace operb::traj

@@ -1,0 +1,59 @@
+#include "traj/trajectory.h"
+
+#include <cstdio>
+
+namespace operb::traj {
+
+Status Trajectory::Append(const geo::Point& p) {
+  if (!points_.empty() && p.t <= points_.back().t) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "non-monotonic timestamp %.3f after %.3f at index %zu", p.t,
+                  points_.back().t, points_.size());
+    return Status::InvalidArgument(buf);
+  }
+  points_.push_back(p);
+  return Status::OK();
+}
+
+Status Trajectory::Validate() const {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].t <= points_[i - 1].t) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "non-monotonic timestamp at index %zu (%.3f <= %.3f)", i,
+                    points_[i].t, points_[i - 1].t);
+      return Status::InvalidArgument(buf);
+    }
+  }
+  return Status::OK();
+}
+
+double Trajectory::PathLength() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    total += geo::Distance(points_[i].pos(), points_[i - 1].pos());
+  }
+  return total;
+}
+
+double Trajectory::Duration() const {
+  if (points_.size() < 2) return 0.0;
+  return points_.back().t - points_.front().t;
+}
+
+double Trajectory::MeanSamplingIntervalSeconds() const {
+  if (points_.size() < 2) return 0.0;
+  return Duration() / static_cast<double>(points_.size() - 1);
+}
+
+std::string Trajectory::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Trajectory{%zu points, %.1f m, %.1f s, mean dt %.2f s}",
+                points_.size(), PathLength(), Duration(),
+                MeanSamplingIntervalSeconds());
+  return buf;
+}
+
+}  // namespace operb::traj

@@ -1,0 +1,75 @@
+#ifndef OPERB_TRAJ_TRAJECTORY_H_
+#define OPERB_TRAJ_TRAJECTORY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace operb::traj {
+
+/// A trajectory: a sequence of samples with strictly increasing
+/// timestamps (the paper's T[P0, ..., Pn]).
+///
+/// The container is a thin wrapper over std::vector<geo::Point> that adds
+/// the monotonic-time invariant (checked by Validate(), enforced by
+/// Append()) and a few summary statistics. Raw sensor streams that may
+/// violate the invariant (duplicates, out-of-order points) should pass
+/// through traj::StreamCleaner first.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<geo::Point> points)
+      : points_(std::move(points)) {}
+
+  Trajectory(const Trajectory&) = default;
+  Trajectory& operator=(const Trajectory&) = default;
+  Trajectory(Trajectory&&) noexcept = default;
+  Trajectory& operator=(Trajectory&&) noexcept = default;
+
+  /// Appends a sample; returns InvalidArgument if its timestamp does not
+  /// strictly exceed the last one.
+  Status Append(const geo::Point& p);
+
+  /// Appends without the invariant check (for trusted generators that
+  /// produce monotone time by construction).
+  void AppendUnchecked(const geo::Point& p) { points_.push_back(p); }
+
+  /// Verifies strictly increasing timestamps over the whole sequence.
+  Status Validate() const;
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  void clear() { points_.clear(); }
+  void reserve(std::size_t n) { points_.reserve(n); }
+
+  const geo::Point& operator[](std::size_t i) const { return points_[i]; }
+  const geo::Point& front() const { return points_.front(); }
+  const geo::Point& back() const { return points_.back(); }
+
+  const std::vector<geo::Point>& points() const { return points_; }
+  std::vector<geo::Point>& mutable_points() { return points_; }
+
+  auto begin() const { return points_.begin(); }
+  auto end() const { return points_.end(); }
+
+  /// Total path length in meters (sum of consecutive hop distances).
+  double PathLength() const;
+
+  /// Time span covered, in seconds (0 for fewer than 2 points).
+  double Duration() const;
+
+  /// Mean seconds between consecutive samples (0 for fewer than 2 points).
+  double MeanSamplingIntervalSeconds() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<geo::Point> points_;
+};
+
+}  // namespace operb::traj
+
+#endif  // OPERB_TRAJ_TRAJECTORY_H_

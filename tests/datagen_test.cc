@@ -1,0 +1,272 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/free_walker.h"
+#include "datagen/profiles.h"
+#include "datagen/rng.h"
+#include "datagen/road_network.h"
+#include "datagen/vehicle_sim.h"
+#include "geo/angle.h"
+
+namespace operb::datagen {
+namespace {
+
+TEST(RngTest, DeterministicSequences) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    (void)c.NextU64();
+  }
+  Rng d(42), e(43);
+  EXPECT_NE(d.NextU64(), e.NextU64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.03);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng root(99);
+  Rng child1 = root.Fork();
+  Rng child2 = root.Fork();
+  EXPECT_NE(child1.NextU64(), child2.NextU64());
+}
+
+TEST(RoadNetworkTest, GridTopology) {
+  RoadNetwork::Params params;
+  params.rows = 5;
+  params.cols = 7;
+  Rng rng(1);
+  const auto net = RoadNetwork::Build(params, &rng);
+  EXPECT_EQ(net.node_count(), 35u);
+  // Corner nodes have 2 neighbours, edge nodes 3, interior 4.
+  std::size_t total_degree = 0;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const auto& nbrs = net.neighbors(i);
+    EXPECT_GE(nbrs.size(), 2u);
+    EXPECT_LE(nbrs.size(), 4u);
+    total_degree += nbrs.size();
+  }
+  // 2 * edges = 2 * (rows*(cols-1) + cols*(rows-1)) = 2 * (30 + 28).
+  EXPECT_EQ(total_degree, 2u * (5 * 6 + 7 * 4));
+}
+
+TEST(RoadNetworkTest, JitterStaysWithinFraction) {
+  RoadNetwork::Params params;
+  params.rows = 4;
+  params.cols = 4;
+  params.block_meters = 100.0;
+  params.jitter_fraction = 0.1;
+  Rng rng(2);
+  const auto net = RoadNetwork::Build(params, &rng);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const geo::Vec2 p = net.node(r * 4 + c);
+      EXPECT_NEAR(p.x, c * 100.0, 10.0 + 1e-9);
+      EXPECT_NEAR(p.y, r * 100.0, 10.0 + 1e-9);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, RandomWalkIsConnectedPath) {
+  RoadNetwork::Params params;
+  Rng rng(3);
+  const auto net = RoadNetwork::Build(params, &rng);
+  const auto walk = net.RandomWalk(200, &rng);
+  ASSERT_EQ(walk.size(), 201u);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    const auto& nbrs = net.neighbors(walk[i - 1]);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), walk[i]), nbrs.end())
+        << "hop " << i << " is not an edge";
+  }
+}
+
+TEST(VehicleSimTest, ProducesMonotonicTimestamps) {
+  Rng rng(5);
+  const std::vector<geo::Vec2> waypoints{{0, 0}, {1000, 0}, {1000, 1000}};
+  VehicleSimParams params;
+  const auto t = SimulateVehicle(waypoints, params, &rng);
+  ASSERT_GT(t.size(), 10u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(VehicleSimTest, StaysNearThePolyline) {
+  Rng rng(6);
+  const std::vector<geo::Vec2> waypoints{{0, 0}, {2000, 0}};
+  VehicleSimParams params;
+  params.gps_noise_m = 2.0;
+  const auto t = SimulateVehicle(waypoints, params, &rng);
+  for (const geo::Point& p : t) {
+    EXPECT_NEAR(p.y, 0.0, 2.0 * 6.0);  // 6 sigma
+    EXPECT_GE(p.x, -12.0);
+    EXPECT_LE(p.x, 2012.0);
+  }
+}
+
+TEST(VehicleSimTest, SamplingIntervalRespected) {
+  Rng rng(7);
+  const std::vector<geo::Vec2> waypoints{{0, 0}, {5000, 0}};
+  VehicleSimParams params;
+  params.sampling_interval_s = 10.0;
+  params.sampling_jitter_fraction = 0.0;
+  params.dropout_probability = 0.0;
+  const auto t = SimulateVehicle(waypoints, params, &rng);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_NEAR(t[i].t - t[i - 1].t, 10.0, 1e-9);
+  }
+}
+
+TEST(VehicleSimTest, DropoutsReducePointCount) {
+  const std::vector<geo::Vec2> waypoints{{0, 0}, {20000, 0}};
+  VehicleSimParams with, without;
+  with.dropout_probability = 0.3;
+  without.dropout_probability = 0.0;
+  Rng rng1(8), rng2(8);
+  const auto t_with = SimulateVehicle(waypoints, with, &rng1);
+  const auto t_without = SimulateVehicle(waypoints, without, &rng2);
+  EXPECT_LT(t_with.size(), t_without.size());
+}
+
+TEST(FreeWalkerTest, ExactPointCountAndValidTime) {
+  Rng rng(9);
+  FreeWalkerParams params;
+  const auto t = SimulateFreeWalk(500, params, &rng);
+  EXPECT_EQ(t.size(), 500u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(FreeWalkerTest, SpeedConsistentWithParams) {
+  Rng rng(10);
+  FreeWalkerParams params;
+  params.speed_mps = 2.0;
+  params.gps_noise_m = 0.0;
+  params.dropout_probability = 0.0;
+  const auto t = SimulateFreeWalk(2000, params, &rng);
+  const double avg_speed = t.PathLength() / t.Duration();
+  EXPECT_NEAR(avg_speed, 2.0, 0.6);
+}
+
+TEST(FreeWalkerTest, HeadingIsSmooth) {
+  // Consecutive heading changes should be small (no grid-like corners).
+  Rng rng(11);
+  FreeWalkerParams params;
+  params.gps_noise_m = 0.0;
+  const auto t = SimulateFreeWalk(500, params, &rng);
+  int sharp_turns = 0;
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    const double h1 =
+        (t[i - 1].pos() - t[i - 2].pos()).Angle();
+    const double h2 = (t[i].pos() - t[i - 1].pos()).Angle();
+    if (geo::AbsoluteTurnAngle(h1, h2) > geo::kPi / 2) ++sharp_turns;
+  }
+  EXPECT_LT(sharp_turns, 10);
+}
+
+TEST(ProfilesTest, GenerateTrajectoryHitsExactPointCount) {
+  for (auto kind : AllDatasetKinds()) {
+    Rng rng(12);
+    const auto t =
+        GenerateTrajectory(DatasetProfile::For(kind), 1234, &rng);
+    EXPECT_EQ(t.size(), 1234u) << DatasetName(kind);
+    EXPECT_TRUE(t.Validate().ok()) << DatasetName(kind);
+  }
+}
+
+TEST(ProfilesTest, DatasetIsDeterministicInSeed) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kSerCar;
+  spec.num_trajectories = 3;
+  spec.points_per_trajectory = 500;
+  spec.seed = 77;
+  const auto a = GenerateDataset(spec);
+  const auto b = GenerateDataset(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j], b[i][j]);
+    }
+  }
+  spec.seed = 78;
+  const auto c = GenerateDataset(spec);
+  EXPECT_NE(a[0][10], c[0][10]);
+}
+
+TEST(ProfilesTest, SamplingRatesMatchTable1) {
+  // Taxi ~60 s; SerCar within [3, 5] s; GeoLife within [1, 5] s.
+  Rng rng(13);
+  const auto taxi =
+      GenerateTrajectory(DatasetProfile::For(DatasetKind::kTaxi), 500, &rng);
+  EXPECT_NEAR(taxi.MeanSamplingIntervalSeconds(), 60.0, 6.0);
+  Rng rng2(14);
+  const auto sercar = GenerateTrajectory(
+      DatasetProfile::For(DatasetKind::kSerCar), 500, &rng2);
+  EXPECT_GE(sercar.MeanSamplingIntervalSeconds(), 2.5);
+  EXPECT_LE(sercar.MeanSamplingIntervalSeconds(), 5.6);
+  Rng rng3(15);
+  const auto geolife = GenerateTrajectory(
+      DatasetProfile::For(DatasetKind::kGeoLife), 500, &rng3);
+  EXPECT_GE(geolife.MeanSamplingIntervalSeconds(), 0.9);
+  EXPECT_LE(geolife.MeanSamplingIntervalSeconds(), 5.6);
+}
+
+TEST(ProfilesTest, RoadKindsTurnAtCrossroads) {
+  // Vehicle datasets must contain sharp heading changes (the crossroads
+  // that motivate OPERB-A), pedestrians far fewer relative to length.
+  auto sharp_turn_fraction = [](const traj::Trajectory& t) {
+    int sharp = 0;
+    int total = 0;
+    for (std::size_t i = 2; i < t.size(); ++i) {
+      const geo::Vec2 d1 = t[i - 1].pos() - t[i - 2].pos();
+      const geo::Vec2 d2 = t[i].pos() - t[i - 1].pos();
+      if (d1.Norm() < 1.0 || d2.Norm() < 1.0) continue;
+      ++total;
+      if (geo::AbsoluteTurnAngle(d1.Angle(), d2.Angle()) > geo::kPi / 3) {
+        ++sharp;
+      }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(sharp) / total;
+  };
+  Rng rng(16);
+  const auto taxi =
+      GenerateTrajectory(DatasetProfile::For(DatasetKind::kTaxi), 2000, &rng);
+  Rng rng2(17);
+  const auto geolife = GenerateTrajectory(
+      DatasetProfile::For(DatasetKind::kGeoLife), 2000, &rng2);
+  EXPECT_GT(sharp_turn_fraction(taxi), 0.01);
+}
+
+}  // namespace
+}  // namespace operb::datagen

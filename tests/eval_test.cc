@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "eval/metrics.h"
+#include "eval/verifier.h"
+#include "geo/distance.h"
+#include "test_util.h"
+
+namespace operb::eval {
+namespace {
+
+using testutil::MakeTrajectory;
+
+traj::RepresentedSegment Seg(geo::Vec2 a, geo::Vec2 b, std::size_t f,
+                             std::size_t l) {
+  traj::RepresentedSegment s;
+  s.start = a;
+  s.end = b;
+  s.first_index = f;
+  s.last_index = l;
+  return s;
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  const Status s = Status::InvalidArgument("bad zeta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad zeta");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = 7;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  Result<int> bad = Status::NotFound("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::IOError("io");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    OPERB_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(false), 10);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kIOError);
+}
+
+TEST(MetricsTest, CompressionRatioDefinition) {
+  const auto t = MakeTrajectory(
+      {{0, 0}, {10, 0}, {20, 0}, {30, 0}, {40, 0}, {50, 0}, {60, 0},
+       {70, 0}, {80, 0}, {90, 0}});
+  traj::PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {90, 0}, 0, 9));
+  // 2 stored points / 10 original = 20%.
+  EXPECT_DOUBLE_EQ(CompressionRatio(t, rep), 0.2);
+}
+
+TEST(MetricsTest, AggregateRatioWeighsBySize) {
+  const auto t1 = MakeTrajectory({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  const auto t2 = MakeTrajectory({{0, 0}, {5, 5}});
+  traj::PiecewiseRepresentation r1, r2;
+  r1.Append(Seg({0, 0}, {3, 0}, 0, 3));
+  r2.Append(Seg({0, 0}, {5, 5}, 0, 1));
+  const double ratio = AggregateCompressionRatio({t1, t2}, {r1, r2});
+  EXPECT_DOUBLE_EQ(ratio, 4.0 / 6.0);
+}
+
+TEST(MetricsTest, ErrorAgainstCoveringLine) {
+  const auto t =
+      MakeTrajectory({{0, 0}, {10, 3}, {20, -3}, {30, 0}});
+  traj::PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {30, 0}, 0, 3));
+  const auto err = MeasureError(t, rep);
+  EXPECT_DOUBLE_EQ(err.max, 3.0);
+  // Points counted once each beyond the first shared boundary rule:
+  // indices 0..3 -> 4 points.
+  EXPECT_EQ(err.points, 4u);
+  EXPECT_NEAR(err.average, (0 + 3 + 3 + 0) / 4.0, 1e-12);
+}
+
+TEST(MetricsTest, SharedBoundaryCountedOnce) {
+  const auto t = MakeTrajectory({{0, 0}, {10, 0}, {20, 0}});
+  traj::PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {10, 0}, 0, 1));
+  rep.Append(Seg({10, 0}, {20, 0}, 1, 2));
+  const auto err = MeasureError(t, rep);
+  EXPECT_EQ(err.points, 3u);
+}
+
+TEST(MetricsTest, PatchedJunctionGapAttributesBothPoints) {
+  const auto t = MakeTrajectory({{0, 0}, {10, 0}, {11, 1}, {11, 10}});
+  traj::PiecewiseRepresentation rep;
+  auto a = Seg({0, 0}, {11, 0}, 0, 1);
+  a.end_is_patch = true;
+  auto b = Seg({11, 0}, {11, 10}, 2, 3);
+  b.start_is_patch = true;
+  rep.Append(a);
+  rep.Append(b);
+  const auto err = MeasureError(t, rep);
+  EXPECT_EQ(err.points, 4u);
+  EXPECT_LE(err.max, 1.0 + 1e-12);
+}
+
+TEST(MetricsTest, SegmentSizeDistribution) {
+  traj::PiecewiseRepresentation r1, r2;
+  r1.Append(Seg({0, 0}, {1, 0}, 0, 4));   // 5 points
+  r1.Append(Seg({1, 0}, {2, 0}, 4, 5));   // 2 points (anomalous)
+  r2.Append(Seg({0, 0}, {1, 0}, 0, 1));   // 2 points
+  const auto z = SegmentSizeDistribution({r1, r2});
+  EXPECT_EQ(z.at(5), 1u);
+  EXPECT_EQ(z.at(2), 2u);
+  EXPECT_EQ(z.size(), 2u);
+}
+
+TEST(MetricsTest, CountAnomalous) {
+  traj::PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {1, 0}, 0, 1));
+  rep.Append(Seg({1, 0}, {2, 0}, 1, 5));
+  rep.Append(Seg({2, 0}, {3, 0}, 5, 6));
+  EXPECT_EQ(CountAnomalousSegments(rep), 2u);
+}
+
+TEST(VerifierTest, AcceptsBoundedRepresentation) {
+  const auto t = MakeTrajectory({{0, 0}, {10, 2}, {20, 0}});
+  traj::PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {20, 0}, 0, 2));
+  const auto v = VerifyErrorBound(t, rep, 2.5);
+  EXPECT_TRUE(v.bounded);
+  EXPECT_NEAR(v.worst_distance, 2.0, 1e-12);
+}
+
+TEST(VerifierTest, FlagsViolations) {
+  const auto t = MakeTrajectory({{0, 0}, {10, 5}, {20, 0}});
+  traj::PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {20, 0}, 0, 2));
+  const auto v = VerifyErrorBound(t, rep, 2.0);
+  EXPECT_FALSE(v.bounded);
+  EXPECT_EQ(v.violations, 1u);
+  EXPECT_EQ(v.worst_index, 1u);
+}
+
+TEST(VerifierTest, AdjacentSegmentLineSatisfiesExistentialDefinition) {
+  // Point 2 is far from its covering segment's line but on the previous
+  // segment's line: the paper's error definition is existential, so this
+  // representation is bounded.
+  const auto t = MakeTrajectory({{0, 0}, {10, 0}, {20, 0}, {20, 10}});
+  traj::PiecewiseRepresentation rep;
+  auto a = Seg({0, 0}, {10, 0}, 0, 1);
+  auto b = Seg({10, 0}, {20, 10}, 1, 3);  // covers (20,0) badly
+  rep.Append(a);
+  rep.Append(b);
+  const auto strict_cover_distance =
+      geo::PointToLineDistance({20, 0}, {10, 0}, {20, 10});
+  ASSERT_GT(strict_cover_distance, 5.0);
+  const auto v = VerifyErrorBound(t, rep, 5.0);
+  EXPECT_TRUE(v.bounded);
+}
+
+TEST(VerifierTest, SlackForgivesFloatNoise) {
+  const auto t = MakeTrajectory({{0, 0}, {10, 2.0000001}, {20, 0}});
+  traj::PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {20, 0}, 0, 2));
+  EXPECT_TRUE(VerifyErrorBound(t, rep, 2.0, 1e-6).bounded);
+}
+
+}  // namespace
+}  // namespace operb::eval

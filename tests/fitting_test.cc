@@ -1,0 +1,224 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/fitting.h"
+#include "geo/angle.h"
+
+namespace operb::core {
+namespace {
+
+OperbOptions RawOpts(double zeta) { return OperbOptions::Raw(zeta); }
+
+TEST(ZoneIndexTest, MatchesPaperZoneBoundaries) {
+  // Zones (Figure 5): Z0 = (-zeta/4, zeta/4], Z1 = (zeta/4, 3zeta/4],
+  // Z2 = (3zeta/4, 5zeta/4], Z3 = (5zeta/4, 7zeta/4] for zeta = 4.
+  FittingFunction f({0, 0}, RawOpts(4.0));
+  EXPECT_EQ(f.ZoneIndex(0.0), 0);
+  EXPECT_EQ(f.ZoneIndex(1.0), 0);     // boundary zeta/4 -> Z0
+  EXPECT_EQ(f.ZoneIndex(1.0001), 1);  // just above -> Z1
+  EXPECT_EQ(f.ZoneIndex(3.0), 1);     // 3*zeta/4 boundary -> Z1
+  EXPECT_EQ(f.ZoneIndex(3.0001), 2);
+  EXPECT_EQ(f.ZoneIndex(5.0), 2);
+  EXPECT_EQ(f.ZoneIndex(7.0), 3);
+  EXPECT_EQ(f.ZoneIndex(100.0), 50);
+}
+
+TEST(ZoneIndexTest, ZoneRadiusIsWithinQuarterZetaOfIndex) {
+  FittingFunction f({0, 0}, RawOpts(10.0));
+  for (double r = 0.1; r < 200.0; r += 0.37) {
+    const auto j = f.ZoneIndex(r);
+    EXPECT_LE(std::fabs(static_cast<double>(j) * 5.0 - r), 2.5 + 1e-9)
+        << "r=" << r;
+  }
+}
+
+TEST(SignFunctionTest, PaperIntervals) {
+  const double pi = geo::kPi;
+  // f = +1 intervals: (-2pi,-3pi/2], [-pi,-pi/2], [0,pi/2], [pi,3pi/2).
+  EXPECT_EQ(FittingFunction::SignFunction(0.0), 1);
+  EXPECT_EQ(FittingFunction::SignFunction(0.25 * pi), 1);
+  EXPECT_EQ(FittingFunction::SignFunction(0.5 * pi), 1);
+  EXPECT_EQ(FittingFunction::SignFunction(1.2 * pi), 1);
+  EXPECT_EQ(FittingFunction::SignFunction(-0.75 * pi), 1);
+  EXPECT_EQ(FittingFunction::SignFunction(-1.8 * pi), 1);
+  // f = -1 elsewhere.
+  EXPECT_EQ(FittingFunction::SignFunction(0.75 * pi), -1);
+  EXPECT_EQ(FittingFunction::SignFunction(1.8 * pi), -1);
+  EXPECT_EQ(FittingFunction::SignFunction(-0.25 * pi), -1);
+  EXPECT_EQ(FittingFunction::SignFunction(-1.2 * pi), -1);
+}
+
+TEST(SignFunctionTest, RotationMovesLineTowardActivePoint) {
+  // Whatever the quadrant of the active point, applying case (3) must not
+  // increase its distance to L (the paper: d(P, Li) <= d(P, Li-1)).
+  const double zeta = 2.0;
+  for (double angle = -3.0; angle < 3.0; angle += 0.17) {
+    OperbOptions opts = RawOpts(zeta);
+    FittingFunction f({0, 0}, opts);
+    // First activation along +x at radius 1 (zone 1).
+    f.Activate({1.0, 0.0});
+    ASSERT_FALSE(f.IsUndirected());
+    // Second point in zone 2 at `angle` but close enough to the line.
+    const geo::Vec2 p = geo::Vec2::FromAngle(angle) * 2.0;
+    if (!f.IsActive(2.0)) continue;
+    const double before = f.DistanceToLine(p);
+    if (before > zeta / 2.0) continue;  // would be rejected by OPERB
+    f.Activate(p);
+    const double after = f.DistanceToLine(p);
+    EXPECT_LE(after, before + 1e-9) << "angle=" << angle;
+  }
+}
+
+TEST(FittingCaseTest, Case1KeepsLine) {
+  FittingFunction f({0, 0}, RawOpts(4.0));
+  f.Activate({2.0, 0.0});  // zone 1, |L| = 2, theta = 0
+  EXPECT_DOUBLE_EQ(f.length(), 2.0);
+  EXPECT_DOUBLE_EQ(f.theta(), 0.0);
+  // A point whose radius gain is <= zeta/4 is inactive -> caller keeps L.
+  EXPECT_FALSE(f.IsActive(2.5));
+  EXPECT_TRUE(f.IsActive(3.5));
+}
+
+TEST(FittingCaseTest, Case2SetsAngleFromR) {
+  FittingFunction f({1.0, 1.0}, RawOpts(4.0));
+  EXPECT_TRUE(f.IsUndirected());
+  f.Activate({1.0, 3.5});  // radius 2.5 -> zone 1, hmm zone of 2.5 = 1
+  EXPECT_FALSE(f.IsUndirected());
+  EXPECT_NEAR(f.theta(), geo::kPi / 2.0, 1e-12);
+  // |L| = j * zeta/2 with j = ZoneIndex(2.5) = 1 for zeta=4.
+  EXPECT_DOUBLE_EQ(f.length(), 2.0);
+  EXPECT_EQ(f.last_active_zone(), 1);
+}
+
+TEST(FittingCaseTest, Case3RotationFormula) {
+  const double zeta = 2.0;
+  FittingFunction f({0, 0}, RawOpts(zeta));
+  f.Activate({1.0, 0.0});  // zone 1, theta = 0
+  // Active point in zone 2 at (2, 0.3): d = 0.3, j = 2.
+  const geo::Vec2 p{2.0, 0.3};
+  ASSERT_TRUE(f.IsActive(p.Norm()));
+  const double d = f.DistanceToLine(p);
+  ASSERT_NEAR(d, 0.3, 1e-12);
+  f.Activate(p);
+  const double expected = std::asin(0.3 / 2.0) / 2.0;  // arcsin(d/(j*z/2))/j
+  EXPECT_NEAR(f.theta(), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(f.length(), 2.0);
+  EXPECT_EQ(f.last_active_zone(), 2);
+}
+
+TEST(FittingCaseTest, Case3NegativeSideRotatesClockwise) {
+  const double zeta = 2.0;
+  FittingFunction f({0, 0}, RawOpts(zeta));
+  f.Activate({1.0, 0.0});
+  const geo::Vec2 p{2.0, -0.3};
+  f.Activate(p);
+  const double expected =
+      geo::kTwoPi - std::asin(0.3 / 2.0) / 2.0;  // clockwise, wrapped
+  EXPECT_NEAR(f.theta(), expected, 1e-12);
+}
+
+TEST(FittingCaseTest, LengthNeverDecreases) {
+  FittingFunction f({0, 0}, RawOpts(2.0));
+  double prev = 0.0;
+  for (double r = 0.6; r < 50.0; r += 1.1) {
+    if (!f.IsActive(r)) continue;
+    f.Activate(geo::Vec2::FromAngle(0.01 * r) * r);
+    EXPECT_GE(f.length(), prev);
+    prev = f.length();
+  }
+}
+
+TEST(Lemma3Test, TotalRotationBoundedOnStepwiseTrajectory) {
+  // Lemma 3: with d(P_{s+i}, L_{i-1}) <= zeta/2 at every step, the total
+  // angle change of L is below 0.8123 rad even for adversarial inputs.
+  const double zeta = 2.0;
+  FittingFunction f({0, 0}, RawOpts(zeta));
+  f.Activate({1.0, 0.0});
+  const double theta0 = f.theta();
+  double accumulated = 0.0;
+  // Always push the worst admissible offset (d = zeta/2) on the same side.
+  for (int i = 2; i <= 4000; ++i) {
+    const double radius = static_cast<double>(i) * zeta / 2.0;
+    // Place the point on the current line at `radius`, displaced by
+    // zeta/2 to the left.
+    const geo::Vec2 on_line =
+        geo::Vec2::FromAngle(f.theta()) * radius;
+    const geo::Vec2 normal = geo::Vec2::FromAngle(f.theta() + geo::kPi / 2);
+    const geo::Vec2 p = on_line + normal * (zeta / 2.0);
+    if (!f.IsActive(p.Norm())) continue;
+    ASSERT_LE(f.DistanceToLine(p), zeta / 2.0 + 1e-9);
+    f.Activate(p);
+  }
+  accumulated = std::fabs(geo::NormalizeAnglePi(f.theta() - theta0));
+  EXPECT_LT(accumulated, 0.8123);
+}
+
+TEST(SideMaximaTest, ObserveOffsetTracksBothSides) {
+  FittingFunction f({0, 0}, RawOpts(4.0));
+  f.ObserveOffset(0.5);
+  f.ObserveOffset(-1.25);
+  f.ObserveOffset(0.75);
+  f.ObserveOffset(-0.5);
+  EXPECT_DOUBLE_EQ(f.d_plus_max(), 0.75);
+  EXPECT_DOUBLE_EQ(f.d_minus_max(), 1.25);
+  EXPECT_DOUBLE_EQ(f.SideMaxSum(), 2.0);
+}
+
+TEST(OptimizationTest, CloserLineRotatesAtLeastAsMuch) {
+  // With optimization (3) the line should end up at least as close to the
+  // active point as the raw update leaves it.
+  const double zeta = 2.0;
+  OperbOptions raw = OperbOptions::Raw(zeta);
+  OperbOptions opt = raw;
+  opt.opt_closer_line = true;
+
+  FittingFunction f_raw({0, 0}, raw);
+  FittingFunction f_opt({0, 0}, opt);
+  for (FittingFunction* f : {&f_raw, &f_opt}) {
+    f->Activate({1.0, 0.0});
+    f->ObserveOffset(0.9);  // a large historical offset on the + side
+  }
+  const geo::Vec2 p{3.0, 0.4};
+  f_raw.ObserveOffset(f_raw.SignedOffset(p));
+  f_opt.ObserveOffset(f_opt.SignedOffset(p));
+  f_raw.Activate(p);
+  f_opt.Activate(p);
+  EXPECT_LE(f_opt.DistanceToLine(p), f_raw.DistanceToLine(p) + 1e-12);
+}
+
+TEST(OptimizationTest, MissingActiveCompensationRotatesFurther) {
+  const double zeta = 2.0;
+  OperbOptions raw = OperbOptions::Raw(zeta);
+  OperbOptions opt = raw;
+  opt.opt_missing_active = true;
+
+  FittingFunction f_raw({0, 0}, raw);
+  FittingFunction f_opt({0, 0}, opt);
+  for (FittingFunction* f : {&f_raw, &f_opt}) f->Activate({1.0, 0.0});
+  // Jump from zone 1 to zone 5 (delta_j = 4).
+  const geo::Vec2 p{5.0, 0.6};
+  f_raw.Activate(p);
+  f_opt.Activate(p);
+  EXPECT_LT(f_opt.DistanceToLine(p), f_raw.DistanceToLine(p));
+}
+
+TEST(OptimizationTest, RotationNeverOvershootsAlignment) {
+  // Even with both rotation optimizations the line must not rotate past
+  // the direction of the active point.
+  const double zeta = 2.0;
+  OperbOptions opt = OperbOptions::Optimized(zeta);
+  FittingFunction f({0, 0}, opt);
+  f.Activate({1.0, 0.0});
+  f.ObserveOffset(0.99);  // large + side history
+  const geo::Vec2 p{10.0, 0.05};  // nearly on the line, far zone
+  const double before_sign = f.SignedOffset(p);
+  f.Activate(p);
+  const double after_sign = f.SignedOffset(p);
+  // If the rotation overshot, the point would flip to the other side by
+  // more than it was off before.
+  EXPECT_LE(std::fabs(after_sign), std::fabs(before_sign) + 1e-9);
+}
+
+}  // namespace
+}  // namespace operb::core

@@ -1,0 +1,72 @@
+#ifndef OPERB_TESTS_TEST_UTIL_H_
+#define OPERB_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/profiles.h"
+#include "datagen/rng.h"
+#include "geo/point.h"
+#include "traj/trajectory.h"
+
+namespace operb::testutil {
+
+/// A trajectory from inline (x, y) pairs with unit time steps.
+inline traj::Trajectory MakeTrajectory(
+    const std::vector<std::pair<double, double>>& xy) {
+  traj::Trajectory t;
+  double time = 0.0;
+  for (const auto& [x, y] : xy) {
+    t.AppendUnchecked({x, y, time});
+    time += 1.0;
+  }
+  return t;
+}
+
+/// A straight line along +x with `n` points spaced `step` meters.
+inline traj::Trajectory StraightLine(std::size_t n, double step = 10.0) {
+  traj::Trajectory t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.AppendUnchecked(
+        {static_cast<double>(i) * step, 0.0, static_cast<double>(i)});
+  }
+  return t;
+}
+
+/// A zig-zag: alternating diagonal legs, producing many sharp turns.
+inline traj::Trajectory ZigZag(std::size_t n, double step = 20.0,
+                               double amplitude = 30.0) {
+  traj::Trajectory t;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y = (i % 2 == 0) ? 0.0 : amplitude;
+    t.AppendUnchecked(
+        {static_cast<double>(i) * step, y, static_cast<double>(i)});
+  }
+  return t;
+}
+
+/// Uniform random walk in a box (adversarial for all simplifiers).
+inline traj::Trajectory RandomWalk(std::size_t n, std::uint64_t seed,
+                                   double step = 15.0) {
+  datagen::Rng rng(seed);
+  traj::Trajectory t;
+  geo::Vec2 pos{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    t.AppendUnchecked({pos.x, pos.y, static_cast<double>(i)});
+    pos.x += rng.Uniform(-step, step);
+    pos.y += rng.Uniform(-step, step);
+  }
+  return t;
+}
+
+/// A small generated dataset trajectory for property tests.
+inline traj::Trajectory Generated(datagen::DatasetKind kind, std::size_t n,
+                                  std::uint64_t seed) {
+  datagen::Rng rng(seed);
+  return datagen::GenerateTrajectory(datagen::DatasetProfile::For(kind), n,
+                                     &rng);
+}
+
+}  // namespace operb::testutil
+
+#endif  // OPERB_TESTS_TEST_UTIL_H_

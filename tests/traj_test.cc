@@ -1,0 +1,301 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "traj/cleaner.h"
+#include "traj/io.h"
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::traj {
+namespace {
+
+TEST(TrajectoryTest, AppendEnforcesMonotonicTime) {
+  Trajectory t;
+  EXPECT_TRUE(t.Append({0, 0, 1.0}).ok());
+  EXPECT_TRUE(t.Append({1, 1, 2.0}).ok());
+  const Status bad = t.Append({2, 2, 2.0});
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.size(), 2u);
+  const Status worse = t.Append({2, 2, 1.5});
+  EXPECT_FALSE(worse.ok());
+}
+
+TEST(TrajectoryTest, ValidateDetectsUncheckedViolations) {
+  Trajectory t;
+  t.AppendUnchecked({0, 0, 5.0});
+  t.AppendUnchecked({1, 0, 4.0});
+  EXPECT_FALSE(t.Validate().ok());
+  Trajectory good;
+  good.AppendUnchecked({0, 0, 0.0});
+  good.AppendUnchecked({1, 0, 1.0});
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+TEST(TrajectoryTest, SummaryStatistics) {
+  Trajectory t;
+  t.AppendUnchecked({0, 0, 0.0});
+  t.AppendUnchecked({3, 4, 2.0});
+  t.AppendUnchecked({3, 10, 4.0});
+  EXPECT_DOUBLE_EQ(t.PathLength(), 5.0 + 6.0);
+  EXPECT_DOUBLE_EQ(t.Duration(), 4.0);
+  EXPECT_DOUBLE_EQ(t.MeanSamplingIntervalSeconds(), 2.0);
+  Trajectory single;
+  single.AppendUnchecked({0, 0, 0.0});
+  EXPECT_DOUBLE_EQ(single.Duration(), 0.0);
+  EXPECT_DOUBLE_EQ(single.MeanSamplingIntervalSeconds(), 0.0);
+}
+
+RepresentedSegment Seg(geo::Vec2 a, geo::Vec2 b, std::size_t f,
+                       std::size_t l) {
+  RepresentedSegment s;
+  s.start = a;
+  s.end = b;
+  s.first_index = f;
+  s.last_index = l;
+  return s;
+}
+
+TEST(PiecewiseTest, PointCountConvention) {
+  const auto s = Seg({0, 0}, {1, 0}, 3, 7);
+  EXPECT_EQ(s.PointCount(), 5u);
+}
+
+TEST(PiecewiseTest, StoredPointCount) {
+  PiecewiseRepresentation rep;
+  EXPECT_EQ(rep.StoredPointCount(), 0u);
+  rep.Append(Seg({0, 0}, {10, 0}, 0, 4));
+  EXPECT_EQ(rep.StoredPointCount(), 2u);
+  rep.Append(Seg({10, 0}, {10, 10}, 4, 9));
+  EXPECT_EQ(rep.StoredPointCount(), 3u);
+}
+
+Trajectory FivePoints() {
+  Trajectory t;
+  t.AppendUnchecked({0, 0, 0});
+  t.AppendUnchecked({10, 0, 1});
+  t.AppendUnchecked({20, 0, 2});
+  t.AppendUnchecked({20, 10, 3});
+  t.AppendUnchecked({20, 20, 4});
+  return t;
+}
+
+TEST(PiecewiseTest, ValidateAcceptsWellFormed) {
+  const Trajectory t = FivePoints();
+  PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {20, 0}, 0, 2));
+  rep.Append(Seg({20, 0}, {20, 20}, 2, 4));
+  EXPECT_TRUE(rep.ValidateAgainst(t).ok());
+}
+
+TEST(PiecewiseTest, ValidateRejectsGapsWithoutPatchFlags) {
+  const Trajectory t = FivePoints();
+  PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {20, 0}, 0, 2));
+  rep.Append(Seg({20, 0}, {20, 20}, 3, 4));  // gap 2 -> 3, no flags
+  EXPECT_FALSE(rep.ValidateAgainst(t).ok());
+}
+
+TEST(PiecewiseTest, ValidateAcceptsPatchedJunctionGap) {
+  const Trajectory t = FivePoints();
+  PiecewiseRepresentation rep;
+  auto a = Seg({0, 0}, {25, 0}, 0, 2);
+  a.end_is_patch = true;  // G = (25, 0)
+  rep.Append(a);
+  auto b = Seg({25, 0}, {20, 20}, 3, 4);
+  b.start_is_patch = true;
+  rep.Append(b);
+  EXPECT_TRUE(rep.ValidateAgainst(t).ok());
+}
+
+TEST(PiecewiseTest, ValidateRejectsDiscontinuousGeometry) {
+  const Trajectory t = FivePoints();
+  PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {20, 0}, 0, 2));
+  rep.Append(Seg({21, 0}, {20, 20}, 2, 4));  // start != previous end
+  EXPECT_FALSE(rep.ValidateAgainst(t).ok());
+}
+
+TEST(PiecewiseTest, ValidateRejectsWrongEndpoints) {
+  const Trajectory t = FivePoints();
+  PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {19, 0}, 0, 2));  // end not at P2, unflagged
+  rep.Append(Seg({19, 0}, {20, 20}, 2, 4));
+  EXPECT_FALSE(rep.ValidateAgainst(t).ok());
+}
+
+TEST(PiecewiseTest, ValidateRejectsNotCoveringWholeTrajectory) {
+  const Trajectory t = FivePoints();
+  PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {20, 0}, 0, 2));
+  EXPECT_FALSE(rep.ValidateAgainst(t).ok());
+}
+
+TEST(PiecewiseTest, TinyTrajectoriesRequireEmptyRepresentation) {
+  Trajectory one;
+  one.AppendUnchecked({0, 0, 0});
+  PiecewiseRepresentation empty;
+  EXPECT_TRUE(empty.ValidateAgainst(one).ok());
+  PiecewiseRepresentation nonempty;
+  nonempty.Append(Seg({0, 0}, {0, 0}, 0, 0));
+  EXPECT_FALSE(nonempty.ValidateAgainst(one).ok());
+}
+
+TEST(CleanerTest, DropsDuplicates) {
+  StreamCleaner cleaner;
+  EXPECT_TRUE(cleaner.Push({0, 0, 1.0}).has_value());
+  EXPECT_FALSE(cleaner.Push({0, 0, 1.0}).has_value());
+  EXPECT_TRUE(cleaner.Push({1, 0, 2.0}).has_value());
+  EXPECT_EQ(cleaner.stats().duplicates_dropped, 1u);
+  EXPECT_EQ(cleaner.stats().accepted, 2u);
+}
+
+TEST(CleanerTest, DropsOutOfOrder) {
+  StreamCleaner cleaner;
+  cleaner.Push({0, 0, 10.0});
+  EXPECT_FALSE(cleaner.Push({5, 5, 9.0}).has_value());
+  EXPECT_EQ(cleaner.stats().out_of_order_dropped, 1u);
+  // Same position, earlier time: out-of-order, not duplicate.
+  EXPECT_FALSE(cleaner.Push({0, 0, 5.0}).has_value());
+  EXPECT_EQ(cleaner.stats().out_of_order_dropped, 2u);
+}
+
+TEST(CleanerTest, SpeedGateDropsImpossibleJumps) {
+  CleanerOptions opts;
+  opts.max_speed_mps = 50.0;
+  StreamCleaner cleaner(opts);
+  cleaner.Push({0, 0, 0.0});
+  // 1000 m in 1 s = 1000 m/s: impossible.
+  EXPECT_FALSE(cleaner.Push({1000, 0, 1.0}).has_value());
+  EXPECT_EQ(cleaner.stats().outliers_dropped, 1u);
+  // 40 m in 1 s is fine.
+  EXPECT_TRUE(cleaner.Push({40, 0, 1.0}).has_value());
+}
+
+TEST(CleanerTest, CleanAllProducesValidTrajectory) {
+  std::vector<geo::Point> raw{{0, 0, 0.0}, {1, 0, 1.0}, {1, 0, 1.0},
+                              {2, 0, 0.5}, {3, 0, 2.0}};
+  StreamCleaner cleaner;
+  const Trajectory t = cleaner.CleanAll(raw);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.size(), 3u);
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "operb_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, CsvRoundTrip) {
+  Trajectory t;
+  t.AppendUnchecked({1.5, -2.25, 0.0});
+  t.AppendUnchecked({3.125, 4.5, 60.0});
+  ASSERT_TRUE(WriteCsv(t, Path("t.csv")).ok());
+  auto r = ReadCsv(Path("t.csv"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ((*r)[0].x, 1.5);
+  EXPECT_DOUBLE_EQ((*r)[1].y, 4.5);
+  EXPECT_DOUBLE_EQ((*r)[1].t, 60.0);
+}
+
+TEST_F(IoTest, ReadMissingFileIsIOError) {
+  const auto r = ReadCsv(Path("nope.csv"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IoTest, ParseCsvRejectsMalformedRow) {
+  const auto r = ParseCsv("1,2,3\nnot-a-row\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, ParseCsvRejectsNonMonotonicTime) {
+  const auto r = ParseCsv("0,0,5\n1,1,4\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, ParseCsvSkipsCommentsAndBlanks) {
+  const auto r = ParseCsv("# header\n\n0,0,0\n  \n1,1,1\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(IoTest, GeoLifePltParses) {
+  const std::string plt =
+      "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
+      "0,2,255,My Track,0,0,2,8421376\n0\n"
+      "39.906631,116.385564,0,492,39744.245208,2008-10-23,05:53:06\n"
+      "39.906554,116.385625,0,492,39744.245266,2008-10-23,05:53:11\n"
+      "39.906409,116.385870,0,492,39744.245324,2008-10-23,05:53:16\n";
+  const std::string path = Path("a.plt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(plt.c_str(), f);
+    std::fclose(f);
+  }
+  const auto r = ReadGeoLifePlt(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 3u);
+  // First point is the projection reference -> origin, t = 0.
+  EXPECT_NEAR((*r)[0].x, 0.0, 1e-9);
+  EXPECT_NEAR((*r)[0].y, 0.0, 1e-9);
+  EXPECT_NEAR((*r)[0].t, 0.0, 1e-9);
+  // 5-second sampling.
+  EXPECT_NEAR((*r)[1].t, 5.0, 0.1);
+  // ~10 m of southward movement between the first two fixes.
+  EXPECT_LT((*r)[1].y, 0.0);
+  EXPECT_TRUE(r->Validate().ok());
+}
+
+TEST_F(IoTest, GeoLifePltRejectsTruncatedHeader) {
+  const std::string path = Path("bad.plt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("only\ntwo lines\n", f);
+    std::fclose(f);
+  }
+  const auto r = ReadGeoLifePlt(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, GeoLifePltRejectsOutOfRangeCoordinates) {
+  const std::string path = Path("oob.plt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("h\nh\nh\nh\nh\nh\n200.0,116.0,0,0,39744.0,d,t\n", f);
+    std::fclose(f);
+  }
+  const auto r = ReadGeoLifePlt(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, RepresentationCsvWrites) {
+  PiecewiseRepresentation rep;
+  rep.Append(Seg({0, 0}, {10, 0}, 0, 3));
+  rep.Append(Seg({10, 0}, {10, 5}, 3, 5));
+  ASSERT_TRUE(WriteRepresentationCsv(rep, Path("rep.csv")).ok());
+  std::FILE* f = std::fopen(Path("rep.csv").c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  int rows = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) ++rows;
+  std::fclose(f);
+  EXPECT_EQ(rows, 1 + 2 + 1);  // header + segments + final endpoint
+}
+
+}  // namespace
+}  // namespace operb::traj
