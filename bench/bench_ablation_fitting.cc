@@ -13,8 +13,9 @@
 #include "eval/metrics.h"
 #include "eval/verifier.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Ablation: fitting-function step length and activation slack",
       "the paper fixes step=0.5*zeta, slack=0.25*zeta and leaves "

@@ -37,8 +37,9 @@ void Run(const std::vector<operb::traj::Trajectory>& dataset,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Ablation: OPERB optimizations (1)-(5) and the error-bound guard",
       "paper asserts each optimization improves the ratio; the guard is a "

@@ -7,8 +7,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Figure 12: time vs |T| (zeta = 40 m)",
       "OPERB & OPERB-A fastest, linear; 3.8-8.4x faster than FBQS and "

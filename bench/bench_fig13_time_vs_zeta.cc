@@ -8,8 +8,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Figure 13: time vs zeta",
       "mild decrease with zeta; OPERB ~4-5x faster than FBQS, ~14-21x "

@@ -7,8 +7,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Figure 14: optimization techniques, efficiency (time per point, ns)",
       "Raw-OPERB ~80-100% of OPERB's time; Raw-OPERB-A ~90-102% of "

@@ -9,8 +9,9 @@
 #include "bench_util.h"
 #include "eval/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Figure 15: compression ratio (%) vs zeta",
       "ratios fall with zeta; GeoLife lowest / Taxi highest; OPERB ~ DP ~ "

@@ -9,8 +9,9 @@
 #include "bench_util.h"
 #include "eval/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Figure 16: optimization techniques, compression ratio (%)",
       "OPERB = 58-88% of Raw-OPERB (more on dense data, growing with "

@@ -12,8 +12,9 @@
 #include "bench_util.h"
 #include "eval/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Figure 17: segment-size distribution Z(k), zeta = 40 m",
       "DP & OPERB-A produce more heavy segments; OPERB has the most "

@@ -31,8 +31,9 @@ operb::core::OperbAStats RunOnDataset(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Figure 19-(1): patching ratio vs zeta (gamma_m = 60 deg)",
       "averages (50.5, 60.3, 63.2, 51.5)% on (Taxi, Truck, SerCar, "

@@ -6,8 +6,9 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace operb;  // NOLINT
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   bench::Banner(
       "Table 1: trajectory datasets (synthetic stand-ins, scaled down)",
       "Taxi: 60s sampling; Truck: 1-60s; SerCar: 3-5s; GeoLife: 1-5s; "

@@ -1,8 +1,10 @@
 #ifndef OPERB_BENCH_BENCH_UTIL_H_
 #define OPERB_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/simplifier.h"
@@ -16,14 +18,42 @@ namespace operb::bench {
 /// Shared fixed seed so every figure sees the same datasets.
 inline constexpr std::uint64_t kBenchSeed = 20170401;
 
+/// Process-wide smoke mode, set by ParseBenchArgs from `--smoke`: clamps
+/// every generated dataset and collapses the timing windows so a figure
+/// harness finishes in well under a second. ctest registers each bench
+/// with `--smoke` to catch bit-rot without paying benchmark cost.
+inline bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+/// Parses a figure-bench command line; only `--smoke` is recognized.
+/// Returns false (after printing a diagnostic) on anything else.
+inline bool ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      SmokeMode() = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (only --smoke)\n",
+                   argv[0], argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Generates the scaled-down stand-in for one of the paper's datasets.
+/// In smoke mode the sizes are clamped further (2 trajectories of <= 400
+/// points) — enough to execute every code path, useless for timing.
 inline std::vector<traj::Trajectory> MakeDataset(
     datagen::DatasetKind kind, std::size_t trajectories, std::size_t points,
     std::uint64_t seed = kBenchSeed) {
   datagen::DatasetSpec spec;
   spec.kind = kind;
-  spec.num_trajectories = trajectories;
-  spec.points_per_trajectory = points;
+  spec.num_trajectories =
+      SmokeMode() ? std::min<std::size_t>(trajectories, 2) : trajectories;
+  spec.points_per_trajectory =
+      SmokeMode() ? std::min<std::size_t>(points, 400) : points;
   spec.seed = seed;
   return datagen::GenerateDataset(spec);
 }
@@ -31,7 +61,8 @@ inline std::vector<traj::Trajectory> MakeDataset(
 /// Runs `simplifier` over the dataset, returning {seconds per full pass,
 /// representations of the last pass}. Repeats the pass until at least
 /// `min_millis` of work has been timed so fast algorithms get stable
-/// numbers on fast machines.
+/// numbers on fast machines. Pass a negative `min_millis` (the default)
+/// for the standard window: 80 ms, or a single pass in smoke mode.
 struct TimedRun {
   double seconds = 0.0;
   std::vector<traj::PiecewiseRepresentation> representations;
@@ -39,7 +70,8 @@ struct TimedRun {
 
 inline TimedRun TimeSimplifier(const baselines::Simplifier& simplifier,
                                const std::vector<traj::Trajectory>& dataset,
-                               double min_millis = 80.0) {
+                               double min_millis = -1.0) {
+  if (min_millis < 0.0) min_millis = SmokeMode() ? 0.0 : 80.0;
   TimedRun run;
   int passes = 0;
   Stopwatch watch;

@@ -1,0 +1,37 @@
+# operb_add_module(<name> SOURCES <src...> [DEPS <operb::lib...>])
+#
+# Defines the static library `operb_<name>` with alias `operb::<name>`.
+# DEPS are PUBLIC: a module's headers include its dependencies' headers
+# (all includes are spelled relative to src/, e.g. "geo/point.h"), so the
+# include directory and the link edge must propagate to dependents.
+function(operb_add_module NAME)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "operb_add_module(${NAME}): SOURCES is required")
+  endif()
+
+  set(target operb_${NAME})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(operb::${NAME} ALIAS ${target})
+  target_include_directories(${target} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_link_libraries(${target}
+    PUBLIC ${ARG_DEPS}
+    PRIVATE operb::build_flags)
+endfunction()
+
+# operb_link_all_modules(<target>)
+#
+# Links every module library into `target` (PRIVATE), for leaf executables
+# (tests, benches, examples, tools) that may use any part of the library.
+function(operb_link_all_modules TARGET)
+  target_link_libraries(${TARGET} PRIVATE
+    operb::baselines
+    operb::codec
+    operb::core
+    operb::datagen
+    operb::eval
+    operb::traj
+    operb::geo
+    operb::common
+    operb::build_flags)
+endfunction()

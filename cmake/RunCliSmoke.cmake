@@ -1,0 +1,51 @@
+# End-to-end smoke test for operb_cli, run via `cmake -P` from ctest.
+# Expects -DOPERB_CLI=<path to binary> and -DWORK_DIR=<scratch dir>.
+#
+# Step 1: synthesize a trajectory, simplify with OPERB-A, save the input
+#         as CSV and verify the bound.
+# Step 2: re-read that CSV, simplify with plain OPERB at a different zeta,
+#         write the representation CSV and verify again.
+# Both steps must exit 0 and print a "bound: verified" line.
+
+if(NOT OPERB_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DOPERB_CLI=... -DWORK_DIR=... -P RunCliSmoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(input_csv "${WORK_DIR}/smoke_input.csv")
+set(repr_csv "${WORK_DIR}/smoke_repr.csv")
+
+function(check_step LABEL RESULT OUTPUT)
+  if(NOT RESULT EQUAL 0)
+    message(FATAL_ERROR "${LABEL}: exit code ${RESULT}\n${OUTPUT}")
+  endif()
+  if(NOT OUTPUT MATCHES "bound:     verified")
+    message(FATAL_ERROR "${LABEL}: no bound verification in output\n${OUTPUT}")
+  endif()
+endfunction()
+
+execute_process(
+  COMMAND "${OPERB_CLI}" --generate SerCar:800:7 --algorithm OPERB-A
+          --zeta 30 --save-input "${input_csv}"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+check_step("step 1 (generate + OPERB-A)" "${result}" "${output}")
+
+if(NOT EXISTS "${input_csv}")
+  message(FATAL_ERROR "step 1 did not write ${input_csv}")
+endif()
+
+execute_process(
+  COMMAND "${OPERB_CLI}" --input "${input_csv}" --algorithm OPERB
+          --zeta 25 --output "${repr_csv}"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+check_step("step 2 (CSV round-trip + OPERB)" "${result}" "${output}")
+
+if(NOT EXISTS "${repr_csv}")
+  message(FATAL_ERROR "step 2 did not write ${repr_csv}")
+endif()
+
+message(STATUS "operb_cli smoke passed")

@@ -1,0 +1,27 @@
+# Smoke-test wrapper, run via `cmake -P` from ctest. Unlike ctest's
+# PASS_REGULAR_EXPRESSION (which ignores the exit code once the regex
+# matches, masking crashes and sanitizer failures after the matched
+# line), this enforces BOTH a zero exit code and, when SMOKE_PATTERN is
+# given, a match in the combined stdout/stderr.
+#
+# Usage: cmake -DSMOKE_COMMAND="<binary> [args...]"
+#              [-DSMOKE_PATTERN=<cmake regex>] -P RunSmokeCheck.cmake
+
+if(NOT SMOKE_COMMAND)
+  message(FATAL_ERROR "usage: cmake -DSMOKE_COMMAND=... [-DSMOKE_PATTERN=...] -P RunSmokeCheck.cmake")
+endif()
+
+separate_arguments(cmd UNIX_COMMAND "${SMOKE_COMMAND}")
+execute_process(
+  COMMAND ${cmd}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "'${SMOKE_COMMAND}' exited with ${result}\n${output}")
+endif()
+if(SMOKE_PATTERN AND NOT output MATCHES "${SMOKE_PATTERN}")
+  message(FATAL_ERROR "'${SMOKE_COMMAND}' output does not match '${SMOKE_PATTERN}'\n${output}")
+endif()
+message(STATUS "smoke ok: ${SMOKE_COMMAND}")

@@ -1,0 +1,384 @@
+// operb_cli: end-to-end command-line driver for the library.
+//
+// Reads a trajectory (plain x,y,t CSV, a GeoLife .plt file, or a synthetic
+// dataset profile), simplifies it with any algorithm in the library at a
+// chosen error bound, independently verifies the bound with eval::, and
+// prints compression-ratio / timing / error statistics. The simplified
+// representation can be written back out as CSV for plotting.
+//
+// Examples:
+//   operb_cli --input drive.csv --algorithm OPERB-A --zeta 30 --output out.csv
+//   operb_cli --plt geolife/000/Trajectory/20081023025304.plt --zeta 10
+//   operb_cli --generate SerCar:5000 --algorithm FBQS --zeta 40
+//
+// Exit codes: 0 success (bound verified or --no-verify), 1 bound violation,
+// 2 usage error, 3 I/O error.
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/simplifier.h"
+#include "common/stopwatch.h"
+#include "datagen/profiles.h"
+#include "datagen/rng.h"
+#include "eval/metrics.h"
+#include "eval/verifier.h"
+#include "traj/io.h"
+#include "traj/trajectory.h"
+
+namespace {
+
+using namespace operb;  // NOLINT: single-file tool
+
+constexpr int kExitOk = 0;
+constexpr int kExitBoundViolation = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+
+struct CliOptions {
+  // Input: exactly one of csv_path / plt_path / generate.
+  std::string csv_path;
+  std::string plt_path;
+  std::string generate_spec;  ///< KIND[:POINTS[:SEED]]
+
+  baselines::Algorithm algorithm = baselines::Algorithm::kOPERB;
+  double zeta = 40.0;
+  baselines::OperbFidelity fidelity = baselines::OperbFidelity::kGuarded;
+
+  std::string output_path;      ///< representation CSV (optional)
+  std::string save_input_path;  ///< write the input trajectory as CSV
+  bool verify = true;
+  double verify_slack = 1e-9;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "operb_cli — one-pass error-bounded trajectory simplification "
+               "(OPERB, PVLDB 2017)\n"
+               "\n"
+               "Input (choose one; default --generate SerCar:2000:1):\n"
+               "  --input PATH          plain CSV trajectory: x,y,t rows in "
+               "projected meters\n"
+               "  --plt PATH            GeoLife .plt trajectory "
+               "(lat/lon, projected to local meters)\n"
+               "  --generate SPEC       synthetic profile KIND[:POINTS[:SEED]]"
+               ", KIND one of\n"
+               "                        Taxi | Truck | SerCar | GeoLife\n"
+               "\n"
+               "Simplification:\n"
+               "  --algorithm NAME      DP | DP-SED | OPW | OPW-SED | BQS | "
+               "FBQS |\n"
+               "                        Raw-OPERB | OPERB | Raw-OPERB-A | "
+               "OPERB-A  (default OPERB)\n"
+               "  --zeta METERS         error bound, > 0 (default 40)\n"
+               "  --fidelity MODE       guarded | paper — how OPERB-family "
+               "algorithms treat the\n"
+               "                        heuristic optimizations' bound "
+               "(default guarded; see DESIGN.md)\n"
+               "\n"
+               "Output:\n"
+               "  --output PATH         write the piecewise representation as "
+               "CSV\n"
+               "  --save-input PATH     write the (parsed or generated) input "
+               "trajectory as CSV\n"
+               "  --no-verify           skip the independent error-bound "
+               "check\n"
+               "  --help                this text\n");
+}
+
+std::optional<baselines::Algorithm> ParseAlgorithm(std::string_view name) {
+  for (baselines::Algorithm algo : baselines::AllAlgorithms()) {
+    if (name == baselines::AlgorithmName(algo)) return algo;
+  }
+  return std::nullopt;
+}
+
+std::optional<datagen::DatasetKind> ParseDatasetKind(std::string_view name) {
+  for (datagen::DatasetKind kind : datagen::AllDatasetKinds()) {
+    if (name == datagen::DatasetName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+/// Strict decimal parse: digits only (no sign, no ERANGE saturation, no
+/// trailing junk). strtoull alone would silently wrap "-5" to 2^64 - 5.
+bool ParseU64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+/// Parses KIND[:POINTS[:SEED]]; prints to stderr and returns nullopt on
+/// malformed specs.
+std::optional<traj::Trajectory> GenerateFromSpec(const std::string& spec) {
+  // Generous ceiling so a typo'd point count fails as a usage error
+  // instead of a multi-gigabyte allocation.
+  constexpr std::uint64_t kMaxGeneratedPoints = 100'000'000;
+
+  std::string kind_name = spec;
+  std::uint64_t points = 2000;
+  std::uint64_t seed = 1;
+
+  const std::size_t colon1 = spec.find(':');
+  if (colon1 != std::string::npos) {
+    kind_name = spec.substr(0, colon1);
+    const std::string rest = spec.substr(colon1 + 1);
+    const std::size_t colon2 = rest.find(':');
+    const std::string points_str =
+        colon2 == std::string::npos ? rest : rest.substr(0, colon2);
+    if (!ParseU64(points_str, &points) || points < 2 ||
+        points > kMaxGeneratedPoints) {
+      std::fprintf(stderr,
+                   "operb_cli: bad point count in --generate '%s' (need "
+                   "2..%llu)\n",
+                   spec.c_str(),
+                   static_cast<unsigned long long>(kMaxGeneratedPoints));
+      return std::nullopt;
+    }
+    if (colon2 != std::string::npos) {
+      if (!ParseU64(rest.substr(colon2 + 1), &seed)) {
+        std::fprintf(stderr, "operb_cli: bad seed in --generate '%s'\n",
+                     spec.c_str());
+        return std::nullopt;
+      }
+    }
+  }
+
+  const auto kind = ParseDatasetKind(kind_name);
+  if (!kind) {
+    std::fprintf(stderr,
+                 "operb_cli: unknown dataset kind '%s' (expected Taxi, "
+                 "Truck, SerCar or GeoLife)\n",
+                 kind_name.c_str());
+    return std::nullopt;
+  }
+  datagen::Rng rng(seed);
+  return datagen::GenerateTrajectory(datagen::DatasetProfile::For(*kind),
+                                     points, &rng);
+}
+
+/// Parses argv into `options`; returns false (after printing a message) on
+/// malformed input. `--help` sets `wants_help` instead.
+bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
+  auto need_value = [&](int i, std::string_view flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "operb_cli: %.*s requires a value\n",
+                   static_cast<int>(flag.size()), flag.data());
+      return nullptr;
+    }
+    return argv[i + 1];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      *wants_help = true;
+      return true;
+    } else if (arg == "--input" || arg == "--plt" || arg == "--generate" ||
+               arg == "--algorithm" || arg == "--zeta" ||
+               arg == "--fidelity" || arg == "--output" ||
+               arg == "--save-input") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) return false;
+      ++i;
+      if (arg == "--input") {
+        options->csv_path = value;
+      } else if (arg == "--plt") {
+        options->plt_path = value;
+      } else if (arg == "--generate") {
+        options->generate_spec = value;
+      } else if (arg == "--algorithm") {
+        const auto algo = ParseAlgorithm(value);
+        if (!algo) {
+          std::fprintf(stderr, "operb_cli: unknown algorithm '%s'\n", value);
+          return false;
+        }
+        options->algorithm = *algo;
+      } else if (arg == "--zeta") {
+        char* end = nullptr;
+        options->zeta = std::strtod(value, &end);
+        if (end == nullptr || *end != '\0' || !(options->zeta > 0.0) ||
+            !std::isfinite(options->zeta)) {
+          std::fprintf(stderr, "operb_cli: --zeta must be a positive number, "
+                               "got '%s'\n",
+                       value);
+          return false;
+        }
+      } else if (arg == "--fidelity") {
+        const std::string_view mode = value;
+        if (mode == "guarded") {
+          options->fidelity = baselines::OperbFidelity::kGuarded;
+        } else if (mode == "paper") {
+          options->fidelity = baselines::OperbFidelity::kPaperFaithful;
+        } else {
+          std::fprintf(stderr,
+                       "operb_cli: --fidelity must be 'guarded' or 'paper', "
+                       "got '%s'\n",
+                       value);
+          return false;
+        }
+      } else if (arg == "--output") {
+        options->output_path = value;
+      } else if (arg == "--save-input") {
+        options->save_input_path = value;
+      } else {
+        // Unreachable while the membership list above and this chain
+        // agree; catches a flag added to one but not the other.
+        std::fprintf(stderr, "operb_cli: internal error: unhandled flag "
+                             "'%s'\n",
+                     std::string(arg).c_str());
+        return false;
+      }
+    } else if (arg == "--no-verify") {
+      options->verify = false;
+    } else {
+      std::fprintf(stderr, "operb_cli: unknown argument '%s'\n",
+                   std::string(arg).c_str());
+      return false;
+    }
+  }
+
+  const int inputs = (options->csv_path.empty() ? 0 : 1) +
+                     (options->plt_path.empty() ? 0 : 1) +
+                     (options->generate_spec.empty() ? 0 : 1);
+  if (inputs > 1) {
+    std::fprintf(stderr,
+                 "operb_cli: --input, --plt and --generate are mutually "
+                 "exclusive\n");
+    return false;
+  }
+  if (inputs == 0) options->generate_spec = "SerCar:2000:1";
+  return true;
+}
+
+/// Loads the input trajectory, or returns nullopt after printing the error.
+std::optional<traj::Trajectory> LoadInput(const CliOptions& options,
+                                          std::string* source_label) {
+  if (!options.csv_path.empty()) {
+    *source_label = "csv " + options.csv_path;
+    Result<traj::Trajectory> r = traj::ReadCsv(options.csv_path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", r.status().ToString().c_str());
+      return std::nullopt;
+    }
+    return std::move(r).value();
+  }
+  if (!options.plt_path.empty()) {
+    *source_label = "plt " + options.plt_path;
+    Result<traj::Trajectory> r = traj::ReadGeoLifePlt(options.plt_path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", r.status().ToString().c_str());
+      return std::nullopt;
+    }
+    return std::move(r).value();
+  }
+  *source_label = "generated " + options.generate_spec;
+  return GenerateFromSpec(options.generate_spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  bool wants_help = false;
+  if (!ParseArgs(argc, argv, &options, &wants_help)) {
+    std::fprintf(stderr, "Run 'operb_cli --help' for usage.\n");
+    return kExitUsage;
+  }
+  if (wants_help) {
+    PrintUsage(stdout);
+    return kExitOk;
+  }
+
+  std::string source_label;
+  const std::optional<traj::Trajectory> input =
+      LoadInput(options, &source_label);
+  if (!input) {
+    return options.generate_spec.empty() ? kExitIo : kExitUsage;
+  }
+  if (input->size() < 2) {
+    std::fprintf(stderr,
+                 "operb_cli: input has %zu point(s); need at least 2\n",
+                 input->size());
+    return kExitUsage;
+  }
+  if (const Status s = input->Validate(); !s.ok()) {
+    std::fprintf(stderr,
+                 "operb_cli: input is not a valid trajectory: %s\n"
+                 "(timestamps must be strictly increasing; clean raw sensor "
+                 "streams with traj::StreamCleaner first)\n",
+                 s.ToString().c_str());
+    return kExitUsage;
+  }
+
+  if (!options.save_input_path.empty()) {
+    if (const Status s = traj::WriteCsv(*input, options.save_input_path);
+        !s.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+      return kExitIo;
+    }
+  }
+
+  const std::unique_ptr<baselines::Simplifier> simplifier =
+      baselines::MakeSimplifier(options.algorithm, options.zeta,
+                                options.fidelity);
+
+  Stopwatch watch;
+  const traj::PiecewiseRepresentation representation =
+      simplifier->Simplify(*input);
+  const double elapsed_ms = watch.ElapsedMillis();
+
+  const double ratio = eval::CompressionRatio(*input, representation);
+  const eval::ErrorStats error = eval::MeasureError(*input, representation);
+  const double ns_per_point = elapsed_ms * 1e6 / input->size();
+
+  std::printf("input:     %zu points, %.2f km, %.0f s  (%s)\n", input->size(),
+              input->PathLength() / 1000.0, input->Duration(),
+              source_label.c_str());
+  std::printf("algorithm: %s, zeta = %g m%s\n",
+              std::string(simplifier->name()).c_str(), options.zeta,
+              options.fidelity == baselines::OperbFidelity::kPaperFaithful
+                  ? " (paper-faithful heuristics, no strict guard)"
+                  : "");
+  std::printf("output:    %zu segments, %zu stored points\n",
+              representation.size(), representation.StoredPointCount());
+  std::printf("ratio:     %.2f%% of input kept (%.1fx compression)\n",
+              100.0 * ratio, ratio > 0.0 ? 1.0 / ratio : 0.0);
+  std::printf("time:      %.3f ms  (%.0f ns/point, %.2f M points/s)\n",
+              elapsed_ms, ns_per_point,
+              ns_per_point > 0.0 ? 1e3 / ns_per_point : 0.0);
+  std::printf("error:     avg %.2f m, max %.2f m\n", error.average, error.max);
+
+  if (!options.output_path.empty()) {
+    if (const Status s =
+            traj::WriteRepresentationCsv(representation, options.output_path);
+        !s.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+      return kExitIo;
+    }
+    std::printf("wrote:     %s\n", options.output_path.c_str());
+  }
+
+  if (options.verify) {
+    const eval::VerificationResult verdict = eval::VerifyErrorBound(
+        *input, representation, options.zeta, options.verify_slack);
+    if (!verdict.bounded) {
+      std::printf("bound:     VIOLATED — %s\n", verdict.ToString().c_str());
+      return kExitBoundViolation;
+    }
+    std::printf("bound:     verified (worst %.2f m <= zeta %g m)\n",
+                verdict.worst_distance, options.zeta);
+  }
+  return kExitOk;
+}
