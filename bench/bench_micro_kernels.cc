@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <span>
+
 #include "baselines/simplifier.h"
 #include "core/fitting.h"
 #include "core/operb.h"
@@ -32,6 +34,36 @@ void BM_PointToLineDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PointToLineDistance);
+
+/// The pre-optimization AnchoredLine kernel: re-derive the unit vector
+/// from theta with sin/cos on every call. Kept here (not in the library)
+/// so the trig-free rewrite's win stays directly measurable.
+double PointToAnchoredLineDistanceTrig(geo::Vec2 p,
+                                       const geo::AnchoredLine& line) {
+  const geo::Vec2 dir = geo::Vec2::FromAngle(line.theta);
+  return std::fabs(dir.Cross(p - line.anchor));
+}
+
+void BM_AnchoredLineDistanceTrig(benchmark::State& state) {
+  const geo::AnchoredLine line{{0, 0}, 100.0, 0.354};
+  double x = 0.0;
+  for (auto _ : state) {
+    x += PointToAnchoredLineDistanceTrig({x - 50.0, 20.0}, line);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_AnchoredLineDistanceTrig);
+
+/// The shipping kernel: cached unit direction, one cross product.
+void BM_AnchoredLineDistanceDir(benchmark::State& state) {
+  const geo::AnchoredLine line{{0, 0}, 100.0, 0.354};
+  double x = 0.0;
+  for (auto _ : state) {
+    x += geo::PointToLineDistance({x - 50.0, 20.0}, line);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_AnchoredLineDistanceDir);
 
 void BM_SynchronousEuclideanDistance(benchmark::State& state) {
   const geo::Point a{0, 0, 0}, b{100, 37, 60};
@@ -75,6 +107,22 @@ void BM_OperbStreamPush(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t.size());
 }
 BENCHMARK(BM_OperbStreamPush);
+
+/// Zero-allocation emission: segments go straight to a counting sink.
+void BM_OperbStreamPushSink(benchmark::State& state) {
+  const auto t = BenchTrajectory(20000);
+  for (auto _ : state) {
+    core::OperbStream stream(core::OperbOptions::Optimized(40.0));
+    std::size_t segments = 0;
+    stream.SetSink(
+        [&segments](const traj::RepresentedSegment&) { ++segments; });
+    stream.Push(std::span<const geo::Point>(t.points()));
+    stream.Finish();
+    benchmark::DoNotOptimize(segments);
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_OperbStreamPushSink);
 
 void BM_OperbAStreamPush(benchmark::State& state) {
   const auto t = BenchTrajectory(20000);

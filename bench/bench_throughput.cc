@@ -1,0 +1,319 @@
+// bench_throughput: the repo's recorded perf trajectory (points/sec).
+//
+// Measures three layers of the pipeline on the synthetic dataset profiles
+// and emits machine-readable BENCH_throughput.json (schema documented in
+// README.md "Performance"; validated by validate_throughput_json.py):
+//
+//   ingest       — ParseCsv / ParseGeoLifePlt on in-memory content
+//   steady_state — each algorithm's sink-path compression throughput
+//                  (segments stream to a counting sink; no output buffer)
+//   end_to_end   — the CLI flow: parse CSV -> validate -> simplify (sink)
+//                  -> independent bound verification
+//
+// `--smoke` shrinks every dataset to a single fast pass (for CI), `--out
+// PATH` overrides the default ./BENCH_throughput.json. Later PRs
+// (sharding, parallel ingest, ...) are benchmarked against the committed
+// JSON at the repo root.
+//
+// Exit codes: 0 success, 1 write failure, 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "eval/verifier.h"
+#include "traj/io.h"
+
+namespace {
+
+using namespace operb;  // NOLINT
+
+constexpr double kZeta = 40.0;
+
+struct Timing {
+  double seconds_per_pass = 0.0;
+  int passes = 0;
+};
+
+/// Repeats `fn` until enough wall time accumulated for a stable number
+/// (single pass in smoke mode).
+template <typename Fn>
+Timing TimeLoop(Fn&& fn) {
+  const double min_millis = bench::SmokeMode() ? 0.0 : 150.0;
+  Timing t;
+  Stopwatch watch;
+  do {
+    fn();
+    ++t.passes;
+  } while (watch.ElapsedMillis() < min_millis);
+  t.seconds_per_pass = watch.ElapsedSeconds() / t.passes;
+  return t;
+}
+
+/// One emitted JSON record (flat string->value object).
+struct JsonRecord {
+  std::string text;
+
+  void Str(const char* key, const std::string& v) {
+    Key(key);
+    text += '"';
+    text += v;
+    text += '"';
+  }
+  void Num(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    Key(key);
+    text += buf;
+  }
+  void Int(const char* key, long long v) {
+    Key(key);
+    text += std::to_string(v);
+  }
+
+ private:
+  void Key(const char* key) {
+    if (!text.empty()) text += ", ";
+    text += '"';
+    text += key;
+    text += "\": ";
+  }
+};
+
+std::string JoinRecords(const std::vector<JsonRecord>& records) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out += (i == 0 ? "\n    {" : ",\n    {");
+    out += records[i].text;
+    out += '}';
+  }
+  out += "\n  ]";
+  return out;
+}
+
+
+/// Synthesizes GeoLife-style PLT content: 6 header lines, then
+/// lat,lon,0,alt,days,date,time rows walking away from a Beijing-ish
+/// reference at ~5 s sampling.
+std::string MakePltString(std::size_t rows) {
+  std::string out =
+      "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
+      "0,2,255,My Track,0,0,2,255\n0\n";
+  out.reserve(out.size() + rows * 64);
+  char buf[160];
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double lat = 39.9 + 1e-5 * static_cast<double>(i % 997);
+    const double lon = 116.3 + 1e-5 * static_cast<double>(i % 1009);
+    const double days =
+        39744.0 + static_cast<double>(i) * (5.0 / 86400.0);
+    const int n = std::snprintf(
+        buf, sizeof(buf), "%.6f,%.6f,0,196,%.9f,2008-10-23,02:53:04\n", lat,
+        lon, days);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// Batch (quadratic-ish or O(n log n)) algorithms get smaller full-mode
+/// inputs than the one-pass streamers so the harness stays minutes-free.
+bool IsOnePass(baselines::Algorithm a) {
+  switch (a) {
+    case baselines::Algorithm::kOPW:
+    case baselines::Algorithm::kOPWSED:
+    case baselines::Algorithm::kBQS:
+    case baselines::Algorithm::kFBQS:
+    case baselines::Algorithm::kRawOPERB:
+    case baselines::Algorithm::kOPERB:
+    case baselines::Algorithm::kRawOPERBA:
+    case baselines::Algorithm::kOPERBA:
+      return true;
+    case baselines::Algorithm::kDP:
+    case baselines::Algorithm::kDPSED:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      bench::SmokeMode() = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (--smoke, --out PATH)\n",
+                   argv[0], std::string(arg).c_str());
+      return 2;
+    }
+  }
+  const bool smoke = bench::SmokeMode();
+  bench::Banner("Throughput baseline: ingest / steady state / end-to-end",
+                "Theorem 5: one-pass O(n) time, O(1) state; constants are "
+                "this harness's subject");
+
+  // ------------------------------------------------------------------
+  // Ingest: locale-proof from_chars parsers on in-memory content.
+  // ------------------------------------------------------------------
+  std::vector<JsonRecord> ingest;
+  const std::size_t ingest_points = smoke ? 2000 : 200000;
+  const auto measure_ingest = [&ingest](const char* format,
+                                        const char* profile,
+                                        const std::string& content,
+                                        auto&& parse) {
+    std::size_t parsed = 0;
+    const Timing tm = TimeLoop([&] {
+      auto r = parse(content);
+      parsed = r.ok() ? r.value().size() : 0;
+    });
+    JsonRecord rec;
+    rec.Str("format", format);
+    rec.Str("profile", profile);
+    rec.Int("points", static_cast<long long>(parsed));
+    rec.Int("bytes", static_cast<long long>(content.size()));
+    rec.Int("passes", tm.passes);
+    rec.Num("seconds_per_pass", tm.seconds_per_pass);
+    rec.Num("points_per_sec",
+            static_cast<double>(parsed) / tm.seconds_per_pass);
+    rec.Num("mb_per_sec",
+            static_cast<double>(content.size()) / 1e6 / tm.seconds_per_pass);
+    ingest.push_back(rec);
+    std::printf("ingest %s: %zu points, %.2f M points/s\n", format, parsed,
+                static_cast<double>(parsed) / tm.seconds_per_pass / 1e6);
+  };
+  {
+    datagen::Rng rng(bench::kBenchSeed);
+    const traj::Trajectory t = datagen::GenerateTrajectory(
+        datagen::DatasetProfile::For(datagen::DatasetKind::kSerCar),
+        ingest_points, &rng);
+    measure_ingest("csv", "SerCar", traj::WriteCsvString(t),
+                   [](const std::string& c) { return traj::ParseCsv(c); });
+  }
+  measure_ingest("plt", "GeoLife", MakePltString(ingest_points),
+                 [](const std::string& c) { return traj::ParseGeoLifePlt(c); });
+
+  // ------------------------------------------------------------------
+  // Steady state: sink-path compression, segments only counted.
+  // ------------------------------------------------------------------
+  std::vector<JsonRecord> steady;
+  for (datagen::DatasetKind kind : datagen::AllDatasetKinds()) {
+    for (baselines::Algorithm algo : baselines::AllAlgorithms()) {
+      const std::size_t per_traj =
+          smoke ? 400 : (IsOnePass(algo) ? 100000 : 10000);
+      const auto dataset = bench::MakeDataset(kind, 2, per_traj);
+      const std::size_t total = bench::TotalPoints(dataset);
+      const auto simplifier = bench::MakePaperSimplifier(algo, kZeta);
+      std::size_t segments = 0;
+      const Timing tm = TimeLoop([&] {
+        segments = 0;
+        for (const traj::Trajectory& t : dataset) {
+          simplifier->SimplifyToSink(
+              t, [&segments](const traj::RepresentedSegment&) {
+                ++segments;
+              });
+        }
+      });
+      JsonRecord rec;
+      rec.Str("algorithm", std::string(baselines::AlgorithmName(algo)));
+      rec.Str("profile", std::string(datagen::DatasetName(kind)));
+      rec.Int("points", static_cast<long long>(total));
+      rec.Int("segments", static_cast<long long>(segments));
+      rec.Int("passes", tm.passes);
+      rec.Num("seconds_per_pass", tm.seconds_per_pass);
+      rec.Num("points_per_sec",
+              static_cast<double>(total) / tm.seconds_per_pass);
+      steady.push_back(rec);
+      std::printf("steady %-11s %-7s %8zu pts  %7.2f M points/s\n",
+                  std::string(baselines::AlgorithmName(algo)).c_str(),
+                  std::string(datagen::DatasetName(kind)).c_str(), total,
+                  static_cast<double>(total) / tm.seconds_per_pass / 1e6);
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // End-to-end CLI flow: parse -> validate -> simplify -> verify bound.
+  // ------------------------------------------------------------------
+  std::vector<JsonRecord> end_to_end;
+  for (datagen::DatasetKind kind : datagen::AllDatasetKinds()) {
+    const std::size_t n = smoke ? 400 : 100000;
+    datagen::Rng rng(bench::kBenchSeed);
+    const traj::Trajectory t = datagen::GenerateTrajectory(
+        datagen::DatasetProfile::For(kind), n, &rng);
+    const std::string csv = traj::WriteCsvString(t);
+    // Library-default guarded fidelity — what operb_cli runs and the only
+    // mode whose bound verification is guaranteed to pass on every input
+    // (the paper-faithful heuristics can exceed zeta; see DESIGN.md).
+    const auto simplifier =
+        baselines::MakeSimplifier(baselines::Algorithm::kOPERB, kZeta);
+    bool bounded = true;
+    const Timing tm = TimeLoop([&] {
+      auto parsed = traj::ParseCsv(csv);
+      if (!parsed.ok() || !parsed.value().Validate().ok()) {
+        bounded = false;
+        return;
+      }
+      traj::PiecewiseRepresentation rep;
+      simplifier->SimplifyToSink(
+          parsed.value(),
+          [&rep](const traj::RepresentedSegment& s) { rep.Append(s); });
+      bounded = eval::VerifyErrorBound(parsed.value(), rep, kZeta, 1e-9)
+                    .bounded;
+    });
+    if (!bounded) {
+      std::fprintf(stderr, "end-to-end flow failed on %s\n",
+                   std::string(datagen::DatasetName(kind)).c_str());
+      return 1;
+    }
+    JsonRecord rec;
+    rec.Str("pipeline", "parse+validate+simplify+verify");
+    rec.Str("algorithm", "OPERB");
+    rec.Str("profile", std::string(datagen::DatasetName(kind)));
+    rec.Int("points", static_cast<long long>(n));
+    rec.Int("passes", tm.passes);
+    rec.Num("seconds_per_pass", tm.seconds_per_pass);
+    rec.Num("points_per_sec", static_cast<double>(n) / tm.seconds_per_pass);
+    end_to_end.push_back(rec);
+    std::printf("end-to-end OPERB %-7s %8zu pts  %7.2f M points/s\n",
+                std::string(datagen::DatasetName(kind)).c_str(), n,
+                static_cast<double>(n) / tm.seconds_per_pass / 1e6);
+  }
+
+  // ------------------------------------------------------------------
+  // Emit JSON.
+  // ------------------------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_throughput: cannot open %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"operb-bench-throughput\",\n"
+               "  \"schema_version\": 1,\n"
+               "  \"smoke\": %s,\n"
+               "  \"unix_time\": %lld,\n"
+               "  \"zeta\": %g,\n"
+               "  \"seed\": %llu,\n",
+               smoke ? "true" : "false",
+               static_cast<long long>(std::time(nullptr)), kZeta,
+               static_cast<unsigned long long>(bench::kBenchSeed));
+  std::fprintf(f, "  \"ingest\": %s,\n", JoinRecords(ingest).c_str());
+  std::fprintf(f, "  \"steady_state\": %s,\n", JoinRecords(steady).c_str());
+  std::fprintf(f, "  \"end_to_end\": %s\n}\n",
+               JoinRecords(end_to_end).c_str());
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "bench_throughput: write failure on %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validates BENCH_throughput.json against the operb-bench-throughput
+schema (version 1). Stdlib-only so CI needs no extra packages.
+
+Usage: validate_throughput_json.py PATH
+Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+TOP_LEVEL = {
+    "schema": str,
+    "schema_version": int,
+    "smoke": bool,
+    "unix_time": int,
+    "zeta": NUMBER,
+    "seed": int,
+    "ingest": list,
+    "steady_state": list,
+    "end_to_end": list,
+}
+
+SECTION_FIELDS = {
+    "ingest": {
+        "format": str,
+        "profile": str,
+        "points": int,
+        "bytes": int,
+        "passes": int,
+        "seconds_per_pass": NUMBER,
+        "points_per_sec": NUMBER,
+        "mb_per_sec": NUMBER,
+    },
+    "steady_state": {
+        "algorithm": str,
+        "profile": str,
+        "points": int,
+        "segments": int,
+        "passes": int,
+        "seconds_per_pass": NUMBER,
+        "points_per_sec": NUMBER,
+    },
+    "end_to_end": {
+        "pipeline": str,
+        "algorithm": str,
+        "profile": str,
+        "points": int,
+        "passes": int,
+        "seconds_per_pass": NUMBER,
+        "points_per_sec": NUMBER,
+    },
+}
+
+
+def fail(msg):
+    print(f"validate_throughput_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    for key, typ in TOP_LEVEL.items():
+        if key not in doc:
+            fail(f"missing top-level key '{key}'")
+        if not isinstance(doc[key], typ) or (
+            typ is int and isinstance(doc[key], bool)
+        ):
+            fail(f"top-level key '{key}' has wrong type")
+    if doc["schema"] != "operb-bench-throughput":
+        fail(f"unexpected schema '{doc['schema']}'")
+    if doc["schema_version"] != 1:
+        fail(f"unexpected schema_version {doc['schema_version']}")
+
+    for section, fields in SECTION_FIELDS.items():
+        entries = doc[section]
+        if not entries:
+            fail(f"section '{section}' is empty")
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                fail(f"{section}[{i}] is not an object")
+            for key, typ in fields.items():
+                if key not in entry:
+                    fail(f"{section}[{i}] missing key '{key}'")
+                if not isinstance(entry[key], typ) or isinstance(
+                    entry[key], bool
+                ):
+                    fail(f"{section}[{i}].{key} has wrong type")
+            if entry["points"] <= 0 or entry["points_per_sec"] <= 0:
+                fail(f"{section}[{i}] has non-positive throughput")
+            if entry["passes"] <= 0 or entry["seconds_per_pass"] <= 0:
+                fail(f"{section}[{i}] has non-positive timing")
+
+    algos = {e["algorithm"] for e in doc["steady_state"]}
+    if len(algos) < 10:
+        fail(f"steady_state covers only {len(algos)} algorithms (need 10)")
+    print(f"{sys.argv[1]}: valid operb-bench-throughput v1 "
+          f"({len(doc['steady_state'])} steady-state entries)")
+
+
+if __name__ == "__main__":
+    main()

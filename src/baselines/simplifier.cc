@@ -9,6 +9,11 @@
 
 namespace operb::baselines {
 
+void Simplifier::SimplifyToSink(const traj::Trajectory& trajectory,
+                                const traj::SegmentSink& sink) const {
+  for (const traj::RepresentedSegment& s : Simplify(trajectory)) sink(s);
+}
+
 namespace {
 
 using FreeFunction = traj::PiecewiseRepresentation (*)(const traj::Trajectory&,
@@ -55,6 +60,15 @@ class OperbSimplifier final : public Simplifier {
     return core::SimplifyOperb(trajectory, options_);
   }
 
+  void SimplifyToSink(const traj::Trajectory& trajectory,
+                      const traj::SegmentSink& sink) const override {
+    if (trajectory.size() < 2) return;
+    core::OperbStream stream(options_);
+    stream.SetSink(sink);
+    stream.Push(std::span<const geo::Point>(trajectory.points()));
+    stream.Finish();
+  }
+
  private:
   std::string_view name_;
   core::OperbOptions options_;
@@ -70,6 +84,15 @@ class OperbASimplifier final : public Simplifier {
   traj::PiecewiseRepresentation Simplify(
       const traj::Trajectory& trajectory) const override {
     return core::SimplifyOperbA(trajectory, options_);
+  }
+
+  void SimplifyToSink(const traj::Trajectory& trajectory,
+                      const traj::SegmentSink& sink) const override {
+    if (trajectory.size() < 2) return;
+    core::OperbAStream stream(options_);
+    stream.SetSink(sink);
+    stream.Push(std::span<const geo::Point>(trajectory.points()));
+    stream.Finish();
   }
 
  private:

@@ -31,6 +31,14 @@ class Simplifier {
   /// empty representation.
   virtual traj::PiecewiseRepresentation Simplify(
       const traj::Trajectory& trajectory) const = 0;
+
+  /// Streams the representation into `sink` segment by segment, in output
+  /// order; segments are identical to Simplify()'s. For the one-pass
+  /// algorithms (OPERB family) this is the allocation-free hot path —
+  /// segments are handed over the moment they are determined; the batch
+  /// baselines fall back to Simplify() and forward.
+  virtual void SimplifyToSink(const traj::Trajectory& trajectory,
+                              const traj::SegmentSink& sink) const;
 };
 
 /// The algorithms the paper evaluates (Section 6.1) plus the extra

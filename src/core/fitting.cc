@@ -25,13 +25,11 @@ std::int64_t FittingFunction::ZoneIndex(double radius) const {
 
 double FittingFunction::DistanceToLine(geo::Vec2 p) const {
   if (IsUndirected()) return geo::Distance(p, anchor_);
-  const geo::Vec2 dir = dir_;
-  return std::fabs(dir.Cross(p - anchor_));
+  return geo::PointToLineDistanceDir(p, anchor_, dir_);
 }
 
 double FittingFunction::SignedOffset(geo::Vec2 p) const {
-  const geo::Vec2 dir = dir_;
-  return dir.Cross(p - anchor_);
+  return geo::SignedPointToLineOffsetDir(p, anchor_, dir_);
 }
 
 void FittingFunction::ObserveOffset(double signed_offset) {

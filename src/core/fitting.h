@@ -126,6 +126,9 @@ class FittingFunction {
 
   geo::Vec2 anchor() const { return anchor_; }
   double length() const { return length_; }
+  /// Cached unit direction of L (== FromAngle(theta_) for the internal,
+  /// unnormalized theta_). Meaningful once directed; {1, 0} before.
+  geo::Vec2 dir() const { return dir_; }
   /// L.theta in [0, 2*pi). Stored unnormalized internally (per-segment
   /// rotation is bounded, and skipping the fmod keeps the activation path
   /// cheap); normalized on read.

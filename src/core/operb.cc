@@ -20,10 +20,39 @@ OperbStream::OperbStream(const OperbOptions& options) : options_(options) {
                     !paper_fitting);
 }
 
+void OperbStream::SetSink(traj::SegmentSink sink) {
+  OPERB_CHECK_MSG(next_index_ == 0, "SetSink after the first Push");
+  sink_ = std::move(sink);
+}
+
 std::vector<traj::RepresentedSegment> OperbStream::TakeEmitted() {
   std::vector<traj::RepresentedSegment> out;
   out.swap(emitted_);
+  last_take_size_ = out.size();
   return out;
+}
+
+void OperbStream::TakeEmitted(std::vector<traj::RepresentedSegment>* out) {
+  out->clear();
+  out->swap(emitted_);  // emitted_ inherits the caller's old capacity
+  last_take_size_ = out->size();
+}
+
+void OperbStream::Emit(const traj::RepresentedSegment& s) {
+  last_emitted_ = s;
+  any_emitted_ = true;
+  ++stats_.segments_emitted;
+  if (sink_) {
+    sink_(s);
+    return;
+  }
+  if (emitted_.capacity() == 0) {
+    // First growth (or a TakeEmitted() that moved the storage out): size
+    // from the emission history instead of libstdc++'s 1-element start — a
+    // polling caller tends to repeat batches of ~last_take_size_ segments.
+    emitted_.reserve(std::max<std::size_t>(8, last_take_size_));
+  }
+  emitted_.push_back(s);
 }
 
 void OperbStream::Push(const geo::Point& p) {
@@ -44,6 +73,10 @@ void OperbStream::Push(const geo::Point& p) {
   ProcessPoint(pos, idx);
 }
 
+void OperbStream::Push(std::span<const geo::Point> points) {
+  for (const geo::Point& p : points) Push(p);
+}
+
 void OperbStream::ProcessPoint(geo::Vec2 pos, std::size_t idx) {
   // A point may be re-dispatched once: when it breaks the current segment
   // it continues against the freshly started one (still O(1) per point).
@@ -52,7 +85,8 @@ void OperbStream::ProcessPoint(geo::Vec2 pos, std::size_t idx) {
       case Mode::kAbsorb: {
         // Optimization (5): the pending segment keeps representing points
         // while they stay within zeta of its line.
-        const double d = std::fabs(pending_unit_.Cross(pos - pending_.start));
+        const double d =
+            geo::PointToLineDistanceDir(pos, pending_.start, pending_unit_);
         if (options_.opt_absorb && d <= options_.zeta) {
           pending_.last_index = idx;
           covered_index_ = idx;
@@ -126,7 +160,8 @@ void OperbStream::ProcessPoint(geo::Vec2 pos, std::size_t idx) {
           // Inactive points must additionally stay within zeta of the
           // candidate segment R_a = anchor -> active (they will be
           // represented by it if the segment breaks here or later).
-          const double d_ra = std::fabs(ra_unit_.Cross(pos - anchor_pos_));
+          const double d_ra =
+              geo::PointToLineDistanceDir(pos, anchor_pos_, ra_unit_);
           if (distance_ok && d_ra <= options_.zeta) {
             if (guard_engaged_) {
               fitting_->ObservePoint(pos);
@@ -197,8 +232,7 @@ void OperbStream::BreakSegment() {
 
 void OperbStream::EmitPending() {
   pending_.end_is_patch = (pending_.last_index != pending_end_index_);
-  emitted_.push_back(pending_);
-  ++stats_.segments_emitted;
+  Emit(pending_);
   StartSegment(pending_.end, pending_.last_index, pending_.end_is_patch);
   mode_ = Mode::kSeek;
 }
@@ -237,12 +271,11 @@ void OperbStream::Finish() {
       s.end = last_pos_;
       s.end_is_patch = false;
     }
-    emitted_.push_back(s);
-    ++stats_.segments_emitted;
+    Emit(s);
   }
   // Closing segment: guarantee the representation ends at the last sample.
-  if (options_.emit_closing_segment && !emitted_.empty()) {
-    const traj::RepresentedSegment& tail = emitted_.back();
+  if (options_.emit_closing_segment && any_emitted_) {
+    const traj::RepresentedSegment tail = last_emitted_;
     if (tail.end_is_patch || tail.last_index != last_index_) {
       traj::RepresentedSegment close;
       close.start = tail.end;
@@ -251,8 +284,7 @@ void OperbStream::Finish() {
       close.last_index = last_index_;
       close.start_is_patch = tail.end_is_patch;
       close.end_is_patch = false;
-      emitted_.push_back(close);
-      ++stats_.segments_emitted;
+      Emit(close);
     }
   }
   mode_ = Mode::kFinished;
@@ -267,9 +299,10 @@ traj::PiecewiseRepresentation SimplifyOperb(const traj::Trajectory& trajectory,
     if (stats != nullptr) *stats = stream.stats();
     return out;
   }
-  for (const geo::Point& p : trajectory) stream.Push(p);
+  stream.SetSink(
+      [&out](const traj::RepresentedSegment& s) { out.Append(s); });
+  stream.Push(std::span<const geo::Point>(trajectory.points()));
   stream.Finish();
-  for (traj::RepresentedSegment& s : stream.TakeEmitted()) out.Append(s);
   if (stats != nullptr) *stats = stream.stats();
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/fitting.h"
@@ -27,15 +28,25 @@ struct OperbStats {
 /// One-pass streaming OPERB (Section 4.3 with the Section 4.4
 /// optimizations).
 ///
-/// Usage:
+/// Usage (zero-allocation sink path — preferred):
 ///
 ///   OperbStream stream(OperbOptions::Optimized(40.0));
+///   stream.SetSink([](const traj::RepresentedSegment& seg) { Send(seg); });
+///   for (const geo::Point& p : samples) stream.Push(p);   // or Push(span)
+///   stream.Finish();
+///
+/// Usage (buffered path):
+///
+///   OperbStream stream(OperbOptions::Optimized(40.0));
+///   std::vector<traj::RepresentedSegment> batch;
 ///   for (const geo::Point& p : samples) {
 ///     stream.Push(p);
-///     for (const auto& seg : stream.TakeEmitted()) Send(seg);
+///     stream.TakeEmitted(&batch);   // reuses `batch`'s capacity
+///     for (const auto& seg : batch) Send(seg);
 ///   }
 ///   stream.Finish();
-///   for (const auto& seg : stream.TakeEmitted()) Send(seg);
+///   stream.TakeEmitted(&batch);
+///   for (const auto& seg : batch) Send(seg);
 ///
 /// Each pushed point is examined once (one distance check against the
 /// fitted line L plus one against the current candidate segment R_a),
@@ -53,19 +64,37 @@ class OperbStream {
   /// Precondition: options.Validate().ok().
   explicit OperbStream(const OperbOptions& options);
 
+  /// Installs the zero-allocation emission path: every determined segment
+  /// is handed to `sink` immediately instead of being buffered in
+  /// emitted(). With a sink installed, steady-state Push() performs no
+  /// heap allocation. Must be called before the first Push(); passing an
+  /// empty function restores the buffered path.
+  void SetSink(traj::SegmentSink sink);
+
   /// Feeds the next trajectory point. Timestamps must be strictly
   /// increasing (not re-validated here; see traj::StreamCleaner).
   void Push(const geo::Point& p);
+
+  /// Feeds a batch of points (same semantics as point-wise Push, one
+  /// call's worth of dispatch overhead).
+  void Push(std::span<const geo::Point> points);
 
   /// Declares end-of-input and flushes the pending state. Push() must not
   /// be called afterwards.
   void Finish();
 
   /// Returns the segments emitted since the previous call and clears the
-  /// internal buffer.
+  /// internal buffer. Prefer the out-parameter overload in loops (it
+  /// recycles the caller's capacity) or SetSink() (no buffer at all).
   std::vector<traj::RepresentedSegment> TakeEmitted();
 
-  /// Emitted-but-not-yet-taken segments (no transfer).
+  /// Swap-based TakeEmitted: `*out` receives the emitted segments and the
+  /// internal buffer inherits `out`'s old capacity, so a caller polling in
+  /// a loop stops paying an allocation per drained batch.
+  void TakeEmitted(std::vector<traj::RepresentedSegment>* out);
+
+  /// Emitted-but-not-yet-taken segments (no transfer; always empty while
+  /// a sink is installed).
   const std::vector<traj::RepresentedSegment>& emitted() const {
     return emitted_;
   }
@@ -88,6 +117,9 @@ class OperbStream {
   /// everything consumed so far and transitions to kAbsorb or restarts.
   void BreakSegment();
   void EmitPending();
+  /// Routes one determined segment to the sink (if installed) or the
+  /// emitted_ buffer, and tracks it as the latest emission for Finish().
+  void Emit(const traj::RepresentedSegment& s);
   /// Starts a fresh segment whose geometric start is `anchor` and whose
   /// covered range chains at `chain_index`.
   void StartSegment(geo::Vec2 anchor, std::size_t chain_index, bool detached);
@@ -95,8 +127,17 @@ class OperbStream {
   OperbOptions options_;
   bool guard_engaged_ = false;
   Mode mode_ = Mode::kIdle;
+  traj::SegmentSink sink_;
   std::vector<traj::RepresentedSegment> emitted_;
+  /// Size of the last drained batch — sizing hint for emitted_ when the
+  /// caller's swap left it without capacity.
+  std::size_t last_take_size_ = 0;
   OperbStats stats_;
+  /// Latest emission (valid when any_emitted_): Finish() chains its
+  /// closing segment off this instead of peeking at emitted_, which the
+  /// sink path never fills.
+  traj::RepresentedSegment last_emitted_;
+  bool any_emitted_ = false;
 
   // Current segment state.
   std::optional<FittingFunction> fitting_;

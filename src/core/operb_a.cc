@@ -9,10 +9,21 @@ LazyPatcher::LazyPatcher(const OperbAOptions& options) : options_(options) {
   OPERB_CHECK_MSG(options.Validate().ok(), "invalid OperbAOptions");
 }
 
+void LazyPatcher::SetSink(traj::SegmentSink sink) {
+  OPERB_CHECK_MSG(!x_.has_value() && emitted_.empty(),
+                  "SetSink after the first Accept");
+  sink_ = std::move(sink);
+}
+
 std::vector<traj::RepresentedSegment> LazyPatcher::TakeEmitted() {
   std::vector<traj::RepresentedSegment> out;
   out.swap(emitted_);
   return out;
+}
+
+void LazyPatcher::TakeEmitted(std::vector<traj::RepresentedSegment>* out) {
+  out->clear();
+  out->swap(emitted_);
 }
 
 void LazyPatcher::Accept(traj::RepresentedSegment segment) {
@@ -71,27 +82,35 @@ void LazyPatcher::Finish() {
 }
 
 OperbAStream::OperbAStream(const OperbAOptions& options)
-    : options_(options), inner_(options.base), patcher_(options) {}
-
-void OperbAStream::DrainInner() {
-  for (traj::RepresentedSegment& s : inner_.TakeEmitted()) {
-    patcher_.Accept(s);
-  }
+    : options_(options), inner_(options.base), patcher_(options) {
+  // Segments flow inner -> patcher without touching inner's buffer: the
+  // old drain-after-every-Push pattern paid a vector move per drained
+  // batch, this pays one indirect call per *determined segment*.
+  inner_.SetSink(
+      [this](const traj::RepresentedSegment& s) { patcher_.Accept(s); });
 }
 
-void OperbAStream::Push(const geo::Point& p) {
-  inner_.Push(p);
-  DrainInner();
+void OperbAStream::SetSink(traj::SegmentSink sink) {
+  patcher_.SetSink(std::move(sink));
+}
+
+void OperbAStream::Push(const geo::Point& p) { inner_.Push(p); }
+
+void OperbAStream::Push(std::span<const geo::Point> points) {
+  inner_.Push(points);
 }
 
 void OperbAStream::Finish() {
   inner_.Finish();
-  DrainInner();
   patcher_.Finish();
 }
 
 std::vector<traj::RepresentedSegment> OperbAStream::TakeEmitted() {
   return patcher_.TakeEmitted();
+}
+
+void OperbAStream::TakeEmitted(std::vector<traj::RepresentedSegment>* out) {
+  patcher_.TakeEmitted(out);
 }
 
 OperbAStats OperbAStream::stats() const {
@@ -111,9 +130,10 @@ traj::PiecewiseRepresentation SimplifyOperbA(
     if (stats != nullptr) *stats = stream.stats();
     return out;
   }
-  for (const geo::Point& p : trajectory) stream.Push(p);
+  stream.SetSink(
+      [&out](const traj::RepresentedSegment& s) { out.Append(s); });
+  stream.Push(std::span<const geo::Point>(trajectory.points()));
   stream.Finish();
-  for (traj::RepresentedSegment& s : stream.TakeEmitted()) out.Append(s);
   if (stats != nullptr) *stats = stream.stats();
   return out;
 }

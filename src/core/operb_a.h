@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/operb.h"
@@ -42,14 +43,19 @@ class LazyPatcher {
  public:
   explicit LazyPatcher(const OperbAOptions& options);
 
-  /// Feeds the next determined segment; emitted segments accumulate in
-  /// emitted().
+  /// Installs the zero-allocation emission path (same contract as
+  /// OperbStream::SetSink): must be called before the first Accept().
+  void SetSink(traj::SegmentSink sink);
+
+  /// Feeds the next determined segment; emitted segments go to the sink,
+  /// or accumulate in emitted() when none is installed.
   void Accept(traj::RepresentedSegment segment);
 
   /// Flushes the buffer (trailing anomalous segments are emitted as-is).
   void Finish();
 
   std::vector<traj::RepresentedSegment> TakeEmitted();
+  void TakeEmitted(std::vector<traj::RepresentedSegment>* out);
   const std::vector<traj::RepresentedSegment>& emitted() const {
     return emitted_;
   }
@@ -61,9 +67,16 @@ class LazyPatcher {
   static bool IsAnomalous(const traj::RepresentedSegment& s) {
     return s.PointCount() == 2;
   }
-  void Emit(const traj::RepresentedSegment& s) { emitted_.push_back(s); }
+  void Emit(const traj::RepresentedSegment& s) {
+    if (sink_) {
+      sink_(s);
+    } else {
+      emitted_.push_back(s);
+    }
+  }
 
   OperbAOptions options_;
+  traj::SegmentSink sink_;
   std::vector<traj::RepresentedSegment> emitted_;
   std::optional<traj::RepresentedSegment> x_;  ///< pending predecessor
   std::optional<traj::RepresentedSegment> y_;  ///< pending anomalous segment
@@ -80,17 +93,25 @@ class OperbAStream {
   /// Precondition: options.Validate().ok().
   explicit OperbAStream(const OperbAOptions& options);
 
+  // The inner OPERB stream's sink captures `this`; moving would dangle it.
+  OperbAStream(const OperbAStream&) = delete;
+  OperbAStream& operator=(const OperbAStream&) = delete;
+
+  /// Zero-allocation emission path (same contract as
+  /// OperbStream::SetSink): must be called before the first Push().
+  void SetSink(traj::SegmentSink sink);
+
   void Push(const geo::Point& p);
+  void Push(std::span<const geo::Point> points);
   void Finish();
 
   std::vector<traj::RepresentedSegment> TakeEmitted();
+  void TakeEmitted(std::vector<traj::RepresentedSegment>* out);
 
   OperbAStats stats() const;
   const OperbAOptions& options() const { return options_; }
 
  private:
-  void DrainInner();
-
   OperbAOptions options_;
   OperbStream inner_;
   LazyPatcher patcher_;

@@ -13,8 +13,7 @@ double PointToLineDistance(Vec2 p, Vec2 a, Vec2 b) {
 }
 
 double PointToLineDistance(Vec2 p, const AnchoredLine& line) {
-  const Vec2 dir = Vec2::FromAngle(line.theta);
-  return std::fabs(dir.Cross(p - line.anchor));
+  return PointToLineDistanceDir(p, line.anchor, line.dir);
 }
 
 double PointToSegmentDistance(Vec2 p, Vec2 a, Vec2 b) {
@@ -33,8 +32,7 @@ double SignedPointToLineOffset(Vec2 p, Vec2 a, Vec2 b) {
 }
 
 double SignedPointToLineOffset(Vec2 p, const AnchoredLine& line) {
-  const Vec2 dir = Vec2::FromAngle(line.theta);
-  return dir.Cross(p - line.anchor);
+  return SignedPointToLineOffsetDir(p, line.anchor, line.dir);
 }
 
 double ProjectionParameter(Vec2 p, Vec2 a, Vec2 b) {

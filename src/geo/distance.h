@@ -1,10 +1,28 @@
 #ifndef OPERB_GEO_DISTANCE_H_
 #define OPERB_GEO_DISTANCE_H_
 
+#include <cmath>
+
 #include "geo/point.h"
 #include "geo/segment.h"
 
 namespace operb::geo {
+
+/// Trig-free hot-path kernels: distance / signed offset of `p` against the
+/// infinite line through `anchor` with *unit* direction `unit_dir`. These
+/// are what the one-pass simplifiers run per input point; callers cache
+/// the unit vector (AnchoredLine::dir, FittingFunction's internal cache)
+/// and refresh it only when the line actually rotates, so the per-point
+/// cost is a single cross product. Precondition: |unit_dir| == 1.
+inline double PointToLineDistanceDir(Vec2 p, Vec2 anchor, Vec2 unit_dir) {
+  return std::fabs(unit_dir.Cross(p - anchor));
+}
+
+/// Signed variant of PointToLineDistanceDir: positive when `p` lies to the
+/// left of `unit_dir`.
+inline double SignedPointToLineOffsetDir(Vec2 p, Vec2 anchor, Vec2 unit_dir) {
+  return unit_dir.Cross(p - anchor);
+}
 
 /// Distance from point `p` to the infinite line through `a` and `b`.
 ///
@@ -16,7 +34,8 @@ double PointToLineDistance(Vec2 p, Vec2 a, Vec2 b);
 /// Distance from `p` to the infinite line through `anchor` with direction
 /// `theta`. Zero-length anchored lines still have a direction, so no
 /// degenerate case arises; callers that want "distance to a not-yet-
-/// directed L0" should use Distance(p, anchor) explicitly.
+/// directed L0" should use Distance(p, anchor) explicitly. Reads the
+/// line's cached unit vector — no trig.
 double PointToLineDistance(Vec2 p, const AnchoredLine& line);
 
 /// Distance from `p` to the closed segment [a, b] (clamped projection).
@@ -27,7 +46,8 @@ double PointToSegmentDistance(Vec2 p, Vec2 a, Vec2 b);
 /// Degenerate lines return +Distance(p, a).
 double SignedPointToLineOffset(Vec2 p, Vec2 a, Vec2 b);
 
-/// Signed offset against an anchored line's direction.
+/// Signed offset against an anchored line's direction (cached unit
+/// vector — no trig).
 double SignedPointToLineOffset(Vec2 p, const AnchoredLine& line);
 
 /// Parameter of the orthogonal projection of `p` onto the line a->b

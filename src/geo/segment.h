@@ -49,12 +49,27 @@ struct AnchoredLine {
   Vec2 anchor;
   double length = 0.0;
   double theta = 0.0;
+  /// Unit direction vector of `theta`, cached at construction. Invariant:
+  /// dir == Vec2::FromAngle(theta). The per-point distance kernels
+  /// (geo/distance.h) read this instead of re-paying sin/cos on every
+  /// check — one trig evaluation per *rotation event*, not per point.
+  /// Mutate theta only through the constructors so the pair stays in sync.
+  Vec2 dir{1.0, 0.0};
 
   constexpr AnchoredLine() = default;
   AnchoredLine(Vec2 anchor_in, double length_in, double theta_in)
-      : anchor(anchor_in), length(length_in), theta(theta_in) {}
+      : anchor(anchor_in),
+        length(length_in),
+        theta(theta_in),
+        dir(Vec2::FromAngle(theta_in)) {}
+  /// Trusted constructor for callers that already maintain the unit
+  /// vector (e.g. the fitting function). Precondition:
+  /// dir_in == Vec2::FromAngle(theta_in).
+  constexpr AnchoredLine(Vec2 anchor_in, double length_in, double theta_in,
+                         Vec2 dir_in)
+      : anchor(anchor_in), length(length_in), theta(theta_in), dir(dir_in) {}
 
-  Vec2 Endpoint() const { return anchor + Vec2::FromAngle(theta) * length; }
+  Vec2 Endpoint() const { return anchor + dir * length; }
 
   DirectedSegment ToSegment() const { return {anchor, Endpoint()}; }
 

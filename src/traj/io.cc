@@ -1,9 +1,11 @@
 #include "traj/io.h"
 
-#include <cctype>
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <string_view>
 
 namespace operb::traj {
 
@@ -12,31 +14,126 @@ namespace {
 Result<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size >= 0) {
+    // Seekable source: size once, read once.
+    std::string content(static_cast<std::size_t>(size), '\0');
+    in.seekg(0, std::ios::beg);
+    if (size > 0) in.read(content.data(), size);
+    if (in.bad() || in.gcount() != size) {
+      return Status::IOError("read failure on " + path);
+    }
+    return content;
+  }
+  // Non-seekable source (pipe, /dev/stdin, process substitution): chunked
+  // reads until EOF.
+  in.clear();
+  std::string content;
+  char chunk[65536];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    content.append(chunk, static_cast<std::size_t>(in.gcount()));
+  }
   if (in.bad()) return Status::IOError("read failure on " + path);
-  return ss.str();
+  return content;
 }
 
-bool IsBlankOrComment(const std::string& line) {
+bool IsHorizontalSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+bool IsBlankOrComment(std::string_view line) {
   for (char c : line) {
     if (c == '#') return true;
-    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+    if (!IsHorizontalSpace(c)) return false;
   }
   return true;
 }
 
+/// Zero-copy line iterator over a file's content. Splits on '\n' and
+/// strips one trailing '\r' so DOS files parse identically.
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view content)
+      : pos_(content.data()), end_(content.data() + content.size()) {}
+
+  bool Next(std::string_view* line) {
+    if (pos_ == end_) return false;
+    const char* nl =
+        static_cast<const char*>(std::memchr(pos_, '\n', end_ - pos_));
+    const char* stop = nl != nullptr ? nl : end_;
+    std::size_t len = static_cast<std::size_t>(stop - pos_);
+    if (len > 0 && pos_[len - 1] == '\r') --len;
+    *line = std::string_view(pos_, len);
+    pos_ = nl != nullptr ? nl + 1 : end_;
+    ++lineno_;
+    return true;
+  }
+
+  std::size_t lineno() const { return lineno_; }
+
+ private:
+  const char* pos_;
+  const char* end_;
+  std::size_t lineno_ = 0;
+};
+
+/// Locale-independent double parse at `*p` (after optional horizontal
+/// whitespace and an optional '+', both of which sscanf's %lf accepted).
+/// Advances `*p` past the number on success.
+bool ParseDouble(const char** p, const char* end, double* out) {
+  const char* c = *p;
+  while (c < end && IsHorizontalSpace(*c)) ++c;
+  if (c < end && *c == '+') {
+    // Only consume the '+' when a number actually follows, so "+-1.5"
+    // stays a parse error (as it was for strtod) instead of -1.5.
+    if (c + 1 >= end || !((c[1] >= '0' && c[1] <= '9') || c[1] == '.')) {
+      return false;
+    }
+    ++c;
+  }
+  const std::from_chars_result r = std::from_chars(c, end, *out);
+  if (r.ec != std::errc()) return false;
+  *p = r.ptr;
+  return true;
+}
+
+bool ConsumeComma(const char** p, const char* end) {
+  if (*p < end && **p == ',') {
+    ++*p;
+    return true;
+  }
+  return false;
+}
+
+/// Upper bound on the number of data rows: one per newline, plus a final
+/// unterminated line. Used to pre-reserve the trajectory so a multi-
+/// megabyte file appends without reallocation.
+std::size_t CountLines(std::string_view content) {
+  return static_cast<std::size_t>(
+             std::count(content.begin(), content.end(), '\n')) +
+         (content.empty() || content.back() == '\n' ? 0 : 1);
+}
+
 }  // namespace
+
+std::string WriteCsvString(const Trajectory& trajectory) {
+  std::string out = "# x_meters,y_meters,t_seconds\n";
+  out.reserve(out.size() + trajectory.size() * 40);
+  char buf[128];
+  for (const geo::Point& p : trajectory) {
+    const int n =
+        std::snprintf(buf, sizeof(buf), "%.9g,%.9g,%.9g\n", p.x, p.y, p.t);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
 
 Status WriteCsv(const Trajectory& trajectory, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << "# x_meters,y_meters,t_seconds\n";
-  char buf[128];
-  for (const geo::Point& p : trajectory) {
-    std::snprintf(buf, sizeof(buf), "%.9g,%.9g,%.9g\n", p.x, p.y, p.t);
-    out << buf;
-  }
+  const std::string content = WriteCsvString(trajectory);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
   out.flush();
   if (!out) return Status::IOError("write failure on " + path);
   return Status::OK();
@@ -44,21 +141,24 @@ Status WriteCsv(const Trajectory& trajectory, const std::string& path) {
 
 Result<Trajectory> ParseCsv(const std::string& content) {
   Trajectory out;
-  std::istringstream in(content);
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
+  out.reserve(CountLines(content));
+  LineScanner scanner{content};
+  std::string_view line;
+  while (scanner.Next(&line)) {
     if (IsBlankOrComment(line)) continue;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
     double x = 0.0, y = 0.0, t = 0.0;
-    if (std::sscanf(line.c_str(), "%lf,%lf,%lf", &x, &y, &t) != 3) {
+    if (!(ParseDouble(&p, end, &x) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &y) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &t))) {
       return Status::Corruption("malformed CSV row at line " +
-                                std::to_string(lineno));
+                                std::to_string(scanner.lineno()));
     }
     Status st = out.Append({x, y, t});
     if (!st.ok()) {
-      return Status::Corruption("line " + std::to_string(lineno) + ": " +
-                                st.message());
+      return Status::Corruption("line " + std::to_string(scanner.lineno()) +
+                                ": " + st.message());
     }
   }
   return out;
@@ -69,35 +169,40 @@ Result<Trajectory> ReadCsv(const std::string& path) {
   return ParseCsv(content);
 }
 
-Result<Trajectory> ReadGeoLifePlt(const std::string& path,
-                                  const PltReadOptions& options) {
-  OPERB_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
-  std::istringstream in(content);
-  std::string line;
+Result<Trajectory> ParseGeoLifePlt(const std::string& content,
+                                   const PltReadOptions& options) {
+  LineScanner scanner{content};
+  std::string_view line;
   // PLT files carry six header lines before the data rows.
   for (int i = 0; i < 6; ++i) {
-    if (!std::getline(in, line)) {
-      return Status::Corruption("PLT file " + path + " truncated in header");
+    if (!scanner.Next(&line)) {
+      return Status::Corruption("PLT content truncated in header");
     }
   }
   Trajectory out;
+  const std::size_t total_lines = CountLines(content);
+  out.reserve(total_lines > 6 ? total_lines - 6 : 0);
   bool have_projector = options.use_fixed_reference;
   geo::LocalProjector projector(options.reference);
   double t0 = 0.0;
   bool have_t0 = false;
-  std::size_t lineno = 6;
-  while (std::getline(in, line)) {
-    ++lineno;
+  while (scanner.Next(&line)) {
     if (IsBlankOrComment(line)) continue;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
     double lat = 0.0, lon = 0.0, zero = 0.0, alt = 0.0, days = 0.0;
-    if (std::sscanf(line.c_str(), "%lf,%lf,%lf,%lf,%lf", &lat, &lon, &zero,
-                    &alt, &days) != 5) {
+    // lat,lon,0,altitude_ft,days_since_1899[,date,time — ignored].
+    if (!(ParseDouble(&p, end, &lat) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &lon) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &zero) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &alt) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &days))) {
       return Status::Corruption("malformed PLT row at line " +
-                                std::to_string(lineno));
+                                std::to_string(scanner.lineno()));
     }
     if (lat < -90.0 || lat > 90.0 || lon < -180.0 || lon > 180.0) {
       return Status::Corruption("out-of-range coordinate at line " +
-                                std::to_string(lineno));
+                                std::to_string(scanner.lineno()));
     }
     if (!have_projector) {
       projector = geo::LocalProjector({lat, lon});
@@ -111,11 +216,22 @@ Result<Trajectory> ReadGeoLifePlt(const std::string& path,
     const geo::Vec2 xy = projector.Project({lat, lon});
     Status st = out.Append({xy.x, xy.y, t_abs - t0});
     if (!st.ok()) {
-      return Status::Corruption("line " + std::to_string(lineno) + ": " +
-                                st.message());
+      return Status::Corruption("line " + std::to_string(scanner.lineno()) +
+                                ": " + st.message());
     }
   }
   return out;
+}
+
+Result<Trajectory> ReadGeoLifePlt(const std::string& path,
+                                  const PltReadOptions& options) {
+  OPERB_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  Result<Trajectory> r = ParseGeoLifePlt(content, options);
+  if (!r.ok()) {
+    // Re-attach the file context the content-level parser cannot know.
+    return Status(r.status().code(), path + ": " + r.status().message());
+  }
+  return r;
 }
 
 Status WriteRepresentationCsv(const PiecewiseRepresentation& representation,

@@ -15,8 +15,19 @@ namespace operb::traj {
 /// Plain CSV format used by this library: one `x,y,t` row per point, in
 /// projected meters, `#`-prefixed comment lines allowed. The natural
 /// interchange format for already-projected data and for test fixtures.
+///
+/// Parsing runs on std::from_chars with manual line scanning: no stream
+/// or scanf machinery, no per-row allocation, and — unlike `%lf` — no
+/// dependence on the process locale's decimal separator. The trajectory
+/// is pre-reserved from the file's line count, so a multi-megabyte file
+/// ingests in one allocation.
 Status WriteCsv(const Trajectory& trajectory, const std::string& path);
 Result<Trajectory> ReadCsv(const std::string& path);
+
+/// In-memory counterpart of WriteCsv (single source of truth for the row
+/// format; WriteCsv serializes through this). Round-trips through
+/// ParseCsv with %.9g precision.
+std::string WriteCsvString(const Trajectory& trajectory);
 
 /// GeoLife PLT format reader.
 ///
@@ -33,6 +44,12 @@ struct PltReadOptions {
 };
 Result<Trajectory> ReadGeoLifePlt(const std::string& path,
                                   const PltReadOptions& options = {});
+
+/// Parses in-memory PLT content (the file-reading half of ReadGeoLifePlt
+/// split off so tests, benchmarks and network receivers can bypass the
+/// filesystem). Same locale-proof from_chars scanner as ParseCsv.
+Result<Trajectory> ParseGeoLifePlt(const std::string& content,
+                                   const PltReadOptions& options = {});
 
 /// Serializes a piecewise representation: one `x,y,first,last` row per
 /// segment start, plus a final row for the last endpoint. Suitable for

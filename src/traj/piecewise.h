@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,13 @@ struct RepresentedSegment {
 
   std::string ToString() const;
 };
+
+/// Consumer callback for streaming segment emission: the zero-allocation
+/// output path of the one-pass simplifiers. A stream with a sink installed
+/// hands each segment to the callback the moment it is determined instead
+/// of buffering it, so steady-state compression performs no heap
+/// allocation per point (see DESIGN.md "Performance").
+using SegmentSink = std::function<void(const RepresentedSegment&)>;
 
 /// A piecewise-line representation T[L0, ..., Lm] of a trajectory:
 /// continuous directed segments whose first start is P0 and last end is Pn

@@ -1,0 +1,136 @@
+// Proves the sink path's zero-allocation claim: with a sink installed,
+// steady-state Push performs no heap allocation per point, for OPERB and
+// OPERB-A alike. The whole binary's global operator new/delete are
+// replaced by counting forwarders; counting is switched on only around
+// the measured Push loop, so test-framework allocations don't pollute the
+// numbers.
+
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/operb.h"
+#include "core/operb_a.h"
+#include "datagen/profiles.h"
+#include "datagen/rng.h"
+#include "traj/trajectory.h"
+
+namespace {
+
+// Single-threaded test binary; plain counters are sufficient.
+bool g_counting = false;
+std::size_t g_allocations = 0;
+
+struct CountingScope {
+  CountingScope() {
+    g_allocations = 0;
+    g_counting = true;
+  }
+  ~CountingScope() { g_counting = false; }
+  std::size_t count() const { return g_allocations; }
+};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting) ++g_allocations;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace operb {
+namespace {
+
+traj::Trajectory TestTrajectory(std::size_t n) {
+  datagen::Rng rng(20170401);
+  return datagen::GenerateTrajectory(
+      datagen::DatasetProfile::For(datagen::DatasetKind::kSerCar), n, &rng);
+}
+
+TEST(AllocationTest, OperbSinkPathIsAllocationFreePerPoint) {
+  const traj::Trajectory t = TestTrajectory(20000);
+  core::OperbStream stream(core::OperbOptions::Optimized(40.0));
+  std::size_t segments = 0;
+  // SetSink may allocate (std::function setup) — that's one-time, not
+  // per-point, and happens before counting starts.
+  stream.SetSink(
+      [&segments](const traj::RepresentedSegment&) { ++segments; });
+
+  std::size_t allocations = 0;
+  {
+    CountingScope scope;
+    for (const geo::Point& p : t) stream.Push(p);
+    stream.Finish();
+    allocations = scope.count();
+  }
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GT(segments, 10u);  // the stream actually compressed something
+}
+
+TEST(AllocationTest, OperbBatchPushSinkPathIsAllocationFree) {
+  const traj::Trajectory t = TestTrajectory(20000);
+  core::OperbStream stream(core::OperbOptions::Optimized(40.0));
+  std::size_t segments = 0;
+  stream.SetSink(
+      [&segments](const traj::RepresentedSegment&) { ++segments; });
+
+  std::size_t allocations = 0;
+  {
+    CountingScope scope;
+    stream.Push(std::span<const geo::Point>(t.points()));
+    stream.Finish();
+    allocations = scope.count();
+  }
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GT(segments, 10u);
+}
+
+TEST(AllocationTest, OperbASinkPathIsAllocationFreePerPoint) {
+  const traj::Trajectory t = TestTrajectory(20000);
+  core::OperbAStream stream(core::OperbAOptions::Optimized(40.0));
+  std::size_t segments = 0;
+  stream.SetSink(
+      [&segments](const traj::RepresentedSegment&) { ++segments; });
+
+  std::size_t allocations = 0;
+  {
+    CountingScope scope;
+    stream.Push(std::span<const geo::Point>(t.points()));
+    stream.Finish();
+    allocations = scope.count();
+  }
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GT(segments, 10u);
+}
+
+/// Contrast check: the buffered path must still work (and will allocate),
+/// confirming the counter actually observes the stream's allocations.
+TEST(AllocationTest, BufferedPathAllocatesAndCounterSeesIt) {
+  const traj::Trajectory t = TestTrajectory(20000);
+  core::OperbStream stream(core::OperbOptions::Optimized(40.0));
+  std::size_t allocations = 0;
+  std::size_t segments = 0;
+  {
+    CountingScope scope;
+    for (const geo::Point& p : t) stream.Push(p);
+    stream.Finish();
+    allocations = scope.count();
+    segments = stream.emitted().size();
+  }
+  EXPECT_GT(allocations, 0u);
+  EXPECT_GT(segments, 10u);
+}
+
+}  // namespace
+}  // namespace operb

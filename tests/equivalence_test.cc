@@ -1,0 +1,227 @@
+// Golden equivalence suite for the hot-path optimizations.
+//
+// The fixtures under tests/golden/ were produced by the pre-optimization
+// scalar implementation (trig per point, buffered emission, per-point
+// Push). Every algorithm must keep emitting *bit-identical* segments
+// through every execution path:
+//   (a) the batch Simplify() entry point,
+//   (b) the streaming sink path (SimplifyToSink),
+//   (c) for the OPERB family: per-point Push + TakeEmitted polling,
+//   (d) for the OPERB family: batch Push(span) + sink.
+// Regenerate the fixtures with tools/make_golden only for an intentional
+// output change, and re-review the diff.
+
+#include <charconv>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/simplifier.h"
+#include "core/operb.h"
+#include "core/operb_a.h"
+#include "datagen/profiles.h"
+#include "datagen/rng.h"
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb {
+namespace {
+
+// Must match tools/make_golden.cc.
+constexpr std::uint64_t kGoldenSeed = 20170401;
+constexpr std::size_t kGoldenPoints = 600;
+constexpr double kGoldenZeta = 40.0;
+
+std::vector<traj::RepresentedSegment> LoadGolden(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing golden file " << path
+                            << " (regenerate with tools/make_golden)";
+  std::vector<traj::RepresentedSegment> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    traj::RepresentedSegment s;
+    const char* p = line.c_str();
+    const char* end = p + line.size();
+    unsigned long long first = 0, last = 0;
+    int sp = 0, ep = 0;
+    auto field = [&](auto* value) {
+      if (p < end && *p == ',') ++p;
+      const auto r = std::from_chars(p, end, *value);
+      ASSERT_EQ(r.ec, std::errc()) << "corrupt golden row: " << line;
+      p = r.ptr;
+    };
+    field(&first);
+    field(&last);
+    field(&sp);
+    field(&ep);
+    field(&s.start.x);
+    field(&s.start.y);
+    field(&s.end.x);
+    field(&s.end.y);
+    s.first_index = first;
+    s.last_index = last;
+    s.start_is_patch = sp != 0;
+    s.end_is_patch = ep != 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void ExpectSegmentsEqual(const std::vector<traj::RepresentedSegment>& actual,
+                         const std::vector<traj::RepresentedSegment>& want,
+                         const std::string& label) {
+  ASSERT_EQ(actual.size(), want.size()) << label;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    SCOPED_TRACE(label + " segment " + std::to_string(i));
+    EXPECT_EQ(actual[i].first_index, want[i].first_index);
+    EXPECT_EQ(actual[i].last_index, want[i].last_index);
+    EXPECT_EQ(actual[i].start_is_patch, want[i].start_is_patch);
+    EXPECT_EQ(actual[i].end_is_patch, want[i].end_is_patch);
+    EXPECT_EQ(actual[i].start.x, want[i].start.x);
+    EXPECT_EQ(actual[i].start.y, want[i].start.y);
+    EXPECT_EQ(actual[i].end.x, want[i].end.x);
+    EXPECT_EQ(actual[i].end.y, want[i].end.y);
+  }
+}
+
+std::vector<traj::RepresentedSegment> ToVector(
+    const traj::PiecewiseRepresentation& rep) {
+  return rep.segments();
+}
+
+traj::Trajectory GoldenTrajectory(datagen::DatasetKind kind) {
+  datagen::Rng rng(kGoldenSeed);
+  return datagen::GenerateTrajectory(datagen::DatasetProfile::For(kind),
+                                     kGoldenPoints, &rng);
+}
+
+class EquivalenceTest
+    : public testing::TestWithParam<
+          std::tuple<baselines::Algorithm, datagen::DatasetKind>> {};
+
+TEST_P(EquivalenceTest, AllPathsMatchGolden) {
+  const auto [algo, kind] = GetParam();
+  const traj::Trajectory t = GoldenTrajectory(kind);
+  const std::string golden_path =
+      std::string(OPERB_GOLDEN_DIR) + "/golden_" +
+      std::string(baselines::AlgorithmName(algo)) + "_" +
+      std::string(datagen::DatasetName(kind)) + ".csv";
+  const std::vector<traj::RepresentedSegment> golden =
+      LoadGolden(golden_path);
+  if (HasFailure()) return;
+
+  const auto simplifier = baselines::MakeSimplifier(algo, kGoldenZeta);
+
+  // (a) Batch entry point.
+  ExpectSegmentsEqual(ToVector(simplifier->Simplify(t)), golden, "Simplify");
+
+  // (b) Streaming sink path.
+  std::vector<traj::RepresentedSegment> via_sink;
+  simplifier->SimplifyToSink(
+      t, [&via_sink](const traj::RepresentedSegment& s) {
+        via_sink.push_back(s);
+      });
+  ExpectSegmentsEqual(via_sink, golden, "SimplifyToSink");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllProfiles, EquivalenceTest,
+    testing::Combine(testing::ValuesIn(baselines::AllAlgorithms()),
+                     testing::ValuesIn(datagen::AllDatasetKinds())),
+    [](const testing::TestParamInfo<EquivalenceTest::ParamType>& info) {
+      std::string name =
+          std::string(baselines::AlgorithmName(std::get<0>(info.param))) +
+          "_" + std::string(datagen::DatasetName(std::get<1>(info.param)));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+/// The OPERB-family streams additionally expose raw Push/TakeEmitted and
+/// batch Push(span): both must match the golden output exactly.
+class OperbStreamPathsTest
+    : public testing::TestWithParam<datagen::DatasetKind> {};
+
+TEST_P(OperbStreamPathsTest, OperbPollingAndBatchPathsMatchGolden) {
+  const datagen::DatasetKind kind = GetParam();
+  const traj::Trajectory t = GoldenTrajectory(kind);
+  const std::vector<traj::RepresentedSegment> golden =
+      LoadGolden(std::string(OPERB_GOLDEN_DIR) + "/golden_OPERB_" +
+                 std::string(datagen::DatasetName(kind)) + ".csv");
+  if (HasFailure()) return;
+  const core::OperbOptions opts = core::OperbOptions::Optimized(kGoldenZeta);
+
+  // (c) Per-point Push with TakeEmitted polling (capacity-reusing drain).
+  core::OperbStream polling(opts);
+  std::vector<traj::RepresentedSegment> collected;
+  std::vector<traj::RepresentedSegment> batch;
+  for (const geo::Point& p : t) {
+    polling.Push(p);
+    polling.TakeEmitted(&batch);
+    collected.insert(collected.end(), batch.begin(), batch.end());
+  }
+  polling.Finish();
+  polling.TakeEmitted(&batch);
+  collected.insert(collected.end(), batch.begin(), batch.end());
+  ExpectSegmentsEqual(collected, golden, "polling");
+
+  // (d) Batch Push(span) + sink.
+  core::OperbStream spans(opts);
+  std::vector<traj::RepresentedSegment> via_sink;
+  spans.SetSink([&via_sink](const traj::RepresentedSegment& s) {
+    via_sink.push_back(s);
+  });
+  const std::span<const geo::Point> all(t.points());
+  spans.Push(all.subspan(0, t.size() / 2));
+  spans.Push(all.subspan(t.size() / 2));
+  spans.Finish();
+  ExpectSegmentsEqual(via_sink, golden, "span+sink");
+}
+
+TEST_P(OperbStreamPathsTest, OperbAPollingAndBatchPathsMatchGolden) {
+  const datagen::DatasetKind kind = GetParam();
+  const traj::Trajectory t = GoldenTrajectory(kind);
+  const std::vector<traj::RepresentedSegment> golden =
+      LoadGolden(std::string(OPERB_GOLDEN_DIR) + "/golden_OPERB-A_" +
+                 std::string(datagen::DatasetName(kind)) + ".csv");
+  if (HasFailure()) return;
+  const core::OperbAOptions opts =
+      core::OperbAOptions::Optimized(kGoldenZeta);
+
+  core::OperbAStream polling(opts);
+  std::vector<traj::RepresentedSegment> collected;
+  std::vector<traj::RepresentedSegment> batch;
+  for (const geo::Point& p : t) {
+    polling.Push(p);
+    polling.TakeEmitted(&batch);
+    collected.insert(collected.end(), batch.begin(), batch.end());
+  }
+  polling.Finish();
+  polling.TakeEmitted(&batch);
+  collected.insert(collected.end(), batch.begin(), batch.end());
+  ExpectSegmentsEqual(collected, golden, "polling");
+
+  core::OperbAStream spans(opts);
+  std::vector<traj::RepresentedSegment> via_sink;
+  spans.SetSink([&via_sink](const traj::RepresentedSegment& s) {
+    via_sink.push_back(s);
+  });
+  spans.Push(std::span<const geo::Point>(t.points()));
+  spans.Finish();
+  ExpectSegmentsEqual(via_sink, golden, "span+sink");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, OperbStreamPathsTest,
+    testing::ValuesIn(datagen::AllDatasetKinds()),
+    [](const testing::TestParamInfo<datagen::DatasetKind>& info) {
+      return std::string(datagen::DatasetName(info.param));
+    });
+
+}  // namespace
+}  // namespace operb

@@ -115,6 +115,38 @@ TEST(DistanceTest, PointToAnchoredLine) {
   EXPECT_NEAR(PointToLineDistance({1.0, 0.0}, l), std::sqrt(0.5), kTol);
 }
 
+TEST(SegmentTest, AnchoredLineCachesUnitDirection) {
+  const AnchoredLine l{{2.0, -1.0}, 5.0, 0.73};
+  // Invariant: dir is exactly FromAngle(theta), bit for bit — the
+  // trig-free kernels must reproduce the scalar path's arithmetic.
+  const Vec2 expected = Vec2::FromAngle(0.73);
+  EXPECT_EQ(l.dir.x, expected.x);
+  EXPECT_EQ(l.dir.y, expected.y);
+  // Default construction points along +x (theta 0).
+  const AnchoredLine d;
+  EXPECT_EQ(d.dir.x, 1.0);
+  EXPECT_EQ(d.dir.y, 0.0);
+}
+
+TEST(DistanceTest, DirKernelsMatchScalarDefinitions) {
+  const Vec2 anchor{3.0, -2.0};
+  const double theta = 1.234;
+  const Vec2 dir = Vec2::FromAngle(theta);
+  const AnchoredLine line{anchor, 7.0, theta};
+  for (double x = -5.0; x <= 5.0; x += 1.7) {
+    const Vec2 p{x, 0.5 * x - 3.0};
+    // The direction-vector kernels must agree bitwise with the
+    // AnchoredLine overloads (both run the same cross product)...
+    EXPECT_EQ(PointToLineDistanceDir(p, anchor, dir),
+              PointToLineDistance(p, line));
+    EXPECT_EQ(SignedPointToLineOffsetDir(p, anchor, dir),
+              SignedPointToLineOffset(p, line));
+    // ...and to numerical tolerance with the two-point formulation.
+    EXPECT_NEAR(PointToLineDistanceDir(p, anchor, dir),
+                PointToLineDistance(p, anchor, anchor + dir * 10.0), 1e-9);
+  }
+}
+
 TEST(DistanceTest, PointToSegmentClamps) {
   EXPECT_NEAR(PointToSegmentDistance({2.0, 1.0}, {0.0, 0.0}, {1.0, 0.0}),
               std::sqrt(2.0), kTol);

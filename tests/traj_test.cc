@@ -1,6 +1,12 @@
+#include <sys/stat.h>
+
+#include <clocale>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <locale>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -281,6 +287,111 @@ TEST_F(IoTest, GeoLifePltRejectsOutOfRangeCoordinates) {
   const auto r = ReadGeoLifePlt(path);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+/// Restores both the C and the C++ global locale on scope exit, so a
+/// failing assertion can't leak a comma-decimal locale into later tests.
+class ScopedLocale {
+ public:
+  ScopedLocale() {
+    const char* current = std::setlocale(LC_ALL, nullptr);
+    saved_c_ = current != nullptr ? current : "C";
+  }
+  ~ScopedLocale() {
+    std::locale::global(saved_cxx_);
+    std::setlocale(LC_ALL, saved_c_.c_str());
+  }
+
+ private:
+  std::string saved_c_;
+  std::locale saved_cxx_;
+};
+
+/// A numpunct facet whose decimal separator is ',' — available on every
+/// platform, unlike the OS's de_DE/fr_FR locale data.
+class CommaDecimalNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Regression test for the sscanf-era locale fragility: "%lf" honors the
+/// process locale's decimal separator, so under a ","-decimal locale
+/// "1.5" parsed as 1 (stopping at the '.'). The from_chars scanner is
+/// locale-independent by specification; pin that down under both a
+/// comma-decimal C++ global locale and (where the OS ships one) a
+/// comma-decimal C locale.
+TEST_F(IoTest, ParsingIsLocaleIndependent) {
+  ScopedLocale guard;
+  std::locale::global(
+      std::locale(std::locale::classic(), new CommaDecimalNumpunct));
+  // Best effort for the C locale (what sscanf/strtod actually read):
+  // containers often ship no comma-decimal locale data; the custom C++
+  // facet above covers the stream half regardless.
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "nl_NL.UTF-8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) break;
+  }
+
+  const auto csv = ParseCsv("1.5,-2.25,0.5\n3.125,4.5,1.5\n");
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  ASSERT_EQ(csv->size(), 2u);
+  EXPECT_EQ((*csv)[0].x, 1.5);
+  EXPECT_EQ((*csv)[0].y, -2.25);
+  EXPECT_EQ((*csv)[0].t, 0.5);
+  EXPECT_EQ((*csv)[1].x, 3.125);
+  EXPECT_EQ((*csv)[1].t, 1.5);
+
+  const auto plt = ParseGeoLifePlt(
+      "h\nh\nh\nh\nh\nh\n"
+      "39.906631,116.385564,0,492,39744.245208,2008-10-23,05:53:06\n"
+      "39.906554,116.385625,0,492,39744.245266,2008-10-23,05:53:11\n");
+  ASSERT_TRUE(plt.ok()) << plt.status().ToString();
+  ASSERT_EQ(plt->size(), 2u);
+  EXPECT_NEAR((*plt)[1].t, 5.0, 0.1);  // fractional days survived parsing
+}
+
+TEST_F(IoTest, ParseCsvAcceptsPlusSignAndDosLineEndings) {
+  // sscanf's %lf accepted an explicit '+' and "\r\n" rows; the from_chars
+  // scanner must not regress either.
+  const auto r = ParseCsv("+1.5,+2.5,+0.5\r\n2.5,3.5,1.5\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].x, 1.5);
+  EXPECT_EQ((*r)[0].t, 0.5);
+}
+
+TEST_F(IoTest, ParseCsvRejectsDoublySignedNumbers) {
+  // "+-1.5" made strtod convert nothing; it must not parse as -1.5.
+  const auto r = ParseCsv("+-1.5,2.5,0.5\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, ReadCsvFromNonSeekableSource) {
+  // Pipes and process substitution have no file size; the reader must
+  // fall back to chunked reads instead of failing the tellg fast path.
+  const std::string fifo = Path("t.fifo");
+  ASSERT_EQ(mkfifo(fifo.c_str(), 0600), 0);
+  std::thread writer([&fifo] {
+    std::ofstream out(fifo);  // blocks until the reader opens
+    out << "0,0,0\n1,1,1\n";
+  });
+  const auto r = ReadCsv(fifo);
+  writer.join();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(IoTest, WriteCsvStringRoundTrips) {
+  Trajectory t;
+  t.AppendUnchecked({1.5, -2.25, 0.0});
+  t.AppendUnchecked({3.125, 4.5, 60.0});
+  const auto r = ParseCsv(WriteCsvString(t));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[1].x, 3.125);
 }
 
 TEST_F(IoTest, RepresentationCsvWrites) {

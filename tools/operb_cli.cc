@@ -334,9 +334,17 @@ int main(int argc, char** argv) {
       baselines::MakeSimplifier(options.algorithm, options.zeta,
                                 options.fidelity);
 
+  // Sink path: for the one-pass algorithms segments land here the moment
+  // they are determined (what a streaming receiver would pay); the batch
+  // baselines fall back to Simplify() internally and forward, which adds
+  // one segment copy — negligible next to their own runtime.
+  traj::PiecewiseRepresentation representation;
   Stopwatch watch;
-  const traj::PiecewiseRepresentation representation =
-      simplifier->Simplify(*input);
+  simplifier->SimplifyToSink(
+      *input,
+      [&representation](const traj::RepresentedSegment& s) {
+        representation.Append(s);
+      });
   const double elapsed_ms = watch.ElapsedMillis();
 
   const double ratio = eval::CompressionRatio(*input, representation);
