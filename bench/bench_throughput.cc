@@ -4,11 +4,14 @@
 // and emits machine-readable BENCH_throughput.json (schema documented in
 // README.md "Performance"; validated by validate_throughput_json.py):
 //
-//   ingest       — ParseCsv / ParseGeoLifePlt on in-memory content
-//   steady_state — each algorithm's sink-path compression throughput
-//                  (segments stream to a counting sink; no output buffer)
-//   end_to_end   — the CLI flow: parse CSV -> validate -> simplify (sink)
-//                  -> independent bound verification
+//   ingest             — ParseCsv / ParseGeoLifePlt on in-memory content
+//   steady_state       — each algorithm's sink-path compression throughput
+//                        (segments stream to a counting sink; no buffer)
+//   end_to_end         — the CLI flow: parse CSV -> validate -> simplify
+//                        (sink) -> independent bound verification
+//   concurrent_streams — the sharded StreamEngine on a round-robin
+//                        interleaved fleet feed: points/sec vs worker
+//                        thread count at 10k and 100k live objects
 //
 // `--smoke` shrinks every dataset to a single fast pass (for CI), `--out
 // PATH` overrides the default ./BENCH_throughput.json. Later PRs
@@ -23,10 +26,14 @@
 #include <string>
 #include <vector>
 
+#include <span>
+
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "engine/stream_engine.h"
 #include "eval/verifier.h"
 #include "traj/io.h"
+#include "traj/multi_object.h"
 
 namespace {
 
@@ -286,6 +293,70 @@ int main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------------------
+  // Concurrent streams: the sharded StreamEngine on an interleaved
+  // multi-object feed, swept over worker-thread counts and live-object
+  // populations. The single-thread rows are directly comparable to the
+  // steady-state OPERB rows above (same algorithm, same zeta).
+  // ------------------------------------------------------------------
+  std::vector<JsonRecord> concurrent;
+  const std::vector<std::size_t> live_objects_sweep =
+      smoke ? std::vector<std::size_t>{64}
+            : std::vector<std::size_t>{10000, 100000};
+  const std::vector<std::size_t> threads_sweep =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  // ~2M points full mode / ~1.3k smoke, split across the population.
+  const std::size_t concurrent_total_points = smoke ? 1280 : 2000000;
+  for (const std::size_t live : live_objects_sweep) {
+    const std::size_t per_object =
+        std::max<std::size_t>(4, concurrent_total_points / live);
+    std::vector<traj::ObjectUpdate> updates;
+    {
+      std::vector<traj::ObjectTrajectory> objects;
+      objects.reserve(live);
+      for (std::size_t k = 0; k < live; ++k) {
+        datagen::Rng rng(bench::kBenchSeed + k);
+        objects.push_back(
+            {k, datagen::GenerateTrajectory(
+                    datagen::DatasetProfile::For(datagen::DatasetKind::kSerCar),
+                    per_object, &rng)});
+      }
+      updates = traj::InterleaveRoundRobin(objects);
+    }
+    for (const std::size_t threads : threads_sweep) {
+      engine::StreamEngineOptions eopts;
+      eopts.algorithm = baselines::Algorithm::kOPERB;
+      eopts.zeta = kZeta;
+      eopts.num_threads = threads;
+      eopts.num_shards = 4 * threads;
+      std::uint64_t segments = 0;
+      const Timing tm = TimeLoop([&] {
+        engine::StreamEngine eng(eopts, engine::TaggedSegmentSink{});
+        eng.Push(std::span<const traj::ObjectUpdate>(updates));
+        eng.Close();
+        segments = eng.stats().segments;
+      });
+      JsonRecord rec;
+      rec.Str("algorithm", "OPERB");
+      rec.Int("live_objects", static_cast<long long>(live));
+      rec.Int("threads", static_cast<long long>(threads));
+      rec.Int("shards", static_cast<long long>(eopts.num_shards));
+      rec.Int("points", static_cast<long long>(updates.size()));
+      rec.Int("segments", static_cast<long long>(segments));
+      rec.Int("passes", tm.passes);
+      rec.Num("seconds_per_pass", tm.seconds_per_pass);
+      rec.Num("points_per_sec",
+              static_cast<double>(updates.size()) / tm.seconds_per_pass);
+      concurrent.push_back(rec);
+      std::printf(
+          "concurrent OPERB %7zu objects %2zu threads %8zu pts  "
+          "%7.2f M points/s\n",
+          live, threads, updates.size(),
+          static_cast<double>(updates.size()) / tm.seconds_per_pass / 1e6);
+    }
+  }
+
+  // ------------------------------------------------------------------
   // Emit JSON.
   // ------------------------------------------------------------------
   std::FILE* f = std::fopen(out_path.c_str(), "wb");
@@ -297,7 +368,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"schema\": \"operb-bench-throughput\",\n"
-               "  \"schema_version\": 1,\n"
+               "  \"schema_version\": 2,\n"
                "  \"smoke\": %s,\n"
                "  \"unix_time\": %lld,\n"
                "  \"zeta\": %g,\n"
@@ -307,8 +378,9 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(bench::kBenchSeed));
   std::fprintf(f, "  \"ingest\": %s,\n", JoinRecords(ingest).c_str());
   std::fprintf(f, "  \"steady_state\": %s,\n", JoinRecords(steady).c_str());
-  std::fprintf(f, "  \"end_to_end\": %s\n}\n",
-               JoinRecords(end_to_end).c_str());
+  std::fprintf(f, "  \"end_to_end\": %s,\n", JoinRecords(end_to_end).c_str());
+  std::fprintf(f, "  \"concurrent_streams\": %s\n}\n",
+               JoinRecords(concurrent).c_str());
   if (std::fclose(f) != 0) {
     std::fprintf(stderr, "bench_throughput: write failure on %s\n",
                  out_path.c_str());

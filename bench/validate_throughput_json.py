@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validates BENCH_throughput.json against the operb-bench-throughput
-schema (version 1). Stdlib-only so CI needs no extra packages.
+schema (version 2). Stdlib-only so CI needs no extra packages.
 
 Usage: validate_throughput_json.py PATH
 Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
@@ -21,6 +21,7 @@ TOP_LEVEL = {
     "ingest": list,
     "steady_state": list,
     "end_to_end": list,
+    "concurrent_streams": list,
 }
 
 SECTION_FIELDS = {
@@ -48,6 +49,17 @@ SECTION_FIELDS = {
         "algorithm": str,
         "profile": str,
         "points": int,
+        "passes": int,
+        "seconds_per_pass": NUMBER,
+        "points_per_sec": NUMBER,
+    },
+    "concurrent_streams": {
+        "algorithm": str,
+        "live_objects": int,
+        "threads": int,
+        "shards": int,
+        "points": int,
+        "segments": int,
         "passes": int,
         "seconds_per_pass": NUMBER,
         "points_per_sec": NUMBER,
@@ -81,7 +93,7 @@ def main():
             fail(f"top-level key '{key}' has wrong type")
     if doc["schema"] != "operb-bench-throughput":
         fail(f"unexpected schema '{doc['schema']}'")
-    if doc["schema_version"] != 1:
+    if doc["schema_version"] != 2:
         fail(f"unexpected schema_version {doc['schema_version']}")
 
     for section, fields in SECTION_FIELDS.items():
@@ -106,8 +118,17 @@ def main():
     algos = {e["algorithm"] for e in doc["steady_state"]}
     if len(algos) < 10:
         fail(f"steady_state covers only {len(algos)} algorithms (need 10)")
-    print(f"{sys.argv[1]}: valid operb-bench-throughput v1 "
-          f"({len(doc['steady_state'])} steady-state entries)")
+    for i, entry in enumerate(doc["concurrent_streams"]):
+        if entry["threads"] <= 0 or entry["shards"] <= 0:
+            fail(f"concurrent_streams[{i}] has non-positive threads/shards")
+        if entry["live_objects"] <= 0:
+            fail(f"concurrent_streams[{i}] has non-positive live_objects")
+    thread_counts = {e["threads"] for e in doc["concurrent_streams"]}
+    if len(thread_counts) < 2:
+        fail("concurrent_streams must sweep at least 2 thread counts")
+    print(f"{sys.argv[1]}: valid operb-bench-throughput v2 "
+          f"({len(doc['steady_state'])} steady-state entries, "
+          f"{len(doc['concurrent_streams'])} concurrent-stream entries)")
 
 
 if __name__ == "__main__":

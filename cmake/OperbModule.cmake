@@ -29,6 +29,7 @@ function(operb_link_all_modules TARGET)
     operb::codec
     operb::core
     operb::datagen
+    operb::engine
     operb::eval
     operb::traj
     operb::geo

@@ -1,0 +1,151 @@
+#include "baselines/streaming.h"
+
+#include <utility>
+
+#include "baselines/bqs.h"
+#include "baselines/dp.h"
+#include "baselines/opw.h"
+#include "common/check.h"
+#include "core/operb.h"
+#include "core/operb_a.h"
+#include "traj/trajectory.h"
+
+namespace operb::baselines {
+
+namespace {
+
+/// One-pass wrapper over core::OperbStream.
+class OperbStreaming final : public StreamingSimplifier {
+ public:
+  OperbStreaming(std::string_view name, const core::OperbOptions& options)
+      : name_(name), stream_(options) {}
+
+  std::string_view name() const override { return name_; }
+  bool one_pass() const override { return true; }
+  void SetSink(traj::SegmentSink sink) override {
+    stream_.SetSink(std::move(sink));
+  }
+  void Push(const geo::Point& p) override { stream_.Push(p); }
+  void Push(std::span<const geo::Point> points) override {
+    stream_.Push(points);
+  }
+  void Finish() override { stream_.Finish(); }
+  void Reset() override { stream_.Reset(); }
+
+ private:
+  std::string_view name_;
+  core::OperbStream stream_;
+};
+
+/// One-pass wrapper over core::OperbAStream.
+class OperbAStreaming final : public StreamingSimplifier {
+ public:
+  OperbAStreaming(std::string_view name, const core::OperbAOptions& options)
+      : name_(name), stream_(options) {}
+
+  std::string_view name() const override { return name_; }
+  bool one_pass() const override { return true; }
+  void SetSink(traj::SegmentSink sink) override {
+    stream_.SetSink(std::move(sink));
+  }
+  void Push(const geo::Point& p) override { stream_.Push(p); }
+  void Push(std::span<const geo::Point> points) override {
+    stream_.Push(points);
+  }
+  void Finish() override { stream_.Finish(); }
+  void Reset() override { stream_.Reset(); }
+
+ private:
+  std::string_view name_;
+  core::OperbAStream stream_;
+};
+
+using FreeFunction = traj::PiecewiseRepresentation (*)(const traj::Trajectory&,
+                                                       double);
+
+traj::PiecewiseRepresentation RunOpwEuclid(const traj::Trajectory& t,
+                                           double zeta) {
+  return SimplifyOpw(t, zeta, OpwDistance::kEuclidean);
+}
+
+traj::PiecewiseRepresentation RunOpwSed(const traj::Trajectory& t,
+                                        double zeta) {
+  return SimplifyOpw(t, zeta, OpwDistance::kSynchronous);
+}
+
+/// Buffering adapter for the batch baselines: Push() accumulates the
+/// trajectory (amortized; the buffer's capacity survives Reset, so a
+/// pooled state stops allocating per point once warm), Finish() runs the
+/// batch algorithm and forwards every segment to the sink in order.
+class BufferedStreaming final : public StreamingSimplifier {
+ public:
+  BufferedStreaming(std::string_view name, FreeFunction fn, double zeta)
+      : name_(name), fn_(fn), zeta_(zeta) {}
+
+  std::string_view name() const override { return name_; }
+  bool one_pass() const override { return false; }
+  void SetSink(traj::SegmentSink sink) override { sink_ = std::move(sink); }
+  void Push(const geo::Point& p) override {
+    buffer_.AppendUnchecked(p);  // order is the caller's contract
+  }
+  void Push(std::span<const geo::Point> points) override {
+    for (const geo::Point& p : points) buffer_.AppendUnchecked(p);
+  }
+  void Finish() override {
+    if (buffer_.size() < 2) return;  // matches Simplifier::Simplify
+    for (const traj::RepresentedSegment& s : fn_(buffer_, zeta_)) {
+      if (sink_) sink_(s);
+    }
+  }
+  void Reset() override { buffer_.clear(); }
+
+ private:
+  std::string_view name_;
+  FreeFunction fn_;
+  double zeta_;
+  traj::SegmentSink sink_;
+  traj::Trajectory buffer_;
+};
+
+}  // namespace
+
+std::unique_ptr<StreamingSimplifier> MakeStreamingSimplifier(
+    Algorithm algorithm, double zeta, OperbFidelity fidelity) {
+  OPERB_CHECK_MSG(zeta > 0.0, "zeta must be positive");
+  const bool guard = fidelity == OperbFidelity::kGuarded;
+  switch (algorithm) {
+    case Algorithm::kDP:
+      return std::make_unique<BufferedStreaming>("DP", &SimplifyDp, zeta);
+    case Algorithm::kDPSED:
+      return std::make_unique<BufferedStreaming>("DP-SED", &SimplifyDpSed,
+                                                 zeta);
+    case Algorithm::kOPW:
+      return std::make_unique<BufferedStreaming>("OPW", &RunOpwEuclid, zeta);
+    case Algorithm::kOPWSED:
+      return std::make_unique<BufferedStreaming>("OPW-SED", &RunOpwSed, zeta);
+    case Algorithm::kBQS:
+      return std::make_unique<BufferedStreaming>("BQS", &SimplifyBqs, zeta);
+    case Algorithm::kFBQS:
+      return std::make_unique<BufferedStreaming>("FBQS", &SimplifyFbqs, zeta);
+    case Algorithm::kRawOPERB:
+      return std::make_unique<OperbStreaming>("Raw-OPERB",
+                                              core::OperbOptions::Raw(zeta));
+    case Algorithm::kOPERB: {
+      core::OperbOptions o = core::OperbOptions::Optimized(zeta);
+      o.strict_bound_guard = guard;
+      return std::make_unique<OperbStreaming>("OPERB", o);
+    }
+    case Algorithm::kRawOPERBA:
+      return std::make_unique<OperbAStreaming>(
+          "Raw-OPERB-A", core::OperbAOptions::Raw(zeta));
+    case Algorithm::kOPERBA: {
+      core::OperbAOptions o = core::OperbAOptions::Optimized(zeta);
+      o.base.strict_bound_guard = guard;
+      return std::make_unique<OperbAStreaming>("OPERB-A", o);
+    }
+  }
+  OPERB_CHECK_MSG(false, "unknown algorithm");
+  return nullptr;
+}
+
+}  // namespace operb::baselines

@@ -246,6 +246,30 @@ void OperbStream::StartSegment(geo::Vec2 anchor, std::size_t chain_index,
   fitting_.emplace(anchor, options_);
 }
 
+void OperbStream::Reset() {
+  mode_ = Mode::kIdle;
+  emitted_.clear();  // keeps capacity for the next trajectory
+  last_take_size_ = 0;
+  stats_ = OperbStats{};
+  last_emitted_ = traj::RepresentedSegment{};
+  any_emitted_ = false;
+  fitting_.reset();
+  anchor_pos_ = geo::Vec2{};
+  segment_first_index_ = 0;
+  anchor_detached_ = false;
+  points_in_segment_ = 0;
+  active_pos_ = geo::Vec2{};
+  active_index_ = 0;
+  ra_unit_ = geo::Vec2{};
+  pending_ = traj::RepresentedSegment{};
+  pending_end_index_ = 0;
+  pending_unit_ = geo::Vec2{};
+  covered_index_ = 0;
+  next_index_ = 0;
+  last_pos_ = geo::Vec2{};
+  last_index_ = 0;
+}
+
 void OperbStream::Finish() {
   if (mode_ == Mode::kIdle || mode_ == Mode::kFinished) {
     mode_ = Mode::kFinished;

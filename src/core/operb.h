@@ -83,6 +83,13 @@ class OperbStream {
   /// be called afterwards.
   void Finish();
 
+  /// Returns the stream to its freshly-constructed state so a pooled
+  /// instance can simplify another trajectory without reallocation: the
+  /// options, the installed sink and the emitted-buffer capacity survive,
+  /// everything else is cleared. Performs no heap allocation (the engine's
+  /// state pool relies on this; see allocation_test).
+  void Reset();
+
   /// Returns the segments emitted since the previous call and clears the
   /// internal buffer. Prefer the out-parameter overload in loops (it
   /// recycles the caller's capacity) or SetSink() (no buffer at all).

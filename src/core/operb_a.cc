@@ -81,6 +81,14 @@ void LazyPatcher::Finish() {
   y_.reset();
 }
 
+void LazyPatcher::Reset() {
+  emitted_.clear();
+  x_.reset();
+  y_.reset();
+  anomalous_segments_ = 0;
+  patches_applied_ = 0;
+}
+
 OperbAStream::OperbAStream(const OperbAOptions& options)
     : options_(options), inner_(options.base), patcher_(options) {
   // Segments flow inner -> patcher without touching inner's buffer: the
@@ -103,6 +111,11 @@ void OperbAStream::Push(std::span<const geo::Point> points) {
 void OperbAStream::Finish() {
   inner_.Finish();
   patcher_.Finish();
+}
+
+void OperbAStream::Reset() {
+  inner_.Reset();
+  patcher_.Reset();
 }
 
 std::vector<traj::RepresentedSegment> OperbAStream::TakeEmitted() {

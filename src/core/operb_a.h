@@ -54,6 +54,11 @@ class LazyPatcher {
   /// Flushes the buffer (trailing anomalous segments are emitted as-is).
   void Finish();
 
+  /// Clears the lazy buffer and the counters so a pooled instance can
+  /// filter another segment stream. Keeps the options, the sink and the
+  /// emitted-buffer capacity; performs no heap allocation.
+  void Reset();
+
   std::vector<traj::RepresentedSegment> TakeEmitted();
   void TakeEmitted(std::vector<traj::RepresentedSegment>* out);
   const std::vector<traj::RepresentedSegment>& emitted() const {
@@ -104,6 +109,11 @@ class OperbAStream {
   void Push(const geo::Point& p);
   void Push(std::span<const geo::Point> points);
   void Finish();
+
+  /// Resets the inner OPERB stream and the patcher for the next
+  /// trajectory (same contract as OperbStream::Reset: options, sink and
+  /// buffer capacity survive; no heap allocation).
+  void Reset();
 
   std::vector<traj::RepresentedSegment> TakeEmitted();
   void TakeEmitted(std::vector<traj::RepresentedSegment>* out);

@@ -1,0 +1,88 @@
+#ifndef OPERB_ENGINE_SPSC_RING_H_
+#define OPERB_ENGINE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace operb::engine {
+
+/// Bounded lock-free single-producer / single-consumer ring.
+///
+/// This is the shard hand-off queue of the StreamEngine: the (single)
+/// producer thread batches updates in, the shard's owning worker thread
+/// batches them out. The classic two-index design — the producer owns
+/// `tail_`, the consumer owns `head_`, each side caches the other's index
+/// and refreshes it only when the cached value no longer proves progress —
+/// keeps the hot path at one relaxed load + one release store per batch,
+/// with no contended cache line ping-pong while the ring is neither full
+/// nor empty.
+///
+/// Capacity is rounded up to a power of two so index wrapping is a mask.
+/// Indices are monotonically increasing (wrap-around of std::size_t is
+/// harmless modulo arithmetic).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Copies up to `n` items into the ring; returns how many were
+  /// accepted (possibly 0 when full — the producer's backpressure
+  /// signal). Producer thread only.
+  std::size_t TryPush(const T* items, std::size_t n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = capacity() - (tail - cached_head_);
+    if (free < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity() - (tail - cached_head_);
+    }
+    const std::size_t take = n < free ? n : free;
+    for (std::size_t i = 0; i < take; ++i) {
+      slots_[(tail + i) & mask_] = items[i];
+    }
+    tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Moves up to `max` items out of the ring into `out`; returns how many
+  /// were popped. Consumer thread only.
+  std::size_t Pop(T* out, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = cached_tail_ - head;
+    if (avail == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+      if (avail == 0) return 0;
+    }
+    const std::size_t take = max < avail ? max : avail;
+    for (std::size_t i = 0; i < take; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer-owned index + its cache of the consumer's, then the mirror
+  // pair, each on its own cache line to avoid false sharing.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;  // producer-local
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;  // consumer-local
+};
+
+}  // namespace operb::engine
+
+#endif  // OPERB_ENGINE_SPSC_RING_H_

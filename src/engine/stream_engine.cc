@@ -1,0 +1,423 @@
+#include "engine/stream_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "baselines/streaming.h"
+#include "common/check.h"
+#include "engine/spsc_ring.h"
+
+namespace operb::engine {
+
+namespace {
+
+/// SplitMix64 finalizer: id bits are user-controlled (often small dense
+/// integers), the mix spreads them over all 64 bits before the shard
+/// modulus / table mask.
+inline std::uint64_t Mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Consumer-side batch size per ring Pop.
+constexpr std::size_t kConsumerBatch = 256;
+/// Batches a worker drains from one shard before moving on (fairness cap
+/// so one hot shard cannot starve the thread's other shards).
+constexpr int kMaxBatchesPerShard = 4;
+/// Idle workers yield this many times before sleeping.
+constexpr int kIdleSpinsBeforeSleep = 64;
+constexpr std::chrono::microseconds kIdleSleep{200};
+constexpr std::chrono::microseconds kDrainPoll{50};
+
+}  // namespace
+
+Status StreamEngineOptions::Validate() const {
+  if (!(zeta > 0.0)) return Status::InvalidArgument("zeta must be > 0");
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (ring_capacity < 2) {
+    return Status::InvalidArgument("ring_capacity must be >= 2");
+  }
+  if (producer_batch == 0) {
+    return Status::InvalidArgument("producer_batch must be >= 1");
+  }
+  if (idle_timeout_seconds < 0.0) {
+    return Status::InvalidArgument("idle_timeout_seconds must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string StreamEngineOptions::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "StreamEngineOptions{%s zeta=%g shards=%zu threads=%zu "
+                "ring=%zu batch=%zu idle_timeout=%gs}",
+                std::string(baselines::AlgorithmName(algorithm)).c_str(),
+                zeta, num_shards, num_threads, ring_capacity, producer_batch,
+                idle_timeout_seconds);
+  return buf;
+}
+
+/// One state-table partition, owned by exactly one worker thread. All
+/// members below `ring`/`processed` are consumer-side only, so the hot
+/// path (table probe + state Push) is lock-free and unsynchronized.
+class StreamEngine::Shard {
+ public:
+  Shard(const StreamEngineOptions& options, const TaggedSegmentSink* sink,
+        std::atomic<std::uint64_t>* live, std::atomic<std::uint64_t>* peak)
+      : ring(options.ring_capacity),
+        options_(options),
+        sink_(sink),
+        live_census_(live),
+        peak_census_(peak),
+        slots_(kInitialSlots) {}
+
+  SpscRing<Update> ring;
+  /// Updates consumed, released after each processed batch; the producer
+  /// compares it against its hand-off count to implement Close()'s drain
+  /// barrier.
+  std::atomic<std::uint64_t> processed{0};
+
+  void Process(const Update& u) {
+    switch (u.kind) {
+      case Kind::kPoint: {
+        Slot& s = FindOrCreate(u.id);
+        current_id_ = u.id;
+        states_[s.state]->Push(u.point);
+        s.last_time = u.point.t;
+        break;
+      }
+      case Kind::kFinish: {
+        Slot* s = Find(u.id);
+        if (s != nullptr) FinishSlot(*s, /*idle=*/false);
+        break;
+      }
+      case Kind::kTick: {
+        if (options_.idle_timeout_seconds <= 0.0) break;
+        const double cutoff = u.point.t - options_.idle_timeout_seconds;
+        for (Slot& s : slots_) {
+          if (s.status == kOccupied && s.last_time <= cutoff) {
+            FinishSlot(s, /*idle=*/true);
+          }
+        }
+        break;
+      }
+      case Kind::kCloseAll: {
+        for (Slot& s : slots_) {
+          if (s.status == kOccupied) FinishSlot(s, /*idle=*/false);
+        }
+        break;
+      }
+    }
+  }
+
+  /// Folds this shard's counters into `out` (call after the workers have
+  /// been joined; plain reads are then safe).
+  void AccumulateStats(StreamEngineStats* out) const {
+    out->segments += segments_;
+    out->objects_opened += objects_opened_;
+    out->objects_finished += objects_finished_;
+    out->idle_evictions += idle_evictions_;
+    out->states_allocated += states_.size();
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 64;
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kOccupied = 1;
+  static constexpr std::uint8_t kTombstone = 2;
+
+  /// Open-addressing slot: object id -> pooled state index, plus the
+  /// event time of the object's latest point (for watermark eviction).
+  struct Slot {
+    traj::ObjectId id = 0;
+    std::uint32_t state = 0;
+    double last_time = 0.0;
+    std::uint8_t status = kEmpty;
+  };
+
+  std::size_t Mask() const { return slots_.size() - 1; }
+
+  /// Double-mixed so the table mask sees bits independent of the shard
+  /// modulus (with power-of-two shard counts the low bits of one Mix64
+  /// are constant within a shard).
+  static std::size_t TableHash(traj::ObjectId id) {
+    return static_cast<std::size_t>(Mix64(Mix64(id)));
+  }
+
+  Slot* Find(traj::ObjectId id) {
+    std::size_t i = TableHash(id) & Mask();
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.status == kEmpty) return nullptr;
+      if (s.status == kOccupied && s.id == id) return &s;
+      i = (i + 1) & Mask();
+    }
+  }
+
+  Slot& FindOrCreate(traj::ObjectId id) {
+    // Grow at 3/4 occupancy of used (live + tombstone) slots so linear
+    // probing stays short; growth also clears the tombstones.
+    if ((used_ + 1) * 4 >= slots_.size() * 3) Grow();
+    std::size_t i = TableHash(id) & Mask();
+    std::size_t first_tombstone = std::numeric_limits<std::size_t>::max();
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.status == kOccupied && s.id == id) return s;
+      if (s.status == kEmpty) {
+        const bool reuse_tombstone =
+            first_tombstone != std::numeric_limits<std::size_t>::max();
+        Slot& target = reuse_tombstone ? slots_[first_tombstone] : s;
+        if (!reuse_tombstone) ++used_;
+        target.id = id;
+        target.state = AcquireState();
+        target.last_time = 0.0;
+        target.status = kOccupied;
+        ++live_;
+        ++objects_opened_;
+        // Global live-object census (object-open frequency, not per
+        // point): lock-free running count + CAS-max for the true peak.
+        const std::uint64_t now =
+            live_census_->fetch_add(1, std::memory_order_relaxed) + 1;
+        std::uint64_t prev = peak_census_->load(std::memory_order_relaxed);
+        while (prev < now &&
+               !peak_census_->compare_exchange_weak(
+                   prev, now, std::memory_order_relaxed)) {
+        }
+        return target;
+      }
+      if (s.status == kTombstone &&
+          first_tombstone == std::numeric_limits<std::size_t>::max()) {
+        first_tombstone = i;
+      }
+      i = (i + 1) & Mask();
+    }
+  }
+
+  void Grow() {
+    // Double only when the *live* population needs the room; when the
+    // 3/4 trigger was reached mostly through tombstones (object churn
+    // with a small live set), rehash at the same size — that clears the
+    // tombstones and keeps the table O(peak live), not O(ids ever seen).
+    std::vector<Slot> old = std::move(slots_);
+    const std::size_t new_size =
+        live_ * 2 >= old.size() ? old.size() * 2 : old.size();
+    slots_.assign(new_size, Slot{});
+    used_ = live_;
+    for (const Slot& s : old) {
+      if (s.status != kOccupied) continue;
+      std::size_t i = TableHash(s.id) & Mask();
+      while (slots_[i].status == kOccupied) i = (i + 1) & Mask();
+      slots_[i] = s;
+    }
+  }
+
+  /// Pops a pooled state or creates one. A created state is wired to the
+  /// engine sink exactly once; `current_id_` tags its emissions for
+  /// whichever object currently drives it.
+  std::uint32_t AcquireState() {
+    if (!free_states_.empty()) {
+      const std::uint32_t idx = free_states_.back();
+      free_states_.pop_back();
+      return idx;
+    }
+    const std::uint32_t idx = static_cast<std::uint32_t>(states_.size());
+    states_.push_back(baselines::MakeStreamingSimplifier(
+        options_.algorithm, options_.zeta, options_.fidelity));
+    states_.back()->SetSink([this](const traj::RepresentedSegment& seg) {
+      ++segments_;
+      if (*sink_) (*sink_)(current_id_, seg);
+    });
+    return idx;
+  }
+
+  void FinishSlot(Slot& s, bool idle) {
+    current_id_ = s.id;
+    baselines::StreamingSimplifier& state = *states_[s.state];
+    state.Finish();
+    state.Reset();
+    free_states_.push_back(s.state);
+    s.status = kTombstone;
+    --live_;
+    live_census_->fetch_sub(1, std::memory_order_relaxed);
+    ++objects_finished_;
+    if (idle) ++idle_evictions_;
+  }
+
+  const StreamEngineOptions& options_;
+  const TaggedSegmentSink* sink_;
+  std::atomic<std::uint64_t>* live_census_;
+  std::atomic<std::uint64_t>* peak_census_;
+
+  std::vector<Slot> slots_;
+  std::size_t live_ = 0;
+  std::size_t used_ = 0;  ///< occupied + tombstone slots
+  std::vector<std::unique_ptr<baselines::StreamingSimplifier>> states_;
+  std::vector<std::uint32_t> free_states_;
+  traj::ObjectId current_id_ = 0;
+
+  std::uint64_t segments_ = 0;
+  std::uint64_t objects_opened_ = 0;
+  std::uint64_t objects_finished_ = 0;
+  std::uint64_t idle_evictions_ = 0;
+};
+
+StreamEngine::StreamEngine(const StreamEngineOptions& options,
+                           TaggedSegmentSink sink)
+    : options_(options), sink_(std::move(sink)) {
+  OPERB_CHECK_MSG(options_.Validate().ok(), "invalid StreamEngineOptions");
+  options_.num_threads = std::min(options_.num_threads, options_.num_shards);
+  shards_.reserve(options_.num_shards);
+  for (std::size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_, &sink_,
+                                              &live_objects_, &peak_live_));
+  }
+  staging_.resize(options_.num_shards);
+  for (auto& batch : staging_) batch.reserve(options_.producer_batch);
+  pushed_.assign(options_.num_shards, 0);
+  workers_.reserve(options_.num_threads);
+  for (std::size_t t = 0; t < options_.num_threads; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+StreamEngine::~StreamEngine() { Close(); }
+
+std::size_t StreamEngine::ShardOf(traj::ObjectId id) const {
+  return static_cast<std::size_t>(Mix64(id) % options_.num_shards);
+}
+
+void StreamEngine::Route(std::size_t shard, const Update& u) {
+  std::vector<Update>& batch = staging_[shard];
+  batch.push_back(u);
+  if (batch.size() >= options_.producer_batch) FlushShard(shard);
+}
+
+void StreamEngine::FlushShard(std::size_t shard) {
+  std::vector<Update>& batch = staging_[shard];
+  if (batch.empty()) return;
+  const Update* p = batch.data();
+  std::size_t left = batch.size();
+  while (left > 0) {
+    const std::size_t took = shards_[shard]->ring.TryPush(p, left);
+    p += took;
+    left -= took;
+    if (left > 0) {
+      // Ring full: backpressure. The consumer is guaranteed to make
+      // progress, so yielding (not dropping, not growing) is sound.
+      ++stats_.ring_full_stalls;
+      std::this_thread::yield();
+    }
+  }
+  pushed_[shard] += batch.size();
+  batch.clear();
+}
+
+void StreamEngine::Push(traj::ObjectId id, const geo::Point& p) {
+  OPERB_DCHECK(!closed_);
+  ++stats_.points;
+  Route(ShardOf(id), Update{id, p, Kind::kPoint});
+}
+
+void StreamEngine::Push(std::span<const traj::ObjectUpdate> updates) {
+  for (const traj::ObjectUpdate& u : updates) Push(u.object_id, u.point);
+}
+
+void StreamEngine::FinishObject(traj::ObjectId id) {
+  OPERB_DCHECK(!closed_);
+  Route(ShardOf(id), Update{id, geo::Point{}, Kind::kFinish});
+}
+
+void StreamEngine::Tick(double watermark) {
+  OPERB_DCHECK(!closed_);
+  Flush();  // everything pushed before the tick must reach the rings first
+  const Update tick{0, geo::Point{0.0, 0.0, watermark}, Kind::kTick};
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    while (shards_[s]->ring.TryPush(&tick, 1) == 0) {
+      ++stats_.ring_full_stalls;
+      std::this_thread::yield();
+    }
+    ++pushed_[s];
+  }
+}
+
+void StreamEngine::Flush() {
+  for (std::size_t s = 0; s < staging_.size(); ++s) FlushShard(s);
+}
+
+void StreamEngine::WaitDrained() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    while (shards_[s]->processed.load(std::memory_order_acquire) !=
+           pushed_[s]) {
+      std::this_thread::sleep_for(kDrainPoll);
+    }
+  }
+}
+
+void StreamEngine::Close() {
+  if (closed_) return;
+  Flush();
+  const Update close_all{0, geo::Point{}, Kind::kCloseAll};
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    while (shards_[s]->ring.TryPush(&close_all, 1) == 0) {
+      ++stats_.ring_full_stalls;
+      std::this_thread::yield();
+    }
+    ++pushed_[s];
+  }
+  WaitDrained();
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  for (const auto& shard : shards_) shard->AccumulateStats(&stats_);
+  stats_.peak_live_objects = peak_live_.load(std::memory_order_relaxed);
+  closed_ = true;
+}
+
+const StreamEngineStats& StreamEngine::stats() const {
+  OPERB_CHECK_MSG(closed_, "stats() before Close()");
+  return stats_;
+}
+
+void StreamEngine::WorkerLoop(std::size_t worker_index) {
+  std::vector<Update> batch(kConsumerBatch);
+  int idle_spins = 0;
+  for (;;) {
+    bool did_work = false;
+    for (std::size_t s = worker_index; s < shards_.size();
+         s += options_.num_threads) {
+      Shard& shard = *shards_[s];
+      for (int rounds = 0; rounds < kMaxBatchesPerShard; ++rounds) {
+        const std::size_t n = shard.ring.Pop(batch.data(), batch.size());
+        if (n == 0) break;
+        for (std::size_t i = 0; i < n; ++i) shard.Process(batch[i]);
+        shard.processed.fetch_add(n, std::memory_order_release);
+        did_work = true;
+        if (n < batch.size()) break;
+      }
+    }
+    if (did_work) {
+      idle_spins = 0;
+      continue;
+    }
+    // Close() drains every ring before setting stop_, so an idle worker
+    // seeing the flag has nothing left to process.
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (++idle_spins <= kIdleSpinsBeforeSleep) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(kIdleSleep);
+    }
+  }
+}
+
+}  // namespace operb::engine

@@ -1,0 +1,202 @@
+#ifndef OPERB_ENGINE_STREAM_ENGINE_H_
+#define OPERB_ENGINE_STREAM_ENGINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/simplifier.h"
+#include "common/status.h"
+#include "geo/point.h"
+#include "traj/multi_object.h"
+#include "traj/piecewise.h"
+
+namespace operb::engine {
+
+/// Output callback of the engine: one determined segment of one object.
+/// Invoked from worker threads — concurrently for objects on different
+/// shards, serially (and in emission order) for any single object. The
+/// callback must therefore be thread-safe across objects; per-object it
+/// sees exactly the segment sequence the single-stream sink path emits.
+using TaggedSegmentSink =
+    std::function<void(traj::ObjectId, const traj::RepresentedSegment&)>;
+
+/// Configuration of a StreamEngine.
+struct StreamEngineOptions {
+  /// Per-object simplifier, identical in configuration and output to
+  /// baselines::MakeSimplifier(algorithm, zeta, fidelity).
+  baselines::Algorithm algorithm = baselines::Algorithm::kOPERB;
+  double zeta = 40.0;
+  baselines::OperbFidelity fidelity = baselines::OperbFidelity::kGuarded;
+
+  /// Number of shards (state-table partitions). Objects map to shards by
+  /// a mixed hash of their id; per-object output is independent of this
+  /// value (determinism contract), it only controls parallelism and
+  /// table sizes.
+  std::size_t num_shards = 8;
+
+  /// Worker threads; shard s is owned by thread s % num_threads, so
+  /// values above num_shards are clamped. Each shard is only ever
+  /// touched by its owning thread — per-object state needs no locks.
+  std::size_t num_threads = 1;
+
+  /// Capacity of each shard's input ring (rounded up to a power of two).
+  /// A full ring blocks the producer (backpressure), it never drops.
+  std::size_t ring_capacity = 8192;
+
+  /// Producer-side staging batch per shard: updates are handed to a ring
+  /// in blocks of up to this many, amortizing the atomic hand-off.
+  /// Points can therefore sit in staging until the batch fills — call
+  /// Flush()/Close() (or Tick, which flushes first) to force delivery.
+  std::size_t producer_batch = 64;
+
+  /// Watermark-based idle flush: when a Tick(watermark) arrives, every
+  /// object whose last point is older than `watermark -
+  /// idle_timeout_seconds` is finished and evicted back to the state
+  /// pool. 0 disables idle eviction (Tick becomes a no-op).
+  double idle_timeout_seconds = 0.0;
+
+  /// Validates parameter ranges.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+/// Aggregate counters of one engine run (valid after Close()).
+struct StreamEngineStats {
+  std::uint64_t points = 0;            ///< point updates accepted
+  std::uint64_t segments = 0;          ///< tagged segments emitted
+  std::uint64_t objects_opened = 0;    ///< states created or reused
+  std::uint64_t objects_finished = 0;  ///< explicit + idle + close flushes
+  std::uint64_t idle_evictions = 0;    ///< flushes caused by Tick watermarks
+  std::uint64_t ring_full_stalls = 0;  ///< producer backpressure events
+  /// True global maximum of concurrently live states (tracked across
+  /// shards at object open/finish — not per point).
+  std::uint64_t peak_live_objects = 0;
+  /// Total pooled states = sum of per-shard peak live populations (an
+  /// upper bound on peak_live_objects when shards peak at different
+  /// times).
+  std::uint64_t states_allocated = 0;
+};
+
+/// Sharded multi-object streaming simplification engine.
+///
+/// Routes an interleaved stream of (object_id, point) updates from many
+/// concurrently moving objects to per-object simplifier states — any of
+/// the library's 10 algorithms — partitioned by hash(object_id) %
+/// num_shards across a fixed worker-thread pool:
+///
+///   Push/Tick (producer thread)
+///     └─ per-shard staging batch ──SPSC ring──► worker thread
+///          └─ shard: open-addressing table object_id → pooled
+///             StreamingSimplifier state ──► TaggedSegmentSink
+///
+/// Determinism contract: for every object, the emitted segment sequence
+/// is bit-identical to running the single-stream sink path over that
+/// object's points alone — regardless of shard count, thread count,
+/// interleaving with other objects, or scheduling. This holds because an
+/// object's updates stay in producer order through exactly one staging
+/// buffer, one FIFO ring and one owning worker, and the per-object state
+/// is exactly the single-stream simplifier (see DESIGN.md "Sharded
+/// multi-object streaming engine").
+///
+/// Threading contract: Push/FinishObject/Tick/Flush/Close must be called
+/// from one producer thread (or externally serialized). The sink runs on
+/// worker threads, concurrently across shards.
+///
+/// Steady-state cost: after warm-up (state pool and table grown to the
+/// live-object working set), a point update performs no heap allocation
+/// for the one-pass algorithms — the ring slots, the table and the
+/// pooled states are all reused.
+class StreamEngine {
+ public:
+  /// Precondition: options.Validate().ok(). The engine starts its worker
+  /// threads immediately; `sink` may be empty (segments are then only
+  /// counted).
+  StreamEngine(const StreamEngineOptions& options, TaggedSegmentSink sink);
+
+  /// Implicitly Close()s if the caller has not.
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Feeds one update. Timestamps must be strictly increasing per object.
+  void Push(traj::ObjectId id, const geo::Point& p);
+
+  /// Feeds a batch of interleaved updates.
+  void Push(std::span<const traj::ObjectUpdate> updates);
+
+  /// Declares end-of-stream for one object: its state is flushed (the
+  /// sink receives its remaining segments) and returned to the pool. An
+  /// unknown id is a no-op; pushing the id again later starts a fresh
+  /// trajectory.
+  void FinishObject(traj::ObjectId id);
+
+  /// Advances the event-time watermark: every shard flushes objects idle
+  /// for longer than options.idle_timeout_seconds (no-op when that is 0).
+  /// Ordered after everything pushed before it.
+  void Tick(double watermark);
+
+  /// Hands all staged updates to the shard rings (delivery barrier is
+  /// still asynchronous; Close() is the only completion barrier).
+  void Flush();
+
+  /// Finishes every live object, drains all rings, stops the workers and
+  /// joins them. Idempotent. After Close() the engine only serves
+  /// stats().
+  void Close();
+
+  bool closed() const { return closed_; }
+
+  /// Aggregate counters; requires closed().
+  const StreamEngineStats& stats() const;
+
+  const StreamEngineOptions& options() const { return options_; }
+
+ private:
+  enum class Kind : std::uint8_t { kPoint, kFinish, kTick, kCloseAll };
+
+  /// One ring entry. For kTick, point.t carries the watermark.
+  struct Update {
+    traj::ObjectId id = 0;
+    geo::Point point;
+    Kind kind = Kind::kPoint;
+  };
+
+  class Shard;
+
+  std::size_t ShardOf(traj::ObjectId id) const;
+  /// Appends to the shard's staging batch, flushing it when full.
+  void Route(std::size_t shard, const Update& u);
+  /// Pushes one shard's staging batch into its ring, blocking (yield
+  /// loop) while the ring is full — the backpressure path.
+  void FlushShard(std::size_t shard);
+  /// Blocks until every shard has consumed everything handed to it.
+  void WaitDrained();
+  void WorkerLoop(std::size_t worker_index);
+
+  StreamEngineOptions options_;
+  TaggedSegmentSink sink_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<Update>> staging_;  ///< producer-side, per shard
+  std::vector<std::uint64_t> pushed_;         ///< per shard, producer-side
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  /// Cross-shard live-object census, updated by workers on object
+  /// open/finish (object-lifecycle frequency, not per point).
+  std::atomic<std::uint64_t> live_objects_{0};
+  std::atomic<std::uint64_t> peak_live_{0};
+  bool closed_ = false;
+  StreamEngineStats stats_;  ///< aggregated in Close()
+};
+
+}  // namespace operb::engine
+
+#endif  // OPERB_ENGINE_STREAM_ENGINE_H_

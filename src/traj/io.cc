@@ -106,6 +106,27 @@ bool ConsumeComma(const char** p, const char* end) {
   return false;
 }
 
+/// Locale-free decimal uint64 parse (object ids), after optional
+/// horizontal whitespace. Advances `*p` past the digits on success.
+bool ParseObjectIdField(const char** p, const char* end, ObjectId* out) {
+  const char* c = *p;
+  while (c < end && IsHorizontalSpace(*c)) ++c;
+  const std::from_chars_result r = std::from_chars(c, end, *out);
+  if (r.ec != std::errc()) return false;
+  *p = r.ptr;
+  return true;
+}
+
+Status WriteContentToFile(const std::string& content,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
 /// Upper bound on the number of data rows: one per newline, plus a final
 /// unterminated line. Used to pre-reserve the trajectory so a multi-
 /// megabyte file appends without reallocation.
@@ -232,6 +253,81 @@ Result<Trajectory> ReadGeoLifePlt(const std::string& path,
     return Status(r.status().code(), path + ": " + r.status().message());
   }
   return r;
+}
+
+Result<std::vector<ObjectUpdate>> ParseMultiObjectCsv(
+    const std::string& content) {
+  std::vector<ObjectUpdate> out;
+  out.reserve(CountLines(content));
+  LineScanner scanner{content};
+  std::string_view line;
+  while (scanner.Next(&line)) {
+    if (IsBlankOrComment(line)) continue;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    ObjectId id = 0;
+    double t = 0.0, x = 0.0, y = 0.0;
+    if (!(ParseObjectIdField(&p, end, &id) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &t) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &x) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &y))) {
+      return Status::Corruption("malformed multi-object CSV row at line " +
+                                std::to_string(scanner.lineno()));
+    }
+    out.push_back({id, {x, y, t}});
+  }
+  return out;
+}
+
+Result<std::vector<ObjectUpdate>> ReadMultiObjectCsv(const std::string& path) {
+  OPERB_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  Result<std::vector<ObjectUpdate>> r = ParseMultiObjectCsv(content);
+  if (!r.ok()) {
+    return Status(r.status().code(), path + ": " + r.status().message());
+  }
+  return r;
+}
+
+std::string WriteMultiObjectCsvString(std::span<const ObjectUpdate> updates) {
+  std::string out = "# object_id,t_seconds,x_meters,y_meters\n";
+  out.reserve(out.size() + updates.size() * 48);
+  char buf[160];
+  for (const ObjectUpdate& u : updates) {
+    const int n = std::snprintf(buf, sizeof(buf), "%llu,%.9g,%.9g,%.9g\n",
+                                static_cast<unsigned long long>(u.object_id),
+                                u.point.t, u.point.x, u.point.y);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+Status WriteMultiObjectCsv(std::span<const ObjectUpdate> updates,
+                           const std::string& path) {
+  return WriteContentToFile(WriteMultiObjectCsvString(updates), path);
+}
+
+std::string WriteTaggedSegmentsCsvString(
+    std::span<const TaggedSegment> segments) {
+  std::string out =
+      "# object_id,first_index,last_index,start_is_patch,end_is_patch,"
+      "start_x,start_y,end_x,end_y\n";
+  out.reserve(out.size() + segments.size() * 80);
+  char buf[240];
+  for (const TaggedSegment& ts : segments) {
+    const RepresentedSegment& s = ts.segment;
+    const int n = std::snprintf(
+        buf, sizeof(buf), "%llu,%zu,%zu,%d,%d,%.17g,%.17g,%.17g,%.17g\n",
+        static_cast<unsigned long long>(ts.object_id), s.first_index,
+        s.last_index, s.start_is_patch ? 1 : 0, s.end_is_patch ? 1 : 0,
+        s.start.x, s.start.y, s.end.x, s.end.y);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+Status WriteTaggedSegmentsCsv(std::span<const TaggedSegment> segments,
+                              const std::string& path) {
+  return WriteContentToFile(WriteTaggedSegmentsCsvString(segments), path);
 }
 
 Status WriteRepresentationCsv(const PiecewiseRepresentation& representation,

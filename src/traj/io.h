@@ -1,12 +1,14 @@
 #ifndef OPERB_TRAJ_IO_H_
 #define OPERB_TRAJ_IO_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "geo/projection.h"
+#include "traj/multi_object.h"
 #include "traj/piecewise.h"
 #include "traj/trajectory.h"
 
@@ -60,6 +62,32 @@ Status WriteRepresentationCsv(const PiecewiseRepresentation& representation,
 /// Parses the in-memory content of a CSV trajectory (exposed separately so
 /// tests and network receivers can bypass the filesystem).
 Result<Trajectory> ParseCsv(const std::string& content);
+
+/// Multi-object CSV: one `id,t,x,y` row per update, rows from different
+/// objects freely interleaved (the on-disk form of a fleet feed),
+/// `#`-prefixed comment lines allowed. `id` is a decimal 64-bit object
+/// id; `t` seconds; `x`,`y` projected meters. Same locale-proof
+/// from_chars scanner as ParseCsv, updates returned in file order. Feed
+/// the result to engine::StreamEngine directly, or group it with
+/// GroupUpdatesByObject (which also validates per-object timestamps).
+Result<std::vector<ObjectUpdate>> ParseMultiObjectCsv(
+    const std::string& content);
+Result<std::vector<ObjectUpdate>> ReadMultiObjectCsv(const std::string& path);
+
+/// In-memory/file writers for the same row format. Round-trips through
+/// ParseMultiObjectCsv with %.9g precision.
+std::string WriteMultiObjectCsvString(std::span<const ObjectUpdate> updates);
+Status WriteMultiObjectCsv(std::span<const ObjectUpdate> updates,
+                           const std::string& path);
+
+/// Serializes id-tagged simplified segments, one
+/// `id,first_index,last_index,start_is_patch,end_is_patch,x0,y0,x1,y1`
+/// row per segment — the multi-object counterpart of
+/// WriteRepresentationCsv, emitted by operb_cli --group-by-id.
+std::string WriteTaggedSegmentsCsvString(
+    std::span<const TaggedSegment> segments);
+Status WriteTaggedSegmentsCsv(std::span<const TaggedSegment> segments,
+                              const std::string& path);
 
 }  // namespace operb::traj
 

@@ -1,0 +1,52 @@
+#include "traj/multi_object.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+namespace operb::traj {
+
+Result<std::vector<ObjectTrajectory>> GroupUpdatesByObject(
+    std::span<const ObjectUpdate> updates) {
+  std::vector<ObjectTrajectory> out;
+  std::unordered_map<ObjectId, std::size_t> index;
+  index.reserve(64);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const ObjectUpdate& u = updates[i];
+    auto [it, inserted] = index.try_emplace(u.object_id, out.size());
+    if (inserted) {
+      out.emplace_back();
+      out.back().object_id = u.object_id;
+    }
+    Status st = out[it->second].trajectory.Append(u.point);
+    if (!st.ok()) {
+      return Status::InvalidArgument(
+          "object " + std::to_string(u.object_id) + ", update " +
+          std::to_string(i) + ": " + st.message());
+    }
+  }
+  return out;
+}
+
+std::vector<ObjectUpdate> InterleaveRoundRobin(
+    std::span<const ObjectTrajectory> objects) {
+  std::size_t total = 0;
+  std::size_t longest = 0;
+  for (const ObjectTrajectory& o : objects) {
+    total += o.trajectory.size();
+    longest = std::max(longest, o.trajectory.size());
+  }
+  std::vector<ObjectUpdate> out;
+  out.reserve(total);
+  for (std::size_t round = 0; round < longest; ++round) {
+    for (const ObjectTrajectory& o : objects) {
+      if (round < o.trajectory.size()) {
+        out.push_back({o.object_id, o.trajectory[round]});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace operb::traj

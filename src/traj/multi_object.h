@@ -1,0 +1,56 @@
+#ifndef OPERB_TRAJ_MULTI_OBJECT_H_
+#define OPERB_TRAJ_MULTI_OBJECT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/point.h"
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb::traj {
+
+/// Identifier of one moving object in a multi-object stream. Plain 64-bit
+/// so any upstream key (vehicle id, device hash, ...) maps onto it.
+using ObjectId = std::uint64_t;
+
+/// One sample of a multi-object stream: "object `object_id` was at
+/// `point.pos()` at time `point.t`". The interleaved sequence of updates
+/// is what a fleet feed delivers and what engine::StreamEngine consumes.
+struct ObjectUpdate {
+  ObjectId object_id = 0;
+  geo::Point point;
+};
+
+/// One output segment of a multi-object simplification, tagged with the
+/// trajectory it belongs to.
+struct TaggedSegment {
+  ObjectId object_id = 0;
+  RepresentedSegment segment;
+};
+
+/// One object's reassembled trajectory.
+struct ObjectTrajectory {
+  ObjectId object_id = 0;
+  Trajectory trajectory;
+};
+
+/// Groups an interleaved update stream into per-object trajectories in a
+/// single pass. Objects appear in first-appearance order; each object's
+/// points keep their stream order. Returns InvalidArgument when any
+/// object's timestamps are not strictly increasing.
+Result<std::vector<ObjectTrajectory>> GroupUpdatesByObject(
+    std::span<const ObjectUpdate> updates);
+
+/// Inverse of grouping for synthetic workloads: interleaves the objects'
+/// points round-robin (object 0's first point, object 1's first point,
+/// ..., object 0's second point, ...), which is the worst case for
+/// per-object state locality and the standard shape of a fleet feed.
+std::vector<ObjectUpdate> InterleaveRoundRobin(
+    std::span<const ObjectTrajectory> objects);
+
+}  // namespace operb::traj
+
+#endif  // OPERB_TRAJ_MULTI_OBJECT_H_

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "baselines/streaming.h"
 #include "core/operb.h"
 #include "core/operb_a.h"
 #include "datagen/profiles.h"
@@ -112,6 +113,103 @@ TEST(AllocationTest, OperbASinkPathIsAllocationFreePerPoint) {
   }
   EXPECT_EQ(allocations, 0u);
   EXPECT_GT(segments, 10u);
+}
+
+/// Pooled reuse (the engine's state-recycling path): after a warm-up run,
+/// Reset() + a second full pass must perform no heap allocation at all —
+/// not even the constructor-time setup the first pass was allowed.
+TEST(AllocationTest, OperbResetReuseIsAllocationFree) {
+  const traj::Trajectory t = TestTrajectory(20000);
+  core::OperbStream stream(core::OperbOptions::Optimized(40.0));
+  std::size_t segments = 0;
+  stream.SetSink(
+      [&segments](const traj::RepresentedSegment&) { ++segments; });
+  stream.Push(std::span<const geo::Point>(t.points()));  // warm-up
+  stream.Finish();
+
+  std::size_t allocations = 0;
+  {
+    CountingScope scope;
+    stream.Reset();
+    stream.Push(std::span<const geo::Point>(t.points()));
+    stream.Finish();
+    allocations = scope.count();
+  }
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GT(segments, 20u);
+}
+
+TEST(AllocationTest, OperbAResetReuseIsAllocationFree) {
+  const traj::Trajectory t = TestTrajectory(20000);
+  core::OperbAStream stream(core::OperbAOptions::Optimized(40.0));
+  std::size_t segments = 0;
+  stream.SetSink(
+      [&segments](const traj::RepresentedSegment&) { ++segments; });
+  stream.Push(std::span<const geo::Point>(t.points()));  // warm-up
+  stream.Finish();
+
+  std::size_t allocations = 0;
+  {
+    CountingScope scope;
+    stream.Reset();
+    stream.Push(std::span<const geo::Point>(t.points()));
+    stream.Finish();
+    allocations = scope.count();
+  }
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GT(segments, 20u);
+}
+
+/// Same through the type-erased StreamingSimplifier the engine pools.
+TEST(AllocationTest, StreamingSimplifierResetReuseIsAllocationFree) {
+  const traj::Trajectory t = TestTrajectory(20000);
+  for (const baselines::Algorithm algo :
+       {baselines::Algorithm::kOPERB, baselines::Algorithm::kOPERBA,
+        baselines::Algorithm::kRawOPERB}) {
+    SCOPED_TRACE(std::string(baselines::AlgorithmName(algo)));
+    const auto stream = baselines::MakeStreamingSimplifier(algo, 40.0);
+    std::size_t segments = 0;
+    stream->SetSink(
+        [&segments](const traj::RepresentedSegment&) { ++segments; });
+    stream->Push(std::span<const geo::Point>(t.points()));  // warm-up
+    stream->Finish();
+
+    std::size_t allocations = 0;
+    {
+      CountingScope scope;
+      stream->Reset();
+      stream->Push(std::span<const geo::Point>(t.points()));
+      stream->Finish();
+      allocations = scope.count();
+    }
+    EXPECT_EQ(allocations, 0u);
+    EXPECT_GT(segments, 20u);
+  }
+}
+
+/// The buffered batch adapters cannot promise allocation-free Finish()
+/// (their batch algorithms allocate internally), but reused Push() must
+/// stop allocating once the point buffer's capacity is warm.
+TEST(AllocationTest, BufferedStreamingReusePushIsAllocationFree) {
+  const traj::Trajectory t = TestTrajectory(20000);
+  const auto stream =
+      baselines::MakeStreamingSimplifier(baselines::Algorithm::kFBQS, 40.0);
+  std::size_t segments = 0;
+  stream->SetSink(
+      [&segments](const traj::RepresentedSegment&) { ++segments; });
+  stream->Push(std::span<const geo::Point>(t.points()));  // warm-up
+  stream->Finish();
+  EXPECT_GT(segments, 20u);
+
+  std::size_t allocations = 0;
+  {
+    CountingScope scope;
+    stream->Reset();
+    stream->Push(std::span<const geo::Point>(t.points()));
+    allocations = scope.count();
+  }
+  EXPECT_EQ(allocations, 0u);
+  stream->Finish();
 }
 
 /// Contrast check: the buffered path must still work (and will allocate),

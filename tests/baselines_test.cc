@@ -1,5 +1,8 @@
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -7,6 +10,7 @@
 #include "baselines/dp.h"
 #include "baselines/opw.h"
 #include "baselines/simplifier.h"
+#include "baselines/streaming.h"
 #include "eval/metrics.h"
 #include "eval/verifier.h"
 #include "geo/distance.h"
@@ -255,6 +259,60 @@ TEST(RegistryTest, OnePassAlgorithmsAreDeterministic) {
     const auto b = s->Simplify(t);
     ASSERT_EQ(a.size(), b.size()) << AlgorithmName(algo);
   }
+}
+
+// ---------------------------------------------------------------------------
+// StreamingSimplifier (the engine's pooled per-object state).
+// ---------------------------------------------------------------------------
+
+TEST(StreamingSimplifierTest, MatchesBatchSimplifyForEveryAlgorithm) {
+  const auto t = Generated(datagen::DatasetKind::kSerCar, 800, 77);
+  const auto t2 = Generated(datagen::DatasetKind::kGeoLife, 500, 78);
+  for (Algorithm algo : AllAlgorithms()) {
+    SCOPED_TRACE(std::string(AlgorithmName(algo)));
+    const auto batch = MakeSimplifier(algo, 25.0);
+    const auto stream = MakeStreamingSimplifier(algo, 25.0);
+    EXPECT_EQ(stream->name(), batch->name());
+
+    std::vector<traj::RepresentedSegment> out;
+    stream->SetSink(
+        [&out](const traj::RepresentedSegment& s) { out.push_back(s); });
+    for (const geo::Point& p : t) stream->Push(p);
+    stream->Finish();
+    testutil::ExpectSegmentsEqual(out, batch->Simplify(t).segments(),
+                                  "first run");
+
+    // Reset() must make the pooled state as good as new.
+    stream->Reset();
+    out.clear();
+    stream->Push(std::span<const geo::Point>(t2.points()));
+    stream->Finish();
+    testutil::ExpectSegmentsEqual(out, batch->Simplify(t2).segments(),
+                                  "after Reset");
+  }
+}
+
+TEST(StreamingSimplifierTest, TinyTrajectoriesEmitNothing) {
+  for (Algorithm algo : AllAlgorithms()) {
+    SCOPED_TRACE(std::string(AlgorithmName(algo)));
+    const auto stream = MakeStreamingSimplifier(algo, 25.0);
+    std::size_t segments = 0;
+    stream->SetSink(
+        [&segments](const traj::RepresentedSegment&) { ++segments; });
+    stream->Finish();  // zero points
+    EXPECT_EQ(segments, 0u);
+    stream->Reset();
+    stream->Push(geo::Point{1.0, 2.0, 0.0});  // one point
+    stream->Finish();
+    EXPECT_EQ(segments, 0u);
+  }
+}
+
+TEST(StreamingSimplifierTest, OnePassFlagMarksTheOperbFamily) {
+  EXPECT_TRUE(MakeStreamingSimplifier(Algorithm::kOPERB, 10.0)->one_pass());
+  EXPECT_TRUE(MakeStreamingSimplifier(Algorithm::kOPERBA, 10.0)->one_pass());
+  EXPECT_FALSE(MakeStreamingSimplifier(Algorithm::kDP, 10.0)->one_pass());
+  EXPECT_FALSE(MakeStreamingSimplifier(Algorithm::kFBQS, 10.0)->one_pass());
 }
 
 }  // namespace

@@ -1,0 +1,373 @@
+// StreamEngine determinism and lifecycle suite.
+//
+// The engine's core contract: per-object output is bit-identical to the
+// single-stream sink path, regardless of shard count, thread count,
+// interleaving or scheduling. The determinism tests shuffle-interleave
+// the 4 golden dataset profiles (as 4 concurrent objects) and require
+// every object's emitted segments to match the committed tests/golden/
+// fixtures for all 10 algorithms across several shard/thread
+// configurations.
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/simplifier.h"
+#include "core/operb.h"
+#include "datagen/profiles.h"
+#include "datagen/rng.h"
+#include "engine/spsc_ring.h"
+#include "engine/stream_engine.h"
+#include "test_util.h"
+#include "traj/multi_object.h"
+#include "traj/piecewise.h"
+#include "traj/trajectory.h"
+
+namespace operb {
+namespace {
+
+using testutil::ExpectSegmentsEqual;
+using testutil::GoldenTrajectory;
+using testutil::kGoldenZeta;
+using testutil::LoadGolden;
+
+/// Interleaves the objects' points in a seeded pseudo-random order that
+/// preserves each object's internal point order (the only ordering the
+/// engine requires from its producer).
+std::vector<traj::ObjectUpdate> ShuffleInterleave(
+    const std::vector<traj::ObjectTrajectory>& objects, std::uint64_t seed) {
+  std::vector<std::size_t> next(objects.size(), 0);
+  std::size_t remaining = 0;
+  for (const traj::ObjectTrajectory& o : objects) {
+    remaining += o.trajectory.size();
+  }
+  std::vector<traj::ObjectUpdate> out;
+  out.reserve(remaining);
+  datagen::Rng rng(seed);
+  while (remaining > 0) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.NextBelow(objects.size()));
+    if (next[pick] >= objects[pick].trajectory.size()) continue;
+    out.push_back({objects[pick].object_id,
+                   objects[pick].trajectory[next[pick]]});
+    ++next[pick];
+    --remaining;
+  }
+  return out;
+}
+
+/// Thread-safe per-object collector for engine output.
+class Collector {
+ public:
+  engine::TaggedSegmentSink Sink() {
+    return [this](traj::ObjectId id, const traj::RepresentedSegment& seg) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      by_object_[id].push_back(seg);
+    };
+  }
+
+  const std::vector<traj::RepresentedSegment>& ForObject(
+      traj::ObjectId id) const {
+    static const std::vector<traj::RepresentedSegment> kEmpty;
+    const auto it = by_object_.find(id);
+    return it == by_object_.end() ? kEmpty : it->second;
+  }
+
+  std::size_t objects() const { return by_object_.size(); }
+
+ private:
+  std::mutex mu_;
+  std::map<traj::ObjectId, std::vector<traj::RepresentedSegment>> by_object_;
+};
+
+/// Reference output: the single-stream sink path for one trajectory.
+std::vector<traj::RepresentedSegment> SingleStream(
+    baselines::Algorithm algo, const traj::Trajectory& t, double zeta) {
+  std::vector<traj::RepresentedSegment> out;
+  baselines::MakeSimplifier(algo, zeta)->SimplifyToSink(
+      t, [&out](const traj::RepresentedSegment& s) { out.push_back(s); });
+  return out;
+}
+
+struct EngineConfig {
+  std::size_t shards;
+  std::size_t threads;
+  std::size_t ring_capacity;
+  std::size_t producer_batch;
+};
+
+// 1/2/8 shards; the last config uses a deliberately tiny ring and batch
+// so the backpressure and hand-off paths run under the golden check too.
+const EngineConfig kConfigs[] = {
+    {1, 1, 8192, 64},
+    {2, 2, 8192, 64},
+    {8, 3, 64, 16},
+};
+
+class EngineGoldenTest
+    : public testing::TestWithParam<std::tuple<baselines::Algorithm, int>> {};
+
+TEST_P(EngineGoldenTest, ShuffledInterleaveMatchesGoldenPerObject) {
+  const auto [algo, config_index] = GetParam();
+  const EngineConfig& config = kConfigs[config_index];
+
+  const std::vector<datagen::DatasetKind> kinds = datagen::AllDatasetKinds();
+  std::vector<traj::ObjectTrajectory> objects;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    // Ids far apart so the shard mix actually spreads them.
+    objects.push_back({i * 7919 + 3, GoldenTrajectory(kinds[i])});
+  }
+  const std::vector<traj::ObjectUpdate> updates =
+      ShuffleInterleave(objects, /*seed=*/42 + config_index);
+
+  engine::StreamEngineOptions opts;
+  opts.algorithm = algo;
+  opts.zeta = kGoldenZeta;
+  opts.num_shards = config.shards;
+  opts.num_threads = config.threads;
+  opts.ring_capacity = config.ring_capacity;
+  opts.producer_batch = config.producer_batch;
+
+  Collector collector;
+  engine::StreamEngine eng(opts, collector.Sink());
+  eng.Push(std::span<const traj::ObjectUpdate>(updates));
+  eng.Close();
+
+  ASSERT_EQ(collector.objects(), objects.size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const std::string golden_path =
+        std::string(OPERB_GOLDEN_DIR) + "/golden_" +
+        std::string(baselines::AlgorithmName(algo)) + "_" +
+        std::string(datagen::DatasetName(kinds[i])) + ".csv";
+    const std::vector<traj::RepresentedSegment> golden =
+        LoadGolden(golden_path);
+    if (HasFailure()) return;
+    ExpectSegmentsEqual(collector.ForObject(objects[i].object_id), golden,
+                        std::string(datagen::DatasetName(kinds[i])) +
+                            " shards=" + std::to_string(config.shards) +
+                            " threads=" + std::to_string(config.threads));
+  }
+
+  const engine::StreamEngineStats& stats = eng.stats();
+  EXPECT_EQ(stats.points, updates.size());
+  EXPECT_EQ(stats.objects_opened, objects.size());
+  EXPECT_EQ(stats.objects_finished, objects.size());  // Close() flushes
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllConfigs, EngineGoldenTest,
+    testing::Combine(testing::ValuesIn(baselines::AllAlgorithms()),
+                     testing::Values(0, 1, 2)),
+    [](const testing::TestParamInfo<EngineGoldenTest::ParamType>& info) {
+      const EngineConfig& c = kConfigs[std::get<1>(info.param)];
+      std::string name =
+          std::string(baselines::AlgorithmName(std::get<0>(info.param))) +
+          "_shards" + std::to_string(c.shards) + "_threads" +
+          std::to_string(c.threads);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(EngineTest, ExplicitFinishFlushesOneObjectAndAllowsReuse) {
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kSerCar, 400, 7);
+  const traj::Trajectory t2 =
+      testutil::Generated(datagen::DatasetKind::kTaxi, 300, 8);
+
+  engine::StreamEngineOptions opts;
+  opts.num_shards = 1;  // both uses of id 5 must share one pooled state
+  opts.num_threads = 1;
+  Collector collector;
+  engine::StreamEngine eng(opts, collector.Sink());
+  for (const geo::Point& p : t) eng.Push(5, p);
+  eng.FinishObject(5);
+  // Same id again: a fresh trajectory must get a fresh (Reset) state.
+  for (const geo::Point& p : t2) eng.Push(5, p);
+  eng.Close();
+
+  std::vector<traj::RepresentedSegment> want =
+      SingleStream(baselines::Algorithm::kOPERB, t, opts.zeta);
+  const std::vector<traj::RepresentedSegment> second =
+      SingleStream(baselines::Algorithm::kOPERB, t2, opts.zeta);
+  want.insert(want.end(), second.begin(), second.end());
+  ExpectSegmentsEqual(collector.ForObject(5), want, "finish+reuse");
+
+  const engine::StreamEngineStats& stats = eng.stats();
+  EXPECT_EQ(stats.objects_opened, 2u);
+  EXPECT_EQ(stats.objects_finished, 2u);
+  EXPECT_EQ(stats.states_allocated, 1u);  // second run reused the pool
+}
+
+TEST(EngineTest, TickEvictsIdleObjectsAtTheWatermark) {
+  const traj::Trajectory early =
+      testutil::Generated(datagen::DatasetKind::kSerCar, 200, 11);
+  // A second object whose points carry much later timestamps.
+  traj::Trajectory late;
+  for (const geo::Point& p : testutil::Generated(
+           datagen::DatasetKind::kSerCar, 200, 12)) {
+    late.AppendUnchecked({p.x, p.y, p.t + 1e6});
+  }
+
+  engine::StreamEngineOptions opts;
+  opts.num_shards = 4;
+  opts.num_threads = 2;
+  opts.idle_timeout_seconds = 60.0;
+  Collector collector;
+  engine::StreamEngine eng(opts, collector.Sink());
+  for (const geo::Point& p : early) eng.Push(1, p);
+  for (const geo::Point& p : late) eng.Push(2, p);
+  // Watermark far past `early`'s last sample but within `late`'s window:
+  // only object 1 is idle-flushed.
+  eng.Tick(1e6 + late.Duration());
+  eng.Close();
+
+  ExpectSegmentsEqual(collector.ForObject(1),
+                      SingleStream(baselines::Algorithm::kOPERB, early,
+                                   opts.zeta),
+                      "early object");
+  ExpectSegmentsEqual(collector.ForObject(2),
+                      SingleStream(baselines::Algorithm::kOPERB, late,
+                                   opts.zeta),
+                      "late object");
+  const engine::StreamEngineStats& stats = eng.stats();
+  EXPECT_EQ(stats.idle_evictions, 1u);
+  EXPECT_EQ(stats.objects_finished, 2u);  // 1 idle + 1 at Close
+}
+
+TEST(EngineTest, TickWithoutTimeoutIsANoOp) {
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kSerCar, 100, 3);
+  engine::StreamEngineOptions opts;  // idle_timeout_seconds = 0
+  Collector collector;
+  engine::StreamEngine eng(opts, collector.Sink());
+  for (const geo::Point& p : t) eng.Push(9, p);
+  eng.Tick(1e12);
+  eng.Close();
+  EXPECT_EQ(eng.stats().idle_evictions, 0u);
+  ExpectSegmentsEqual(
+      collector.ForObject(9),
+      SingleStream(baselines::Algorithm::kOPERB, t, opts.zeta), "no-op tick");
+}
+
+TEST(EngineTest, TinyRingBackpressureKeepsOutputIdentical) {
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kGeoLife, 20000, 21);
+  engine::StreamEngineOptions opts;
+  opts.num_shards = 1;
+  opts.num_threads = 1;
+  opts.ring_capacity = 4;
+  opts.producer_batch = 4;
+  Collector collector;
+  engine::StreamEngine eng(opts, collector.Sink());
+  for (const geo::Point& p : t) eng.Push(77, p);
+  eng.Close();
+  ExpectSegmentsEqual(
+      collector.ForObject(77),
+      SingleStream(baselines::Algorithm::kOPERB, t, opts.zeta),
+      "tiny ring");
+  // With 20k points through a 4-slot ring the producer must have stalled.
+  EXPECT_GT(eng.stats().ring_full_stalls, 0u);
+}
+
+TEST(EngineTest, PoolBoundsStatesByPeakLiveObjects) {
+  // 300 sequential objects, each finished before the next starts: one
+  // shard must end up with a pool of size 1 (not 300), and the churn of
+  // 300 distinct ids through the 64-slot initial table exercises the
+  // tombstone-driven same-size rehash several times over.
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kSerCar, 120, 5);
+  engine::StreamEngineOptions opts;
+  opts.num_shards = 1;
+  opts.num_threads = 1;
+  Collector collector;
+  engine::StreamEngine eng(opts, collector.Sink());
+  for (traj::ObjectId id = 0; id < 300; ++id) {
+    for (const geo::Point& p : t) eng.Push(id, p);
+    eng.FinishObject(id);
+  }
+  eng.Close();
+  const engine::StreamEngineStats& stats = eng.stats();
+  EXPECT_EQ(stats.objects_opened, 300u);
+  EXPECT_EQ(stats.objects_finished, 300u);
+  EXPECT_EQ(stats.peak_live_objects, 1u);
+  EXPECT_EQ(stats.states_allocated, 1u);
+  EXPECT_EQ(collector.objects(), 300u);
+}
+
+TEST(EngineTest, ManyObjectsGrowTheTablePastItsInitialSize) {
+  // > 64-slot initial table per shard: forces open-addressing growth and
+  // tombstone rehash under churn.
+  engine::StreamEngineOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 2;
+  Collector collector;
+  engine::StreamEngine eng(opts, collector.Sink());
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kTaxi, 40, 9);
+  constexpr traj::ObjectId kObjects = 500;
+  for (const geo::Point& p : t) {
+    for (traj::ObjectId id = 0; id < kObjects; ++id) eng.Push(id, p);
+  }
+  eng.Close();
+  EXPECT_EQ(collector.objects(), kObjects);
+  const std::vector<traj::RepresentedSegment> want =
+      SingleStream(baselines::Algorithm::kOPERB, t, opts.zeta);
+  ExpectSegmentsEqual(collector.ForObject(0), want, "object 0");
+  ExpectSegmentsEqual(collector.ForObject(kObjects - 1), want, "object N-1");
+  EXPECT_EQ(eng.stats().peak_live_objects, kObjects);
+}
+
+TEST(EngineTest, EmptySinkOnlyCounts) {
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kSerCar, 500, 2);
+  engine::StreamEngineOptions opts;
+  engine::StreamEngine eng(opts, engine::TaggedSegmentSink{});
+  for (const geo::Point& p : t) eng.Push(1, p);
+  eng.Close();
+  EXPECT_GT(eng.stats().segments, 0u);
+}
+
+TEST(SpscRingTest, PushPopRoundTripsAcrossWrapAround) {
+  engine::SpscRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  int out[8];
+  int next_in = 0, next_out = 0;
+  // Repeatedly fill and drain with co-prime batch sizes so the indices
+  // wrap several times.
+  for (int round = 0; round < 100; ++round) {
+    int in[3];
+    for (int& v : in) v = next_in++;
+    std::size_t pushed = ring.TryPush(in, 3);
+    next_in -= static_cast<int>(3 - pushed);  // unpushed items retry later
+    const std::size_t got = ring.Pop(out, 5);
+    for (std::size_t i = 0; i < got; ++i) EXPECT_EQ(out[i], next_out++);
+  }
+  // Drain the tail.
+  std::size_t got;
+  while ((got = ring.Pop(out, 8)) > 0) {
+    for (std::size_t i = 0; i < got; ++i) EXPECT_EQ(out[i], next_out++);
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(SpscRingTest, TryPushReportsPartialAcceptanceWhenFull) {
+  engine::SpscRing<int> ring(4);
+  const int in[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.TryPush(in, 6), 4u);   // ring holds 4
+  EXPECT_EQ(ring.TryPush(in, 1), 0u);   // full
+  int out[6];
+  EXPECT_EQ(ring.Pop(out, 6), 4u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 3);
+}
+
+}  // namespace
+}  // namespace operb

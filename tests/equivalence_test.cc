@@ -11,8 +11,6 @@
 // Regenerate the fixtures with tools/make_golden only for an intentional
 // output change, and re-review the diff.
 
-#include <charconv>
-#include <fstream>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,80 +21,21 @@
 #include "core/operb.h"
 #include "core/operb_a.h"
 #include "datagen/profiles.h"
-#include "datagen/rng.h"
+#include "test_util.h"
 #include "traj/piecewise.h"
 #include "traj/trajectory.h"
 
 namespace operb {
 namespace {
 
-// Must match tools/make_golden.cc.
-constexpr std::uint64_t kGoldenSeed = 20170401;
-constexpr std::size_t kGoldenPoints = 600;
-constexpr double kGoldenZeta = 40.0;
-
-std::vector<traj::RepresentedSegment> LoadGolden(const std::string& path) {
-  std::ifstream in(path);
-  EXPECT_TRUE(in.is_open()) << "missing golden file " << path
-                            << " (regenerate with tools/make_golden)";
-  std::vector<traj::RepresentedSegment> out;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    traj::RepresentedSegment s;
-    const char* p = line.c_str();
-    const char* end = p + line.size();
-    unsigned long long first = 0, last = 0;
-    int sp = 0, ep = 0;
-    auto field = [&](auto* value) {
-      if (p < end && *p == ',') ++p;
-      const auto r = std::from_chars(p, end, *value);
-      ASSERT_EQ(r.ec, std::errc()) << "corrupt golden row: " << line;
-      p = r.ptr;
-    };
-    field(&first);
-    field(&last);
-    field(&sp);
-    field(&ep);
-    field(&s.start.x);
-    field(&s.start.y);
-    field(&s.end.x);
-    field(&s.end.y);
-    s.first_index = first;
-    s.last_index = last;
-    s.start_is_patch = sp != 0;
-    s.end_is_patch = ep != 0;
-    out.push_back(s);
-  }
-  return out;
-}
-
-void ExpectSegmentsEqual(const std::vector<traj::RepresentedSegment>& actual,
-                         const std::vector<traj::RepresentedSegment>& want,
-                         const std::string& label) {
-  ASSERT_EQ(actual.size(), want.size()) << label;
-  for (std::size_t i = 0; i < actual.size(); ++i) {
-    SCOPED_TRACE(label + " segment " + std::to_string(i));
-    EXPECT_EQ(actual[i].first_index, want[i].first_index);
-    EXPECT_EQ(actual[i].last_index, want[i].last_index);
-    EXPECT_EQ(actual[i].start_is_patch, want[i].start_is_patch);
-    EXPECT_EQ(actual[i].end_is_patch, want[i].end_is_patch);
-    EXPECT_EQ(actual[i].start.x, want[i].start.x);
-    EXPECT_EQ(actual[i].start.y, want[i].start.y);
-    EXPECT_EQ(actual[i].end.x, want[i].end.x);
-    EXPECT_EQ(actual[i].end.y, want[i].end.y);
-  }
-}
+using testutil::ExpectSegmentsEqual;
+using testutil::GoldenTrajectory;
+using testutil::kGoldenZeta;
+using testutil::LoadGolden;
 
 std::vector<traj::RepresentedSegment> ToVector(
     const traj::PiecewiseRepresentation& rep) {
   return rep.segments();
-}
-
-traj::Trajectory GoldenTrajectory(datagen::DatasetKind kind) {
-  datagen::Rng rng(kGoldenSeed);
-  return datagen::GenerateTrajectory(datagen::DatasetProfile::For(kind),
-                                     kGoldenPoints, &rng);
 }
 
 class EquivalenceTest
@@ -181,6 +120,13 @@ TEST_P(OperbStreamPathsTest, OperbPollingAndBatchPathsMatchGolden) {
   spans.Push(all.subspan(t.size() / 2));
   spans.Finish();
   ExpectSegmentsEqual(via_sink, golden, "span+sink");
+
+  // (e) Pooled reuse: Reset() must restore the constructor-fresh state.
+  spans.Reset();
+  via_sink.clear();
+  spans.Push(all);
+  spans.Finish();
+  ExpectSegmentsEqual(via_sink, golden, "reset+reuse");
 }
 
 TEST_P(OperbStreamPathsTest, OperbAPollingAndBatchPathsMatchGolden) {
@@ -214,6 +160,13 @@ TEST_P(OperbStreamPathsTest, OperbAPollingAndBatchPathsMatchGolden) {
   spans.Push(std::span<const geo::Point>(t.points()));
   spans.Finish();
   ExpectSegmentsEqual(via_sink, golden, "span+sink");
+
+  // Pooled reuse: Reset() must restore the constructor-fresh state.
+  spans.Reset();
+  via_sink.clear();
+  spans.Push(std::span<const geo::Point>(t.points()));
+  spans.Finish();
+  ExpectSegmentsEqual(via_sink, golden, "reset+reuse");
 }
 
 INSTANTIATE_TEST_SUITE_P(

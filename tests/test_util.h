@@ -1,15 +1,92 @@
 #ifndef OPERB_TESTS_TEST_UTIL_H_
 #define OPERB_TESTS_TEST_UTIL_H_
 
+#include <charconv>
 #include <cstdint>
+#include <fstream>
+#include <string>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "datagen/profiles.h"
 #include "datagen/rng.h"
 #include "geo/point.h"
+#include "traj/piecewise.h"
 #include "traj/trajectory.h"
 
 namespace operb::testutil {
+
+/// Parameters the golden fixtures under tests/golden/ were produced with
+/// (must match tools/make_golden.cc).
+inline constexpr std::uint64_t kGoldenSeed = 20170401;
+inline constexpr std::size_t kGoldenPoints = 600;
+inline constexpr double kGoldenZeta = 40.0;
+
+/// The exact trajectory a golden fixture was generated from.
+inline traj::Trajectory GoldenTrajectory(datagen::DatasetKind kind) {
+  datagen::Rng rng(kGoldenSeed);
+  return datagen::GenerateTrajectory(datagen::DatasetProfile::For(kind),
+                                     kGoldenPoints, &rng);
+}
+
+/// Loads a tests/golden/ fixture
+/// (`first,last,start_patch,end_patch,x0,y0,x1,y1` rows).
+inline std::vector<traj::RepresentedSegment> LoadGolden(
+    const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing golden file " << path
+                            << " (regenerate with tools/make_golden)";
+  std::vector<traj::RepresentedSegment> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    traj::RepresentedSegment s;
+    const char* p = line.c_str();
+    const char* end = p + line.size();
+    unsigned long long first = 0, last = 0;
+    int sp = 0, ep = 0;
+    auto field = [&](auto* value) {
+      if (p < end && *p == ',') ++p;
+      const auto r = std::from_chars(p, end, *value);
+      ASSERT_EQ(r.ec, std::errc()) << "corrupt golden row: " << line;
+      p = r.ptr;
+    };
+    field(&first);
+    field(&last);
+    field(&sp);
+    field(&ep);
+    field(&s.start.x);
+    field(&s.start.y);
+    field(&s.end.x);
+    field(&s.end.y);
+    s.first_index = first;
+    s.last_index = last;
+    s.start_is_patch = sp != 0;
+    s.end_is_patch = ep != 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Field-by-field bit-exact segment comparison.
+inline void ExpectSegmentsEqual(
+    const std::vector<traj::RepresentedSegment>& actual,
+    const std::vector<traj::RepresentedSegment>& want,
+    const std::string& label) {
+  ASSERT_EQ(actual.size(), want.size()) << label;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    SCOPED_TRACE(label + " segment " + std::to_string(i));
+    EXPECT_EQ(actual[i].first_index, want[i].first_index);
+    EXPECT_EQ(actual[i].last_index, want[i].last_index);
+    EXPECT_EQ(actual[i].start_is_patch, want[i].start_is_patch);
+    EXPECT_EQ(actual[i].end_is_patch, want[i].end_is_patch);
+    EXPECT_EQ(actual[i].start.x, want[i].start.x);
+    EXPECT_EQ(actual[i].start.y, want[i].start.y);
+    EXPECT_EQ(actual[i].end.x, want[i].end.x);
+    EXPECT_EQ(actual[i].end.y, want[i].end.y);
+  }
+}
 
 /// A trajectory from inline (x, y) pairs with unit time steps.
 inline traj::Trajectory MakeTrajectory(

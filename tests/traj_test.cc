@@ -12,6 +12,7 @@
 
 #include "traj/cleaner.h"
 #include "traj/io.h"
+#include "traj/multi_object.h"
 #include "traj/piecewise.h"
 #include "traj/trajectory.h"
 
@@ -406,6 +407,132 @@ TEST_F(IoTest, RepresentationCsvWrites) {
   while (std::fgets(buf, sizeof(buf), f) != nullptr) ++rows;
   std::fclose(f);
   EXPECT_EQ(rows, 1 + 2 + 1);  // header + segments + final endpoint
+}
+
+// ---------------------------------------------------------------------------
+// Multi-object streams (id,t,x,y CSV + grouping).
+// ---------------------------------------------------------------------------
+
+TEST_F(IoTest, MultiObjectCsvParsesInterleavedRowsInFileOrder) {
+  const auto r = ParseMultiObjectCsv(
+      "# object_id,t_seconds,x_meters,y_meters\n"
+      "7,0,1.5,2.5\n"
+      "3,0.5,-1,0\n"
+      "\n"
+      "7,1,2.5,3.5\n"
+      "# trailing comment\n"
+      "3,1.5,-2,0\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 4u);
+  EXPECT_EQ((*r)[0].object_id, 7u);
+  EXPECT_DOUBLE_EQ((*r)[0].point.x, 1.5);
+  EXPECT_DOUBLE_EQ((*r)[0].point.t, 0.0);
+  EXPECT_EQ((*r)[1].object_id, 3u);
+  EXPECT_EQ((*r)[2].object_id, 7u);
+  EXPECT_EQ((*r)[3].object_id, 3u);  // DOS line ending stripped
+  EXPECT_DOUBLE_EQ((*r)[3].point.x, -2.0);
+}
+
+TEST_F(IoTest, MultiObjectCsvRejectsMalformedRows) {
+  const auto missing_field = ParseMultiObjectCsv("1,0,1\n");
+  ASSERT_FALSE(missing_field.ok());
+  EXPECT_EQ(missing_field.status().code(), StatusCode::kCorruption);
+  const auto negative_id = ParseMultiObjectCsv("-4,0,1,1\n");
+  ASSERT_FALSE(negative_id.ok());
+  const auto junk = ParseMultiObjectCsv("7,zero,1,1\n");
+  ASSERT_FALSE(junk.ok());
+}
+
+TEST_F(IoTest, MultiObjectCsvRoundTripsThroughFile) {
+  std::vector<ObjectUpdate> updates = {
+      {1, {10.5, -3.25, 0.0}},
+      {2, {0.0, 0.0, 0.5}},
+      {1, {11.5, -3.5, 1.0}},
+  };
+  ASSERT_TRUE(
+      WriteMultiObjectCsv(updates, Path("fleet.csv")).ok());
+  const auto r = ReadMultiObjectCsv(Path("fleet.csv"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].object_id, 1u);
+  EXPECT_DOUBLE_EQ((*r)[0].point.x, 10.5);
+  EXPECT_EQ((*r)[1].object_id, 2u);
+  EXPECT_DOUBLE_EQ((*r)[2].point.t, 1.0);
+}
+
+TEST_F(IoTest, TaggedSegmentsCsvWritesOneRowPerSegment) {
+  std::vector<TaggedSegment> segments;
+  TaggedSegment a;
+  a.object_id = 12;
+  a.segment = Seg({0, 0}, {10, 0}, 0, 3);
+  segments.push_back(a);
+  a.object_id = 9;
+  a.segment = Seg({10, 0}, {10, 5}, 3, 5);
+  a.segment.end_is_patch = true;
+  segments.push_back(a);
+  const std::string csv = WriteTaggedSegmentsCsvString(segments);
+  EXPECT_NE(csv.find("12,0,3,0,0,"), std::string::npos);
+  EXPECT_NE(csv.find("9,3,5,0,1,"), std::string::npos);
+  ASSERT_TRUE(WriteTaggedSegmentsCsv(segments, Path("tagged.csv")).ok());
+  std::FILE* f = std::fopen(Path("tagged.csv").c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  int rows = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) ++rows;
+  std::fclose(f);
+  EXPECT_EQ(rows, 1 + 2);  // header + one row per segment
+}
+
+TEST(MultiObjectTest, GroupUpdatesByObjectKeepsFirstAppearanceOrder) {
+  const std::vector<ObjectUpdate> updates = {
+      {5, {0, 0, 0}}, {2, {1, 1, 0}}, {5, {2, 2, 1}},
+      {9, {3, 3, 0}}, {2, {4, 4, 1}}, {5, {5, 5, 2}},
+  };
+  const auto r = GroupUpdatesByObject(updates);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].object_id, 5u);
+  EXPECT_EQ((*r)[1].object_id, 2u);
+  EXPECT_EQ((*r)[2].object_id, 9u);
+  EXPECT_EQ((*r)[0].trajectory.size(), 3u);
+  EXPECT_EQ((*r)[1].trajectory.size(), 2u);
+  EXPECT_EQ((*r)[2].trajectory.size(), 1u);
+  EXPECT_DOUBLE_EQ((*r)[0].trajectory[2].x, 5.0);
+}
+
+TEST(MultiObjectTest, GroupUpdatesRejectsPerObjectTimeRegression) {
+  // Object 4's second point goes back in time; object 8's interleaved
+  // points are fine and must not mask it.
+  const std::vector<ObjectUpdate> updates = {
+      {4, {0, 0, 10.0}}, {8, {0, 0, 0.0}}, {4, {1, 1, 9.0}},
+  };
+  const auto r = GroupUpdatesByObject(updates);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MultiObjectTest, InterleaveRoundRobinAlternatesAndDrainsTails) {
+  ObjectTrajectory a;
+  a.object_id = 1;
+  a.trajectory.AppendUnchecked({0, 0, 0});
+  a.trajectory.AppendUnchecked({1, 0, 1});
+  a.trajectory.AppendUnchecked({2, 0, 2});
+  ObjectTrajectory b;
+  b.object_id = 2;
+  b.trajectory.AppendUnchecked({9, 9, 0});
+  const std::vector<ObjectTrajectory> objects = {a, b};
+  const std::vector<ObjectUpdate> updates = InterleaveRoundRobin(objects);
+  ASSERT_EQ(updates.size(), 4u);
+  EXPECT_EQ(updates[0].object_id, 1u);
+  EXPECT_EQ(updates[1].object_id, 2u);
+  EXPECT_EQ(updates[2].object_id, 1u);  // b exhausted, a's tail continues
+  EXPECT_EQ(updates[3].object_id, 1u);
+  // Grouping the interleave recovers the originals.
+  const auto grouped = GroupUpdatesByObject(updates);
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped.value().size(), 2u);
+  EXPECT_EQ(grouped.value()[0].trajectory.size(), 3u);
+  EXPECT_EQ(grouped.value()[1].trajectory.size(), 1u);
 }
 
 }  // namespace

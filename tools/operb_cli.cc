@@ -6,31 +6,46 @@
 // prints compression-ratio / timing / error statistics. The simplified
 // representation can be written back out as CSV for plotting.
 //
+// With --group-by-id the input is a multi-object stream (`id,t,x,y` CSV
+// rows, freely interleaved): every object is simplified independently by
+// the sharded StreamEngine across --threads worker threads, output
+// segments are tagged with their object id, and the bound is verified
+// per object.
+//
 // Examples:
 //   operb_cli --input drive.csv --algorithm OPERB-A --zeta 30 --output out.csv
 //   operb_cli --plt geolife/000/Trajectory/20081023025304.plt --zeta 10
 //   operb_cli --generate SerCar:5000 --algorithm FBQS --zeta 40
+//   operb_cli --group-by-id --input fleet.csv --threads 4 --output tagged.csv
+//   operb_cli --group-by-id --generate Taxi:500 --objects 1000 --threads 8
 //
 // Exit codes: 0 success (bound verified or --no-verify), 1 bound violation,
 // 2 usage error, 3 I/O error.
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "baselines/simplifier.h"
 #include "common/stopwatch.h"
 #include "datagen/profiles.h"
 #include "datagen/rng.h"
+#include "engine/stream_engine.h"
 #include "eval/metrics.h"
 #include "eval/verifier.h"
 #include "traj/io.h"
+#include "traj/multi_object.h"
 #include "traj/trajectory.h"
 
 namespace {
@@ -51,6 +66,12 @@ struct CliOptions {
   baselines::Algorithm algorithm = baselines::Algorithm::kOPERB;
   double zeta = 40.0;
   baselines::OperbFidelity fidelity = baselines::OperbFidelity::kGuarded;
+
+  // Multi-object engine mode (--group-by-id).
+  bool group_by_id = false;
+  std::uint64_t threads = 1;
+  std::uint64_t shards = 0;   ///< 0 = auto (4 * threads)
+  std::uint64_t objects = 8;  ///< synthetic object count for --generate
 
   std::string output_path;      ///< representation CSV (optional)
   std::string save_input_path;  ///< write the input trajectory as CSV
@@ -83,9 +104,23 @@ void PrintUsage(std::FILE* out) {
                "                        heuristic optimizations' bound "
                "(default guarded; see DESIGN.md)\n"
                "\n"
+               "Multi-object engine mode:\n"
+               "  --group-by-id         treat the input as an interleaved "
+               "id,t,x,y stream and\n"
+               "                        simplify every object concurrently "
+               "(StreamEngine)\n"
+               "  --threads N           engine worker threads (default 1)\n"
+               "  --shards N            engine state-table shards (default "
+               "4 * threads)\n"
+               "  --objects K           with --generate: synthesize K "
+               "objects, round-robin\n"
+               "                        interleaved (default 8)\n"
+               "\n"
                "Output:\n"
                "  --output PATH         write the piecewise representation as "
-               "CSV\n"
+               "CSV (with\n"
+               "                        --group-by-id: id-tagged segment "
+               "rows)\n"
                "  --save-input PATH     write the (parsed or generated) input "
                "trajectory as CSV\n"
                "  --no-verify           skip the independent error-bound "
@@ -119,16 +154,22 @@ bool ParseU64(const std::string& s, std::uint64_t* out) {
   return errno == 0 && end != nullptr && *end == '\0';
 }
 
+/// Parsed form of a --generate KIND[:POINTS[:SEED]] spec.
+struct GenerateSpec {
+  datagen::DatasetKind kind = datagen::DatasetKind::kSerCar;
+  std::uint64_t points = 2000;
+  std::uint64_t seed = 1;
+};
+
 /// Parses KIND[:POINTS[:SEED]]; prints to stderr and returns nullopt on
 /// malformed specs.
-std::optional<traj::Trajectory> GenerateFromSpec(const std::string& spec) {
+std::optional<GenerateSpec> ParseGenerateSpec(const std::string& spec) {
   // Generous ceiling so a typo'd point count fails as a usage error
   // instead of a multi-gigabyte allocation.
   constexpr std::uint64_t kMaxGeneratedPoints = 100'000'000;
 
+  GenerateSpec out;
   std::string kind_name = spec;
-  std::uint64_t points = 2000;
-  std::uint64_t seed = 1;
 
   const std::size_t colon1 = spec.find(':');
   if (colon1 != std::string::npos) {
@@ -137,8 +178,8 @@ std::optional<traj::Trajectory> GenerateFromSpec(const std::string& spec) {
     const std::size_t colon2 = rest.find(':');
     const std::string points_str =
         colon2 == std::string::npos ? rest : rest.substr(0, colon2);
-    if (!ParseU64(points_str, &points) || points < 2 ||
-        points > kMaxGeneratedPoints) {
+    if (!ParseU64(points_str, &out.points) || out.points < 2 ||
+        out.points > kMaxGeneratedPoints) {
       std::fprintf(stderr,
                    "operb_cli: bad point count in --generate '%s' (need "
                    "2..%llu)\n",
@@ -147,7 +188,7 @@ std::optional<traj::Trajectory> GenerateFromSpec(const std::string& spec) {
       return std::nullopt;
     }
     if (colon2 != std::string::npos) {
-      if (!ParseU64(rest.substr(colon2 + 1), &seed)) {
+      if (!ParseU64(rest.substr(colon2 + 1), &out.seed)) {
         std::fprintf(stderr, "operb_cli: bad seed in --generate '%s'\n",
                      spec.c_str());
         return std::nullopt;
@@ -163,9 +204,16 @@ std::optional<traj::Trajectory> GenerateFromSpec(const std::string& spec) {
                  kind_name.c_str());
     return std::nullopt;
   }
-  datagen::Rng rng(seed);
-  return datagen::GenerateTrajectory(datagen::DatasetProfile::For(*kind),
-                                     points, &rng);
+  out.kind = *kind;
+  return out;
+}
+
+std::optional<traj::Trajectory> GenerateFromSpec(const std::string& spec) {
+  const std::optional<GenerateSpec> parsed = ParseGenerateSpec(spec);
+  if (!parsed) return std::nullopt;
+  datagen::Rng rng(parsed->seed);
+  return datagen::GenerateTrajectory(datagen::DatasetProfile::For(parsed->kind),
+                                     parsed->points, &rng);
 }
 
 /// Parses argv into `options`; returns false (after printing a message) on
@@ -188,7 +236,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
     } else if (arg == "--input" || arg == "--plt" || arg == "--generate" ||
                arg == "--algorithm" || arg == "--zeta" ||
                arg == "--fidelity" || arg == "--output" ||
-               arg == "--save-input") {
+               arg == "--save-input" || arg == "--threads" ||
+               arg == "--shards" || arg == "--objects") {
       const char* value = need_value(i, arg);
       if (value == nullptr) return false;
       ++i;
@@ -232,6 +281,32 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
         options->output_path = value;
       } else if (arg == "--save-input") {
         options->save_input_path = value;
+      } else if (arg == "--threads" || arg == "--shards" ||
+                 arg == "--objects") {
+        // Tight per-flag ceilings so a typo fails as a usage error, not
+        // as a massive allocation or thread spawn (every shard owns a
+        // pre-sized ring; every thread is a real std::thread).
+        const bool zero_ok = arg == "--shards";  // 0 = auto
+        const std::uint64_t max = arg == "--threads"   ? 1024
+                                  : arg == "--shards"  ? 65536
+                                                       : 10'000'000;
+        std::uint64_t n = 0;
+        if (!ParseU64(value, &n) || (!zero_ok && n == 0) || n > max) {
+          std::fprintf(stderr,
+                       "operb_cli: %.*s must be an integer in %c..%llu, got "
+                       "'%s'\n",
+                       static_cast<int>(arg.size()), arg.data(),
+                       zero_ok ? '0' : '1',
+                       static_cast<unsigned long long>(max), value);
+          return false;
+        }
+        if (arg == "--threads") {
+          options->threads = n;
+        } else if (arg == "--shards") {
+          options->shards = n;
+        } else {
+          options->objects = n;
+        }
       } else {
         // Unreachable while the membership list above and this chain
         // agree; catches a flag added to one but not the other.
@@ -242,6 +317,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
       }
     } else if (arg == "--no-verify") {
       options->verify = false;
+    } else if (arg == "--group-by-id") {
+      options->group_by_id = true;
     } else {
       std::fprintf(stderr, "operb_cli: unknown argument '%s'\n",
                    std::string(arg).c_str());
@@ -259,7 +336,186 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
     return false;
   }
   if (inputs == 0) options->generate_spec = "SerCar:2000:1";
+  if (options->group_by_id && !options->plt_path.empty()) {
+    std::fprintf(stderr,
+                 "operb_cli: --plt is single-trajectory; --group-by-id "
+                 "needs --input (id,t,x,y CSV) or --generate\n");
+    return false;
+  }
   return true;
+}
+
+/// Loads or synthesizes the interleaved multi-object update stream.
+std::optional<std::vector<traj::ObjectUpdate>> LoadUpdates(
+    const CliOptions& options, std::string* source_label, int* error_exit) {
+  *error_exit = kExitUsage;
+  if (!options.csv_path.empty()) {
+    *source_label = "multi-object csv " + options.csv_path;
+    Result<std::vector<traj::ObjectUpdate>> r =
+        traj::ReadMultiObjectCsv(options.csv_path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", r.status().ToString().c_str());
+      *error_exit = kExitIo;
+      return std::nullopt;
+    }
+    return std::move(r).value();
+  }
+  const std::optional<GenerateSpec> spec =
+      ParseGenerateSpec(options.generate_spec);
+  if (!spec) return std::nullopt;
+  // Same typo guard as the per-trajectory ceiling in ParseGenerateSpec,
+  // applied to the objects x points total.
+  constexpr std::uint64_t kMaxTotalPoints = 100'000'000;
+  if (options.objects > kMaxTotalPoints / spec->points) {
+    std::fprintf(stderr,
+                 "operb_cli: --objects %llu x %llu points exceeds the "
+                 "%llu-point generation ceiling\n",
+                 static_cast<unsigned long long>(options.objects),
+                 static_cast<unsigned long long>(spec->points),
+                 static_cast<unsigned long long>(kMaxTotalPoints));
+    return std::nullopt;
+  }
+  *source_label = "generated " + options.generate_spec + " x" +
+                  std::to_string(options.objects) + " objects";
+  std::vector<traj::ObjectTrajectory> objects;
+  objects.reserve(options.objects);
+  for (std::uint64_t k = 0; k < options.objects; ++k) {
+    datagen::Rng rng(spec->seed + k);
+    objects.push_back(
+        {k, datagen::GenerateTrajectory(datagen::DatasetProfile::For(spec->kind),
+                                        spec->points, &rng)});
+  }
+  return traj::InterleaveRoundRobin(objects);
+}
+
+/// The --group-by-id flow: interleaved updates -> StreamEngine ->
+/// id-tagged segments, with per-object bound verification.
+int RunGroupById(const CliOptions& options) {
+  std::string source_label;
+  int error_exit = kExitUsage;
+  const std::optional<std::vector<traj::ObjectUpdate>> updates =
+      LoadUpdates(options, &source_label, &error_exit);
+  if (!updates) return error_exit;
+  if (updates->empty()) {
+    std::fprintf(stderr, "operb_cli: input stream has no updates\n");
+    return kExitUsage;
+  }
+
+  // Group first: validates per-object monotone timestamps before the
+  // engine trusts them, and provides the originals for verification.
+  Result<std::vector<traj::ObjectTrajectory>> grouped =
+      traj::GroupUpdatesByObject(*updates);
+  if (!grouped.ok()) {
+    std::fprintf(stderr, "operb_cli: %s\n",
+                 grouped.status().ToString().c_str());
+    return kExitUsage;
+  }
+
+  if (!options.save_input_path.empty()) {
+    if (const Status s =
+            traj::WriteMultiObjectCsv(*updates, options.save_input_path);
+        !s.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+      return kExitIo;
+    }
+  }
+
+  engine::StreamEngineOptions eopts;
+  eopts.algorithm = options.algorithm;
+  eopts.zeta = options.zeta;
+  eopts.fidelity = options.fidelity;
+  eopts.num_threads = static_cast<std::size_t>(options.threads);
+  eopts.num_shards = static_cast<std::size_t>(
+      options.shards != 0 ? options.shards : 4 * options.threads);
+
+  std::mutex mu;
+  std::vector<traj::TaggedSegment> collected;
+  Stopwatch watch;
+  engine::StreamEngine eng(
+      eopts, [&mu, &collected](traj::ObjectId id,
+                               const traj::RepresentedSegment& seg) {
+        const std::lock_guard<std::mutex> lock(mu);
+        collected.push_back({id, seg});
+      });
+  eng.Push(std::span<const traj::ObjectUpdate>(*updates));
+  eng.Close();
+  const double elapsed_ms = watch.ElapsedMillis();
+  const engine::StreamEngineStats& stats = eng.stats();
+
+  // Per-object order is already emission order; a stable sort by id
+  // groups objects into contiguous runs without disturbing it.
+  std::stable_sort(collected.begin(), collected.end(),
+                   [](const traj::TaggedSegment& a,
+                      const traj::TaggedSegment& b) {
+                     return a.object_id < b.object_id;
+                   });
+
+  const std::size_t total_points = updates->size();
+  const double ns_per_point = elapsed_ms * 1e6 / total_points;
+  std::printf("input:     %zu updates from %zu objects  (%s)\n", total_points,
+              grouped.value().size(), source_label.c_str());
+  std::printf("engine:    %s, zeta = %g m, %zu shards, %zu threads\n",
+              std::string(baselines::AlgorithmName(options.algorithm)).c_str(),
+              options.zeta, eopts.num_shards, eopts.num_threads);
+  std::printf("output:    %llu segments, peak %llu live objects, "
+              "%llu pooled states, %llu stalls\n",
+              static_cast<unsigned long long>(stats.segments),
+              static_cast<unsigned long long>(stats.peak_live_objects),
+              static_cast<unsigned long long>(stats.states_allocated),
+              static_cast<unsigned long long>(stats.ring_full_stalls));
+  std::printf("time:      %.3f ms  (%.0f ns/point, %.2f M points/s)\n",
+              elapsed_ms, ns_per_point,
+              ns_per_point > 0.0 ? 1e3 / ns_per_point : 0.0);
+
+  if (!options.output_path.empty()) {
+    if (const Status s = traj::WriteTaggedSegmentsCsv(
+            std::span<const traj::TaggedSegment>(collected),
+            options.output_path);
+        !s.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+      return kExitIo;
+    }
+    std::printf("wrote:     %s\n", options.output_path.c_str());
+  }
+
+  if (options.verify) {
+    // `collected` is sorted by id, so each object's segments are one
+    // contiguous run; index the run boundaries once.
+    std::unordered_map<traj::ObjectId, std::pair<std::size_t, std::size_t>>
+        runs;
+    for (std::size_t j = 0; j < collected.size();) {
+      std::size_t k = j;
+      while (k < collected.size() &&
+             collected[k].object_id == collected[j].object_id) {
+        ++k;
+      }
+      runs.emplace(collected[j].object_id, std::make_pair(j, k));
+      j = k;
+    }
+    std::size_t verified = 0;
+    for (const traj::ObjectTrajectory& obj : grouped.value()) {
+      if (obj.trajectory.size() < 2) continue;  // empty output by contract
+      traj::PiecewiseRepresentation rep;
+      if (const auto it = runs.find(obj.object_id); it != runs.end()) {
+        for (std::size_t j = it->second.first; j < it->second.second; ++j) {
+          rep.Append(collected[j].segment);
+        }
+      }
+      const eval::VerificationResult verdict =
+          eval::VerifyErrorBound(obj.trajectory, rep, options.zeta,
+                                 options.verify_slack);
+      if (!verdict.bounded) {
+        std::printf("bound:     VIOLATED on object %llu — %s\n",
+                    static_cast<unsigned long long>(obj.object_id),
+                    verdict.ToString().c_str());
+        return kExitBoundViolation;
+      }
+      ++verified;
+    }
+    std::printf("bound:     verified per object (%zu objects <= zeta %g m)\n",
+                verified, options.zeta);
+  }
+  return kExitOk;
 }
 
 /// Loads the input trajectory, or returns nullopt after printing the error.
@@ -300,6 +556,7 @@ int main(int argc, char** argv) {
     PrintUsage(stdout);
     return kExitOk;
   }
+  if (options.group_by_id) return RunGroupById(options);
 
   std::string source_label;
   const std::optional<traj::Trajectory> input =
