@@ -12,6 +12,16 @@
 //   concurrent_streams — the sharded StreamEngine on a round-robin
 //                        interleaved fleet feed: points/sec vs worker
 //                        thread count at 10k and 100k live objects
+//   facade_overhead    — the same steady-state sink loop with the
+//                        simplifier constructed via the enum compat
+//                        factory vs via an api::AlgorithmRegistry spec
+//                        string; the run FAILS if the facade path is
+//                        measurably slower (construction happens once,
+//                        outside the loop — the products are identical
+//                        objects, so any steady-state gap is a bug)
+//
+// Every simplifier-bearing record carries the resolved canonical spec
+// string of what ran (schema version 3).
 //
 // `--smoke` shrinks every dataset to a single fast pass (for CI), `--out
 // PATH` overrides the default ./BENCH_throughput.json. Later PRs
@@ -28,6 +38,8 @@
 
 #include <span>
 
+#include "api/registry.h"
+#include "api/spec.h"
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "engine/stream_engine.h"
@@ -125,24 +137,12 @@ std::string MakePltString(std::size_t rows) {
   return out;
 }
 
-/// Batch (quadratic-ish or O(n log n)) algorithms get smaller full-mode
-/// inputs than the one-pass streamers so the harness stays minutes-free.
-bool IsOnePass(baselines::Algorithm a) {
-  switch (a) {
-    case baselines::Algorithm::kOPW:
-    case baselines::Algorithm::kOPWSED:
-    case baselines::Algorithm::kBQS:
-    case baselines::Algorithm::kFBQS:
-    case baselines::Algorithm::kRawOPERB:
-    case baselines::Algorithm::kOPERB:
-    case baselines::Algorithm::kRawOPERBA:
-    case baselines::Algorithm::kOPERBA:
-      return true;
-    case baselines::Algorithm::kDP:
-    case baselines::Algorithm::kDPSED:
-      return false;
-  }
-  return false;
+/// The quadratic-ish batch algorithms get smaller full-mode inputs than
+/// the streaming ones so the harness stays minutes-free. "Streaming" here
+/// is by cost model (window-bounded work per point), broader than the
+/// registry's strict O(1)-state one_pass flag.
+bool StreamingCost(std::string_view name) {
+  return name != "DP" && name != "DP-SED";
 }
 
 }  // namespace
@@ -210,13 +210,28 @@ int main(int argc, char** argv) {
   // Steady state: sink-path compression, segments only counted.
   // ------------------------------------------------------------------
   std::vector<JsonRecord> steady;
+  // Constructed through the registry from spec strings — the facade path
+  // the Pipeline, engine and CLI all take. The paper-faithful fidelity
+  // matches what the figure harnesses measure.
+  const std::vector<std::string> algorithm_names =
+      api::AlgorithmRegistry::Global().Names();
   for (datagen::DatasetKind kind : datagen::AllDatasetKinds()) {
-    for (baselines::Algorithm algo : baselines::AllAlgorithms()) {
+    for (const std::string& name : algorithm_names) {
       const std::size_t per_traj =
-          smoke ? 400 : (IsOnePass(algo) ? 100000 : 10000);
+          smoke ? 400 : (StreamingCost(name) ? 100000 : 10000);
       const auto dataset = bench::MakeDataset(kind, 2, per_traj);
       const std::size_t total = bench::TotalPoints(dataset);
-      const auto simplifier = bench::MakePaperSimplifier(algo, kZeta);
+      api::SimplifierSpec spec;
+      spec.algorithm = name;
+      spec.zeta = kZeta;
+      spec.fidelity = baselines::OperbFidelity::kPaperFaithful;
+      auto made = api::AlgorithmRegistry::Global().MakeBatch(spec);
+      if (!made.ok()) {
+        std::fprintf(stderr, "bench_throughput: %s\n",
+                     made.status().ToString().c_str());
+        return 1;
+      }
+      const auto simplifier = std::move(made).value();
       std::size_t segments = 0;
       const Timing tm = TimeLoop([&] {
         segments = 0;
@@ -228,7 +243,8 @@ int main(int argc, char** argv) {
         }
       });
       JsonRecord rec;
-      rec.Str("algorithm", std::string(baselines::AlgorithmName(algo)));
+      rec.Str("algorithm", name);
+      rec.Str("spec", spec.ToString());
       rec.Str("profile", std::string(datagen::DatasetName(kind)));
       rec.Int("points", static_cast<long long>(total));
       rec.Int("segments", static_cast<long long>(segments));
@@ -238,7 +254,7 @@ int main(int argc, char** argv) {
               static_cast<double>(total) / tm.seconds_per_pass);
       steady.push_back(rec);
       std::printf("steady %-11s %-7s %8zu pts  %7.2f M points/s\n",
-                  std::string(baselines::AlgorithmName(algo)).c_str(),
+                  name.c_str(),
                   std::string(datagen::DatasetName(kind)).c_str(), total,
                   static_cast<double>(total) / tm.seconds_per_pass / 1e6);
     }
@@ -257,8 +273,15 @@ int main(int argc, char** argv) {
     // Library-default guarded fidelity — what operb_cli runs and the only
     // mode whose bound verification is guaranteed to pass on every input
     // (the paper-faithful heuristics can exceed zeta; see DESIGN.md).
-    const auto simplifier =
-        baselines::MakeSimplifier(baselines::Algorithm::kOPERB, kZeta);
+    api::SimplifierSpec e2e_spec;
+    e2e_spec.zeta = kZeta;
+    auto e2e_made = api::AlgorithmRegistry::Global().MakeBatch(e2e_spec);
+    if (!e2e_made.ok()) {
+      std::fprintf(stderr, "bench_throughput: %s\n",
+                   e2e_made.status().ToString().c_str());
+      return 1;
+    }
+    const auto simplifier = std::move(e2e_made).value();
     bool bounded = true;
     const Timing tm = TimeLoop([&] {
       auto parsed = traj::ParseCsv(csv);
@@ -281,6 +304,7 @@ int main(int argc, char** argv) {
     JsonRecord rec;
     rec.Str("pipeline", "parse+validate+simplify+verify");
     rec.Str("algorithm", "OPERB");
+    rec.Str("spec", e2e_spec.ToString());
     rec.Str("profile", std::string(datagen::DatasetName(kind)));
     rec.Int("points", static_cast<long long>(n));
     rec.Int("passes", tm.passes);
@@ -325,8 +349,7 @@ int main(int argc, char** argv) {
     }
     for (const std::size_t threads : threads_sweep) {
       engine::StreamEngineOptions eopts;
-      eopts.algorithm = baselines::Algorithm::kOPERB;
-      eopts.zeta = kZeta;
+      eopts.spec.zeta = kZeta;  // default algorithm: OPERB, guarded
       eopts.num_threads = threads;
       eopts.num_shards = 4 * threads;
       std::uint64_t segments = 0;
@@ -338,6 +361,7 @@ int main(int argc, char** argv) {
       });
       JsonRecord rec;
       rec.Str("algorithm", "OPERB");
+      rec.Str("spec", eopts.spec.ToString());
       rec.Int("live_objects", static_cast<long long>(live));
       rec.Int("threads", static_cast<long long>(threads));
       rec.Int("shards", static_cast<long long>(eopts.num_shards));
@@ -357,6 +381,73 @@ int main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------------------
+  // Facade overhead: the registry/spec construction path must add zero
+  // steady-state cost over the legacy enum factory. Both factories hand
+  // out the same concrete object, so the two timed loops run identical
+  // code; the tolerance below only absorbs scheduling noise. A real
+  // regression here means the facade leaked into the per-point path.
+  // ------------------------------------------------------------------
+  std::vector<JsonRecord> facade;
+  {
+    const auto dataset = bench::MakeDataset(datagen::DatasetKind::kSerCar, 2,
+                                            smoke ? 400 : 100000);
+    const std::size_t total = bench::TotalPoints(dataset);
+    const auto direct = bench::MakePaperSimplifier(
+        baselines::Algorithm::kOPERB, kZeta);
+    auto via_registry = api::AlgorithmRegistry::Global().MakeBatch(
+        "OPERB:zeta=40,fidelity=paper");
+    if (!via_registry.ok()) {
+      std::fprintf(stderr, "bench_throughput: %s\n",
+                   via_registry.status().ToString().c_str());
+      return 1;
+    }
+    const auto run_sink_loop = [&dataset](const baselines::Simplifier& s) {
+      return TimeLoop([&] {
+        std::size_t segments = 0;
+        for (const traj::Trajectory& t : dataset) {
+          s.SimplifyToSink(t,
+                           [&segments](const traj::RepresentedSegment&) {
+                             ++segments;
+                           });
+        }
+      });
+    };
+    // Best of 3 per path, interleaved, so one scheduler hiccup cannot
+    // fake a regression.
+    double direct_s = 1e99;
+    double facade_s = 1e99;
+    for (int round = 0; round < 3; ++round) {
+      direct_s = std::min(direct_s, run_sink_loop(*direct).seconds_per_pass);
+      facade_s =
+          std::min(facade_s, run_sink_loop(**via_registry).seconds_per_pass);
+    }
+    const double overhead_pct = 100.0 * (facade_s / direct_s - 1.0);
+    JsonRecord rec;
+    rec.Str("algorithm", "OPERB");
+    rec.Str("spec", "OPERB:zeta=40,fidelity=paper");
+    rec.Str("profile", "SerCar");
+    rec.Int("points", static_cast<long long>(total));
+    rec.Num("direct_points_per_sec", static_cast<double>(total) / direct_s);
+    rec.Num("facade_points_per_sec", static_cast<double>(total) / facade_s);
+    rec.Num("overhead_pct", overhead_pct);
+    facade.push_back(rec);
+    std::printf("facade overhead: direct %.2f M pts/s, registry %.2f M "
+                "pts/s (%+.1f%%)\n",
+                static_cast<double>(total) / direct_s / 1e6,
+                static_cast<double>(total) / facade_s / 1e6, overhead_pct);
+    // Smoke datasets run microsecond-scale passes where timer noise
+    // dominates; the full-mode gate is the meaningful one.
+    const double tolerance_pct = smoke ? 50.0 : 10.0;
+    if (overhead_pct > tolerance_pct) {
+      std::fprintf(stderr,
+                   "bench_throughput: facade overhead %.1f%% exceeds the "
+                   "%.0f%% gate\n",
+                   overhead_pct, tolerance_pct);
+      return 1;
+    }
+  }
+
+  // ------------------------------------------------------------------
   // Emit JSON.
   // ------------------------------------------------------------------
   std::FILE* f = std::fopen(out_path.c_str(), "wb");
@@ -368,7 +459,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"schema\": \"operb-bench-throughput\",\n"
-               "  \"schema_version\": 2,\n"
+               "  \"schema_version\": 3,\n"
                "  \"smoke\": %s,\n"
                "  \"unix_time\": %lld,\n"
                "  \"zeta\": %g,\n"
@@ -379,8 +470,10 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"ingest\": %s,\n", JoinRecords(ingest).c_str());
   std::fprintf(f, "  \"steady_state\": %s,\n", JoinRecords(steady).c_str());
   std::fprintf(f, "  \"end_to_end\": %s,\n", JoinRecords(end_to_end).c_str());
-  std::fprintf(f, "  \"concurrent_streams\": %s\n}\n",
+  std::fprintf(f, "  \"concurrent_streams\": %s,\n",
                JoinRecords(concurrent).c_str());
+  std::fprintf(f, "  \"facade_overhead\": %s\n}\n",
+               JoinRecords(facade).c_str());
   if (std::fclose(f) != 0) {
     std::fprintf(stderr, "bench_throughput: write failure on %s\n",
                  out_path.c_str());

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validates BENCH_throughput.json against the operb-bench-throughput
-schema (version 2). Stdlib-only so CI needs no extra packages.
+schema (version 3). Stdlib-only so CI needs no extra packages.
 
 Usage: validate_throughput_json.py PATH
 Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
@@ -22,6 +22,7 @@ TOP_LEVEL = {
     "steady_state": list,
     "end_to_end": list,
     "concurrent_streams": list,
+    "facade_overhead": list,
 }
 
 SECTION_FIELDS = {
@@ -37,6 +38,7 @@ SECTION_FIELDS = {
     },
     "steady_state": {
         "algorithm": str,
+        "spec": str,
         "profile": str,
         "points": int,
         "segments": int,
@@ -47,6 +49,7 @@ SECTION_FIELDS = {
     "end_to_end": {
         "pipeline": str,
         "algorithm": str,
+        "spec": str,
         "profile": str,
         "points": int,
         "passes": int,
@@ -55,6 +58,7 @@ SECTION_FIELDS = {
     },
     "concurrent_streams": {
         "algorithm": str,
+        "spec": str,
         "live_objects": int,
         "threads": int,
         "shards": int,
@@ -63,6 +67,15 @@ SECTION_FIELDS = {
         "passes": int,
         "seconds_per_pass": NUMBER,
         "points_per_sec": NUMBER,
+    },
+    "facade_overhead": {
+        "algorithm": str,
+        "spec": str,
+        "profile": str,
+        "points": int,
+        "direct_points_per_sec": NUMBER,
+        "facade_points_per_sec": NUMBER,
+        "overhead_pct": NUMBER,
     },
 }
 
@@ -93,7 +106,7 @@ def main():
             fail(f"top-level key '{key}' has wrong type")
     if doc["schema"] != "operb-bench-throughput":
         fail(f"unexpected schema '{doc['schema']}'")
-    if doc["schema_version"] != 2:
+    if doc["schema_version"] != 3:
         fail(f"unexpected schema_version {doc['schema_version']}")
 
     for section, fields in SECTION_FIELDS.items():
@@ -110,6 +123,12 @@ def main():
                     entry[key], bool
                 ):
                     fail(f"{section}[{i}].{key} has wrong type")
+            if section == "facade_overhead":
+                if (entry["points"] <= 0
+                        or entry["direct_points_per_sec"] <= 0
+                        or entry["facade_points_per_sec"] <= 0):
+                    fail(f"{section}[{i}] has non-positive throughput")
+                continue
             if entry["points"] <= 0 or entry["points_per_sec"] <= 0:
                 fail(f"{section}[{i}] has non-positive throughput")
             if entry["passes"] <= 0 or entry["seconds_per_pass"] <= 0:
@@ -126,7 +145,14 @@ def main():
     thread_counts = {e["threads"] for e in doc["concurrent_streams"]}
     if len(thread_counts) < 2:
         fail("concurrent_streams must sweep at least 2 thread counts")
-    print(f"{sys.argv[1]}: valid operb-bench-throughput v2 "
+    # Spec strings must resolve to the algorithm they annotate.
+    for section in ("steady_state", "end_to_end", "concurrent_streams",
+                    "facade_overhead"):
+        for i, entry in enumerate(doc[section]):
+            if not entry["spec"].startswith(entry["algorithm"] + ":"):
+                fail(f"{section}[{i}].spec '{entry['spec']}' does not "
+                     f"resolve to algorithm '{entry['algorithm']}'")
+    print(f"{sys.argv[1]}: valid operb-bench-throughput v3 "
           f"({len(doc['steady_state'])} steady-state entries, "
           f"{len(doc['concurrent_streams'])} concurrent-stream entries)")
 

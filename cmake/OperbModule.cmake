@@ -25,11 +25,13 @@ endfunction()
 # (tests, benches, examples, tools) that may use any part of the library.
 function(operb_link_all_modules TARGET)
   target_link_libraries(${TARGET} PRIVATE
+    operb::pipeline
+    operb::engine
+    operb::api
     operb::baselines
     operb::codec
     operb::core
     operb::datagen
-    operb::engine
     operb::eval
     operb::traj
     operb::geo

@@ -1,7 +1,9 @@
-// File pipeline scenario: read a GeoLife-format PLT file (or a CSV), pick
-// an error bound, compress with every OPERB-family configuration, write
-// the representation back to CSV, and contrast with the lossless delta
-// codec — the end-to-end offline workflow of a trajectory archive.
+// File pipeline scenario on the public api:: facade: read a
+// GeoLife-format PLT file (or a CSV), pick an error bound, and run the
+// composed dataflow — ingest → clean → simplify(spec) → verify →
+// delta-encode — for several spec strings, then write the last
+// representation back to CSV: the end-to-end offline workflow of a
+// trajectory archive, in one builder chain per configuration.
 //
 // Usage: io_pipeline [input.(plt|csv)] [zeta_m] [output.csv]
 // With no arguments a demo PLT file is synthesized in a temp directory.
@@ -10,16 +12,14 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
-#include "codec/delta.h"
-#include "core/operb.h"
-#include "core/operb_a.h"
+#include "api/pipeline.h"
 #include "datagen/profiles.h"
 #include "datagen/rng.h"
-#include "eval/metrics.h"
-#include "eval/verifier.h"
 #include "geo/projection.h"
 #include "traj/io.h"
+#include "traj/piecewise.h"
 
 namespace {
 
@@ -62,51 +62,73 @@ int main(int argc, char** argv) {
                : (std::filesystem::temp_directory_path() / "operb_example" /
                   "compressed.csv")
                      .string();
+  const bool is_plt =
+      input.size() > 4 && input.substr(input.size() - 4) == ".plt";
 
-  Result<traj::Trajectory> loaded =
-      input.size() > 4 && input.substr(input.size() - 4) == ".plt"
-          ? traj::ReadGeoLifePlt(input)
-          : traj::ReadCsv(input);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "failed to read %s: %s\n", input.c_str(),
-                 loaded.status().ToString().c_str());
-    return 1;
-  }
-  const traj::Trajectory& t = *loaded;
-  std::printf("loaded %s: %s\n", input.c_str(), t.ToString().c_str());
-
-  struct Row {
-    const char* name;
-    traj::PiecewiseRepresentation rep;
+  // One spec string per configuration — the whole OPERB family sweep is
+  // data, not code.
+  char zeta_opt[48];
+  std::snprintf(zeta_opt, sizeof(zeta_opt), ":zeta=%g", zeta);
+  const std::vector<std::string> specs = {
+      std::string("raw-operb") + zeta_opt,
+      std::string("operb") + zeta_opt,
+      std::string("operb-a") + zeta_opt,
   };
-  std::vector<Row> rows;
-  rows.push_back({"Raw-OPERB", core::SimplifyOperb(
-                                   t, core::OperbOptions::Raw(zeta))});
-  rows.push_back({"OPERB", core::SimplifyOperb(
-                               t, core::OperbOptions::Optimized(zeta))});
-  rows.push_back({"OPERB-A", core::SimplifyOperbA(
-                                 t, core::OperbAOptions::Optimized(zeta))});
 
-  std::printf("\n%-10s %10s %10s %10s %8s\n", "algorithm", "segments",
-              "ratio_%", "avg_err_m", "bounded");
-  for (const Row& row : rows) {
-    const auto err = eval::MeasureError(t, row.rep);
-    const bool ok = eval::VerifyErrorBound(t, row.rep, zeta).bounded;
-    std::printf("%-10s %10zu %10.2f %10.2f %8s\n", row.name, row.rep.size(),
-                100.0 * eval::CompressionRatio(t, row.rep), err.average,
-                ok ? "yes" : "NO");
+  std::printf("input: %s  (zeta %.1f m)\n\n", input.c_str(), zeta);
+  std::printf("%-24s %10s %10s %10s %8s\n", "spec", "segments", "ratio_%",
+              "delta_%", "bounded");
+
+  traj::PiecewiseRepresentation last_representation;
+  for (const std::string& spec : specs) {
+    api::Pipeline::Builder builder;
+    if (is_plt) {
+      builder.FromPltFile(input);
+    } else {
+      builder.FromCsvFile(input);
+    }
+    // Clean() makes the pipeline robust to raw exports (duplicate or
+    // out-of-order rows); on already-valid files it is a no-op.
+    Result<api::Pipeline> pipeline = builder.Clean()
+                                         .Simplify(spec)
+                                         .Verify()
+                                         .DeltaEncode()
+                                         .Build();
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "bad configuration '%s': %s\n", spec.c_str(),
+                   pipeline.status().ToString().c_str());
+      return 1;
+    }
+    Result<api::PipelineReport> run = pipeline->Run();
+    if (!run.ok()) {
+      std::fprintf(stderr, "pipeline '%s' failed: %s\n", spec.c_str(),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    const api::PipelineReport& report = *run;
+    // Stored points per input point, the paper's compression metric
+    // (segments + 1 endpoints for a continuous representation).
+    const double ratio =
+        report.points_kept > 0
+            ? 100.0 * static_cast<double>(report.segments + 1) /
+                  static_cast<double>(report.points_kept)
+            : 0.0;
+    std::printf("%-24s %10zu %10.2f %10.2f %8s\n", report.spec.c_str(),
+                report.segments, ratio, 100.0 * report.delta_ratio,
+                report.verified ? "yes" : "NO");
+    if (&spec == &specs.back()) {
+      for (const traj::TaggedSegment& s : report.segments_out) {
+        last_representation.Append(s.segment);
+      }
+    }
   }
 
-  // Lossless comparison point (related work [19]): delta codec.
-  const double delta_ratio = codec::DeltaCompressionRatio(t);
-  std::printf("%-10s %10s %10.2f %10.2f %8s   (lossless baseline)\n",
-              "delta", "-", 100.0 * delta_ratio, 0.0, "yes");
-
-  const Status st = traj::WriteRepresentationCsv(rows.back().rep, output);
+  const Status st = traj::WriteRepresentationCsv(last_representation, output);
   if (!st.ok()) {
     std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("\nwrote OPERB-A representation to %s\n", output.c_str());
+  std::printf("\nwrote %s representation to %s\n", specs.back().c_str(),
+              output.c_str());
   return 0;
 }

@@ -1,0 +1,42 @@
+// Legacy enum-keyed factories, preserved signature-for-signature but now
+// thin wrappers over the AlgorithmRegistry (declared in
+// baselines/simplifier.h and baselines/streaming.h; defined here because
+// the registry layer sits above baselines in the module graph).
+//
+// These are programmer APIs with a documented precondition (zeta > 0, a
+// valid enum value) and therefore keep their CHECK on violation.
+// Untrusted input — CLI flags, config strings, engine options — must go
+// through SimplifierSpec / AlgorithmRegistry, whose Status-returning
+// surface never aborts.
+
+#include <memory>
+
+#include "api/registry.h"
+#include "api/spec.h"
+#include "baselines/simplifier.h"
+#include "baselines/streaming.h"
+#include "common/check.h"
+
+namespace operb::baselines {
+
+std::unique_ptr<Simplifier> MakeSimplifier(Algorithm algorithm, double zeta,
+                                           OperbFidelity fidelity) {
+  OPERB_CHECK_MSG(zeta > 0.0, "zeta must be positive");
+  auto made = api::AlgorithmRegistry::Global().MakeBatch(
+      api::SpecFor(algorithm, zeta, fidelity));
+  // Every enum value names a built-in registration; a miss here is a
+  // broken registry, not caller input.
+  OPERB_CHECK_MSG(made.ok(), made.status().ToString().c_str());
+  return std::move(made).value();
+}
+
+std::unique_ptr<StreamingSimplifier> MakeStreamingSimplifier(
+    Algorithm algorithm, double zeta, OperbFidelity fidelity) {
+  OPERB_CHECK_MSG(zeta > 0.0, "zeta must be positive");
+  auto made = api::AlgorithmRegistry::Global().MakeStreaming(
+      api::SpecFor(algorithm, zeta, fidelity));
+  OPERB_CHECK_MSG(made.ok(), made.status().ToString().c_str());
+  return std::move(made).value();
+}
+
+}  // namespace operb::baselines

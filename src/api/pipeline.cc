@@ -1,0 +1,438 @@
+#include "api/pipeline.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "api/registry.h"
+#include "baselines/streaming.h"
+#include "common/stopwatch.h"
+#include "traj/io.h"
+#include "traj/piecewise.h"
+
+namespace operb::api {
+
+namespace {
+
+/// Raw storage cost a trajectory point is charged against (three doubles),
+/// the same constant codec::DeltaCompressionRatio uses.
+constexpr double kRawBytesPerPoint = 24.0;
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+Status Pipeline::Builder::SetSource(Source source) {
+  if (source_ != Source::kNone && source_error_.ok()) {
+    source_error_ = Status::InvalidArgument(
+        "pipeline has more than one ingest source; call exactly one "
+        "From*() method");
+  }
+  source_ = source;
+  return Status::OK();
+}
+
+Pipeline::Builder& Pipeline::Builder::FromTrajectory(
+    traj::Trajectory trajectory) {
+  SetSource(Source::kTrajectory);
+  trajectory_ = std::move(trajectory);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::FromCsvFile(std::string path) {
+  SetSource(Source::kCsvFile);
+  path_or_content_ = std::move(path);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::FromCsv(std::string content) {
+  SetSource(Source::kCsvContent);
+  path_or_content_ = std::move(content);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::FromPltFile(std::string path) {
+  SetSource(Source::kPltFile);
+  path_or_content_ = std::move(path);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::FromUpdates(
+    std::vector<traj::ObjectUpdate> updates) {
+  SetSource(Source::kUpdates);
+  updates_ = std::move(updates);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::FromMultiObjectCsvFile(
+    std::string path) {
+  SetSource(Source::kMultiCsvFile);
+  path_or_content_ = std::move(path);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Clean(traj::CleanerOptions options) {
+  clean_ = true;
+  cleaner_options_ = options;
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Simplify(SimplifierSpec spec) {
+  have_spec_ = true;
+  have_spec_string_ = false;
+  spec_ = std::move(spec);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Simplify(std::string_view spec_string) {
+  have_spec_ = true;
+  have_spec_string_ = true;  // parsed at Build(); "" must fail there, not
+                             // silently fall back to an earlier spec
+  spec_string_ = std::string(spec_string);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Verify(double slack) {
+  verify_ = true;
+  verify_slack_ = slack;
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::DeltaEncode(
+    codec::DeltaCodecOptions options) {
+  delta_ = true;
+  delta_options_ = options;
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Engine(
+    engine::StreamEngineOptions options) {
+  use_engine_ = true;
+  engine_options_ = std::move(options);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::ToSink(engine::TaggedSegmentSink sink) {
+  sink_ = std::move(sink);
+  return *this;
+}
+
+Result<Pipeline> Pipeline::Builder::Build() {
+  if (!source_error_.ok()) return source_error_;
+  if (source_ == Source::kNone) {
+    return Status::InvalidArgument(
+        "pipeline has no ingest source; call one of the From*() methods");
+  }
+  if (!have_spec_) {
+    return Status::InvalidArgument(
+        "pipeline has no simplifier; call Simplify(spec)");
+  }
+  if (have_spec_string_) {
+    OPERB_ASSIGN_OR_RETURN(spec_, SimplifierSpec::Parse(spec_string_));
+    have_spec_string_ = false;
+    spec_string_.clear();
+  }
+  OPERB_RETURN_IF_ERROR(AlgorithmRegistry::Global().Validate(spec_));
+  const bool multi_source =
+      source_ == Source::kUpdates || source_ == Source::kMultiCsvFile;
+  if (use_engine_ || multi_source) {
+    use_engine_ = true;
+    engine_options_.spec = spec_;
+    OPERB_RETURN_IF_ERROR(engine_options_.Validate());
+  }
+  if (verify_ && !(verify_slack_ >= 0.0)) {
+    return Status::InvalidArgument("verify slack must be >= 0");
+  }
+  return Pipeline(std::move(*this));
+}
+
+// ---------------------------------------------------------------------
+// Run
+// ---------------------------------------------------------------------
+
+Result<PipelineReport> Pipeline::Run() {
+  if (ran_) {
+    return Status::InvalidArgument(
+        "Pipeline::Run() may only be called once (the input was consumed)");
+  }
+  ran_ = true;
+  return config_.use_engine_ ? RunEngine() : RunSingle();
+}
+
+Result<PipelineReport> Pipeline::RunSingle() {
+  Builder& cfg = config_;
+  // With a Clean() stage, CSV sources are parsed as *raw* points — the
+  // validating parser would reject the very rows the cleaner exists to
+  // repair. (PLT parsing derives timestamps while projecting and stays
+  // validating; a corrupt .plt is a Corruption, not a cleanable stream.)
+  std::vector<geo::Point> raw;
+  traj::Trajectory input;
+  switch (cfg.source_) {
+    case Builder::Source::kTrajectory:
+      input = std::move(cfg.trajectory_);
+      break;
+    case Builder::Source::kCsvFile: {
+      if (cfg.clean_) {
+        OPERB_ASSIGN_OR_RETURN(raw,
+                               traj::ReadCsvPoints(cfg.path_or_content_));
+      } else {
+        OPERB_ASSIGN_OR_RETURN(input, traj::ReadCsv(cfg.path_or_content_));
+      }
+      break;
+    }
+    case Builder::Source::kCsvContent: {
+      if (cfg.clean_) {
+        OPERB_ASSIGN_OR_RETURN(raw,
+                               traj::ParseCsvPoints(cfg.path_or_content_));
+      } else {
+        OPERB_ASSIGN_OR_RETURN(input, traj::ParseCsv(cfg.path_or_content_));
+      }
+      break;
+    }
+    case Builder::Source::kPltFile: {
+      OPERB_ASSIGN_OR_RETURN(input,
+                             traj::ReadGeoLifePlt(cfg.path_or_content_));
+      break;
+    }
+    default:
+      return Status::Internal("single-path Run with a multi-object source");
+  }
+
+  PipelineReport report;
+  report.spec = cfg.spec_.ToString();
+  report.objects = 1;
+
+  traj::Trajectory cleaned;
+  if (cfg.clean_) {
+    if (raw.empty()) raw = input.points();  // trajectory / PLT sources
+    report.points_in = raw.size();
+    traj::StreamCleaner cleaner(cfg.cleaner_options_);
+    cleaned = cleaner.CleanAll(raw);
+    report.cleaner = cleaner.stats();
+  } else {
+    report.points_in = input.size();
+    if (const Status s = input.Validate(); !s.ok()) {
+      return Status::InvalidArgument(
+          s.message() +
+          " (timestamps must be strictly increasing; add a Clean() stage "
+          "to repair raw sensor streams)");
+    }
+    cleaned = std::move(input);
+  }
+  report.points_kept = cleaned.size();
+
+  OPERB_ASSIGN_OR_RETURN(
+      const std::unique_ptr<baselines::StreamingSimplifier> simplifier,
+      AlgorithmRegistry::Global().MakeStreaming(cfg.spec_));
+
+  traj::PiecewiseRepresentation rep;  // kept only for the verify stage
+  const bool keep_rep = cfg.verify_;
+  simplifier->SetSink([&](const traj::RepresentedSegment& s) {
+    ++report.segments;
+    if (keep_rep) rep.Append(s);
+    if (cfg.sink_) {
+      cfg.sink_(traj::ObjectId{0}, s);
+    } else {
+      report.segments_out.push_back({traj::ObjectId{0}, s});
+    }
+  });
+
+  // The one-pass algorithms emit with <2 points pushed nothing at all;
+  // skipping the push entirely mirrors Simplifier::Simplify's contract
+  // for the buffering baselines too.
+  Stopwatch watch;
+  if (cleaned.size() >= 2) {
+    simplifier->Push(std::span<const geo::Point>(cleaned.points()));
+    simplifier->Finish();
+  }
+  report.simplify_seconds = watch.ElapsedSeconds();
+
+  if (cfg.verify_) {
+    report.verify_ran = true;
+    const eval::VerificationResult verdict = eval::VerifyErrorBound(
+        cleaned, rep, cfg.spec_.zeta, cfg.verify_slack_);
+    report.verified = verdict.bounded;
+    report.bound_violations = verdict.bounded ? 0 : 1;
+    report.worst_distance = verdict.worst_distance;
+  }
+
+  if (cfg.delta_) {
+    report.delta_bytes =
+        codec::DeltaEncode(cleaned, cfg.delta_options_).size();
+    report.delta_ratio =
+        cleaned.empty() ? 0.0
+                        : static_cast<double>(report.delta_bytes) /
+                              (kRawBytesPerPoint *
+                               static_cast<double>(cleaned.size()));
+  }
+  return report;
+}
+
+Result<PipelineReport> Pipeline::RunEngine() {
+  Builder& cfg = config_;
+  std::vector<traj::ObjectUpdate> updates;
+  switch (cfg.source_) {
+    case Builder::Source::kUpdates:
+      updates = std::move(cfg.updates_);
+      break;
+    case Builder::Source::kMultiCsvFile: {
+      OPERB_ASSIGN_OR_RETURN(updates,
+                             traj::ReadMultiObjectCsv(cfg.path_or_content_));
+      break;
+    }
+    case Builder::Source::kTrajectory: {
+      updates.reserve(cfg.trajectory_.size());
+      for (const geo::Point& p : cfg.trajectory_) updates.push_back({0, p});
+      break;
+    }
+    case Builder::Source::kCsvFile:
+    case Builder::Source::kCsvContent:
+    case Builder::Source::kPltFile: {
+      traj::Trajectory t;
+      if (cfg.source_ == Builder::Source::kCsvFile) {
+        OPERB_ASSIGN_OR_RETURN(t, traj::ReadCsv(cfg.path_or_content_));
+      } else if (cfg.source_ == Builder::Source::kCsvContent) {
+        OPERB_ASSIGN_OR_RETURN(t, traj::ParseCsv(cfg.path_or_content_));
+      } else {
+        OPERB_ASSIGN_OR_RETURN(t, traj::ReadGeoLifePlt(cfg.path_or_content_));
+      }
+      updates.reserve(t.size());
+      for (const geo::Point& p : t) updates.push_back({0, p});
+      break;
+    }
+    case Builder::Source::kNone:
+      return Status::Internal("engine-path Run without a source");
+  }
+
+  PipelineReport report;
+  report.spec = cfg.spec_.ToString();
+  report.used_engine = true;
+  report.points_in = updates.size();
+
+  if (cfg.clean_) {
+    // Cleaning is a per-stream repair: one cleaner per object id.
+    std::unordered_map<traj::ObjectId, traj::StreamCleaner> cleaners;
+    std::vector<traj::ObjectUpdate> kept;
+    kept.reserve(updates.size());
+    for (const traj::ObjectUpdate& u : updates) {
+      auto it = cleaners.try_emplace(u.object_id, cfg.cleaner_options_).first;
+      if (it->second.Push(u.point).has_value()) kept.push_back(u);
+    }
+    for (const auto& [id, cleaner] : cleaners) {
+      const traj::CleanerStats& s = cleaner.stats();
+      report.cleaner.accepted += s.accepted;
+      report.cleaner.duplicates_dropped += s.duplicates_dropped;
+      report.cleaner.out_of_order_dropped += s.out_of_order_dropped;
+      report.cleaner.outliers_dropped += s.outliers_dropped;
+    }
+    updates = std::move(kept);
+  }
+  report.points_kept = updates.size();
+
+  // Grouping validates per-object timestamp monotonicity *before* the
+  // engine trusts it, and supplies the originals for verification and
+  // delta encoding.
+  OPERB_ASSIGN_OR_RETURN(
+      const std::vector<traj::ObjectTrajectory> grouped,
+      traj::GroupUpdatesByObject(
+          std::span<const traj::ObjectUpdate>(updates)));
+  report.objects = grouped.size();
+
+  // Collect when the report keeps the segments or verification needs
+  // them; forward to the user sink either way.
+  const bool collect = !cfg.sink_ || cfg.verify_;
+  std::mutex mu;
+  std::vector<traj::TaggedSegment> collected;
+  engine::TaggedSegmentSink engine_sink;
+  if (collect && cfg.sink_) {
+    engine_sink = [&](traj::ObjectId id, const traj::RepresentedSegment& s) {
+      cfg.sink_(id, s);
+      const std::lock_guard<std::mutex> lock(mu);
+      collected.push_back({id, s});
+    };
+  } else if (collect) {
+    engine_sink = [&](traj::ObjectId id, const traj::RepresentedSegment& s) {
+      const std::lock_guard<std::mutex> lock(mu);
+      collected.push_back({id, s});
+    };
+  } else {
+    engine_sink = cfg.sink_;
+  }
+
+  OPERB_ASSIGN_OR_RETURN(
+      const std::unique_ptr<engine::StreamEngine> eng,
+      engine::StreamEngine::Create(cfg.engine_options_,
+                                   std::move(engine_sink)));
+  Stopwatch watch;
+  eng->Push(std::span<const traj::ObjectUpdate>(updates));
+  eng->Close();
+  report.simplify_seconds = watch.ElapsedSeconds();
+  report.engine_stats = eng->stats();
+  report.segments = static_cast<std::size_t>(report.engine_stats.segments);
+
+  if (collect) {
+    // Per-object order is emission order already; a stable sort by id
+    // groups objects into contiguous runs without disturbing it.
+    std::stable_sort(collected.begin(), collected.end(),
+                     [](const traj::TaggedSegment& a,
+                        const traj::TaggedSegment& b) {
+                       return a.object_id < b.object_id;
+                     });
+  }
+
+  if (cfg.verify_) {
+    report.verify_ran = true;
+    report.verified = true;
+    // `collected` is sorted by id: walk each object's contiguous run.
+    std::unordered_map<traj::ObjectId, std::pair<std::size_t, std::size_t>>
+        runs;
+    for (std::size_t j = 0; j < collected.size();) {
+      std::size_t k = j;
+      while (k < collected.size() &&
+             collected[k].object_id == collected[j].object_id) {
+        ++k;
+      }
+      runs.emplace(collected[j].object_id, std::make_pair(j, k));
+      j = k;
+    }
+    for (const traj::ObjectTrajectory& obj : grouped) {
+      if (obj.trajectory.size() < 2) continue;  // empty output by contract
+      traj::PiecewiseRepresentation rep;
+      if (const auto it = runs.find(obj.object_id); it != runs.end()) {
+        for (std::size_t j = it->second.first; j < it->second.second; ++j) {
+          rep.Append(collected[j].segment);
+        }
+      }
+      const eval::VerificationResult verdict = eval::VerifyErrorBound(
+          obj.trajectory, rep, cfg.spec_.zeta, cfg.verify_slack_);
+      if (!verdict.bounded) {
+        report.verified = false;
+        ++report.bound_violations;
+      }
+      report.worst_distance =
+          std::max(report.worst_distance, verdict.worst_distance);
+    }
+  }
+
+  if (cfg.delta_) {
+    for (const traj::ObjectTrajectory& obj : grouped) {
+      report.delta_bytes +=
+          codec::DeltaEncode(obj.trajectory, cfg.delta_options_).size();
+    }
+    report.delta_ratio =
+        updates.empty() ? 0.0
+                        : static_cast<double>(report.delta_bytes) /
+                              (kRawBytesPerPoint *
+                               static_cast<double>(updates.size()));
+  }
+
+  if (!cfg.sink_) report.segments_out = std::move(collected);
+  return report;
+}
+
+}  // namespace operb::api

@@ -1,0 +1,345 @@
+// Registration of the library's 10 built-in algorithms, one block per
+// algorithm family. This file is the single successor of the two enum
+// switches that used to live in baselines/simplifier.cc and
+// baselines/streaming.cc: each algorithm's batch and streaming factories
+// are defined side by side and configured from one shared options
+// builder, so the two paths cannot drift apart (the golden equivalence
+// suite additionally pins them to bit-identical output).
+//
+// Registration is explicit — RegisterBuiltinAlgorithms() is called from
+// AlgorithmRegistry::Global() on first use — rather than via static
+// initializer objects: these modules build as static libraries, where the
+// linker is free to drop a translation unit nothing references, which
+// silently unregisters algorithms. See DESIGN.md §7.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "api/registry.h"
+#include "api/spec.h"
+#include "baselines/bqs.h"
+#include "baselines/dp.h"
+#include "baselines/opw.h"
+#include "baselines/simplifier.h"
+#include "baselines/streaming.h"
+#include "common/check.h"
+#include "core/operb.h"
+#include "core/operb_a.h"
+#include "core/options.h"
+#include "traj/trajectory.h"
+
+namespace operb::api {
+
+namespace {
+
+using FreeFunction = traj::PiecewiseRepresentation (*)(const traj::Trajectory&,
+                                                       double);
+
+// ---------------------------------------------------------------------
+// Batch adapters (uniform Simplifier over the concrete algorithms).
+// ---------------------------------------------------------------------
+
+/// Adapter for the plain function-style baselines.
+class FunctionSimplifier final : public baselines::Simplifier {
+ public:
+  FunctionSimplifier(std::string_view name, FreeFunction fn, double zeta)
+      : name_(name), fn_(fn), zeta_(zeta) {}
+
+  std::string_view name() const override { return name_; }
+
+  traj::PiecewiseRepresentation Simplify(
+      const traj::Trajectory& trajectory) const override {
+    return fn_(trajectory, zeta_);
+  }
+
+ private:
+  std::string_view name_;
+  FreeFunction fn_;
+  double zeta_;
+};
+
+class OperbSimplifier final : public baselines::Simplifier {
+ public:
+  OperbSimplifier(std::string_view name, const core::OperbOptions& options)
+      : name_(name), options_(options) {}
+
+  std::string_view name() const override { return name_; }
+
+  traj::PiecewiseRepresentation Simplify(
+      const traj::Trajectory& trajectory) const override {
+    return core::SimplifyOperb(trajectory, options_);
+  }
+
+  void SimplifyToSink(const traj::Trajectory& trajectory,
+                      const traj::SegmentSink& sink) const override {
+    if (trajectory.size() < 2) return;
+    core::OperbStream stream(options_);
+    stream.SetSink(sink);
+    stream.Push(std::span<const geo::Point>(trajectory.points()));
+    stream.Finish();
+  }
+
+ private:
+  std::string_view name_;
+  core::OperbOptions options_;
+};
+
+class OperbASimplifier final : public baselines::Simplifier {
+ public:
+  OperbASimplifier(std::string_view name, const core::OperbAOptions& options)
+      : name_(name), options_(options) {}
+
+  std::string_view name() const override { return name_; }
+
+  traj::PiecewiseRepresentation Simplify(
+      const traj::Trajectory& trajectory) const override {
+    return core::SimplifyOperbA(trajectory, options_);
+  }
+
+  void SimplifyToSink(const traj::Trajectory& trajectory,
+                      const traj::SegmentSink& sink) const override {
+    if (trajectory.size() < 2) return;
+    core::OperbAStream stream(options_);
+    stream.SetSink(sink);
+    stream.Push(std::span<const geo::Point>(trajectory.points()));
+    stream.Finish();
+  }
+
+ private:
+  std::string_view name_;
+  core::OperbAOptions options_;
+};
+
+// ---------------------------------------------------------------------
+// Streaming adapters (resettable per-object states for the engine).
+// ---------------------------------------------------------------------
+
+/// One-pass wrapper over core::OperbStream.
+class OperbStreaming final : public baselines::StreamingSimplifier {
+ public:
+  OperbStreaming(std::string_view name, const core::OperbOptions& options)
+      : name_(name), stream_(options) {}
+
+  std::string_view name() const override { return name_; }
+  bool one_pass() const override { return true; }
+  void SetSink(traj::SegmentSink sink) override {
+    stream_.SetSink(std::move(sink));
+  }
+  void Push(const geo::Point& p) override { stream_.Push(p); }
+  void Push(std::span<const geo::Point> points) override {
+    stream_.Push(points);
+  }
+  void Finish() override { stream_.Finish(); }
+  void Reset() override { stream_.Reset(); }
+
+ private:
+  std::string_view name_;
+  core::OperbStream stream_;
+};
+
+/// One-pass wrapper over core::OperbAStream.
+class OperbAStreaming final : public baselines::StreamingSimplifier {
+ public:
+  OperbAStreaming(std::string_view name, const core::OperbAOptions& options)
+      : name_(name), stream_(options) {}
+
+  std::string_view name() const override { return name_; }
+  bool one_pass() const override { return true; }
+  void SetSink(traj::SegmentSink sink) override {
+    stream_.SetSink(std::move(sink));
+  }
+  void Push(const geo::Point& p) override { stream_.Push(p); }
+  void Push(std::span<const geo::Point> points) override {
+    stream_.Push(points);
+  }
+  void Finish() override { stream_.Finish(); }
+  void Reset() override { stream_.Reset(); }
+
+ private:
+  std::string_view name_;
+  core::OperbAStream stream_;
+};
+
+/// Buffering adapter for the batch baselines: Push() accumulates the
+/// trajectory (amortized; the buffer's capacity survives Reset, so a
+/// pooled state stops allocating per point once warm), Finish() runs the
+/// batch algorithm and forwards every segment to the sink in order.
+class BufferedStreaming final : public baselines::StreamingSimplifier {
+ public:
+  BufferedStreaming(std::string_view name, FreeFunction fn, double zeta)
+      : name_(name), fn_(fn), zeta_(zeta) {}
+
+  std::string_view name() const override { return name_; }
+  bool one_pass() const override { return false; }
+  void SetSink(traj::SegmentSink sink) override { sink_ = std::move(sink); }
+  void Push(const geo::Point& p) override {
+    buffer_.AppendUnchecked(p);  // order is the caller's contract
+  }
+  void Push(std::span<const geo::Point> points) override {
+    for (const geo::Point& p : points) buffer_.AppendUnchecked(p);
+  }
+  void Finish() override {
+    if (buffer_.size() < 2) return;  // matches Simplifier::Simplify
+    for (const traj::RepresentedSegment& s : fn_(buffer_, zeta_)) {
+      if (sink_) sink_(s);
+    }
+  }
+  void Reset() override { buffer_.clear(); }
+
+ private:
+  std::string_view name_;
+  FreeFunction fn_;
+  double zeta_;
+  traj::SegmentSink sink_;
+  traj::Trajectory buffer_;
+};
+
+// ---------------------------------------------------------------------
+// Family registration blocks.
+// ---------------------------------------------------------------------
+
+traj::PiecewiseRepresentation SimplifyOpwEuclid(const traj::Trajectory& t,
+                                                double zeta) {
+  return baselines::SimplifyOpw(t, zeta, baselines::OpwDistance::kEuclidean);
+}
+
+traj::PiecewiseRepresentation SimplifyOpwSed(const traj::Trajectory& t,
+                                             double zeta) {
+  return baselines::SimplifyOpw(t, zeta, baselines::OpwDistance::kSynchronous);
+}
+
+/// Registers one function-style batch baseline: the batch side wraps the
+/// free function directly, the streaming side buffers and runs it at
+/// Finish() — exactly the pre-registry adapter pair.
+void RegisterFunctionAlgorithm(AlgorithmRegistry& registry, const char* name,
+                               const char* summary, FreeFunction fn) {
+  AlgorithmRegistry::Entry entry;
+  entry.name = name;
+  entry.summary = summary;
+  entry.one_pass = false;
+  // The canonical name string in the Entry outlives every product (the
+  // registry is append-only and process-lived), so adapters can hold a
+  // view of it.
+  entry.batch = [name, fn](const SimplifierSpec& spec) {
+    return std::make_unique<FunctionSimplifier>(name, fn, spec.zeta);
+  };
+  entry.streaming = [name, fn](const SimplifierSpec& spec) {
+    return std::make_unique<BufferedStreaming>(name, fn, spec.zeta);
+  };
+  OPERB_CHECK_MSG(registry.Register(std::move(entry)).ok(),
+                  "builtin registration failed");
+}
+
+/// Spec -> core::OperbOptions, shared by the batch and streaming
+/// factories of both OPERB variants (this is what keeps the two paths
+/// configured identically). `optimized` selects Optimized()/Raw(); the
+/// fidelity switch only applies to the optimized variant — Raw-OPERB has
+/// no heuristics for the guard to guard (mirrors the legacy factories).
+core::OperbOptions OperbOptionsFrom(const SimplifierSpec& spec,
+                                    bool optimized) {
+  core::OperbOptions o = optimized ? core::OperbOptions::Optimized(spec.zeta)
+                                   : core::OperbOptions::Raw(spec.zeta);
+  if (optimized) {
+    o.strict_bound_guard =
+        spec.fidelity == baselines::OperbFidelity::kGuarded;
+  }
+  o.step_length_factor = spec.Option("step_length", o.step_length_factor);
+  o.activation_slack_factor =
+      spec.Option("activation_slack", o.activation_slack_factor);
+  return o;
+}
+
+core::OperbAOptions OperbAOptionsFrom(const SimplifierSpec& spec,
+                                      bool optimized) {
+  core::OperbAOptions o;
+  o.base = OperbOptionsFrom(spec, optimized);
+  o.gamma_m = spec.Option("gamma_m", o.gamma_m);
+  o.max_patch_extension_zeta =
+      spec.Option("max_patch_extension", o.max_patch_extension_zeta);
+  return o;
+}
+
+void RegisterOperbVariant(AlgorithmRegistry& registry, const char* name,
+                          const char* summary, bool optimized) {
+  AlgorithmRegistry::Entry entry;
+  entry.name = name;
+  entry.summary = summary;
+  entry.one_pass = true;
+  entry.option_keys = {"step_length", "activation_slack"};
+  entry.batch = [name, optimized](const SimplifierSpec& spec) {
+    return std::make_unique<OperbSimplifier>(name,
+                                             OperbOptionsFrom(spec, optimized));
+  };
+  entry.streaming = [name, optimized](const SimplifierSpec& spec) {
+    return std::make_unique<OperbStreaming>(name,
+                                            OperbOptionsFrom(spec, optimized));
+  };
+  entry.validate_options = [optimized](const SimplifierSpec& spec) {
+    return OperbOptionsFrom(spec, optimized).Validate();
+  };
+  OPERB_CHECK_MSG(registry.Register(std::move(entry)).ok(),
+                  "builtin registration failed");
+}
+
+void RegisterOperbAVariant(AlgorithmRegistry& registry, const char* name,
+                           const char* summary, bool optimized) {
+  AlgorithmRegistry::Entry entry;
+  entry.name = name;
+  entry.summary = summary;
+  entry.one_pass = true;
+  entry.option_keys = {"step_length", "activation_slack", "gamma_m",
+                       "max_patch_extension"};
+  entry.batch = [name, optimized](const SimplifierSpec& spec) {
+    return std::make_unique<OperbASimplifier>(
+        name, OperbAOptionsFrom(spec, optimized));
+  };
+  entry.streaming = [name, optimized](const SimplifierSpec& spec) {
+    return std::make_unique<OperbAStreaming>(
+        name, OperbAOptionsFrom(spec, optimized));
+  };
+  entry.validate_options = [optimized](const SimplifierSpec& spec) {
+    return OperbAOptionsFrom(spec, optimized).Validate();
+  };
+  OPERB_CHECK_MSG(registry.Register(std::move(entry)).ok(),
+                  "builtin registration failed");
+}
+
+}  // namespace
+
+void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry) {
+  // Registration order == baselines::AllAlgorithms() == the order the
+  // paper's figures list the algorithms.
+  RegisterFunctionAlgorithm(registry, "DP",
+                            "batch Douglas-Peucker, Euclidean distance",
+                            &baselines::SimplifyDp);
+  RegisterFunctionAlgorithm(registry, "DP-SED",
+                            "top-down DP with synchronous Euclidean distance",
+                            &baselines::SimplifyDpSed);
+  RegisterFunctionAlgorithm(registry, "OPW",
+                            "open-window online algorithm, Euclidean distance",
+                            &SimplifyOpwEuclid);
+  RegisterFunctionAlgorithm(registry, "OPW-SED",
+                            "open window with synchronous Euclidean distance",
+                            &SimplifyOpwSed);
+  RegisterFunctionAlgorithm(registry, "BQS", "bounded quadrant system",
+                            &baselines::SimplifyBqs);
+  RegisterFunctionAlgorithm(registry, "FBQS", "fast (buffer-free) BQS",
+                            &baselines::SimplifyFbqs);
+  RegisterOperbVariant(registry, "Raw-OPERB",
+                       "OPERB without the five optimizations (Figure 7)",
+                       /*optimized=*/false);
+  RegisterOperbVariant(registry, "OPERB",
+                       "one-pass error-bounded simplification, optimized",
+                       /*optimized=*/true);
+  RegisterOperbAVariant(registry, "Raw-OPERB-A",
+                        "Raw-OPERB plus patch-point interpolation",
+                        /*optimized=*/false);
+  RegisterOperbAVariant(registry, "OPERB-A",
+                        "OPERB plus patch-point interpolation (aggressive)",
+                        /*optimized=*/true);
+}
+
+}  // namespace operb::api

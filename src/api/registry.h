@@ -1,0 +1,131 @@
+#ifndef OPERB_API_REGISTRY_H_
+#define OPERB_API_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/spec.h"
+#include "baselines/simplifier.h"
+#include "baselines/streaming.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace operb::api {
+
+/// String-keyed catalog of every simplification algorithm the library can
+/// construct — the single construction surface behind the Pipeline
+/// facade, engine::StreamEngine, operb_cli and the legacy enum factories
+/// (baselines::MakeSimplifier / MakeStreamingSimplifier are thin wrappers
+/// over this registry; see src/api/compat.cc).
+///
+/// Each entry owns a *batch* factory (a baselines::Simplifier) and a
+/// *streaming* factory (a resettable baselines::StreamingSimplifier) that
+/// are configured from the same SimplifierSpec and produce bit-identical
+/// segment sequences — the equivalence the golden suite pins down.
+///
+/// Lookup is case-insensitive and treats '-' and '_' as the same
+/// character, so "operb-a", "OPERB_A" and the canonical "OPERB-A" all
+/// resolve to one entry.
+///
+/// Error-handling contract (the library-wide boundary rule, DESIGN.md §7):
+/// every method taking a spec returns Status/Result — unknown names,
+/// out-of-range zeta and unknown option keys are InvalidArgument /
+/// NotFound, never a CHECK abort. CHECKs remain for internal invariants
+/// only (e.g. a factory invoked with a spec that was already validated).
+///
+/// The 10 built-in algorithms are registered on first use of Global()
+/// (explicit registration, not static initializers: these modules are
+/// static libraries, and a registration object in an otherwise
+/// unreferenced translation unit is dropped by the linker — the classic
+/// self-registration trap). Additional algorithms can be registered at
+/// runtime via Register(); registration is append-only and thread-safe.
+class AlgorithmRegistry {
+ public:
+  using BatchFactory = std::function<std::unique_ptr<baselines::Simplifier>(
+      const SimplifierSpec&)>;
+  using StreamingFactory =
+      std::function<std::unique_ptr<baselines::StreamingSimplifier>(
+          const SimplifierSpec&)>;
+  /// Semantic check of the algorithm-specific options (ranges, cross-field
+  /// rules). Runs after the generic checks (known keys, finite numbers).
+  using OptionValidator = std::function<Status(const SimplifierSpec&)>;
+
+  struct Entry {
+    /// Canonical name, unique under the case/'-'/'_' folding ("OPERB-A").
+    std::string name;
+    /// One-line description for --help / docs.
+    std::string summary;
+    /// True for O(1)-state one-pass algorithms (OPERB family): the
+    /// streaming factory's product neither buffers nor allocates per
+    /// point. Capacity planning in the engine keys off this.
+    bool one_pass = false;
+    /// Algorithm-specific option keys accepted in a spec (beyond the
+    /// universal zeta/fidelity). Anything else is InvalidArgument.
+    std::vector<std::string> option_keys;
+    BatchFactory batch;
+    StreamingFactory streaming;
+    /// Optional extra validation; may be empty.
+    OptionValidator validate_options;
+  };
+
+  /// An empty registry. Most callers want Global(); a private instance is
+  /// useful for tests and for embedding with a restricted algorithm set.
+  AlgorithmRegistry() = default;
+  AlgorithmRegistry(const AlgorithmRegistry&) = delete;
+  AlgorithmRegistry& operator=(const AlgorithmRegistry&) = delete;
+
+  /// The process-wide registry, with the built-in algorithms registered.
+  static AlgorithmRegistry& Global();
+
+  /// Adds an algorithm. InvalidArgument on an empty name or missing
+  /// factory; AlreadyExists-like Corruption is not used — a duplicate
+  /// (after folding) is InvalidArgument.
+  Status Register(Entry entry);
+
+  /// Folded lookup; nullptr when unknown. The pointer stays valid for the
+  /// registry's lifetime (append-only storage).
+  const Entry* Find(std::string_view name) const;
+
+  /// Canonical names in registration order (the paper's figure order for
+  /// the built-ins).
+  std::vector<std::string> Names() const;
+
+  /// Full semantic validation of `spec` against its entry: known
+  /// algorithm, positive finite zeta, accepted option keys, option
+  /// ranges.
+  Status Validate(const SimplifierSpec& spec) const;
+
+  /// Constructs the batch / streaming simplifier described by `spec`.
+  /// Validates first; the two factories configured from the same spec
+  /// emit bit-identical segments.
+  Result<std::unique_ptr<baselines::Simplifier>> MakeBatch(
+      const SimplifierSpec& spec) const;
+  Result<std::unique_ptr<baselines::StreamingSimplifier>> MakeStreaming(
+      const SimplifierSpec& spec) const;
+
+  /// Convenience: Parse + MakeBatch/MakeStreaming in one step, for
+  /// callers holding a spec string ("operb:zeta=5,fidelity=paper").
+  Result<std::unique_ptr<baselines::Simplifier>> MakeBatch(
+      std::string_view spec_string) const;
+  Result<std::unique_ptr<baselines::StreamingSimplifier>> MakeStreaming(
+      std::string_view spec_string) const;
+
+ private:
+  mutable std::mutex mu_;
+  /// unique_ptr elements so Find()'s pointers survive vector growth.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Registers the library's 10 built-in algorithms (implemented in
+/// src/api/register_algorithms.cc, one registration block per algorithm
+/// family, collapsing the pre-registry enum switches). Called by
+/// Global(); exposed so tests can populate a private registry.
+void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry);
+
+}  // namespace operb::api
+
+#endif  // OPERB_API_REGISTRY_H_

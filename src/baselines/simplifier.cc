@@ -1,106 +1,11 @@
 #include "baselines/simplifier.h"
 
-#include "baselines/bqs.h"
-#include "baselines/dp.h"
-#include "baselines/opw.h"
-#include "common/check.h"
-#include "core/operb.h"
-#include "core/operb_a.h"
-
 namespace operb::baselines {
 
 void Simplifier::SimplifyToSink(const traj::Trajectory& trajectory,
                                 const traj::SegmentSink& sink) const {
   for (const traj::RepresentedSegment& s : Simplify(trajectory)) sink(s);
 }
-
-namespace {
-
-using FreeFunction = traj::PiecewiseRepresentation (*)(const traj::Trajectory&,
-                                                       double);
-
-/// Adapter for the plain function-style baselines.
-class FunctionSimplifier final : public Simplifier {
- public:
-  FunctionSimplifier(std::string_view name, FreeFunction fn, double zeta)
-      : name_(name), fn_(fn), zeta_(zeta) {}
-
-  std::string_view name() const override { return name_; }
-
-  traj::PiecewiseRepresentation Simplify(
-      const traj::Trajectory& trajectory) const override {
-    return fn_(trajectory, zeta_);
-  }
-
- private:
-  std::string_view name_;
-  FreeFunction fn_;
-  double zeta_;
-};
-
-traj::PiecewiseRepresentation SimplifyOpwEuclid(const traj::Trajectory& t,
-                                                double zeta) {
-  return SimplifyOpw(t, zeta, OpwDistance::kEuclidean);
-}
-
-traj::PiecewiseRepresentation SimplifyOpwSed(const traj::Trajectory& t,
-                                             double zeta) {
-  return SimplifyOpw(t, zeta, OpwDistance::kSynchronous);
-}
-
-class OperbSimplifier final : public Simplifier {
- public:
-  OperbSimplifier(std::string_view name, const core::OperbOptions& options)
-      : name_(name), options_(options) {}
-
-  std::string_view name() const override { return name_; }
-
-  traj::PiecewiseRepresentation Simplify(
-      const traj::Trajectory& trajectory) const override {
-    return core::SimplifyOperb(trajectory, options_);
-  }
-
-  void SimplifyToSink(const traj::Trajectory& trajectory,
-                      const traj::SegmentSink& sink) const override {
-    if (trajectory.size() < 2) return;
-    core::OperbStream stream(options_);
-    stream.SetSink(sink);
-    stream.Push(std::span<const geo::Point>(trajectory.points()));
-    stream.Finish();
-  }
-
- private:
-  std::string_view name_;
-  core::OperbOptions options_;
-};
-
-class OperbASimplifier final : public Simplifier {
- public:
-  OperbASimplifier(std::string_view name, const core::OperbAOptions& options)
-      : name_(name), options_(options) {}
-
-  std::string_view name() const override { return name_; }
-
-  traj::PiecewiseRepresentation Simplify(
-      const traj::Trajectory& trajectory) const override {
-    return core::SimplifyOperbA(trajectory, options_);
-  }
-
-  void SimplifyToSink(const traj::Trajectory& trajectory,
-                      const traj::SegmentSink& sink) const override {
-    if (trajectory.size() < 2) return;
-    core::OperbAStream stream(options_);
-    stream.SetSink(sink);
-    stream.Push(std::span<const geo::Point>(trajectory.points()));
-    stream.Finish();
-  }
-
- private:
-  std::string_view name_;
-  core::OperbAOptions options_;
-};
-
-}  // namespace
 
 std::vector<Algorithm> AllAlgorithms() {
   return {Algorithm::kDP,       Algorithm::kDPSED,     Algorithm::kOPW,
@@ -133,48 +38,6 @@ std::string_view AlgorithmName(Algorithm algorithm) {
       return "OPERB-A";
   }
   return "unknown";
-}
-
-std::unique_ptr<Simplifier> MakeSimplifier(Algorithm algorithm, double zeta,
-                                           OperbFidelity fidelity) {
-  OPERB_CHECK_MSG(zeta > 0.0, "zeta must be positive");
-  const bool guard = fidelity == OperbFidelity::kGuarded;
-  switch (algorithm) {
-    case Algorithm::kDP:
-      return std::make_unique<FunctionSimplifier>("DP", &SimplifyDp, zeta);
-    case Algorithm::kDPSED:
-      return std::make_unique<FunctionSimplifier>("DP-SED", &SimplifyDpSed,
-                                                  zeta);
-    case Algorithm::kOPW:
-      return std::make_unique<FunctionSimplifier>("OPW", &SimplifyOpwEuclid,
-                                                  zeta);
-    case Algorithm::kOPWSED:
-      return std::make_unique<FunctionSimplifier>("OPW-SED", &SimplifyOpwSed,
-                                                  zeta);
-    case Algorithm::kBQS:
-      return std::make_unique<FunctionSimplifier>("BQS", &SimplifyBqs, zeta);
-    case Algorithm::kFBQS:
-      return std::make_unique<FunctionSimplifier>("FBQS", &SimplifyFbqs,
-                                                  zeta);
-    case Algorithm::kRawOPERB:
-      return std::make_unique<OperbSimplifier>("Raw-OPERB",
-                                               core::OperbOptions::Raw(zeta));
-    case Algorithm::kOPERB: {
-      core::OperbOptions o = core::OperbOptions::Optimized(zeta);
-      o.strict_bound_guard = guard;
-      return std::make_unique<OperbSimplifier>("OPERB", o);
-    }
-    case Algorithm::kRawOPERBA:
-      return std::make_unique<OperbASimplifier>(
-          "Raw-OPERB-A", core::OperbAOptions::Raw(zeta));
-    case Algorithm::kOPERBA: {
-      core::OperbAOptions o = core::OperbAOptions::Optimized(zeta);
-      o.base.strict_bound_guard = guard;
-      return std::make_unique<OperbASimplifier>("OPERB-A", o);
-    }
-  }
-  OPERB_CHECK_MSG(false, "unknown algorithm");
-  return nullptr;
 }
 
 }  // namespace operb::baselines

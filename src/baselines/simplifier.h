@@ -73,7 +73,16 @@ std::string_view AlgorithmName(Algorithm algorithm);
 enum class OperbFidelity { kGuarded, kPaperFaithful };
 
 /// Creates a configured simplifier. `zeta` is the error bound in meters
-/// and must be positive (checked).
+/// and must be positive (checked — this is a programmer API with a
+/// documented precondition; untrusted configuration must go through
+/// api::SimplifierSpec / api::AlgorithmRegistry, whose Status-returning
+/// surface never aborts).
+///
+/// Compatibility wrapper: defined in src/api/compat.cc as a thin shim
+/// over the string-keyed AlgorithmRegistry, which is the single
+/// construction path for all 10 algorithms. Linking this symbol
+/// therefore requires the operb::api module (all leaf targets in this
+/// repo link every module).
 std::unique_ptr<Simplifier> MakeSimplifier(
     Algorithm algorithm, double zeta,
     OperbFidelity fidelity = OperbFidelity::kGuarded);

@@ -63,6 +63,11 @@ class StreamingSimplifier {
 /// Creates a resettable streaming state for any algorithm, configured
 /// identically to MakeSimplifier(algorithm, zeta, fidelity) — the two
 /// factories produce bit-identical segment sequences.
+///
+/// Compatibility wrapper: like MakeSimplifier, defined in
+/// src/api/compat.cc over the AlgorithmRegistry (which hands out both
+/// factories of an algorithm from one registration, so batch and
+/// streaming configuration cannot drift apart).
 std::unique_ptr<StreamingSimplifier> MakeStreamingSimplifier(
     Algorithm algorithm, double zeta,
     OperbFidelity fidelity = OperbFidelity::kGuarded);

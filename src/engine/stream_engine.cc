@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "api/registry.h"
 #include "baselines/streaming.h"
 #include "common/check.h"
 #include "engine/spsc_ring.h"
@@ -37,7 +38,9 @@ constexpr std::chrono::microseconds kDrainPoll{50};
 }  // namespace
 
 Status StreamEngineOptions::Validate() const {
-  if (!(zeta > 0.0)) return Status::InvalidArgument("zeta must be > 0");
+  // Registry resolution covers the algorithm name, zeta range and the
+  // algorithm-specific option keys/values.
+  OPERB_RETURN_IF_ERROR(api::AlgorithmRegistry::Global().Validate(spec));
   if (num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
@@ -59,11 +62,10 @@ Status StreamEngineOptions::Validate() const {
 std::string StreamEngineOptions::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "StreamEngineOptions{%s zeta=%g shards=%zu threads=%zu "
+                "StreamEngineOptions{%s shards=%zu threads=%zu "
                 "ring=%zu batch=%zu idle_timeout=%gs}",
-                std::string(baselines::AlgorithmName(algorithm)).c_str(),
-                zeta, num_shards, num_threads, ring_capacity, producer_batch,
-                idle_timeout_seconds);
+                spec.ToString().c_str(), num_shards, num_threads,
+                ring_capacity, producer_batch, idle_timeout_seconds);
   return buf;
 }
 
@@ -72,10 +74,13 @@ std::string StreamEngineOptions::ToString() const {
 /// path (table probe + state Push) is lock-free and unsynchronized.
 class StreamEngine::Shard {
  public:
-  Shard(const StreamEngineOptions& options, const TaggedSegmentSink* sink,
-        std::atomic<std::uint64_t>* live, std::atomic<std::uint64_t>* peak)
+  Shard(const StreamEngineOptions& options,
+        const api::AlgorithmRegistry::Entry* algorithm,
+        const TaggedSegmentSink* sink, std::atomic<std::uint64_t>* live,
+        std::atomic<std::uint64_t>* peak)
       : ring(options.ring_capacity),
         options_(options),
+        algorithm_(algorithm),
         sink_(sink),
         live_census_(live),
         peak_census_(peak),
@@ -231,8 +236,15 @@ class StreamEngine::Shard {
       return idx;
     }
     const std::uint32_t idx = static_cast<std::uint32_t>(states_.size());
-    states_.push_back(baselines::MakeStreamingSimplifier(
-        options_.algorithm, options_.zeta, options_.fidelity));
+    // The entry was resolved (and the spec validated) once at engine
+    // construction; invoking its factory directly keeps cold-start state
+    // creation free of registry lookups and mutex traffic on the shard
+    // threads. A null product past validation is an internal invariant
+    // violation.
+    std::unique_ptr<baselines::StreamingSimplifier> state =
+        algorithm_->streaming(options_.spec);
+    OPERB_CHECK_MSG(state != nullptr, "streaming factory returned null");
+    states_.push_back(std::move(state));
     states_.back()->SetSink([this](const traj::RepresentedSegment& seg) {
       ++segments_;
       if (*sink_) (*sink_)(current_id_, seg);
@@ -254,6 +266,7 @@ class StreamEngine::Shard {
   }
 
   const StreamEngineOptions& options_;
+  const api::AlgorithmRegistry::Entry* algorithm_;
   const TaggedSegmentSink* sink_;
   std::atomic<std::uint64_t>* live_census_;
   std::atomic<std::uint64_t>* peak_census_;
@@ -271,14 +284,26 @@ class StreamEngine::Shard {
   std::uint64_t idle_evictions_ = 0;
 };
 
+Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
+    const StreamEngineOptions& options, TaggedSegmentSink sink) {
+  OPERB_RETURN_IF_ERROR(options.Validate());
+  return std::make_unique<StreamEngine>(options, std::move(sink));
+}
+
 StreamEngine::StreamEngine(const StreamEngineOptions& options,
                            TaggedSegmentSink sink)
     : options_(options), sink_(std::move(sink)) {
   OPERB_CHECK_MSG(options_.Validate().ok(), "invalid StreamEngineOptions");
   options_.num_threads = std::min(options_.num_threads, options_.num_shards);
+  // Resolve the algorithm once; shards then construct pooled states via
+  // the entry's factory without going back through the registry. The
+  // pointer is stable (the registry is append-only and process-lived).
+  const api::AlgorithmRegistry::Entry* algorithm =
+      api::AlgorithmRegistry::Global().Find(options_.spec.algorithm);
+  OPERB_CHECK_MSG(algorithm != nullptr, "validated spec has no entry");
   shards_.reserve(options_.num_shards);
   for (std::size_t s = 0; s < options_.num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(options_, &sink_,
+    shards_.push_back(std::make_unique<Shard>(options_, algorithm, &sink_,
                                               &live_objects_, &peak_live_));
   }
   staging_.resize(options_.num_shards);

@@ -11,7 +11,8 @@
 #include <thread>
 #include <vector>
 
-#include "baselines/simplifier.h"
+#include "api/spec.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "geo/point.h"
 #include "traj/multi_object.h"
@@ -29,11 +30,12 @@ using TaggedSegmentSink =
 
 /// Configuration of a StreamEngine.
 struct StreamEngineOptions {
-  /// Per-object simplifier, identical in configuration and output to
-  /// baselines::MakeSimplifier(algorithm, zeta, fidelity).
-  baselines::Algorithm algorithm = baselines::Algorithm::kOPERB;
-  double zeta = 40.0;
-  baselines::OperbFidelity fidelity = baselines::OperbFidelity::kGuarded;
+  /// Per-object simplifier, resolved through api::AlgorithmRegistry.
+  /// Identical in configuration and output to the single-stream
+  /// simplifier the same spec constructs (determinism contract below);
+  /// the spec's zeta is the engine's error bound. Defaults to OPERB at
+  /// zeta 40 with the guarded fidelity.
+  api::SimplifierSpec spec;
 
   /// Number of shards (state-table partitions). Objects map to shards by
   /// a mixed hash of their id; per-object output is independent of this
@@ -62,7 +64,10 @@ struct StreamEngineOptions {
   /// pool. 0 disables idle eviction (Tick becomes a no-op).
   double idle_timeout_seconds = 0.0;
 
-  /// Validates parameter ranges.
+  /// Validates parameter ranges and resolves the spec against the
+  /// algorithm registry; this is the boundary check that makes engine
+  /// construction safe on untrusted configuration (pair with
+  /// StreamEngine::Create).
   Status Validate() const;
 
   std::string ToString() const;
@@ -116,7 +121,15 @@ struct StreamEngineStats {
 /// pooled states are all reused.
 class StreamEngine {
  public:
-  /// Precondition: options.Validate().ok(). The engine starts its worker
+  /// Status-returning construction for untrusted configuration: validates
+  /// `options` (including the spec, against the registry) and returns
+  /// InvalidArgument/NotFound instead of aborting. The boundary entry
+  /// point used by api::Pipeline and operb_cli.
+  static Result<std::unique_ptr<StreamEngine>> Create(
+      const StreamEngineOptions& options, TaggedSegmentSink sink);
+
+  /// Precondition: options.Validate().ok() (checked — use Create() when
+  /// the options come from user input). The engine starts its worker
   /// threads immediately; `sink` may be empty (segments are then only
   /// counted).
   StreamEngine(const StreamEngineOptions& options, TaggedSegmentSink sink);

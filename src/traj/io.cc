@@ -190,6 +190,32 @@ Result<Trajectory> ReadCsv(const std::string& path) {
   return ParseCsv(content);
 }
 
+Result<std::vector<geo::Point>> ParseCsvPoints(const std::string& content) {
+  std::vector<geo::Point> out;
+  out.reserve(CountLines(content));
+  LineScanner scanner{content};
+  std::string_view line;
+  while (scanner.Next(&line)) {
+    if (IsBlankOrComment(line)) continue;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    double x = 0.0, y = 0.0, t = 0.0;
+    if (!(ParseDouble(&p, end, &x) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &y) && ConsumeComma(&p, end) &&
+          ParseDouble(&p, end, &t))) {
+      return Status::Corruption("malformed CSV row at line " +
+                                std::to_string(scanner.lineno()));
+    }
+    out.push_back({x, y, t});
+  }
+  return out;
+}
+
+Result<std::vector<geo::Point>> ReadCsvPoints(const std::string& path) {
+  OPERB_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ParseCsvPoints(content);
+}
+
 Result<Trajectory> ParseGeoLifePlt(const std::string& content,
                                    const PltReadOptions& options) {
   LineScanner scanner{content};

@@ -63,6 +63,15 @@ Status WriteRepresentationCsv(const PiecewiseRepresentation& representation,
 /// tests and network receivers can bypass the filesystem).
 Result<Trajectory> ParseCsv(const std::string& content);
 
+/// Raw-sample variants of ReadCsv/ParseCsv: same row format and scanner,
+/// but rows parse into plain points in file order with *no* trajectory
+/// validation — duplicate and out-of-order timestamps pass through. The
+/// ingest form for cleaner-fronted pipelines (api::Pipeline with a
+/// Clean() stage), where rejecting a dirty export at parse time would
+/// make the repair stage unreachable.
+Result<std::vector<geo::Point>> ParseCsvPoints(const std::string& content);
+Result<std::vector<geo::Point>> ReadCsvPoints(const std::string& path);
+
 /// Multi-object CSV: one `id,t,x,y` row per update, rows from different
 /// objects freely interleaved (the on-disk form of a fleet feed),
 /// `#`-prefixed comment lines allowed. `id` is a decimal 64-bit object

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -18,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include "api/registry.h"
+#include "api/spec.h"
 #include "baselines/simplifier.h"
 #include "core/operb.h"
 #include "datagen/profiles.h"
@@ -127,8 +130,11 @@ TEST_P(EngineGoldenTest, ShuffledInterleaveMatchesGoldenPerObject) {
       ShuffleInterleave(objects, /*seed=*/42 + config_index);
 
   engine::StreamEngineOptions opts;
-  opts.algorithm = algo;
-  opts.zeta = kGoldenZeta;
+  // The engine is configured through the declarative spec — resolved via
+  // api::AlgorithmRegistry — and must stay bit-identical to the enum-era
+  // engine goldens (the spec is the exact equivalent of the old
+  // (Algorithm, zeta, fidelity) triple).
+  opts.spec = api::SpecFor(algo, kGoldenZeta);
   opts.num_shards = config.shards;
   opts.num_threads = config.threads;
   opts.ring_capacity = config.ring_capacity;
@@ -194,9 +200,9 @@ TEST(EngineTest, ExplicitFinishFlushesOneObjectAndAllowsReuse) {
   eng.Close();
 
   std::vector<traj::RepresentedSegment> want =
-      SingleStream(baselines::Algorithm::kOPERB, t, opts.zeta);
+      SingleStream(baselines::Algorithm::kOPERB, t, opts.spec.zeta);
   const std::vector<traj::RepresentedSegment> second =
-      SingleStream(baselines::Algorithm::kOPERB, t2, opts.zeta);
+      SingleStream(baselines::Algorithm::kOPERB, t2, opts.spec.zeta);
   want.insert(want.end(), second.begin(), second.end());
   ExpectSegmentsEqual(collector.ForObject(5), want, "finish+reuse");
 
@@ -231,11 +237,11 @@ TEST(EngineTest, TickEvictsIdleObjectsAtTheWatermark) {
 
   ExpectSegmentsEqual(collector.ForObject(1),
                       SingleStream(baselines::Algorithm::kOPERB, early,
-                                   opts.zeta),
+                                   opts.spec.zeta),
                       "early object");
   ExpectSegmentsEqual(collector.ForObject(2),
                       SingleStream(baselines::Algorithm::kOPERB, late,
-                                   opts.zeta),
+                                   opts.spec.zeta),
                       "late object");
   const engine::StreamEngineStats& stats = eng.stats();
   EXPECT_EQ(stats.idle_evictions, 1u);
@@ -254,7 +260,7 @@ TEST(EngineTest, TickWithoutTimeoutIsANoOp) {
   EXPECT_EQ(eng.stats().idle_evictions, 0u);
   ExpectSegmentsEqual(
       collector.ForObject(9),
-      SingleStream(baselines::Algorithm::kOPERB, t, opts.zeta), "no-op tick");
+      SingleStream(baselines::Algorithm::kOPERB, t, opts.spec.zeta), "no-op tick");
 }
 
 TEST(EngineTest, TinyRingBackpressureKeepsOutputIdentical) {
@@ -271,7 +277,7 @@ TEST(EngineTest, TinyRingBackpressureKeepsOutputIdentical) {
   eng.Close();
   ExpectSegmentsEqual(
       collector.ForObject(77),
-      SingleStream(baselines::Algorithm::kOPERB, t, opts.zeta),
+      SingleStream(baselines::Algorithm::kOPERB, t, opts.spec.zeta),
       "tiny ring");
   // With 20k points through a 4-slot ring the producer must have stalled.
   EXPECT_GT(eng.stats().ring_full_stalls, 0u);
@@ -319,7 +325,7 @@ TEST(EngineTest, ManyObjectsGrowTheTablePastItsInitialSize) {
   eng.Close();
   EXPECT_EQ(collector.objects(), kObjects);
   const std::vector<traj::RepresentedSegment> want =
-      SingleStream(baselines::Algorithm::kOPERB, t, opts.zeta);
+      SingleStream(baselines::Algorithm::kOPERB, t, opts.spec.zeta);
   ExpectSegmentsEqual(collector.ForObject(0), want, "object 0");
   ExpectSegmentsEqual(collector.ForObject(kObjects - 1), want, "object N-1");
   EXPECT_EQ(eng.stats().peak_live_objects, kObjects);
@@ -333,6 +339,56 @@ TEST(EngineTest, EmptySinkOnlyCounts) {
   for (const geo::Point& p : t) eng.Push(1, p);
   eng.Close();
   EXPECT_GT(eng.stats().segments, 0u);
+}
+
+TEST(EngineTest, SpecStringConstructionMatchesSingleStream) {
+  // A spec parsed from a one-line string is a first-class way to stand
+  // up the engine; output must match the single-stream path of the same
+  // spec bit-for-bit.
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kSerCar, 500, 13);
+  engine::StreamEngineOptions opts;
+  const Result<api::SimplifierSpec> spec =
+      api::SimplifierSpec::Parse("operb-a:zeta=25,fidelity=paper");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  opts.spec = *spec;
+  Collector collector;
+  Result<std::unique_ptr<engine::StreamEngine>> eng =
+      engine::StreamEngine::Create(opts, collector.Sink());
+  ASSERT_TRUE(eng.ok()) << eng.status().ToString();
+  for (const geo::Point& p : t) (*eng)->Push(3, p);
+  (*eng)->Close();
+
+  std::vector<traj::RepresentedSegment> want;
+  baselines::MakeSimplifier(baselines::Algorithm::kOPERBA, 25.0,
+                            baselines::OperbFidelity::kPaperFaithful)
+      ->SimplifyToSink(t, [&want](const traj::RepresentedSegment& s) {
+        want.push_back(s);
+      });
+  ExpectSegmentsEqual(collector.ForObject(3), want, "spec-string engine");
+}
+
+TEST(EngineTest, CreateRejectsInvalidOptionsWithStatus) {
+  // The boundary factory returns Status for every user-reachable
+  // misconfiguration — no CHECK abort.
+  engine::StreamEngineOptions unknown;
+  unknown.spec.algorithm = "NOPE";
+  const auto r1 =
+      engine::StreamEngine::Create(unknown, engine::TaggedSegmentSink{});
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kNotFound);
+
+  engine::StreamEngineOptions bad_zeta;
+  bad_zeta.spec.zeta = -1.0;
+  EXPECT_FALSE(
+      engine::StreamEngine::Create(bad_zeta, engine::TaggedSegmentSink{})
+          .ok());
+
+  engine::StreamEngineOptions no_shards;
+  no_shards.num_shards = 0;
+  EXPECT_FALSE(
+      engine::StreamEngine::Create(no_shards, engine::TaggedSegmentSink{})
+          .ok());
 }
 
 TEST(SpscRingTest, PushPopRoundTripsAcrossWrapAround) {

@@ -433,6 +433,23 @@ TEST_F(IoTest, MultiObjectCsvParsesInterleavedRowsInFileOrder) {
   EXPECT_DOUBLE_EQ((*r)[3].point.x, -2.0);
 }
 
+TEST_F(IoTest, ParseCsvPointsAcceptsRawRowsTheValidatingParserRejects) {
+  // Same row grammar as ParseCsv, but duplicates and time regressions
+  // pass through (the cleaner-fronted ingest path).
+  const std::string dirty = "0,0,0\n1,0,1\n1,0,1\n0.5,0,0.5\n2,0,2\n";
+  ASSERT_FALSE(ParseCsv(dirty).ok());
+  const auto raw = ParseCsvPoints(dirty);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  ASSERT_EQ(raw->size(), 5u);
+  EXPECT_DOUBLE_EQ((*raw)[2].t, 1.0);   // duplicate kept
+  EXPECT_DOUBLE_EQ((*raw)[3].t, 0.5);   // regression kept
+  // Syntax errors are still Corruption.
+  EXPECT_EQ(ParseCsvPoints("1,2\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseCsvPoints("a,b,c\n").status().code(),
+            StatusCode::kCorruption);
+}
+
 TEST_F(IoTest, MultiObjectCsvRejectsMalformedRows) {
   const auto missing_field = ParseMultiObjectCsv("1,0,1\n");
   ASSERT_FALSE(missing_field.ok());

@@ -1,10 +1,17 @@
-// operb_cli: end-to-end command-line driver for the library.
+// operb_cli: end-to-end command-line driver for the library, built on the
+// public api:: facade (SimplifierSpec + AlgorithmRegistry + Pipeline).
 //
 // Reads a trajectory (plain x,y,t CSV, a GeoLife .plt file, or a synthetic
-// dataset profile), simplifies it with any algorithm in the library at a
-// chosen error bound, independently verifies the bound with eval::, and
-// prints compression-ratio / timing / error statistics. The simplified
+// dataset profile), simplifies it with any registered algorithm at a
+// chosen error bound, independently verifies the bound, and prints
+// compression-ratio / timing / error statistics. The simplified
 // representation can be written back out as CSV for plotting.
+//
+// The simplifier is configured by a one-line spec string
+// (ALGORITHM[:key=value,...], see README.md "Public API"); --algorithm,
+// --zeta and --fidelity remain as sugar that edits the spec in place.
+// All spec/flag validation surfaces as a one-line Status message and the
+// usage exit code — bad input never aborts.
 //
 // With --group-by-id the input is a multi-object stream (`id,t,x,y` CSV
 // rows, freely interleaved): every object is simplified independently by
@@ -13,37 +20,32 @@
 // per object.
 //
 // Examples:
-//   operb_cli --input drive.csv --algorithm OPERB-A --zeta 30 --output out.csv
+//   operb_cli --input drive.csv --spec OPERB-A:zeta=30 --output out.csv
 //   operb_cli --plt geolife/000/Trajectory/20081023025304.plt --zeta 10
-//   operb_cli --generate SerCar:5000 --algorithm FBQS --zeta 40
+//   operb_cli --generate SerCar:5000 --spec operb:zeta=40,fidelity=paper
 //   operb_cli --group-by-id --input fleet.csv --threads 4 --output tagged.csv
 //   operb_cli --group-by-id --generate Taxi:500 --objects 1000 --threads 8
 //
 // Exit codes: 0 success (bound verified or --no-verify), 1 bound violation,
 // 2 usage error, 3 I/O error.
 
-#include <algorithm>
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "baselines/simplifier.h"
-#include "common/stopwatch.h"
+#include "api/pipeline.h"
+#include "api/registry.h"
+#include "api/spec.h"
 #include "datagen/profiles.h"
 #include "datagen/rng.h"
 #include "engine/stream_engine.h"
 #include "eval/metrics.h"
-#include "eval/verifier.h"
 #include "traj/io.h"
 #include "traj/multi_object.h"
 #include "traj/trajectory.h"
@@ -63,9 +65,7 @@ struct CliOptions {
   std::string plt_path;
   std::string generate_spec;  ///< KIND[:POINTS[:SEED]]
 
-  baselines::Algorithm algorithm = baselines::Algorithm::kOPERB;
-  double zeta = 40.0;
-  baselines::OperbFidelity fidelity = baselines::OperbFidelity::kGuarded;
+  api::SimplifierSpec spec;  ///< edited by --spec/--algorithm/--zeta/--fidelity
 
   // Multi-object engine mode (--group-by-id).
   bool group_by_id = false;
@@ -75,11 +75,17 @@ struct CliOptions {
 
   std::string output_path;      ///< representation CSV (optional)
   std::string save_input_path;  ///< write the input trajectory as CSV
+  bool clean = false;           ///< repair raw streams before simplifying
   bool verify = true;
   double verify_slack = 1e-9;
 };
 
 void PrintUsage(std::FILE* out) {
+  std::string algorithms;
+  for (const std::string& name : api::AlgorithmRegistry::Global().Names()) {
+    if (!algorithms.empty()) algorithms += " | ";
+    algorithms += name;
+  }
   std::fprintf(out,
                "operb_cli — one-pass error-bounded trajectory simplification "
                "(OPERB, PVLDB 2017)\n"
@@ -93,16 +99,21 @@ void PrintUsage(std::FILE* out) {
                ", KIND one of\n"
                "                        Taxi | Truck | SerCar | GeoLife\n"
                "\n"
-               "Simplification:\n"
-               "  --algorithm NAME      DP | DP-SED | OPW | OPW-SED | BQS | "
-               "FBQS |\n"
-               "                        Raw-OPERB | OPERB | Raw-OPERB-A | "
-               "OPERB-A  (default OPERB)\n"
-               "  --zeta METERS         error bound, > 0 (default 40)\n"
-               "  --fidelity MODE       guarded | paper — how OPERB-family "
-               "algorithms treat the\n"
-               "                        heuristic optimizations' bound "
-               "(default guarded; see DESIGN.md)\n"
+               "Simplification (see README.md \"Public API\" for the spec "
+               "grammar):\n"
+               "  --spec SPEC           ALGORITHM[:key=value,...], e.g. "
+               "'operb-a:zeta=30'\n"
+               "                        or 'OPERB:zeta=5,fidelity=paper' "
+               "(default OPERB:zeta=40)\n"
+               "  --algorithm NAME      shorthand: sets the spec's algorithm."
+               " Registered:\n"
+               "                        %s\n"
+               "  --zeta METERS         shorthand: sets the spec's error "
+               "bound (> 0)\n"
+               "  --fidelity MODE       shorthand: guarded | paper — how the "
+               "OPERB family\n"
+               "                        treats the heuristic optimizations' "
+               "bound (see DESIGN.md)\n"
                "\n"
                "Multi-object engine mode:\n"
                "  --group-by-id         treat the input as an interleaved "
@@ -123,16 +134,14 @@ void PrintUsage(std::FILE* out) {
                "rows)\n"
                "  --save-input PATH     write the (parsed or generated) input "
                "trajectory as CSV\n"
+               "  --clean               repair raw streams before simplifying "
+               "(drop duplicate and\n"
+               "                        out-of-order samples; per object with "
+               "--group-by-id)\n"
                "  --no-verify           skip the independent error-bound "
                "check\n"
-               "  --help                this text\n");
-}
-
-std::optional<baselines::Algorithm> ParseAlgorithm(std::string_view name) {
-  for (baselines::Algorithm algo : baselines::AllAlgorithms()) {
-    if (name == baselines::AlgorithmName(algo)) return algo;
-  }
-  return std::nullopt;
+               "  --help                this text\n",
+               algorithms.c_str());
 }
 
 std::optional<datagen::DatasetKind> ParseDatasetKind(std::string_view name) {
@@ -234,7 +243,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
       *wants_help = true;
       return true;
     } else if (arg == "--input" || arg == "--plt" || arg == "--generate" ||
-               arg == "--algorithm" || arg == "--zeta" ||
+               arg == "--spec" || arg == "--algorithm" || arg == "--zeta" ||
                arg == "--fidelity" || arg == "--output" ||
                arg == "--save-input" || arg == "--threads" ||
                arg == "--shards" || arg == "--objects") {
@@ -247,29 +256,34 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
         options->plt_path = value;
       } else if (arg == "--generate") {
         options->generate_spec = value;
-      } else if (arg == "--algorithm") {
-        const auto algo = ParseAlgorithm(value);
-        if (!algo) {
-          std::fprintf(stderr, "operb_cli: unknown algorithm '%s'\n", value);
+      } else if (arg == "--spec") {
+        // Whole-spec replacement; later --algorithm/--zeta/--fidelity
+        // flags still edit the result (flags apply in order).
+        Result<api::SimplifierSpec> parsed = api::SimplifierSpec::Parse(value);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "operb_cli: %s\n",
+                       parsed.status().ToString().c_str());
           return false;
         }
-        options->algorithm = *algo;
+        options->spec = std::move(parsed).value();
+      } else if (arg == "--algorithm") {
+        options->spec.algorithm = value;
       } else if (arg == "--zeta") {
         char* end = nullptr;
-        options->zeta = std::strtod(value, &end);
-        if (end == nullptr || *end != '\0' || !(options->zeta > 0.0) ||
-            !std::isfinite(options->zeta)) {
-          std::fprintf(stderr, "operb_cli: --zeta must be a positive number, "
-                               "got '%s'\n",
+        options->spec.zeta = std::strtod(value, &end);
+        if (end == nullptr || *end != '\0' ||
+            !std::isfinite(options->spec.zeta)) {
+          std::fprintf(stderr,
+                       "operb_cli: --zeta must be a number, got '%s'\n",
                        value);
           return false;
         }
       } else if (arg == "--fidelity") {
         const std::string_view mode = value;
         if (mode == "guarded") {
-          options->fidelity = baselines::OperbFidelity::kGuarded;
+          options->spec.fidelity = baselines::OperbFidelity::kGuarded;
         } else if (mode == "paper") {
-          options->fidelity = baselines::OperbFidelity::kPaperFaithful;
+          options->spec.fidelity = baselines::OperbFidelity::kPaperFaithful;
         } else {
           std::fprintf(stderr,
                        "operb_cli: --fidelity must be 'guarded' or 'paper', "
@@ -315,6 +329,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
                      std::string(arg).c_str());
         return false;
       }
+    } else if (arg == "--clean") {
+      options->clean = true;
     } else if (arg == "--no-verify") {
       options->verify = false;
     } else if (arg == "--group-by-id") {
@@ -340,6 +356,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
     std::fprintf(stderr,
                  "operb_cli: --plt is single-trajectory; --group-by-id "
                  "needs --input (id,t,x,y CSV) or --generate\n");
+    return false;
+  }
+  // The boundary validation: unknown algorithms, non-positive zeta and
+  // out-of-range algorithm options all surface here as one Status line.
+  if (const Status s = options->spec.Validate(); !s.ok()) {
+    std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
     return false;
   }
   return true;
@@ -388,32 +410,25 @@ std::optional<std::vector<traj::ObjectUpdate>> LoadUpdates(
   return traj::InterleaveRoundRobin(objects);
 }
 
-/// The --group-by-id flow: interleaved updates -> StreamEngine ->
-/// id-tagged segments, with per-object bound verification.
+/// The --group-by-id flow, composed on the Pipeline facade: interleaved
+/// updates -> StreamEngine -> id-tagged segments, with per-object bound
+/// verification.
 int RunGroupById(const CliOptions& options) {
   std::string source_label;
   int error_exit = kExitUsage;
-  const std::optional<std::vector<traj::ObjectUpdate>> updates =
+  std::optional<std::vector<traj::ObjectUpdate>> updates =
       LoadUpdates(options, &source_label, &error_exit);
   if (!updates) return error_exit;
   if (updates->empty()) {
     std::fprintf(stderr, "operb_cli: input stream has no updates\n");
     return kExitUsage;
   }
-
-  // Group first: validates per-object monotone timestamps before the
-  // engine trusts them, and provides the originals for verification.
-  Result<std::vector<traj::ObjectTrajectory>> grouped =
-      traj::GroupUpdatesByObject(*updates);
-  if (!grouped.ok()) {
-    std::fprintf(stderr, "operb_cli: %s\n",
-                 grouped.status().ToString().c_str());
-    return kExitUsage;
-  }
+  const std::size_t total_points = updates->size();
 
   if (!options.save_input_path.empty()) {
-    if (const Status s =
-            traj::WriteMultiObjectCsv(*updates, options.save_input_path);
+    if (const Status s = traj::WriteMultiObjectCsv(
+            std::span<const traj::ObjectUpdate>(*updates),
+            options.save_input_path);
         !s.ok()) {
       std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
       return kExitIo;
@@ -421,42 +436,47 @@ int RunGroupById(const CliOptions& options) {
   }
 
   engine::StreamEngineOptions eopts;
-  eopts.algorithm = options.algorithm;
-  eopts.zeta = options.zeta;
-  eopts.fidelity = options.fidelity;
   eopts.num_threads = static_cast<std::size_t>(options.threads);
   eopts.num_shards = static_cast<std::size_t>(
       options.shards != 0 ? options.shards : 4 * options.threads);
 
-  std::mutex mu;
-  std::vector<traj::TaggedSegment> collected;
-  Stopwatch watch;
-  engine::StreamEngine eng(
-      eopts, [&mu, &collected](traj::ObjectId id,
-                               const traj::RepresentedSegment& seg) {
-        const std::lock_guard<std::mutex> lock(mu);
-        collected.push_back({id, seg});
-      });
-  eng.Push(std::span<const traj::ObjectUpdate>(*updates));
-  eng.Close();
-  const double elapsed_ms = watch.ElapsedMillis();
-  const engine::StreamEngineStats& stats = eng.stats();
+  api::Pipeline::Builder builder;
+  builder.FromUpdates(std::move(*updates))
+      .Simplify(options.spec)
+      .Engine(eopts);
+  if (options.clean) builder.Clean();
+  if (options.verify) builder.Verify(options.verify_slack);
+  Result<api::Pipeline> pipeline = builder.Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "operb_cli: %s\n",
+                 pipeline.status().ToString().c_str());
+    return kExitUsage;
+  }
+  Result<api::PipelineReport> run = pipeline->Run();
+  if (!run.ok()) {
+    // Data errors (non-monotone per-object timestamps, corrupt rows)
+    // surface here; configuration was already validated.
+    std::fprintf(stderr, "operb_cli: %s%s\n",
+                 run.status().ToString().c_str(),
+                 options.clean ? "" : " (try --clean)");
+    return kExitUsage;
+  }
+  const api::PipelineReport& report = *run;
+  const engine::StreamEngineStats& stats = report.engine_stats;
 
-  // Per-object order is already emission order; a stable sort by id
-  // groups objects into contiguous runs without disturbing it.
-  std::stable_sort(collected.begin(), collected.end(),
-                   [](const traj::TaggedSegment& a,
-                      const traj::TaggedSegment& b) {
-                     return a.object_id < b.object_id;
-                   });
-
-  const std::size_t total_points = updates->size();
+  const double elapsed_ms = report.simplify_seconds * 1e3;
   const double ns_per_point = elapsed_ms * 1e6 / total_points;
   std::printf("input:     %zu updates from %zu objects  (%s)\n", total_points,
-              grouped.value().size(), source_label.c_str());
-  std::printf("engine:    %s, zeta = %g m, %zu shards, %zu threads\n",
-              std::string(baselines::AlgorithmName(options.algorithm)).c_str(),
-              options.zeta, eopts.num_shards, eopts.num_threads);
+              report.objects, source_label.c_str());
+  if (options.clean) {
+    std::printf("cleaned:   kept %zu of %zu (%zu duplicate, %zu "
+                "out-of-order)\n",
+                report.points_kept, report.points_in,
+                report.cleaner.duplicates_dropped,
+                report.cleaner.out_of_order_dropped);
+  }
+  std::printf("engine:    %s, %zu shards, %zu threads\n",
+              report.spec.c_str(), eopts.num_shards, eopts.num_threads);
   std::printf("output:    %llu segments, peak %llu live objects, "
               "%llu pooled states, %llu stalls\n",
               static_cast<unsigned long long>(stats.segments),
@@ -469,7 +489,7 @@ int RunGroupById(const CliOptions& options) {
 
   if (!options.output_path.empty()) {
     if (const Status s = traj::WriteTaggedSegmentsCsv(
-            std::span<const traj::TaggedSegment>(collected),
+            std::span<const traj::TaggedSegment>(report.segments_out),
             options.output_path);
         !s.ok()) {
       std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
@@ -479,41 +499,15 @@ int RunGroupById(const CliOptions& options) {
   }
 
   if (options.verify) {
-    // `collected` is sorted by id, so each object's segments are one
-    // contiguous run; index the run boundaries once.
-    std::unordered_map<traj::ObjectId, std::pair<std::size_t, std::size_t>>
-        runs;
-    for (std::size_t j = 0; j < collected.size();) {
-      std::size_t k = j;
-      while (k < collected.size() &&
-             collected[k].object_id == collected[j].object_id) {
-        ++k;
-      }
-      runs.emplace(collected[j].object_id, std::make_pair(j, k));
-      j = k;
-    }
-    std::size_t verified = 0;
-    for (const traj::ObjectTrajectory& obj : grouped.value()) {
-      if (obj.trajectory.size() < 2) continue;  // empty output by contract
-      traj::PiecewiseRepresentation rep;
-      if (const auto it = runs.find(obj.object_id); it != runs.end()) {
-        for (std::size_t j = it->second.first; j < it->second.second; ++j) {
-          rep.Append(collected[j].segment);
-        }
-      }
-      const eval::VerificationResult verdict =
-          eval::VerifyErrorBound(obj.trajectory, rep, options.zeta,
-                                 options.verify_slack);
-      if (!verdict.bounded) {
-        std::printf("bound:     VIOLATED on object %llu — %s\n",
-                    static_cast<unsigned long long>(obj.object_id),
-                    verdict.ToString().c_str());
-        return kExitBoundViolation;
-      }
-      ++verified;
+    if (!report.verified) {
+      std::printf("bound:     VIOLATED on %zu object(s) — worst %.2f m > "
+                  "zeta %g m\n",
+                  report.bound_violations, report.worst_distance,
+                  options.spec.zeta);
+      return kExitBoundViolation;
     }
     std::printf("bound:     verified per object (%zu objects <= zeta %g m)\n",
-                verified, options.zeta);
+                report.objects, options.spec.zeta);
   }
   return kExitOk;
 }
@@ -523,6 +517,21 @@ std::optional<traj::Trajectory> LoadInput(const CliOptions& options,
                                           std::string* source_label) {
   if (!options.csv_path.empty()) {
     *source_label = "csv " + options.csv_path;
+    if (options.clean) {
+      // Raw parse: the validating reader would reject the duplicate /
+      // out-of-order rows the --clean stage exists to repair.
+      Result<std::vector<geo::Point>> r =
+          traj::ReadCsvPoints(options.csv_path);
+      if (!r.ok()) {
+        std::fprintf(stderr, "operb_cli: %s\n",
+                     r.status().ToString().c_str());
+        return std::nullopt;
+      }
+      traj::Trajectory raw;
+      raw.reserve(r.value().size());
+      for (const geo::Point& p : r.value()) raw.AppendUnchecked(p);
+      return raw;
+    }
     Result<traj::Trajectory> r = traj::ReadCsv(options.csv_path);
     if (!r.ok()) {
       std::fprintf(stderr, "operb_cli: %s\n", r.status().ToString().c_str());
@@ -543,24 +552,10 @@ std::optional<traj::Trajectory> LoadInput(const CliOptions& options,
   return GenerateFromSpec(options.generate_spec);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions options;
-  bool wants_help = false;
-  if (!ParseArgs(argc, argv, &options, &wants_help)) {
-    std::fprintf(stderr, "Run 'operb_cli --help' for usage.\n");
-    return kExitUsage;
-  }
-  if (wants_help) {
-    PrintUsage(stdout);
-    return kExitOk;
-  }
-  if (options.group_by_id) return RunGroupById(options);
-
+/// The single-trajectory flow on the Pipeline facade.
+int RunSingle(const CliOptions& options) {
   std::string source_label;
-  const std::optional<traj::Trajectory> input =
-      LoadInput(options, &source_label);
+  std::optional<traj::Trajectory> input = LoadInput(options, &source_label);
   if (!input) {
     return options.generate_spec.empty() ? kExitIo : kExitUsage;
   }
@@ -568,14 +563,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "operb_cli: input has %zu point(s); need at least 2\n",
                  input->size());
-    return kExitUsage;
-  }
-  if (const Status s = input->Validate(); !s.ok()) {
-    std::fprintf(stderr,
-                 "operb_cli: input is not a valid trajectory: %s\n"
-                 "(timestamps must be strictly increasing; clean raw sensor "
-                 "streams with traj::StreamCleaner first)\n",
-                 s.ToString().c_str());
     return kExitUsage;
   }
 
@@ -587,33 +574,51 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::unique_ptr<baselines::Simplifier> simplifier =
-      baselines::MakeSimplifier(options.algorithm, options.zeta,
-                                options.fidelity);
+  // Keep a copy for the metrics below; the pipeline consumes its input.
+  const traj::Trajectory original = *input;
+  api::Pipeline::Builder builder;
+  builder.FromTrajectory(std::move(*input)).Simplify(options.spec);
+  if (options.clean) builder.Clean();
+  if (options.verify) builder.Verify(options.verify_slack);
+  Result<api::Pipeline> pipeline = builder.Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "operb_cli: %s\n",
+                 pipeline.status().ToString().c_str());
+    return kExitUsage;
+  }
+  Result<api::PipelineReport> run = pipeline->Run();
+  if (!run.ok()) {
+    // Data errors (e.g. non-monotone timestamps) — configuration was
+    // already validated.
+    std::fprintf(stderr, "operb_cli: %s%s\n",
+                 run.status().ToString().c_str(),
+                 options.clean ? "" : " (try --clean)");
+    return kExitUsage;
+  }
+  const api::PipelineReport& report = *run;
 
-  // Sink path: for the one-pass algorithms segments land here the moment
-  // they are determined (what a streaming receiver would pay); the batch
-  // baselines fall back to Simplify() internally and forward, which adds
-  // one segment copy — negligible next to their own runtime.
   traj::PiecewiseRepresentation representation;
-  Stopwatch watch;
-  simplifier->SimplifyToSink(
-      *input,
-      [&representation](const traj::RepresentedSegment& s) {
-        representation.Append(s);
-      });
-  const double elapsed_ms = watch.ElapsedMillis();
+  for (const traj::TaggedSegment& s : report.segments_out) {
+    representation.Append(s.segment);
+  }
 
-  const double ratio = eval::CompressionRatio(*input, representation);
-  const eval::ErrorStats error = eval::MeasureError(*input, representation);
-  const double ns_per_point = elapsed_ms * 1e6 / input->size();
+  const double elapsed_ms = report.simplify_seconds * 1e3;
+  const double ratio = eval::CompressionRatio(original, representation);
+  const eval::ErrorStats error = eval::MeasureError(original, representation);
+  const double ns_per_point = elapsed_ms * 1e6 / original.size();
 
-  std::printf("input:     %zu points, %.2f km, %.0f s  (%s)\n", input->size(),
-              input->PathLength() / 1000.0, input->Duration(),
-              source_label.c_str());
-  std::printf("algorithm: %s, zeta = %g m%s\n",
-              std::string(simplifier->name()).c_str(), options.zeta,
-              options.fidelity == baselines::OperbFidelity::kPaperFaithful
+  std::printf("input:     %zu points, %.2f km, %.0f s  (%s)\n",
+              original.size(), original.PathLength() / 1000.0,
+              original.Duration(), source_label.c_str());
+  if (options.clean) {
+    std::printf("cleaned:   kept %zu of %zu (%zu duplicate, %zu "
+                "out-of-order)\n",
+                report.points_kept, report.points_in,
+                report.cleaner.duplicates_dropped,
+                report.cleaner.out_of_order_dropped);
+  }
+  std::printf("algorithm: %s%s\n", report.spec.c_str(),
+              options.spec.fidelity == baselines::OperbFidelity::kPaperFaithful
                   ? " (paper-faithful heuristics, no strict guard)"
                   : "");
   std::printf("output:    %zu segments, %zu stored points\n",
@@ -636,14 +641,29 @@ int main(int argc, char** argv) {
   }
 
   if (options.verify) {
-    const eval::VerificationResult verdict = eval::VerifyErrorBound(
-        *input, representation, options.zeta, options.verify_slack);
-    if (!verdict.bounded) {
-      std::printf("bound:     VIOLATED — %s\n", verdict.ToString().c_str());
+    if (!report.verified) {
+      std::printf("bound:     VIOLATED — worst %.2f m > zeta %g m\n",
+                  report.worst_distance, options.spec.zeta);
       return kExitBoundViolation;
     }
     std::printf("bound:     verified (worst %.2f m <= zeta %g m)\n",
-                verdict.worst_distance, options.zeta);
+                report.worst_distance, options.spec.zeta);
   }
   return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  bool wants_help = false;
+  if (!ParseArgs(argc, argv, &options, &wants_help)) {
+    std::fprintf(stderr, "Run 'operb_cli --help' for usage.\n");
+    return kExitUsage;
+  }
+  if (wants_help) {
+    PrintUsage(stdout);
+    return kExitOk;
+  }
+  return options.group_by_id ? RunGroupById(options) : RunSingle(options);
 }
