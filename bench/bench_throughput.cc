@@ -19,9 +19,15 @@
 //                        measurably slower (construction happens once,
 //                        outside the loop — the products are identical
 //                        objects, so any steady-state gap is a bug)
+//   store              — the trajectory store (src/store): write a
+//                        spatially spread fleet's segments into blocks
+//                        (write amplification, file bytes), then serve a
+//                        window query (skip-scan evidence: blocks
+//                        skipped vs scanned) and a per-object
+//                        reconstruction (latency)
 //
 // Every simplifier-bearing record carries the resolved canonical spec
-// string of what ran (schema version 3).
+// string of what ran (schema version 4).
 //
 // `--smoke` shrinks every dataset to a single fast pass (for CI), `--out
 // PATH` overrides the default ./BENCH_throughput.json. Later PRs
@@ -38,12 +44,17 @@
 
 #include <span>
 
+#include <limits>
+
 #include "api/registry.h"
 #include "api/spec.h"
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "engine/stream_engine.h"
 #include "eval/verifier.h"
+#include "geo/bbox.h"
+#include "store/reader.h"
+#include "store/writer.h"
 #include "traj/io.h"
 #include "traj/multi_object.h"
 
@@ -448,6 +459,145 @@ int main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------------------
+  // Store: persist a spatially spread fleet's simplified segments, then
+  // serve a window query (skip-scan) and a per-object reconstruction.
+  // Objects are laid out along a line 50 km apart and appended
+  // object-major, so block footers carve the fleet spatially and a
+  // window over the first object's area must skip blocks — the recorded
+  // numbers are the store's pruning evidence, not just its speed.
+  // ------------------------------------------------------------------
+  std::vector<JsonRecord> store_records;
+  {
+    const std::size_t store_objects = smoke ? 16 : 200;
+    const std::size_t store_per_object = smoke ? 200 : 5000;
+    api::SimplifierSpec store_spec;
+    store_spec.zeta = kZeta;  // default algorithm: OPERB, guarded
+    auto streaming_made =
+        api::AlgorithmRegistry::Global().MakeStreaming(store_spec);
+    if (!streaming_made.ok()) {
+      std::fprintf(stderr, "bench_throughput: %s\n",
+                   streaming_made.status().ToString().c_str());
+      return 1;
+    }
+    const auto streaming = std::move(streaming_made).value();
+    std::vector<traj::TimedSegment> segments;
+    std::size_t store_points = 0;
+    geo::BoundingBox first_region;
+    std::vector<traj::TimedSegment>* out = &segments;
+    traj::ObjectId current_id = 0;
+    const traj::Trajectory* current = nullptr;
+    streaming->SetSink([&](const traj::RepresentedSegment& s) {
+      out->push_back({current_id, s, (*current)[s.first_index].t,
+                      (*current)[s.last_index].t});
+    });
+    for (std::size_t k = 0; k < store_objects; ++k) {
+      datagen::Rng rng(bench::kBenchSeed + k);
+      traj::Trajectory t = datagen::GenerateTrajectory(
+          datagen::DatasetProfile::For(datagen::DatasetKind::kSerCar),
+          store_per_object, &rng);
+      for (geo::Point& p : t.mutable_points()) {
+        p.x += static_cast<double>(k) * 50000.0;  // spatial spread
+      }
+      store_points += t.size();
+      if (k == 0) {
+        for (const geo::Point& p : t) first_region.Extend(p.pos());
+      }
+      current_id = k;
+      current = &t;
+      streaming->Push(std::span<const geo::Point>(t.points()));
+      streaming->Finish();
+      streaming->Reset();
+    }
+
+    const std::string store_path = "bench_store.tmp";
+    store::StoreWriterOptions wopts;
+    wopts.zeta = kZeta;
+    wopts.block_budget_bytes = smoke ? 4096 : 64 * 1024;
+    store::StoreWriterStats wstats;
+    bool write_ok = true;
+    const Timing wt = TimeLoop([&] {
+      auto writer = store::StoreWriter::Create(store_path, wopts);
+      if (!writer.ok()) {
+        write_ok = false;
+        return;
+      }
+      for (const traj::TimedSegment& s : segments) {
+        writer.value()->Append(s);
+      }
+      write_ok = write_ok && writer.value()->Close().ok();
+      wstats = writer.value()->stats();
+    });
+    auto reader = store::StoreReader::Open(store_path);
+    if (!write_ok || !reader.ok()) {
+      std::fprintf(stderr, "bench_throughput: store write/open failed\n");
+      return 1;
+    }
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    store::StoreQueryStats window_stats;
+    std::size_t window_matched = 0;
+    bool query_ok = true;
+    const Timing qt = TimeLoop([&] {
+      auto r = reader.value()->QueryWindow(first_region, -kInf, kInf,
+                                           &window_stats);
+      query_ok = query_ok && r.ok();
+      window_matched = r.ok() ? r->size() : 0;
+    });
+    std::size_t reconstructed = 0;
+    const Timing rt = TimeLoop([&] {
+      auto r = reader.value()->ReconstructObject(store_objects / 2);
+      query_ok = query_ok && r.ok();
+      reconstructed = r.ok() ? r->size() : 0;
+    });
+    std::remove(store_path.c_str());
+    if (!query_ok) {
+      std::fprintf(stderr, "bench_throughput: store query failed\n");
+      return 1;
+    }
+    if (window_stats.blocks_skipped == 0) {
+      std::fprintf(stderr,
+                   "bench_throughput: window query skipped no blocks — "
+                   "footer pruning is broken\n");
+      return 1;
+    }
+
+    JsonRecord rec;
+    rec.Str("algorithm", "OPERB");
+    rec.Str("spec", store_spec.ToString());
+    rec.Int("objects", static_cast<long long>(store_objects));
+    rec.Int("points", static_cast<long long>(store_points));
+    rec.Int("segments", static_cast<long long>(wstats.segments));
+    rec.Int("blocks", static_cast<long long>(wstats.blocks));
+    rec.Int("file_bytes", static_cast<long long>(wstats.file_bytes));
+    rec.Num("write_amplification", wstats.write_amplification);
+    rec.Int("write_passes", wt.passes);
+    rec.Num("write_seconds_per_pass", wt.seconds_per_pass);
+    rec.Num("write_segments_per_sec",
+            static_cast<double>(wstats.segments) / wt.seconds_per_pass);
+    rec.Num("window_query_seconds", qt.seconds_per_pass);
+    rec.Int("window_blocks_skipped",
+            static_cast<long long>(window_stats.blocks_skipped));
+    rec.Int("window_blocks_scanned",
+            static_cast<long long>(window_stats.blocks_scanned));
+    rec.Int("window_segments_matched",
+            static_cast<long long>(window_matched));
+    rec.Num("reconstruct_seconds", rt.seconds_per_pass);
+    rec.Int("reconstruct_segments", static_cast<long long>(reconstructed));
+    store_records.push_back(rec);
+    std::printf(
+        "store: %zu objects, %llu segments -> %llu blocks (%llu bytes, "
+        "write amp %.3f); window skipped %llu/%llu blocks in %.3f ms, "
+        "reconstruct %.3f ms\n",
+        store_objects, static_cast<unsigned long long>(wstats.segments),
+        static_cast<unsigned long long>(wstats.blocks),
+        static_cast<unsigned long long>(wstats.file_bytes),
+        wstats.write_amplification,
+        static_cast<unsigned long long>(window_stats.blocks_skipped),
+        static_cast<unsigned long long>(window_stats.blocks_total),
+        qt.seconds_per_pass * 1e3, rt.seconds_per_pass * 1e3);
+  }
+
+  // ------------------------------------------------------------------
   // Emit JSON.
   // ------------------------------------------------------------------
   std::FILE* f = std::fopen(out_path.c_str(), "wb");
@@ -459,7 +609,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"schema\": \"operb-bench-throughput\",\n"
-               "  \"schema_version\": 3,\n"
+               "  \"schema_version\": 4,\n"
                "  \"smoke\": %s,\n"
                "  \"unix_time\": %lld,\n"
                "  \"zeta\": %g,\n"
@@ -472,8 +622,10 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"end_to_end\": %s,\n", JoinRecords(end_to_end).c_str());
   std::fprintf(f, "  \"concurrent_streams\": %s,\n",
                JoinRecords(concurrent).c_str());
-  std::fprintf(f, "  \"facade_overhead\": %s\n}\n",
+  std::fprintf(f, "  \"facade_overhead\": %s,\n",
                JoinRecords(facade).c_str());
+  std::fprintf(f, "  \"store\": %s\n}\n",
+               JoinRecords(store_records).c_str());
   if (std::fclose(f) != 0) {
     std::fprintf(stderr, "bench_throughput: write failure on %s\n",
                  out_path.c_str());

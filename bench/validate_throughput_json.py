@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validates BENCH_throughput.json against the operb-bench-throughput
-schema (version 3). Stdlib-only so CI needs no extra packages.
+schema (version 4). Stdlib-only so CI needs no extra packages.
 
 Usage: validate_throughput_json.py PATH
 Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
@@ -23,6 +23,7 @@ TOP_LEVEL = {
     "end_to_end": list,
     "concurrent_streams": list,
     "facade_overhead": list,
+    "store": list,
 }
 
 SECTION_FIELDS = {
@@ -77,6 +78,25 @@ SECTION_FIELDS = {
         "facade_points_per_sec": NUMBER,
         "overhead_pct": NUMBER,
     },
+    "store": {
+        "algorithm": str,
+        "spec": str,
+        "objects": int,
+        "points": int,
+        "segments": int,
+        "blocks": int,
+        "file_bytes": int,
+        "write_amplification": NUMBER,
+        "write_passes": int,
+        "write_seconds_per_pass": NUMBER,
+        "write_segments_per_sec": NUMBER,
+        "window_query_seconds": NUMBER,
+        "window_blocks_skipped": int,
+        "window_blocks_scanned": int,
+        "window_segments_matched": int,
+        "reconstruct_seconds": NUMBER,
+        "reconstruct_segments": int,
+    },
 }
 
 
@@ -106,7 +126,7 @@ def main():
             fail(f"top-level key '{key}' has wrong type")
     if doc["schema"] != "operb-bench-throughput":
         fail(f"unexpected schema '{doc['schema']}'")
-    if doc["schema_version"] != 3:
+    if doc["schema_version"] != 4:
         fail(f"unexpected schema_version {doc['schema_version']}")
 
     for section, fields in SECTION_FIELDS.items():
@@ -129,6 +149,24 @@ def main():
                         or entry["facade_points_per_sec"] <= 0):
                     fail(f"{section}[{i}] has non-positive throughput")
                 continue
+            if section == "store":
+                if (entry["blocks"] <= 0 or entry["file_bytes"] <= 0
+                        or entry["segments"] <= 0
+                        or entry["write_amplification"] <= 0
+                        or entry["write_passes"] <= 0
+                        or entry["write_seconds_per_pass"] <= 0
+                        or entry["window_query_seconds"] <= 0
+                        or entry["reconstruct_seconds"] <= 0):
+                    fail(f"{section}[{i}] has non-positive store numbers")
+                if entry["window_blocks_skipped"] < 1:
+                    fail(f"{section}[{i}] window query skipped no blocks "
+                         "(footer pruning broken)")
+                if (entry["window_blocks_skipped"]
+                        + entry["window_blocks_scanned"]
+                        != entry["blocks"]):
+                    fail(f"{section}[{i}] skip/scan counts do not cover "
+                         "the block count")
+                continue
             if entry["points"] <= 0 or entry["points_per_sec"] <= 0:
                 fail(f"{section}[{i}] has non-positive throughput")
             if entry["passes"] <= 0 or entry["seconds_per_pass"] <= 0:
@@ -147,14 +185,15 @@ def main():
         fail("concurrent_streams must sweep at least 2 thread counts")
     # Spec strings must resolve to the algorithm they annotate.
     for section in ("steady_state", "end_to_end", "concurrent_streams",
-                    "facade_overhead"):
+                    "facade_overhead", "store"):
         for i, entry in enumerate(doc[section]):
             if not entry["spec"].startswith(entry["algorithm"] + ":"):
                 fail(f"{section}[{i}].spec '{entry['spec']}' does not "
                      f"resolve to algorithm '{entry['algorithm']}'")
-    print(f"{sys.argv[1]}: valid operb-bench-throughput v3 "
+    print(f"{sys.argv[1]}: valid operb-bench-throughput v4 "
           f"({len(doc['steady_state'])} steady-state entries, "
-          f"{len(doc['concurrent_streams'])} concurrent-stream entries)")
+          f"{len(doc['concurrent_streams'])} concurrent-stream entries, "
+          f"{len(doc['store'])} store entries)")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ function(operb_link_all_modules TARGET)
     operb::pipeline
     operb::engine
     operb::api
+    operb::store
     operb::baselines
     operb::codec
     operb::core

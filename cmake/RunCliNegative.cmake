@@ -26,6 +26,15 @@ set(cases
   "zero_threads|--group-by-id --threads 0"
   "unknown_flag|--wibble"
   "bad_generate|--generate Nowhere:100"
+  "query_without_shape|--query nowhere.store"
+  "query_mixed_with_input|--query nowhere.store --object 1 --generate Taxi:100"
+  "query_flags_without_query|--object 3"
+  "query_bad_window|--query nowhere.store --window 1,2,3"
+  "query_at_without_object|--query nowhere.store --at 5"
+  "query_bad_object|--object -1 --query nowhere.store"
+  "query_with_engine_flags|--query nowhere.store --object 1 --threads 2"
+  "query_with_no_verify|--query nowhere.store --object 1 --no-verify"
+  "query_at_outside_range|--query nowhere.store --object 1 --from 0 --to 10 --at 500"
 )
 
 foreach(case IN LISTS cases)

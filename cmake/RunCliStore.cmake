@@ -1,0 +1,104 @@
+# Store round-trip smoke for operb_cli, run via `cmake -P` from ctest.
+# Expects -DOPERB_CLI=<path to binary> and -DWORK_DIR=<scratch dir>.
+#
+# The acceptance loop: for every registered algorithm x every synthetic
+# profile, simplify the golden-parameter trajectory (600 points, seed
+# 20170401, zeta 40), persist it with --store-out while writing the
+# in-memory segments with --output, then --query the store back and
+# require the two id-tagged segment CSVs to be byte-identical — the
+# store round-trips exactly what the simplifier emitted.
+#
+# A window query and the I/O negative paths ride along.
+
+if(NOT OPERB_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DOPERB_CLI=... -DWORK_DIR=... -P RunCliStore.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(algorithms
+  OPERB OPERB-A Raw-OPERB Raw-OPERB-A DP DP-SED OPW OPW-SED BQS FBQS)
+set(profiles Taxi Truck SerCar GeoLife)
+
+foreach(profile IN LISTS profiles)
+  foreach(algorithm IN LISTS algorithms)
+    set(label "${algorithm}/${profile}")
+    set(store "${WORK_DIR}/rt.store")
+    set(mem_csv "${WORK_DIR}/rt_mem.csv")
+    set(query_csv "${WORK_DIR}/rt_query.csv")
+
+    # Write side: --group-by-id with one object so both sides serialize
+    # through the same id-tagged CSV writer. --no-verify: this smoke
+    # pins round-trip identity, not the error bound (the bound has its
+    # own oracle tests).
+    execute_process(
+      COMMAND "${OPERB_CLI}" --group-by-id
+              --generate "${profile}:600:20170401" --objects 1
+              --spec "${algorithm}:zeta=40" --no-verify
+              --store-out "${store}" --output "${mem_csv}"
+      RESULT_VARIABLE result
+      OUTPUT_VARIABLE stdout
+      ERROR_VARIABLE stderr)
+    if(NOT result EQUAL 0)
+      message(FATAL_ERROR
+        "${label}: store write failed (exit ${result})\n${stdout}\n${stderr}")
+    endif()
+
+    execute_process(
+      COMMAND "${OPERB_CLI}" --query "${store}" --object 0
+              --output "${query_csv}"
+      RESULT_VARIABLE result
+      OUTPUT_VARIABLE stdout
+      ERROR_VARIABLE stderr)
+    if(NOT result EQUAL 0)
+      message(FATAL_ERROR
+        "${label}: store query failed (exit ${result})\n${stdout}\n${stderr}")
+    endif()
+
+    file(READ "${mem_csv}" mem_bytes)
+    file(READ "${query_csv}" query_bytes)
+    if(NOT mem_bytes STREQUAL query_bytes)
+      message(FATAL_ERROR
+        "${label}: store round trip is not byte-identical\n"
+        "in-memory: ${mem_csv}\nqueried:   ${query_csv}")
+    endif()
+  endforeach()
+endforeach()
+
+# A window query against the last store must succeed and report its
+# skip-scan stats line.
+execute_process(
+  COMMAND "${OPERB_CLI}" --query "${WORK_DIR}/rt.store"
+          --window -1e7,-1e7,1e7,1e7
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 0 OR NOT stdout MATCHES "scan:")
+  message(FATAL_ERROR
+    "window query failed (exit ${result})\n${stdout}\n${stderr}")
+endif()
+
+# I/O negatives keep their documented exit code 3.
+execute_process(
+  COMMAND "${OPERB_CLI}" --query "${WORK_DIR}/does_not_exist.store"
+          --object 0
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 3)
+  message(FATAL_ERROR
+    "missing store: expected exit 3, got ${result}\n${stderr}")
+endif()
+execute_process(
+  COMMAND "${OPERB_CLI}" --generate SerCar:300:2
+          --store-out "${WORK_DIR}/no-such-dir/x.store"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 3)
+  message(FATAL_ERROR
+    "unwritable store: expected exit 3, got ${result}\n${stderr}")
+endif()
+
+message(STATUS "operb_cli store round-trip smoke passed (40 pairs)")

@@ -110,6 +110,14 @@ Pipeline::Builder& Pipeline::Builder::DeltaEncode(
   return *this;
 }
 
+Pipeline::Builder& Pipeline::Builder::WriteStore(
+    std::string path, store::StoreWriterOptions options) {
+  write_store_ = true;
+  store_path_ = std::move(path);
+  store_options_ = options;
+  return *this;
+}
+
 Pipeline::Builder& Pipeline::Builder::Engine(
     engine::StreamEngineOptions options) {
   use_engine_ = true;
@@ -147,6 +155,15 @@ Result<Pipeline> Pipeline::Builder::Build() {
   }
   if (verify_ && !(verify_slack_ >= 0.0)) {
     return Status::InvalidArgument("verify slack must be >= 0");
+  }
+  if (write_store_) {
+    if (store_path_.empty()) {
+      return Status::InvalidArgument("WriteStore needs a non-empty path");
+    }
+    // The stored zeta is the bound the segments are simplified under —
+    // anything else would certify an error margin the data doesn't have.
+    store_options_.zeta = spec_.zeta;
+    OPERB_RETURN_IF_ERROR(store_options_.Validate());
   }
   return Pipeline(std::move(*this));
 }
@@ -230,11 +247,25 @@ Result<PipelineReport> Pipeline::RunSingle() {
       const std::unique_ptr<baselines::StreamingSimplifier> simplifier,
       AlgorithmRegistry::Global().MakeStreaming(cfg.spec_));
 
+  // Store stage: segments stream into the writer the moment they are
+  // determined, annotated with the timestamps of the covered points.
+  std::unique_ptr<store::StoreWriter> store_writer;
+  if (cfg.write_store_) {
+    OPERB_ASSIGN_OR_RETURN(
+        store_writer,
+        store::StoreWriter::Create(cfg.store_path_, cfg.store_options_));
+  }
+
   traj::PiecewiseRepresentation rep;  // kept only for the verify stage
   const bool keep_rep = cfg.verify_;
   simplifier->SetSink([&](const traj::RepresentedSegment& s) {
     ++report.segments;
     if (keep_rep) rep.Append(s);
+    if (store_writer != nullptr) {
+      store_writer->Append({traj::ObjectId{0}, s,
+                            cleaned[s.first_index].t,
+                            cleaned[s.last_index].t});
+    }
     if (cfg.sink_) {
       cfg.sink_(traj::ObjectId{0}, s);
     } else {
@@ -251,6 +282,13 @@ Result<PipelineReport> Pipeline::RunSingle() {
     simplifier->Finish();
   }
   report.simplify_seconds = watch.ElapsedSeconds();
+
+  if (store_writer != nullptr) {
+    OPERB_RETURN_IF_ERROR(store_writer->Close());
+    report.store_ran = true;
+    report.store_path = cfg.store_path_;
+    report.store_stats = store_writer->stats();
+  }
 
   if (cfg.verify_) {
     report.verify_ran = true;
@@ -343,6 +381,22 @@ Result<PipelineReport> Pipeline::RunEngine() {
           std::span<const traj::ObjectUpdate>(updates)));
   report.objects = grouped.size();
 
+  // Store stage: writer created up front so segments stream into it from
+  // the worker threads (Append is thread-safe; per-object order is the
+  // engine's determinism contract). Times come from the grouped
+  // originals, which the sink reads concurrently but never mutates.
+  std::unique_ptr<store::StoreWriter> store_writer;
+  std::unordered_map<traj::ObjectId, const traj::Trajectory*> originals;
+  if (cfg.write_store_) {
+    OPERB_ASSIGN_OR_RETURN(
+        store_writer,
+        store::StoreWriter::Create(cfg.store_path_, cfg.store_options_));
+    originals.reserve(grouped.size());
+    for (const traj::ObjectTrajectory& obj : grouped) {
+      originals.emplace(obj.object_id, &obj.trajectory);
+    }
+  }
+
   // Collect when the report keeps the segments or verification needs
   // them; forward to the user sink either way.
   const bool collect = !cfg.sink_ || cfg.verify_;
@@ -363,6 +417,17 @@ Result<PipelineReport> Pipeline::RunEngine() {
   } else {
     engine_sink = cfg.sink_;
   }
+  if (store_writer != nullptr) {
+    engine_sink = [&originals, &store_writer,
+                   inner = std::move(engine_sink)](
+                      traj::ObjectId id,
+                      const traj::RepresentedSegment& s) {
+      const traj::Trajectory& original = *originals.at(id);
+      store_writer->Append(
+          {id, s, original[s.first_index].t, original[s.last_index].t});
+      if (inner) inner(id, s);
+    };
+  }
 
   OPERB_ASSIGN_OR_RETURN(
       const std::unique_ptr<engine::StreamEngine> eng,
@@ -374,6 +439,13 @@ Result<PipelineReport> Pipeline::RunEngine() {
   report.simplify_seconds = watch.ElapsedSeconds();
   report.engine_stats = eng->stats();
   report.segments = static_cast<std::size_t>(report.engine_stats.segments);
+
+  if (store_writer != nullptr) {
+    OPERB_RETURN_IF_ERROR(store_writer->Close());
+    report.store_ran = true;
+    report.store_path = cfg.store_path_;
+    report.store_stats = store_writer->stats();
+  }
 
   if (collect) {
     // Per-object order is emission order already; a stable sort by id

@@ -1,6 +1,10 @@
 #ifndef OPERB_API_PIPELINE_H_
 #define OPERB_API_PIPELINE_H_
 
+/// \file
+/// Composable Pipeline facade over the full dataflow: ingest, clean,
+/// simplify, verify, delta-encode, write-store, sink.
+
 #include <cstddef>
 #include <string>
 #include <string_view>
@@ -13,6 +17,7 @@
 #include "common/status.h"
 #include "engine/stream_engine.h"
 #include "eval/verifier.h"
+#include "store/writer.h"
 #include "traj/cleaner.h"
 #include "traj/multi_object.h"
 #include "traj/trajectory.h"
@@ -49,6 +54,13 @@ struct PipelineReport {
   std::size_t delta_bytes = 0;
   double delta_ratio = 0.0;  ///< delta_bytes / (24 bytes * points_kept)
 
+  /// WriteStore-stage outcome (meaningful only when the stage ran): the
+  /// path written and the writer's lifetime counters, including
+  /// write_amplification (see store::StoreWriterStats).
+  bool store_ran = false;
+  std::string store_path;
+  store::StoreWriterStats store_stats;
+
   /// Output segments in emission order, grouped by object id (stable
   /// sort), when no sink was installed; empty otherwise.
   std::vector<traj::TaggedSegment> segments_out;
@@ -60,7 +72,8 @@ struct PipelineReport {
 
 /// Composable facade over the library's full dataflow:
 ///
-///   ingest → clean → simplify(spec) → verify(zeta) → delta-encode → sink
+///   ingest → clean → simplify(spec) → verify(zeta) → delta-encode
+///          → write-store → sink
 ///
 /// Exactly one ingest source and a simplifier spec are required; every
 /// other stage is opt-in. Single-trajectory sources run the one-pass
@@ -112,6 +125,16 @@ class Pipeline {
     Builder& Verify(double slack = 1e-9);
     /// Lossless delta encoding of the cleaned input (storage contrast).
     Builder& DeltaEncode(codec::DeltaCodecOptions options = {});
+    /// Persist the simplified output: every emitted segment, annotated
+    /// with the time interval it covers, streams into an append-only
+    /// block-organized trajectory store at `path` (src/store), which
+    /// `operb_cli --query` / api::RunStoreQuery can then serve. The
+    /// options' zeta field is overwritten by the Simplify() spec's zeta
+    /// (the bound the segments are actually simplified under — it is
+    /// the store's error certificate). Composes with ToSink(): the sink
+    /// still receives every segment.
+    Builder& WriteStore(std::string path,
+                        store::StoreWriterOptions options = {});
     /// Route through the sharded StreamEngine with these knobs
     /// (shards/threads/ring/...). The options' spec field is overwritten
     /// by the Simplify() spec. Multi-object sources use the engine even
@@ -157,6 +180,9 @@ class Pipeline {
     double verify_slack_ = 1e-9;
     bool delta_ = false;
     codec::DeltaCodecOptions delta_options_;
+    bool write_store_ = false;
+    std::string store_path_;
+    store::StoreWriterOptions store_options_;
     bool use_engine_ = false;
     engine::StreamEngineOptions engine_options_;
     engine::TaggedSegmentSink sink_;

@@ -1,6 +1,10 @@
 #ifndef OPERB_API_REGISTRY_H_
 #define OPERB_API_REGISTRY_H_
 
+/// \file
+/// String-keyed catalog of every simplification algorithm the library
+/// can construct (batch + streaming factories per entry).
+
 #include <functional>
 #include <memory>
 #include <mutex>

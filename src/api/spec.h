@@ -1,6 +1,10 @@
 #ifndef OPERB_API_SPEC_H_
 #define OPERB_API_SPEC_H_
 
+/// \file
+/// Declarative simplifier configuration: the SimplifierSpec value type
+/// and its ALGORITHM[:key=value,...] string grammar.
+
 #include <string>
 #include <string_view>
 #include <utility>

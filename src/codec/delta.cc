@@ -2,44 +2,13 @@
 
 #include <cmath>
 #include <cstddef>
+#include <span>
+
+#include "codec/varint.h"
 
 namespace operb::codec {
 
 namespace {
-
-std::uint64_t ZigZag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t UnZigZag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^
-         -static_cast<std::int64_t>(v & 1);
-}
-
-void PutVarint(std::uint64_t v, std::vector<std::uint8_t>* out) {
-  while (v >= 0x80) {
-    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out->push_back(static_cast<std::uint8_t>(v));
-}
-
-bool GetVarint(const std::vector<std::uint8_t>& data, std::size_t* pos,
-               std::uint64_t* v) {
-  std::uint64_t result = 0;
-  int shift = 0;
-  while (*pos < data.size() && shift <= 63) {
-    const std::uint8_t byte = data[(*pos)++];
-    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) {
-      *v = result;
-      return true;
-    }
-    shift += 7;
-  }
-  return false;
-}
 
 std::int64_t Quantize(double v, double resolution) {
   return static_cast<std::int64_t>(std::llround(v / resolution));

@@ -1,6 +1,10 @@
 #ifndef OPERB_CODEC_DELTA_H_
 #define OPERB_CODEC_DELTA_H_
 
+/// \file
+/// Quantized lossless delta codec for trajectories (the storage
+/// contrast point to lossy simplification).
+
 #include <cstdint>
 #include <vector>
 

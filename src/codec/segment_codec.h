@@ -1,0 +1,53 @@
+#ifndef OPERB_CODEC_SEGMENT_CODEC_H_
+#define OPERB_CODEC_SEGMENT_CODEC_H_
+
+/// \file
+/// Exact (bit-preserving) block codec for id-tagged, time-annotated
+/// simplified segments — the trajectory store payload format.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "traj/multi_object.h"
+
+namespace operb::codec {
+
+/// Lossless block codec for id-tagged, time-annotated simplified segments
+/// — the payload format of the trajectory store's blocks (src/store).
+///
+/// Segments are grouped into *runs* of consecutive equal object ids (the
+/// encoder forms the runs itself; a block the store seals holds each
+/// object's segments contiguously, so one object is one run). Within a
+/// run everything is delta-encoded against the previous segment:
+///
+///  - `first_index` as a zigzag varint delta against the previous
+///    segment's `last_index` (adjacent segments chain, so this is
+///    usually 0);
+///  - `last_index` as a plain varint delta against `first_index`;
+///  - patch flags as one byte (bit 0 start, bit 1 end);
+///  - the four endpoint coordinates and the two timestamps as varints of
+///    the IEEE-754 bit pattern XORed with the corresponding field of the
+///    predecessor (`start` against the previous `end`, `t_start` against
+///    the previous `t_end`), so the continuity of a piecewise
+///    representation — each segment starts where the last one ended —
+///    encodes as a single zero byte per shared field.
+///
+/// XOR of raw bit patterns makes the codec exact: DecodeSegmentBlock
+/// reproduces every double bit-for-bit, which is what lets the store's
+/// round-trip tests compare against the golden fixtures with `==` and
+/// what keeps the stored zeta bound a theorem rather than a tolerance
+/// (contrast DeltaEncode, which quantizes).
+void EncodeSegmentBlock(std::span<const traj::TimedSegment> segments,
+                        std::vector<std::uint8_t>* out);
+
+/// Inverse of EncodeSegmentBlock. Returns Corruption on truncated or
+/// malformed input; on success the returned segments reproduce the
+/// encoder's input exactly (ids, indices, flags, coordinates, times).
+Result<std::vector<traj::TimedSegment>> DecodeSegmentBlock(
+    std::span<const std::uint8_t> data);
+
+}  // namespace operb::codec
+
+#endif  // OPERB_CODEC_SEGMENT_CODEC_H_

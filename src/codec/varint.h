@@ -1,0 +1,68 @@
+#ifndef OPERB_CODEC_VARINT_H_
+#define OPERB_CODEC_VARINT_H_
+
+/// \file
+/// Shared varint/zigzag integer wire primitives used by every codec
+/// in this module.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace operb::codec {
+
+/// LEB128-style unsigned varint plus the zigzag signed mapping — the
+/// shared integer wire primitives of every codec in this module (the
+/// trajectory delta codec and the segment-block codec of the store).
+/// Values are encoded little-endian, 7 bits per byte, high bit set on
+/// every byte but the last; a 64-bit value therefore takes 1..10 bytes.
+
+/// Maps a signed value onto the unsigned varint domain so that small
+/// magnitudes of either sign encode short: 0,-1,1,-2,... -> 0,1,2,3,...
+inline std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZag().
+inline std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Appends the varint encoding of `v` to `out`.
+inline void PutVarint(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decodes one varint from `data` starting at `*pos`, advancing `*pos`
+/// past it. Returns false on truncation or on an encoding longer than 64
+/// bits (corruption) — `*pos` is then unspecified and the stream must be
+/// abandoned.
+inline bool GetVarint(std::span<const std::uint8_t> data, std::size_t* pos,
+                      std::uint64_t* v) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift <= 63) {
+    const std::uint8_t byte = data[(*pos)++];
+    // The 10th byte may only carry bit 64's low bit; anything above it
+    // would shift out silently — reject the overlong encoding instead.
+    if (shift == 63 && (byte & 0x7E) != 0) return false;
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace operb::codec
+
+#endif  // OPERB_CODEC_VARINT_H_

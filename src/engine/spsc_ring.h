@@ -1,6 +1,10 @@
 #ifndef OPERB_ENGINE_SPSC_RING_H_
 #define OPERB_ENGINE_SPSC_RING_H_
 
+/// \file
+/// Bounded lock-free single-producer/single-consumer ring, the
+/// shard hand-off queue of the StreamEngine.
+
 #include <atomic>
 #include <cstddef>
 #include <vector>

@@ -1,6 +1,10 @@
 #ifndef OPERB_ENGINE_STREAM_ENGINE_H_
 #define OPERB_ENGINE_STREAM_ENGINE_H_
 
+/// \file
+/// Sharded multi-object streaming simplification engine and its
+/// options, stats and sink types.
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>

@@ -1,0 +1,165 @@
+#include "store/format.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace operb::store {
+
+namespace {
+
+void PutU32(std::uint32_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutF64(double v, std::vector<std::uint8_t>* out) {
+  PutU64(std::bit_cast<std::uint64_t>(v), out);
+}
+
+std::uint32_t GetU32(std::span<const std::uint8_t> data, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(std::span<const std::uint8_t> data, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+  }
+  return v;
+}
+
+double GetF64(std::span<const std::uint8_t> data, std::size_t pos) {
+  return std::bit_cast<double>(GetU64(data, pos));
+}
+
+/// Serializes the footer body (everything but the trailing checksum).
+void EncodeFooterBody(const BlockFooter& footer,
+                      std::vector<std::uint8_t>* out) {
+  PutU32(kFooterMagic, out);
+  PutU32(footer.segment_count, out);
+  PutU64(footer.object_min, out);
+  PutU64(footer.object_max, out);
+  PutF64(footer.t_min, out);
+  PutF64(footer.t_max, out);
+  PutF64(footer.min_x, out);
+  PutF64(footer.min_y, out);
+  PutF64(footer.max_x, out);
+  PutF64(footer.max_y, out);
+  PutU32(footer.payload_bytes, out);
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(std::span<const std::uint8_t> data,
+                      std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x0000'0100'0000'01B3ULL;
+  }
+  return h;
+}
+
+void EncodeFileHeader(double zeta, std::vector<std::uint8_t>* out) {
+  out->insert(out->end(), kFileMagic.begin(), kFileMagic.end());
+  PutU32(kFormatVersion, out);
+  PutU32(0, out);  // reserved
+  PutF64(zeta, out);
+}
+
+Result<double> DecodeFileHeader(std::span<const std::uint8_t> data) {
+  if (data.size() < kFileHeaderBytes) {
+    return Status::Corruption("store file shorter than its header");
+  }
+  if (!std::equal(kFileMagic.begin(), kFileMagic.end(), data.begin())) {
+    return Status::Corruption("not a trajectory store (bad magic)");
+  }
+  const std::uint32_t version = GetU32(data, 8);
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported store format version " +
+                              std::to_string(version));
+  }
+  return GetF64(data, 16);
+}
+
+BlockFooter MakeFooter(std::span<const traj::TimedSegment> segments,
+                       std::span<const std::uint8_t> payload) {
+  BlockFooter f;
+  f.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  f.segment_count = static_cast<std::uint32_t>(segments.size());
+  geo::BoundingBox box;
+  bool first = true;
+  for (const traj::TimedSegment& s : segments) {
+    if (first) {
+      f.object_min = f.object_max = s.object_id;
+      f.t_min = s.t_start;
+      f.t_max = s.t_end;
+      first = false;
+    } else {
+      f.object_min = std::min(f.object_min, s.object_id);
+      f.object_max = std::max(f.object_max, s.object_id);
+      f.t_min = std::min(f.t_min, s.t_start);
+      f.t_max = std::max(f.t_max, s.t_end);
+    }
+    box.Extend(s.segment.start);
+    box.Extend(s.segment.end);
+  }
+  if (!box.IsEmpty()) {
+    f.min_x = box.min_x;
+    f.min_y = box.min_y;
+    f.max_x = box.max_x;
+    f.max_y = box.max_y;
+  }
+  f.checksum = BlockChecksum(payload, f);
+  return f;
+}
+
+void EncodeFooter(const BlockFooter& footer,
+                  std::vector<std::uint8_t>* out) {
+  EncodeFooterBody(footer, out);
+  PutU64(footer.checksum, out);
+}
+
+Result<BlockFooter> DecodeFooter(std::span<const std::uint8_t> data) {
+  if (data.size() < kBlockFooterBytes) {
+    return Status::Corruption("truncated block footer");
+  }
+  if (GetU32(data, 0) != kFooterMagic) {
+    return Status::Corruption("bad block footer magic");
+  }
+  BlockFooter f;
+  f.segment_count = GetU32(data, 4);
+  f.object_min = GetU64(data, 8);
+  f.object_max = GetU64(data, 16);
+  f.t_min = GetF64(data, 24);
+  f.t_max = GetF64(data, 32);
+  f.min_x = GetF64(data, 40);
+  f.min_y = GetF64(data, 48);
+  f.max_x = GetF64(data, 56);
+  f.max_y = GetF64(data, 64);
+  f.payload_bytes = GetU32(data, 72);
+  f.checksum = GetU64(data, 76);
+  return f;
+}
+
+std::uint64_t BlockChecksum(std::span<const std::uint8_t> payload,
+                            const BlockFooter& footer) {
+  std::vector<std::uint8_t> body;
+  body.reserve(kBlockFooterBytes - 8);
+  EncodeFooterBody(footer, &body);
+  return Fnv1a64(body, Fnv1a64(payload));
+}
+
+}  // namespace operb::store

@@ -1,0 +1,121 @@
+#ifndef OPERB_STORE_FORMAT_H_
+#define OPERB_STORE_FORMAT_H_
+
+/// \file
+/// On-disk format of the trajectory store: file header, block frame,
+/// footer metadata, checksums.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geo/bbox.h"
+#include "traj/multi_object.h"
+
+namespace operb::store {
+
+/// On-disk format of the block-organized trajectory store. The byte-level
+/// specification lives in docs/ARCHITECTURE.md ("On-disk block format");
+/// this header is its executable form. Everything is little-endian and
+/// explicitly serialized field by field — no struct memcpy, so the format
+/// is independent of padding and host endianness.
+///
+/// File layout:
+///
+///   FileHeader | Block*          (append-only; blocks are immutable)
+///   Block = payload_bytes:u32 | payload | BlockFooter
+///
+/// The payload is a codec::EncodeSegmentBlock stream; the footer carries
+/// the metadata a reader needs to decide — without touching the payload —
+/// whether the block can contain anything a query wants (id range, time
+/// interval, bounding box), plus a checksum over the payload and the
+/// footer body that makes torn or corrupted tail blocks detectable.
+
+/// First 8 bytes of every store file ("OPRBSTR" + format generation).
+inline constexpr std::array<std::uint8_t, 8> kFileMagic = {
+    'O', 'P', 'R', 'B', 'S', 'T', 'R', '1'};
+
+/// Format version written into the header. Readers accept exactly this
+/// version; the versioning rules (when to bump, what may change without a
+/// bump) are specified in docs/ARCHITECTURE.md.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Marker leading every block footer, used to cross-check the payload
+/// length prefix before trusting the rest of the footer.
+inline constexpr std::uint32_t kFooterMagic = 0x4F50'4246;  // "OPBF"
+
+/// Serialized sizes (fixed; the writer and the reader's scan both depend
+/// on them).
+inline constexpr std::size_t kFileHeaderBytes = 8 + 4 + 4 + 8;  // magic,
+                                                                // version,
+                                                                // reserved,
+                                                                // zeta
+inline constexpr std::size_t kBlockFooterBytes =
+    4 + 4 + 8 + 8 + 6 * 8 + 4 + 8;  // magic, segment count, id range,
+                                    // t interval + bbox, payload length,
+                                    // checksum
+
+/// Fixed-size per-block metadata, appended after the payload. All ranges
+/// are inclusive and describe the *stored segment geometry* (a window
+/// query over original points must inflate by zeta; see DESIGN.md §8).
+struct BlockFooter {
+  std::uint32_t payload_bytes = 0;  ///< must equal the block's length prefix
+  std::uint32_t segment_count = 0;
+  std::uint64_t object_min = 0;  ///< smallest object id in the block
+  std::uint64_t object_max = 0;  ///< largest object id in the block
+  double t_min = 0.0;            ///< earliest t_start in the block
+  double t_max = 0.0;            ///< latest t_end in the block
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;  ///< geometry
+  std::uint64_t checksum = 0;  ///< FNV-1a over payload || footer body
+
+  /// The footer's bounding box as the geo type queries intersect against.
+  geo::BoundingBox BBox() const {
+    geo::BoundingBox b;
+    b.min_x = min_x;
+    b.min_y = min_y;
+    b.max_x = max_x;
+    b.max_y = max_y;
+    return b;
+  }
+};
+
+/// 64-bit FNV-1a — the store's checksum. Not cryptographic; it exists to
+/// detect torn writes and bit rot, and its incremental form lets the
+/// writer fold the footer body into the payload hash.
+std::uint64_t Fnv1a64(std::span<const std::uint8_t> data,
+                      std::uint64_t seed = 0xCBF2'9CE4'8422'2325ULL);
+
+/// Serializes the file header (magic, version, reserved, zeta).
+void EncodeFileHeader(double zeta, std::vector<std::uint8_t>* out);
+
+/// Parses and validates a file header; returns the store's zeta bound.
+/// Corruption on bad magic, unsupported version or a truncated header.
+Result<double> DecodeFileHeader(std::span<const std::uint8_t> data);
+
+/// Computes footer metadata over `segments` (which must be the block's
+/// exact payload input) and the payload checksum. `payload` is the
+/// encoded block the ranges describe.
+BlockFooter MakeFooter(std::span<const traj::TimedSegment> segments,
+                       std::span<const std::uint8_t> payload);
+
+/// Serializes `footer` (with `footer.checksum` already final).
+void EncodeFooter(const BlockFooter& footer, std::vector<std::uint8_t>* out);
+
+/// Parses a footer from exactly kBlockFooterBytes bytes. Corruption on a
+/// bad footer magic; the checksum is *not* verified here (the caller
+/// decides whether it holds the payload bytes to verify against).
+Result<BlockFooter> DecodeFooter(std::span<const std::uint8_t> data);
+
+/// The checksum a block with this payload and footer body must carry:
+/// FNV-1a over the payload, continued over the serialized footer with the
+/// checksum field zeroed.
+std::uint64_t BlockChecksum(std::span<const std::uint8_t> payload,
+                            const BlockFooter& footer);
+
+}  // namespace operb::store
+
+#endif  // OPERB_STORE_FORMAT_H_

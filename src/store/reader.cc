@@ -1,0 +1,263 @@
+#include "store/reader.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "codec/segment_codec.h"
+
+namespace operb::store {
+
+namespace {
+
+/// std::fseek takes a long, which is 32 bits on LLP64 platforms; a
+/// position beyond its range must fail cleanly instead of wrapping into
+/// a misread. (On LP64 this is a no-op guard.)
+bool SeekTo(std::FILE* file, std::uint64_t pos) {
+  if (pos > static_cast<std::uint64_t>(
+                std::numeric_limits<long>::max())) {
+    return false;
+  }
+  return std::fseek(file, static_cast<long>(pos), SEEK_SET) == 0;
+}
+
+bool IntervalsOverlap(double a_min, double a_max, double b_min,
+                      double b_max) {
+  return a_min <= b_max && b_min <= a_max;
+}
+
+geo::BoundingBox Inflate(const geo::BoundingBox& box, double margin) {
+  geo::BoundingBox out;
+  if (box.IsEmpty()) return out;
+  out.min_x = box.min_x - margin;
+  out.min_y = box.min_y - margin;
+  out.max_x = box.max_x + margin;
+  out.max_y = box.max_y + margin;
+  return out;
+}
+
+bool BoxesOverlap(const geo::BoundingBox& a, const geo::BoundingBox& b) {
+  return !a.IsEmpty() && !b.IsEmpty() && a.min_x <= b.max_x &&
+         b.min_x <= a.max_x && a.min_y <= b.max_y && b.min_y <= a.max_y;
+}
+
+/// Liang-Barsky segment/axis-aligned-box intersection test. Degenerate
+/// segments degrade to a containment check.
+bool SegmentIntersectsBox(geo::Vec2 a, geo::Vec2 b,
+                          const geo::BoundingBox& box) {
+  if (box.IsEmpty()) return false;
+  double t0 = 0.0, t1 = 1.0;
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {a.x - box.min_x, box.max_x - a.x, a.y - box.min_y,
+                       box.max_y - a.y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0.0) return false;  // parallel and outside this slab
+      continue;
+    }
+    const double r = q[i] / p[i];
+    if (p[i] < 0.0) {
+      if (r > t1) return false;
+      if (r > t0) t0 = r;
+    } else {
+      if (r < t0) return false;
+      if (r < t1) t1 = r;
+    }
+  }
+  return t0 <= t1;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StoreReader>> StoreReader::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open store file " + path);
+  }
+  std::unique_ptr<StoreReader> reader(new StoreReader());
+  reader->path_ = path;
+  reader->file_ = file;
+
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IOError("cannot seek in store file " + path);
+  }
+  const long file_size_l = std::ftell(file);
+  if (file_size_l < 0) {
+    return Status::IOError("cannot size store file " + path);
+  }
+  const std::uint64_t file_size = static_cast<std::uint64_t>(file_size_l);
+
+  std::vector<std::uint8_t> header(kFileHeaderBytes);
+  if (file_size < kFileHeaderBytes) {
+    return Status::Corruption("store file shorter than its header: " + path);
+  }
+  if (!SeekTo(file, 0) ||
+      std::fread(header.data(), 1, header.size(), file) != header.size()) {
+    return Status::IOError("cannot read store header from " + path);
+  }
+  OPERB_ASSIGN_OR_RETURN(reader->zeta_, DecodeFileHeader(header));
+
+  // Structural scan: length prefix -> footer, payloads skipped. The
+  // first structurally invalid frame ends the scan; everything from
+  // there on is the dropped tail (the crash-recovery "valid prefix"
+  // rule — a reader never trusts bytes beyond the first violation).
+  std::uint64_t pos = kFileHeaderBytes;
+  while (pos < file_size) {
+    const std::uint64_t remaining = file_size - pos;
+    if (remaining < 4) break;
+    std::uint8_t len_bytes[4];
+    if (!SeekTo(file, pos) || std::fread(len_bytes, 1, 4, file) != 4) {
+      return Status::IOError("cannot read block length in " + path);
+    }
+    const std::uint32_t payload_bytes =
+        static_cast<std::uint32_t>(len_bytes[0]) |
+        (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
+        (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
+        (static_cast<std::uint32_t>(len_bytes[3]) << 24);
+    if (remaining < 4 + static_cast<std::uint64_t>(payload_bytes) +
+                        kBlockFooterBytes) {
+      break;  // partial tail frame
+    }
+    std::vector<std::uint8_t> footer_bytes(kBlockFooterBytes);
+    if (!SeekTo(file, pos + 4 + payload_bytes) ||
+        std::fread(footer_bytes.data(), 1, footer_bytes.size(), file) !=
+            footer_bytes.size()) {
+      return Status::IOError("cannot read block footer in " + path);
+    }
+    const Result<BlockFooter> footer = DecodeFooter(footer_bytes);
+    if (!footer.ok() || footer->payload_bytes != payload_bytes) {
+      break;  // torn or foreign bytes: drop from here
+    }
+    BlockRef ref;
+    ref.payload_offset = pos + 4;
+    ref.footer = *footer;
+    reader->segment_count_ += footer->segment_count;
+    reader->blocks_.push_back(ref);
+    pos += 4 + payload_bytes + kBlockFooterBytes;
+  }
+  if (pos < file_size) {
+    reader->open_info_.tail_dropped = true;
+    reader->open_info_.dropped_bytes = file_size - pos;
+  }
+  return reader;
+}
+
+StoreReader::~StoreReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::vector<traj::TimedSegment>> StoreReader::ReadBlock(
+    std::size_t i) const {
+  const BlockRef& ref = blocks_[i];
+  std::vector<std::uint8_t> payload(ref.footer.payload_bytes);
+  {
+    const std::lock_guard<std::mutex> lock(file_mu_);
+    if (!SeekTo(file_, ref.payload_offset) ||
+        std::fread(payload.data(), 1, payload.size(), file_) !=
+            payload.size()) {
+      return Status::IOError("cannot read store block from " + path_);
+    }
+  }
+  if (BlockChecksum(payload, ref.footer) != ref.footer.checksum) {
+    return Status::Corruption("store block " + std::to_string(i) +
+                              " checksum mismatch in " + path_);
+  }
+  OPERB_ASSIGN_OR_RETURN(std::vector<traj::TimedSegment> segments,
+                         codec::DecodeSegmentBlock(payload));
+  if (segments.size() != ref.footer.segment_count) {
+    return Status::Corruption("store block " + std::to_string(i) +
+                              " segment count mismatch in " + path_);
+  }
+  return segments;
+}
+
+Result<std::vector<traj::TimedSegment>> StoreReader::ReconstructObject(
+    traj::ObjectId object_id, double t_min, double t_max,
+    StoreQueryStats* stats) const {
+  StoreQueryStats local;
+  local.blocks_total = blocks_.size();
+  std::vector<traj::TimedSegment> out;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const BlockFooter& f = blocks_[i].footer;
+    if (object_id < f.object_min || object_id > f.object_max ||
+        !IntervalsOverlap(f.t_min, f.t_max, t_min, t_max)) {
+      ++local.blocks_skipped;
+      continue;
+    }
+    ++local.blocks_scanned;
+    OPERB_ASSIGN_OR_RETURN(const std::vector<traj::TimedSegment> segments,
+                           ReadBlock(i));
+    local.segments_scanned += segments.size();
+    for (const traj::TimedSegment& s : segments) {
+      if (s.object_id == object_id &&
+          IntervalsOverlap(s.t_start, s.t_end, t_min, t_max)) {
+        out.push_back(s);
+        ++local.segments_matched;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+Result<std::vector<traj::TimedSegment>> StoreReader::QueryWindow(
+    const geo::BoundingBox& window, double t_min, double t_max,
+    StoreQueryStats* stats) const {
+  StoreQueryStats local;
+  local.blocks_total = blocks_.size();
+  std::vector<traj::TimedSegment> out;
+  if (window.IsEmpty()) {
+    local.blocks_skipped = blocks_.size();
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+  // One inflation, shared by the block test and the per-segment test:
+  // original samples stray up to zeta (perpendicular) from their
+  // covering segment, so serving "everything that might have been in
+  // `window`" means matching segment geometry against window + zeta.
+  const geo::BoundingBox inflated = Inflate(window, zeta_);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const BlockFooter& f = blocks_[i].footer;
+    if (!IntervalsOverlap(f.t_min, f.t_max, t_min, t_max) ||
+        !BoxesOverlap(f.BBox(), inflated)) {
+      ++local.blocks_skipped;
+      continue;
+    }
+    ++local.blocks_scanned;
+    OPERB_ASSIGN_OR_RETURN(const std::vector<traj::TimedSegment> segments,
+                           ReadBlock(i));
+    local.segments_scanned += segments.size();
+    for (const traj::TimedSegment& s : segments) {
+      if (IntervalsOverlap(s.t_start, s.t_end, t_min, t_max) &&
+          SegmentIntersectsBox(s.segment.start, s.segment.end, inflated)) {
+        out.push_back(s);
+        ++local.segments_matched;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+Result<geo::Point> StoreReader::PositionAt(traj::ObjectId object_id,
+                                           double t,
+                                           StoreQueryStats* stats) const {
+  OPERB_ASSIGN_OR_RETURN(const std::vector<traj::TimedSegment> covering,
+                         ReconstructObject(object_id, t, t, stats));
+  for (const traj::TimedSegment& s : covering) {
+    if (s.t_start <= t && t <= s.t_end) {
+      const double span = s.t_end - s.t_start;
+      const double u = span > 0.0 ? (t - s.t_start) / span : 0.0;
+      const geo::Vec2 pos = s.segment.AsSegment().At(u);
+      return geo::Point{pos.x, pos.y, t};
+    }
+  }
+  return Status::NotFound("object " + std::to_string(object_id) +
+                          " has no stored segment covering t=" +
+                          std::to_string(t));
+}
+
+}  // namespace operb::store

@@ -1,0 +1,138 @@
+#ifndef OPERB_STORE_READER_H_
+#define OPERB_STORE_READER_H_
+
+/// \file
+/// Skip-scan query reader over a trajectory store file: per-object
+/// reconstruction, window queries, position-at-time.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "store/format.h"
+#include "traj/multi_object.h"
+
+namespace operb::store {
+
+/// What StoreReader::Open observed about the file's tail. An append
+/// interrupted mid-block (crash, power cut) leaves a partial final frame;
+/// the scan detects it structurally and drops it — the store's recovery
+/// contract is "a valid prefix survives" (DESIGN.md §8).
+struct StoreOpenInfo {
+  bool tail_dropped = false;      ///< a partial/invalid tail was ignored
+  std::uint64_t dropped_bytes = 0;  ///< bytes of file ignored after the
+                                    ///< last valid block
+};
+
+/// Per-query counters — the observable form of the block-skipping
+/// claim. blocks_skipped counts blocks rejected on footer metadata
+/// alone (no payload read, no decode); blocks_scanned counts blocks
+/// whose payload was read and decoded.
+struct StoreQueryStats {
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t segments_scanned = 0;  ///< decoded segments inspected
+  std::uint64_t segments_matched = 0;
+};
+
+/// Skip-scan query reader over a store file written by StoreWriter.
+///
+/// Open() scans the block structure once (length prefixes and footers
+/// only — payloads stay on disk) and builds the in-memory block index;
+/// every query walks that index, prunes blocks whose footer metadata
+/// cannot match (id range, time interval, bounding box), and decodes
+/// only the survivors. Payload checksums are verified lazily, the first
+/// time a query reads a block — a corrupted block surfaces as a
+/// Corruption status from the query that touched it.
+///
+/// Queries are thread-safe (file access is serialized internally).
+class StoreReader {
+ public:
+  /// Opens and index-scans `path`. IOError when unreadable, Corruption
+  /// when the header is invalid. A structurally invalid suffix is *not*
+  /// an error: it is dropped and reported via open_info().
+  static Result<std::unique_ptr<StoreReader>> Open(const std::string& path);
+
+  ~StoreReader();
+
+  StoreReader(const StoreReader&) = delete;
+  StoreReader& operator=(const StoreReader&) = delete;
+
+  /// The error bound recorded when the store was written.
+  double zeta() const { return zeta_; }
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// Total stored segments (sum of footer counts).
+  std::uint64_t segment_count() const { return segment_count_; }
+
+  const StoreOpenInfo& open_info() const { return open_info_; }
+
+  /// Per-object time-range reconstruction: every stored segment of
+  /// `object_id` whose [t_start, t_end] interval overlaps
+  /// [t_min, t_max], in emission order — the contiguous piecewise
+  /// representation of that object over the range. Blocks whose footer
+  /// id range or time interval cannot match are skipped unread.
+  Result<std::vector<traj::TimedSegment>> ReconstructObject(
+      traj::ObjectId object_id,
+      double t_min = -std::numeric_limits<double>::infinity(),
+      double t_max = std::numeric_limits<double>::infinity(),
+      StoreQueryStats* stats = nullptr) const;
+
+  /// Spatio-temporal window query: every stored segment intersecting
+  /// `window` *inflated by zeta* whose time interval overlaps
+  /// [t_min, t_max]. The inflation makes the answer sound for original
+  /// points: a sample inside `window` lies within zeta of its covering
+  /// segment's line, so that segment intersects the inflated window and
+  /// is returned — which is also why footer-bbox skipping loses nothing
+  /// (DESIGN.md §8). Blocks are pruned on footer bbox x time interval.
+  Result<std::vector<traj::TimedSegment>> QueryWindow(
+      const geo::BoundingBox& window,
+      double t_min = -std::numeric_limits<double>::infinity(),
+      double t_max = std::numeric_limits<double>::infinity(),
+      StoreQueryStats* stats = nullptr) const;
+
+  /// Interpolated position of `object_id` at time `t`: the point on the
+  /// covering stored segment at the time-proportional parameter. The
+  /// result carries the store's error certificate: the original sample
+  /// nearest in time lies within zeta (perpendicular) of the covering
+  /// segment's line (see DESIGN.md §8 for exactly what is and is not
+  /// bounded). NotFound when no stored segment of the object covers `t`.
+  Result<geo::Point> PositionAt(traj::ObjectId object_id, double t,
+                                StoreQueryStats* stats = nullptr) const;
+
+ private:
+  /// One indexed block: where its payload lives plus its footer.
+  struct BlockRef {
+    std::uint64_t payload_offset = 0;
+    BlockFooter footer;
+  };
+
+  StoreReader() = default;
+
+  /// Reads, checksum-verifies and decodes block `i`'s payload.
+  Result<std::vector<traj::TimedSegment>> ReadBlock(std::size_t i) const;
+
+  std::string path_;
+  double zeta_ = 0.0;
+  std::uint64_t segment_count_ = 0;
+  std::vector<BlockRef> blocks_;
+  StoreOpenInfo open_info_;
+
+  mutable std::mutex file_mu_;  ///< serializes seek+read pairs
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace operb::store
+
+#endif  // OPERB_STORE_READER_H_

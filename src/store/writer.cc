@@ -1,0 +1,127 @@
+#include "store/writer.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "codec/segment_codec.h"
+
+namespace operb::store {
+
+Status StoreWriterOptions::Validate() const {
+  if (!(zeta > 0.0) || !std::isfinite(zeta)) {
+    return Status::InvalidArgument(
+        "store zeta must be positive and finite");
+  }
+  if (block_budget_bytes < 1024) {
+    return Status::InvalidArgument(
+        "store block budget must be at least 1024 bytes");
+  }
+  // The frame's length prefix and footer echo are u32; cap the budget
+  // far below that so an encoding overshooting the estimate can never
+  // wrap the prefix (which would corrupt every later block).
+  if (block_budget_bytes > (std::size_t{1} << 30)) {
+    return Status::InvalidArgument(
+        "store block budget must be at most 1 GiB");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StoreWriter>> StoreWriter::Create(
+    const std::string& path, const StoreWriterOptions& options) {
+  OPERB_RETURN_IF_ERROR(options.Validate());
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot create store file " + path);
+  }
+  std::vector<std::uint8_t> header;
+  EncodeFileHeader(options.zeta, &header);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+    std::fclose(file);
+    return Status::IOError("cannot write store header to " + path);
+  }
+  std::unique_ptr<StoreWriter> writer(new StoreWriter(file, options));
+  writer->stats_.file_bytes = header.size();
+  return writer;
+}
+
+StoreWriter::StoreWriter(std::FILE* file, const StoreWriterOptions& options)
+    : options_(options), file_(file) {}
+
+StoreWriter::~StoreWriter() { Close(); }
+
+Status StoreWriter::Append(const traj::TimedSegment& segment) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return Status::InvalidArgument("append to a closed store writer");
+  }
+  pending_[segment.object_id].push_back(segment);
+  ++pending_segments_;
+  ++stats_.segments;
+  if (static_cast<double>(pending_segments_) * estimated_segment_bytes_ >=
+      static_cast<double>(options_.block_budget_bytes)) {
+    const Status s = SealLocked();
+    if (!s.ok() && first_error_.ok()) first_error_ = s;
+  }
+  return first_error_;
+}
+
+Status StoreWriter::SealLocked() {
+  if (pending_segments_ == 0) return Status::OK();
+  std::vector<traj::TimedSegment> block;
+  block.reserve(pending_segments_);
+  for (const auto& [id, segments] : pending_) {
+    block.insert(block.end(), segments.begin(), segments.end());
+  }
+  pending_.clear();
+  pending_segments_ = 0;
+
+  std::vector<std::uint8_t> payload;
+  codec::EncodeSegmentBlock(block, &payload);
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
+    // Unreachable while Validate() caps the budget at 1 GiB; refuse to
+    // write a wrapped length prefix if it ever regresses.
+    return Status::Internal("store block payload exceeds the u32 frame");
+  }
+  const BlockFooter footer = MakeFooter(block, payload);
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + payload.size() + kBlockFooterBytes);
+  const std::uint32_t len = footer.payload_bytes;
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  EncodeFooter(footer, &frame);
+
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    return Status::IOError("store block write failed");
+  }
+  ++stats_.blocks;
+  stats_.payload_bytes += payload.size();
+  stats_.file_bytes += frame.size();
+  estimated_segment_bytes_ =
+      static_cast<double>(payload.size()) / static_cast<double>(block.size());
+  return Status::OK();
+}
+
+Status StoreWriter::Close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return first_error_;
+  closed_ = true;
+  const Status seal = SealLocked();
+  if (!seal.ok() && first_error_.ok()) first_error_ = seal;
+  if (std::fclose(file_) != 0 && first_error_.ok()) {
+    first_error_ = Status::IOError("store close failed");
+  }
+  file_ = nullptr;
+  if (stats_.segments > 0) {
+    stats_.write_amplification =
+        static_cast<double>(stats_.file_bytes) /
+        (kRawSegmentBytes * static_cast<double>(stats_.segments));
+  }
+  return first_error_;
+}
+
+}  // namespace operb::store

@@ -1,0 +1,133 @@
+#ifndef OPERB_STORE_WRITER_H_
+#define OPERB_STORE_WRITER_H_
+
+/// \file
+/// Append-only block-organized writer of the trajectory store.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "store/format.h"
+#include "traj/multi_object.h"
+
+namespace operb::store {
+
+/// Configuration of a StoreWriter.
+struct StoreWriterOptions {
+  /// The error bound the stored segments were simplified under, recorded
+  /// in the file header. Queries inflate windows by it and
+  /// position-at-time answers inherit it as their error certificate
+  /// (DESIGN.md §8). Must be positive and finite.
+  double zeta = 40.0;
+
+  /// Target encoded payload size per block. A block is sealed once the
+  /// buffered segments' estimated encoding reaches this budget, so block
+  /// count scales with data volume and every block's footer prunes a
+  /// bounded byte range. Must be >= 1024.
+  std::size_t block_budget_bytes = 64 * 1024;
+
+  /// Parameter-range check (the Status boundary for untrusted
+  /// configuration, same contract as StreamEngineOptions::Validate).
+  Status Validate() const;
+};
+
+/// Counters of one writer's lifetime (final after Close()).
+struct StoreWriterStats {
+  std::uint64_t segments = 0;       ///< segments appended
+  std::uint64_t blocks = 0;         ///< blocks sealed
+  std::uint64_t payload_bytes = 0;  ///< encoded payload across blocks
+  std::uint64_t file_bytes = 0;     ///< total bytes written (incl. framing)
+  /// file_bytes / (kRawSegmentBytes * segments): bytes the store writes
+  /// per byte of the segments' natural in-memory representation. < 1
+  /// means the delta codec more than pays for the block framing.
+  double write_amplification = 0.0;
+};
+
+/// In-memory bytes a TimedSegment occupies in its natural struct form
+/// (id + 2 indices + 2 flags + 4 coordinates + 2 timestamps), the
+/// denominator of write_amplification.
+inline constexpr double kRawSegmentBytes = 8 + 16 + 2 + 48;
+
+/// Append-only writer of the block-organized trajectory store.
+///
+/// Consumes id-tagged, time-annotated simplified segments — the shape an
+/// engine::TaggedSegmentSink delivers once the pipeline annotates times —
+/// buffers them per object, and seals fixed-budget blocks: each object's
+/// buffered segments become one contiguous run (objects ordered by id
+/// for determinism), delta-encoded by codec::EncodeSegmentBlock, framed
+/// with a length prefix and a metadata footer (store/format.h).
+///
+/// Thread safety: Append() may be called concurrently (it takes an
+/// internal lock) — the StreamEngine's sink contract delivers segments
+/// from worker threads. Per object, callers must append in emission
+/// order, which the engine guarantees. Create/Close are not concurrent
+/// with Append.
+///
+/// Crash safety: the stream is flushed after every sealed block, and a
+/// reader validates each block's length prefix, footer magic and
+/// checksum — a crash mid-block loses at most the unflushed tail, which
+/// StoreReader::Open detects and drops (DESIGN.md §8).
+class StoreWriter {
+ public:
+  /// Opens `path` for writing (truncating any existing file) and writes
+  /// the file header. InvalidArgument on bad options, IOError when the
+  /// file cannot be created.
+  static Result<std::unique_ptr<StoreWriter>> Create(
+      const std::string& path, const StoreWriterOptions& options = {});
+
+  /// Seals any buffered segments into a final block and closes the file.
+  ~StoreWriter();
+
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// Buffers one segment; seals a block when the budget fills.
+  /// Thread-safe. Returns the first write error encountered (subsequent
+  /// appends keep buffering but the writer is poisoned — Close() reports
+  /// the error again).
+  Status Append(const traj::TimedSegment& segment);
+
+  /// Seals the remaining buffered segments (if any), flushes and closes
+  /// the file. Idempotent: the first call's status is remembered and
+  /// re-returned. stats() is final after Close().
+  Status Close();
+
+  /// Lifetime counters; final after Close().
+  const StoreWriterStats& stats() const { return stats_; }
+
+  const StoreWriterOptions& options() const { return options_; }
+
+ private:
+  StoreWriter(std::FILE* file, const StoreWriterOptions& options);
+
+  /// Seals the pending buffer into one block. Caller holds mu_.
+  Status SealLocked();
+
+  StoreWriterOptions options_;
+  std::FILE* file_ = nullptr;
+
+  std::mutex mu_;
+  /// Pending segments per object, in arrival order. std::map: blocks are
+  /// sealed with objects in ascending id order, making the file contents
+  /// a deterministic function of the per-object input sequences.
+  std::map<traj::ObjectId, std::vector<traj::TimedSegment>> pending_;
+  std::size_t pending_segments_ = 0;
+  /// Bytes/segment estimate used against the block budget, updated from
+  /// each sealed block's actual encoding.
+  double estimated_segment_bytes_ = 48.0;
+  bool closed_ = false;
+  Status first_error_;
+  StoreWriterStats stats_;
+};
+
+}  // namespace operb::store
+
+#endif  // OPERB_STORE_WRITER_H_

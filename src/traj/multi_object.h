@@ -31,6 +31,23 @@ struct TaggedSegment {
   RepresentedSegment segment;
 };
 
+/// A tagged segment annotated with the time interval it covers: the
+/// timestamps of the original points at `segment.first_index` and
+/// `segment.last_index`. This is the unit the trajectory store
+/// (src/store) persists and serves — the time axis is what turns a
+/// geometric segment into something a time-range or position-at-time
+/// query can index. Patch endpoints (OPERB-A) keep the covered points'
+/// timestamps: the interval describes the *represented* samples, not the
+/// interpolated geometry.
+struct TimedSegment {
+  ObjectId object_id = 0;
+  RepresentedSegment segment;
+  /// Timestamp of the original point at `segment.first_index`, seconds.
+  double t_start = 0.0;
+  /// Timestamp of the original point at `segment.last_index`, seconds.
+  double t_end = 0.0;
+};
+
 /// One object's reassembled trajectory.
 struct ObjectTrajectory {
   ObjectId object_id = 0;

@@ -1,0 +1,623 @@
+// Tests for the queryable compressed trajectory store (src/store) and
+// its block codec (codec/segment_codec.h): exact round-trips against the
+// in-memory sink output and the tests/golden fixtures, footer-metadata
+// block skipping (the ISSUE's "provably skips >= 1 block" assertion),
+// crash-recovery (truncated tails, corrupted payloads), and the
+// position-at-time error certificate.
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/pipeline.h"
+#include "api/store_query.h"
+#include "baselines/simplifier.h"
+#include "baselines/streaming.h"
+#include "codec/segment_codec.h"
+#include "codec/varint.h"
+#include "eval/verifier.h"
+#include "geo/bbox.h"
+#include "store/format.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "test_util.h"
+#include "traj/multi_object.h"
+#include "traj/piecewise.h"
+
+namespace operb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Simplifies `t` through the streaming sink path and annotates every
+/// segment with the covered points' timestamps — exactly what the
+/// pipeline's WriteStore stage feeds the writer.
+std::vector<traj::TimedSegment> SimplifyTimed(const traj::Trajectory& t,
+                                              baselines::Algorithm algorithm,
+                                              traj::ObjectId id) {
+  const auto simplifier =
+      baselines::MakeStreamingSimplifier(algorithm, testutil::kGoldenZeta);
+  std::vector<traj::TimedSegment> out;
+  simplifier->SetSink([&](const traj::RepresentedSegment& s) {
+    out.push_back({id, s, t[s.first_index].t, t[s.last_index].t});
+  });
+  simplifier->Push(std::span<const geo::Point>(t.points()));
+  simplifier->Finish();
+  return out;
+}
+
+std::vector<traj::RepresentedSegment> Untimed(
+    const std::vector<traj::TimedSegment>& timed) {
+  std::vector<traj::RepresentedSegment> out;
+  out.reserve(timed.size());
+  for (const traj::TimedSegment& s : timed) out.push_back(s.segment);
+  return out;
+}
+
+/// Writes `segments` to a fresh store at `path` and returns the reader.
+std::unique_ptr<store::StoreReader> WriteAndOpen(
+    const std::string& path, std::span<const traj::TimedSegment> segments,
+    std::size_t block_budget = 64 * 1024,
+    double zeta = testutil::kGoldenZeta) {
+  store::StoreWriterOptions options;
+  options.zeta = zeta;
+  options.block_budget_bytes = block_budget;
+  auto writer = store::StoreWriter::Create(path, options);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+  for (const traj::TimedSegment& s : segments) {
+    EXPECT_TRUE(writer.value()->Append(s).ok());
+  }
+  EXPECT_TRUE(writer.value()->Close().ok());
+  auto reader = store::StoreReader::Open(path);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  return std::move(reader).value();
+}
+
+void ExpectTimedEqual(const std::vector<traj::TimedSegment>& actual,
+                      const std::vector<traj::TimedSegment>& want,
+                      const std::string& label) {
+  testutil::ExpectSegmentsEqual(Untimed(actual), Untimed(want), label);
+  ASSERT_EQ(actual.size(), want.size()) << label;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].object_id, want[i].object_id) << label << " " << i;
+    EXPECT_EQ(actual[i].t_start, want[i].t_start) << label << " " << i;
+    EXPECT_EQ(actual[i].t_end, want[i].t_end) << label << " " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Block codec
+// ---------------------------------------------------------------------
+
+TEST(SegmentCodecTest, RoundTripsExactlyIncludingPatchFlags) {
+  const traj::Trajectory t = testutil::GoldenTrajectory(
+      datagen::DatasetKind::kSerCar);
+  // OPERB-A produces patch endpoints; two objects make two runs.
+  std::vector<traj::TimedSegment> input =
+      SimplifyTimed(t, baselines::Algorithm::kOPERBA, 7);
+  const std::vector<traj::TimedSegment> second =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 40000000001ULL);
+  input.insert(input.end(), second.begin(), second.end());
+
+  std::vector<std::uint8_t> encoded;
+  codec::EncodeSegmentBlock(input, &encoded);
+  const auto decoded = codec::DecodeSegmentBlock(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectTimedEqual(*decoded, input, "codec round trip");
+}
+
+TEST(SegmentCodecTest, EmptyBlockAndCorruptionAreHandled) {
+  std::vector<std::uint8_t> encoded;
+  codec::EncodeSegmentBlock({}, &encoded);
+  const auto decoded = codec::DecodeSegmentBlock(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+
+  EXPECT_EQ(codec::DecodeSegmentBlock(std::span<const std::uint8_t>())
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  // Truncate a real block mid-stream.
+  const traj::Trajectory t = testutil::StraightLine(20);
+  codec::EncodeSegmentBlock(SimplifyTimed(t, baselines::Algorithm::kOPERB, 1),
+                            &encoded);
+  const std::span<const std::uint8_t> half(encoded.data(),
+                                           encoded.size() / 2);
+  EXPECT_EQ(codec::DecodeSegmentBlock(half).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SegmentCodecTest, VarintRejectsOverlongEncodings) {
+  // 9 continuation bytes then 0x7F: the 10th byte's upper bits would
+  // shift past bit 63 — must fail, not silently truncate.
+  const std::vector<std::uint8_t> overlong = {0x80, 0x80, 0x80, 0x80, 0x80,
+                                              0x80, 0x80, 0x80, 0x80, 0x7F};
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  EXPECT_FALSE(codec::GetVarint(overlong, &pos, &v));
+  // The canonical 10-byte encoding of UINT64_MAX still decodes.
+  std::vector<std::uint8_t> max_bytes;
+  codec::PutVarint(std::numeric_limits<std::uint64_t>::max(), &max_bytes);
+  ASSERT_EQ(max_bytes.size(), 10u);
+  pos = 0;
+  EXPECT_TRUE(codec::GetVarint(max_bytes, &pos, &v));
+  EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+// ---------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------
+
+/// The acceptance matrix: every algorithm x every golden profile must
+/// round-trip through the store bit-identically to the in-memory sink
+/// output, and therefore to tests/golden.
+class StoreGoldenTest
+    : public testing::TestWithParam<datagen::DatasetKind> {};
+
+TEST_P(StoreGoldenTest, AllAlgorithmsRoundTripBitIdentically) {
+  const datagen::DatasetKind kind = GetParam();
+  const traj::Trajectory t = testutil::GoldenTrajectory(kind);
+  const std::string path =
+      TempPath("store_golden_" + std::string(datagen::DatasetName(kind)) +
+               ".store");
+
+  // One store per profile; object id = algorithm index.
+  std::vector<std::vector<traj::TimedSegment>> expected;
+  {
+    store::StoreWriterOptions options;
+    options.zeta = testutil::kGoldenZeta;
+    auto writer = store::StoreWriter::Create(path, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    traj::ObjectId id = 0;
+    for (const baselines::Algorithm algorithm : baselines::AllAlgorithms()) {
+      expected.push_back(SimplifyTimed(t, algorithm, id));
+      for (const traj::TimedSegment& s : expected.back()) {
+        ASSERT_TRUE(writer.value()->Append(s).ok());
+      }
+      ++id;
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+
+  const auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->zeta(), testutil::kGoldenZeta);
+  EXPECT_FALSE(reader.value()->open_info().tail_dropped);
+
+  traj::ObjectId id = 0;
+  for (const baselines::Algorithm algorithm : baselines::AllAlgorithms()) {
+    const std::string label =
+        std::string(baselines::AlgorithmName(algorithm)) + " on " +
+        std::string(datagen::DatasetName(kind));
+    const auto got = reader.value()->ReconstructObject(id);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectTimedEqual(*got, expected[id], label);
+
+    // And directly against the committed fixtures: the store is the
+    // third pinned path (batch, sink, store) to the same bytes.
+    const std::vector<traj::RepresentedSegment> golden = testutil::LoadGolden(
+        std::string(OPERB_GOLDEN_DIR) + "/golden_" +
+        std::string(baselines::AlgorithmName(algorithm)) + "_" +
+        std::string(datagen::DatasetName(kind)) + ".csv");
+    if (!HasFailure()) {
+      testutil::ExpectSegmentsEqual(Untimed(*got), golden,
+                                    label + " vs golden fixture");
+    }
+    ++id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, StoreGoldenTest,
+    testing::ValuesIn(datagen::AllDatasetKinds()),
+    [](const testing::TestParamInfo<datagen::DatasetKind>& info) {
+      return std::string(datagen::DatasetName(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Edge cases
+// ---------------------------------------------------------------------
+
+TEST(StoreTest, EmptyStoreServesEmptyAnswers) {
+  const std::string path = TempPath("store_empty.store");
+  {
+    auto writer = store::StoreWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Close().ok());
+    EXPECT_EQ(writer.value()->stats().blocks, 0u);
+    EXPECT_EQ(writer.value()->stats().segments, 0u);
+  }
+  const auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->block_count(), 0u);
+  EXPECT_EQ(reader.value()->segment_count(), 0u);
+
+  const auto rec = reader.value()->ReconstructObject(0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->empty());
+
+  geo::BoundingBox window;
+  window.Extend(geo::Vec2{-1e9, -1e9});
+  window.Extend(geo::Vec2{1e9, 1e9});
+  const auto win = reader.value()->QueryWindow(window);
+  ASSERT_TRUE(win.ok());
+  EXPECT_TRUE(win->empty());
+
+  EXPECT_EQ(reader.value()->PositionAt(0, 0.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StoreTest, SingleSegmentObjectRoundTrips) {
+  const std::string path = TempPath("store_single.store");
+  const traj::Trajectory t = testutil::StraightLine(2);
+  const std::vector<traj::TimedSegment> segments =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 42);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto reader = WriteAndOpen(path, segments);
+  const auto got = reader->ReconstructObject(42);
+  ASSERT_TRUE(got.ok());
+  ExpectTimedEqual(*got, segments, "single segment");
+  // The unknown object answers empty, not an error.
+  const auto other = reader->ReconstructObject(41);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other->empty());
+}
+
+TEST(StoreTest, TimeRangeStraddlingBlockBoundaries) {
+  const std::string path = TempPath("store_straddle.store");
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kSerCar, 3000, 17);
+  const std::vector<traj::TimedSegment> all =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 5);
+  // Minimum budget => many small blocks of one object.
+  const auto reader = WriteAndOpen(path, all, /*block_budget=*/1024);
+  ASSERT_GE(reader->block_count(), 3u)
+      << "fixture too small to form multiple blocks";
+
+  // Full reconstruction equals the in-memory sequence despite blocking.
+  const auto full = reader->ReconstructObject(5);
+  ASSERT_TRUE(full.ok());
+  ExpectTimedEqual(*full, all, "multi-block full reconstruction");
+
+  // A range centered on a block boundary: expected = the time-overlap
+  // filter of the in-memory sequence.
+  const double boundary = reader->segment_count() > 0
+                              ? all[all.size() / 2].t_start
+                              : 0.0;
+  const double t0 = boundary - 40.0;
+  const double t1 = boundary + 40.0;
+  std::vector<traj::TimedSegment> expected;
+  for (const traj::TimedSegment& s : all) {
+    if (s.t_start <= t1 && t0 <= s.t_end) expected.push_back(s);
+  }
+  store::StoreQueryStats stats;
+  const auto ranged = reader->ReconstructObject(5, t0, t1, &stats);
+  ASSERT_TRUE(ranged.ok());
+  ExpectTimedEqual(*ranged, expected, "straddling range");
+  EXPECT_FALSE(expected.empty());
+  // The range prunes: some block outside [t0, t1] was skipped unread.
+  EXPECT_GE(stats.blocks_skipped, 1u);
+}
+
+TEST(StoreTest, WindowQuerySkipsBlocksOnFooterMetadata) {
+  const std::string path = TempPath("store_window.store");
+  // Two spatially disjoint objects, far beyond any zeta inflation.
+  const traj::Trajectory near_origin = testutil::ZigZag(120);
+  traj::Trajectory far_away;
+  for (const geo::Point& p : testutil::ZigZag(120)) {
+    far_away.AppendUnchecked({p.x + 1e6, p.y + 1e6, p.t});
+  }
+  std::vector<traj::TimedSegment> all =
+      SimplifyTimed(near_origin, baselines::Algorithm::kOPERB, 1);
+  const std::vector<traj::TimedSegment> far =
+      SimplifyTimed(far_away, baselines::Algorithm::kOPERB, 2);
+  const std::size_t near_count = all.size();
+  all.insert(all.end(), far.begin(), far.end());
+
+  // One object per block: budget below one object's encoding.
+  const auto reader = WriteAndOpen(path, all, /*block_budget=*/1024);
+  ASSERT_GE(reader->block_count(), 2u);
+
+  geo::BoundingBox window;
+  window.Extend(geo::Vec2{-100.0, -100.0});
+  window.Extend(geo::Vec2{3000.0, 100.0});
+
+  // The acceptance assertion: the far blocks are skipped on footer
+  // metadata alone.
+  store::StoreQueryStats stats;
+  const auto got = reader->QueryWindow(window, -kInf, kInf, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GE(stats.blocks_skipped, 1u);
+  EXPECT_EQ(stats.blocks_skipped + stats.blocks_scanned,
+            stats.blocks_total);
+  EXPECT_FALSE(got->empty());
+  EXPECT_LE(got->size(), near_count);
+  for (const traj::TimedSegment& s : *got) {
+    EXPECT_EQ(s.object_id, 1u) << "far object leaked into the window";
+  }
+
+  // A window touching nothing: every block is skipped, none decoded.
+  geo::BoundingBox nowhere;
+  nowhere.Extend(geo::Vec2{5e7, 5e7});
+  nowhere.Extend(geo::Vec2{5e7 + 10, 5e7 + 10});
+  store::StoreQueryStats none_stats;
+  const auto none = reader->QueryWindow(nowhere, -kInf, kInf, &none_stats);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  EXPECT_EQ(none_stats.blocks_scanned, 0u);
+  EXPECT_EQ(none_stats.blocks_skipped, none_stats.blocks_total);
+}
+
+TEST(StoreTest, ReopenAfterTruncationDropsOnlyTheTail) {
+  const std::string path = TempPath("store_truncate.store");
+  const traj::Trajectory t =
+      testutil::GoldenTrajectory(datagen::DatasetKind::kSerCar);
+  const std::vector<traj::TimedSegment> all =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 9);
+  std::size_t blocks_before = 0;
+  {
+    const auto reader = WriteAndOpen(path, all, /*block_budget=*/1024);
+    blocks_before = reader->block_count();
+    ASSERT_GE(blocks_before, 2u);
+  }
+  // Chop into the last block's footer: a crash mid-append.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 17));
+  }
+  const auto reopened = store::StoreReader::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened.value()->open_info().tail_dropped);
+  EXPECT_GT(reopened.value()->open_info().dropped_bytes, 0u);
+  EXPECT_EQ(reopened.value()->block_count(), blocks_before - 1);
+
+  // The surviving prefix still answers, and answers correctly: it is a
+  // prefix of the emission order.
+  const auto got = reopened.value()->ReconstructObject(9);
+  ASSERT_TRUE(got.ok());
+  ASSERT_LT(got->size(), all.size());
+  ExpectTimedEqual(
+      *got,
+      std::vector<traj::TimedSegment>(all.begin(),
+                                      all.begin() + got->size()),
+      "post-truncation prefix");
+}
+
+TEST(StoreTest, CorruptPayloadSurfacesAsCorruptionOnRead) {
+  const std::string path = TempPath("store_corrupt.store");
+  const traj::Trajectory t = testutil::ZigZag(60);
+  const std::vector<traj::TimedSegment> all =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 3);
+  { WriteAndOpen(path, all); }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  // Flip one payload byte (after the 24-byte header + 4-byte length).
+  bytes[store::kFileHeaderBytes + 4 + 5] ^= 0x40;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();  // lazy checksum
+  EXPECT_EQ(reader.value()->ReconstructObject(3).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(StoreTest, OpenRejectsForeignAndTruncatedHeaders) {
+  const std::string path = TempPath("store_badheader.store");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "definitely not a store";
+  }
+  EXPECT_EQ(store::StoreReader::Open(path).status().code(),
+            StatusCode::kCorruption);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "xy";
+  }
+  EXPECT_EQ(store::StoreReader::Open(path).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(store::StoreReader::Open(TempPath("no_such.store"))
+                .status()
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST(StoreTest, WriterRejectsBadOptionsAndLateAppends) {
+  store::StoreWriterOptions bad_zeta;
+  bad_zeta.zeta = 0.0;
+  EXPECT_EQ(store::StoreWriter::Create(TempPath("x.store"), bad_zeta)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  store::StoreWriterOptions bad_budget;
+  bad_budget.block_budget_bytes = 16;
+  EXPECT_EQ(store::StoreWriter::Create(TempPath("x.store"), bad_budget)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // A budget above the u32 frame headroom is rejected up front (a
+  // payload overshooting 4 GiB would wrap the length prefix).
+  store::StoreWriterOptions huge_budget;
+  huge_budget.block_budget_bytes = std::size_t{5} << 30;
+  EXPECT_EQ(store::StoreWriter::Create(TempPath("x.store"), huge_budget)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store::StoreWriter::Create("/nonexistent-dir/x.store")
+                .status()
+                .code(),
+            StatusCode::kIOError);
+
+  auto writer = store::StoreWriter::Create(TempPath("store_closed.store"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+  EXPECT_EQ(writer.value()->Append({}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(writer.value()->Close().ok());  // idempotent
+}
+
+// ---------------------------------------------------------------------
+// Position-at-time and the zeta certificate
+// ---------------------------------------------------------------------
+
+TEST(StoreTest, PositionAtInterpolatesWithinTheStoredZetaBound) {
+  const std::string path = TempPath("store_position.store");
+  const traj::Trajectory t =
+      testutil::GoldenTrajectory(datagen::DatasetKind::kGeoLife);
+  const std::vector<traj::TimedSegment> all =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 1);
+  const auto reader = WriteAndOpen(path, all, /*block_budget=*/1024);
+
+  // The reconstruction carries the simplifier's guarantee: every
+  // original sample lies within zeta of a reconstructed segment's line
+  // (the DESIGN.md §8 certificate; quantization-free storage keeps it
+  // exact).
+  const auto rec = reader->ReconstructObject(1);
+  ASSERT_TRUE(rec.ok());
+  traj::PiecewiseRepresentation rep;
+  for (const traj::TimedSegment& s : *rec) rep.Append(s.segment);
+  EXPECT_TRUE(
+      eval::VerifyErrorBound(t, rep, testutil::kGoldenZeta, 1e-9).bounded);
+
+  // PositionAt returns a point on the covering stored segment for any
+  // covered timestamp, including exact sample times and midpoints.
+  for (std::size_t i = 0; i + 1 < t.size(); i += 7) {
+    for (const double when : {t[i].t, (t[i].t + t[i + 1].t) / 2.0}) {
+      const auto pos = reader->PositionAt(1, when);
+      ASSERT_TRUE(pos.ok()) << pos.status().ToString() << " t=" << when;
+      bool on_some_segment = false;
+      for (const traj::TimedSegment& s : all) {
+        if (s.t_start <= when && when <= s.t_end) {
+          const geo::DirectedSegment seg = s.segment.AsSegment();
+          const geo::Vec2 p = pos->pos();
+          // Collinear within the segment's span (parameterized form).
+          const geo::Vec2 d = seg.Displacement();
+          const double cross = d.Cross(p - seg.start);
+          if (std::abs(cross) <= 1e-6 * (1.0 + d.Norm())) {
+            on_some_segment = true;
+            break;
+          }
+        }
+      }
+      EXPECT_TRUE(on_some_segment) << "t=" << when;
+    }
+  }
+  // Outside the stored time span: NotFound, not an invented answer.
+  EXPECT_EQ(reader->PositionAt(1, t.back().t + 1e6).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------
+// api::RunStoreQuery (the facade the CLI --query mode drives)
+// ---------------------------------------------------------------------
+
+TEST(StoreQueryApiTest, ValidatesShapeAndServesQueries) {
+  const std::string path = TempPath("store_api.store");
+  const traj::Trajectory t = testutil::ZigZag(80);
+  const std::vector<traj::TimedSegment> all =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 6);
+  { WriteAndOpen(path, all); }
+
+  api::StoreQuery query;
+  EXPECT_EQ(api::RunStoreQuery(query).status().code(),
+            StatusCode::kInvalidArgument);  // no path
+  query.store_path = path;
+  EXPECT_EQ(api::RunStoreQuery(query).status().code(),
+            StatusCode::kInvalidArgument);  // no shape
+  query.has_object = true;
+  query.object_id = 6;
+  query.has_window = true;
+  query.window.Extend(geo::Vec2{0, 0});
+  query.window.Extend(geo::Vec2{1, 1});
+  EXPECT_EQ(api::RunStoreQuery(query).status().code(),
+            StatusCode::kInvalidArgument);  // both shapes
+  query.has_window = false;
+
+  const auto rec = api::RunStoreQuery(query);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->zeta, testutil::kGoldenZeta);
+  ExpectTimedEqual(rec->segments, all, "api reconstruction");
+
+  query.has_at = true;
+  query.at_time = t[3].t;
+  const auto pos = api::RunStoreQuery(query);
+  ASSERT_TRUE(pos.ok()) << pos.status().ToString();
+  EXPECT_TRUE(pos->has_position);
+
+  // An --at outside an explicit [t_min, t_max] is a contradiction, not
+  // a silently unconstrained lookup.
+  query.t_min = 0.0;
+  query.t_max = 1.0;
+  query.at_time = 500.0;
+  EXPECT_EQ(api::RunStoreQuery(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StoreQueryApiTest, PipelineWriteStoreOnEnginePathRoundTrips) {
+  const std::string path = TempPath("store_pipeline.store");
+  // An interleaved 3-object feed through the StreamEngine with a
+  // WriteStore stage: the store must end up holding exactly what the
+  // report collected, per object, with times from the originals.
+  std::vector<traj::ObjectTrajectory> objects;
+  for (traj::ObjectId id = 0; id < 3; ++id) {
+    objects.push_back(
+        {id, testutil::Generated(datagen::DatasetKind::kSerCar, 300,
+                                 100 + id)});
+  }
+  auto built = api::Pipeline::Builder()
+                   .FromUpdates(traj::InterleaveRoundRobin(objects))
+                   .Simplify("operb:zeta=40")
+                   .WriteStore(path)
+                   .Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto report = built->Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->store_ran);
+  EXPECT_TRUE(report->used_engine);
+  EXPECT_EQ(report->store_stats.segments, report->segments);
+
+  const auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->zeta(), 40.0);
+  for (const traj::ObjectTrajectory& obj : objects) {
+    const auto got = reader.value()->ReconstructObject(obj.object_id);
+    ASSERT_TRUE(got.ok());
+    // segments_out is sorted by id with per-object emission order kept.
+    std::vector<traj::RepresentedSegment> expected;
+    for (const traj::TaggedSegment& s : report->segments_out) {
+      if (s.object_id == obj.object_id) expected.push_back(s.segment);
+    }
+    testutil::ExpectSegmentsEqual(
+        Untimed(*got), expected,
+        "pipeline store object " + std::to_string(obj.object_id));
+    for (const traj::TimedSegment& s : *got) {
+      EXPECT_EQ(s.t_start, obj.trajectory[s.segment.first_index].t);
+      EXPECT_EQ(s.t_end, obj.trajectory[s.segment.last_index].t);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace operb

@@ -193,7 +193,12 @@ TEST(CleanerTest, CleanAllProducesValidTrajectory) {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "operb_io_test";
+    // Per-case directory: gtest_discover_tests runs cases as separate
+    // concurrent processes, so a shared fixed path would let one case's
+    // TearDown remove_all another case's files mid-write.
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("operb_io_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Link and anchor checker for the repository's markdown docs.
+
+Checks every markdown link in the given files:
+  - relative file targets must exist (relative to the linking file);
+  - `#anchor` fragments — both same-file and cross-file — must match a
+    heading in the target file, using GitHub's slugification rules
+    (lowercase, spaces to dashes, punctuation stripped);
+  - bare directory targets are accepted when the directory exists.
+http(s)/mailto targets are not fetched (CI must not depend on the
+network); they are only checked for empty targets.
+
+Stdlib-only so the CI docs job and the local ctest entry need no extra
+packages.
+
+Usage: check_docs_links.py FILE.md [FILE.md ...]
+Exit codes: 0 all links valid, 1 broken links, 2 usage/IO error.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — excluding images' alt text is unnecessary: the target
+# rules are identical for images. Nested parens inside code spans are not
+# used by our docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a heading text."""
+    # Strip markdown emphasis/code markers and links.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = text.strip().lower()
+    # Keep word characters, spaces and dashes; drop the rest.
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def headings_of(path):
+    """All heading slugs of a markdown file, with GitHub's -1/-2 dedup."""
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path, errors):
+    base = os.path.dirname(os.path.abspath(path))
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                where = f"{path}:{lineno}"
+                if not target:
+                    errors.append(f"{where}: empty link target")
+                    continue
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                file_part, _, anchor = target.partition("#")
+                if file_part:
+                    resolved = os.path.normpath(
+                        os.path.join(base, file_part))
+                    if not os.path.exists(resolved):
+                        errors.append(
+                            f"{where}: broken link '{target}' "
+                            f"({resolved} does not exist)")
+                        continue
+                    anchor_file = resolved
+                else:
+                    anchor_file = os.path.abspath(path)
+                if anchor:
+                    if os.path.isdir(anchor_file) or not (
+                            anchor_file.endswith(".md")):
+                        errors.append(
+                            f"{where}: anchor '#{anchor}' on a "
+                            f"non-markdown target '{target}'")
+                        continue
+                    if anchor not in headings_of(anchor_file):
+                        errors.append(
+                            f"{where}: anchor '#{anchor}' not found in "
+                            f"{anchor_file}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for path in sys.argv[1:]:
+        if not os.path.exists(path):
+            print(f"check_docs_links: no such file {path}", file=sys.stderr)
+            return 2
+        check_file(path, errors)
+    for e in errors:
+        print(f"check_docs_links: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"check_docs_links: {len(sys.argv) - 1} file(s), all links and "
+          "anchors valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,15 +19,25 @@
 // segments are tagged with their object id, and the bound is verified
 // per object.
 //
+// With --store-out the simplified segments additionally stream into an
+// append-only block-organized trajectory store (src/store), which
+// --query then serves without re-simplifying: per-object time-range
+// reconstruction (--object [--from --to]), position-at-time
+// (--object --at), and spatio-temporal window queries (--window),
+// all skip-scanning on per-block footer metadata.
+//
 // Examples:
 //   operb_cli --input drive.csv --spec OPERB-A:zeta=30 --output out.csv
 //   operb_cli --plt geolife/000/Trajectory/20081023025304.plt --zeta 10
 //   operb_cli --generate SerCar:5000 --spec operb:zeta=40,fidelity=paper
 //   operb_cli --group-by-id --input fleet.csv --threads 4 --output tagged.csv
 //   operb_cli --group-by-id --generate Taxi:500 --objects 1000 --threads 8
+//   operb_cli --group-by-id --generate Taxi:500 --store-out fleet.store
+//   operb_cli --query fleet.store --object 3 --from 100 --to 900
+//   operb_cli --query fleet.store --window 1000,2000,4000,5000
 //
-// Exit codes: 0 success (bound verified or --no-verify), 1 bound violation,
-// 2 usage error, 3 I/O error.
+// Exit codes: 0 success (bound verified or --no-verify), 1 bound violation
+// (or: --at time not covered by the store), 2 usage error, 3 I/O error.
 
 #include <cmath>
 #include <cstdio>
@@ -42,6 +52,7 @@
 #include "api/pipeline.h"
 #include "api/registry.h"
 #include "api/spec.h"
+#include "api/store_query.h"
 #include "datagen/profiles.h"
 #include "datagen/rng.h"
 #include "engine/stream_engine.h"
@@ -75,9 +86,15 @@ struct CliOptions {
 
   std::string output_path;      ///< representation CSV (optional)
   std::string save_input_path;  ///< write the input trajectory as CSV
+  std::string store_out_path;   ///< write a queryable segment store
   bool clean = false;           ///< repair raw streams before simplifying
   bool verify = true;
   double verify_slack = 1e-9;
+
+  // Query mode (--query PATH): serves an existing store instead of
+  // simplifying. Parsed into an api::StoreQuery, validated there.
+  api::StoreQuery query;
+  bool query_mode = false;
 };
 
 void PrintUsage(std::FILE* out) {
@@ -127,11 +144,32 @@ void PrintUsage(std::FILE* out) {
                "objects, round-robin\n"
                "                        interleaved (default 8)\n"
                "\n"
+               "Store (write side):\n"
+               "  --store-out PATH      additionally persist the simplified "
+               "segments into an\n"
+               "                        append-only queryable store (both "
+               "modes; single-\n"
+               "                        trajectory input is stored as object "
+               "0)\n"
+               "\n"
+               "Store (query mode; excludes every simplification flag):\n"
+               "  --query PATH          serve an existing store instead of "
+               "simplifying\n"
+               "  --object ID           reconstruct one object's segments\n"
+               "  --from T / --to T     restrict to a time range (seconds)\n"
+               "  --at T                with --object: interpolated position "
+               "at time T\n"
+               "  --window X0,Y0,X1,Y1  spatio-temporal window query "
+               "(meters; the window\n"
+               "                        is inflated by the store's zeta so "
+               "no original\n"
+               "                        sample inside it can be missed)\n"
+               "\n"
                "Output:\n"
                "  --output PATH         write the piecewise representation as "
                "CSV (with\n"
-               "                        --group-by-id: id-tagged segment "
-               "rows)\n"
+               "                        --group-by-id or --query: id-tagged "
+               "segment rows)\n"
                "  --save-input PATH     write the (parsed or generated) input "
                "trajectory as CSV\n"
                "  --clean               repair raw streams before simplifying "
@@ -225,6 +263,14 @@ std::optional<traj::Trajectory> GenerateFromSpec(const std::string& spec) {
                                      parsed->points, &rng);
 }
 
+/// Strict finite-double parse (no trailing junk, no inf/nan).
+bool ParseFiniteDouble(const char* value, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value, &end);
+  return end != nullptr && end != value && *end == '\0' &&
+         std::isfinite(*out);
+}
+
 /// Parses argv into `options`; returns false (after printing a message) on
 /// malformed input. `--help` sets `wants_help` instead.
 bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
@@ -237,6 +283,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
     return argv[i + 1];
   };
 
+  bool spec_flag_seen = false;    // --spec/--algorithm/--zeta/--fidelity
+  bool query_flag_seen = false;   // --object/--from/--to/--at/--window
+  bool engine_flag_seen = false;  // --threads/--shards/--objects
+  bool no_verify_seen = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -246,7 +296,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
                arg == "--spec" || arg == "--algorithm" || arg == "--zeta" ||
                arg == "--fidelity" || arg == "--output" ||
                arg == "--save-input" || arg == "--threads" ||
-               arg == "--shards" || arg == "--objects") {
+               arg == "--shards" || arg == "--objects" ||
+               arg == "--store-out" || arg == "--query" ||
+               arg == "--object" || arg == "--from" || arg == "--to" ||
+               arg == "--at" || arg == "--window") {
       const char* value = need_value(i, arg);
       if (value == nullptr) return false;
       ++i;
@@ -259,6 +312,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
       } else if (arg == "--spec") {
         // Whole-spec replacement; later --algorithm/--zeta/--fidelity
         // flags still edit the result (flags apply in order).
+        spec_flag_seen = true;
         Result<api::SimplifierSpec> parsed = api::SimplifierSpec::Parse(value);
         if (!parsed.ok()) {
           std::fprintf(stderr, "operb_cli: %s\n",
@@ -267,8 +321,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
         }
         options->spec = std::move(parsed).value();
       } else if (arg == "--algorithm") {
+        spec_flag_seen = true;
         options->spec.algorithm = value;
       } else if (arg == "--zeta") {
+        spec_flag_seen = true;
         char* end = nullptr;
         options->spec.zeta = std::strtod(value, &end);
         if (end == nullptr || *end != '\0' ||
@@ -279,6 +335,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
           return false;
         }
       } else if (arg == "--fidelity") {
+        spec_flag_seen = true;
         const std::string_view mode = value;
         if (mode == "guarded") {
           options->spec.fidelity = baselines::OperbFidelity::kGuarded;
@@ -295,8 +352,68 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
         options->output_path = value;
       } else if (arg == "--save-input") {
         options->save_input_path = value;
+      } else if (arg == "--store-out") {
+        options->store_out_path = value;
+      } else if (arg == "--query") {
+        options->query_mode = true;
+        options->query.store_path = value;
+      } else if (arg == "--object") {
+        query_flag_seen = true;
+        std::uint64_t id = 0;
+        if (!ParseU64(value, &id)) {
+          std::fprintf(stderr,
+                       "operb_cli: --object must be an unsigned id, got "
+                       "'%s'\n",
+                       value);
+          return false;
+        }
+        options->query.has_object = true;
+        options->query.object_id = id;
+      } else if (arg == "--from" || arg == "--to" || arg == "--at") {
+        query_flag_seen = true;
+        double v = 0.0;
+        if (!ParseFiniteDouble(value, &v)) {
+          std::fprintf(stderr,
+                       "operb_cli: %.*s must be a finite timestamp, got "
+                       "'%s'\n",
+                       static_cast<int>(arg.size()), arg.data(), value);
+          return false;
+        }
+        if (arg == "--from") {
+          options->query.t_min = v;
+        } else if (arg == "--to") {
+          options->query.t_max = v;
+        } else {
+          options->query.has_at = true;
+          options->query.at_time = v;
+        }
+      } else if (arg == "--window") {
+        query_flag_seen = true;
+        double c[4];
+        const char* p = value;
+        bool ok = true;
+        for (int k = 0; k < 4 && ok; ++k) {
+          char* end = nullptr;
+          c[k] = std::strtod(p, &end);
+          ok = end != p && std::isfinite(c[k]) &&
+               (k == 3 ? *end == '\0' : *end == ',');
+          p = end + 1;
+        }
+        if (!ok) {
+          std::fprintf(stderr,
+                       "operb_cli: --window must be X0,Y0,X1,Y1 (four "
+                       "comma-separated meters), got '%s'\n",
+                       value);
+          return false;
+        }
+        // Corner order is free; the box normalizes it.
+        options->query.has_window = true;
+        options->query.window = {};
+        options->query.window.Extend(geo::Vec2{c[0], c[1]});
+        options->query.window.Extend(geo::Vec2{c[2], c[3]});
       } else if (arg == "--threads" || arg == "--shards" ||
                  arg == "--objects") {
+        engine_flag_seen = true;
         // Tight per-flag ceilings so a typo fails as a usage error, not
         // as a massive allocation or thread spawn (every shard owns a
         // pre-sized ring; every thread is a real std::thread).
@@ -333,6 +450,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
       options->clean = true;
     } else if (arg == "--no-verify") {
       options->verify = false;
+      no_verify_seen = true;
     } else if (arg == "--group-by-id") {
       options->group_by_id = true;
     } else {
@@ -345,6 +463,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
   const int inputs = (options->csv_path.empty() ? 0 : 1) +
                      (options->plt_path.empty() ? 0 : 1) +
                      (options->generate_spec.empty() ? 0 : 1);
+  if (options->query_mode) {
+    // Query mode serves an existing store: nothing is ingested,
+    // simplified or verified, so every write-side flag — including the
+    // engine knobs and --no-verify — is a contradiction, not a no-op.
+    if (inputs > 0 || !options->store_out_path.empty() ||
+        options->group_by_id || options->clean || spec_flag_seen ||
+        engine_flag_seen || no_verify_seen ||
+        !options->save_input_path.empty()) {
+      std::fprintf(stderr,
+                   "operb_cli: --query serves an existing store and cannot "
+                   "be combined with input, simplification, engine or "
+                   "--store-out flags\n");
+      return false;
+    }
+    return true;  // query shape itself is validated by api::StoreQuery
+  }
+  if (query_flag_seen) {
+    std::fprintf(stderr,
+                 "operb_cli: --object/--from/--to/--at/--window require "
+                 "--query PATH\n");
+    return false;
+  }
   if (inputs > 1) {
     std::fprintf(stderr,
                  "operb_cli: --input, --plt and --generate are mutually "
@@ -410,6 +550,76 @@ std::optional<std::vector<traj::ObjectUpdate>> LoadUpdates(
   return traj::InterleaveRoundRobin(objects);
 }
 
+/// Prints the WriteStore-stage summary line of a pipeline report.
+void PrintStoreLine(const api::PipelineReport& report) {
+  if (!report.store_ran) return;
+  std::printf("store:     %s  (%llu blocks, %llu bytes, write amp "
+              "%.3f)\n",
+              report.store_path.c_str(),
+              static_cast<unsigned long long>(report.store_stats.blocks),
+              static_cast<unsigned long long>(report.store_stats.file_bytes),
+              report.store_stats.write_amplification);
+}
+
+/// The --query flow: open the store, run one query, print the matched
+/// segments and the skip-scan evidence.
+int RunQuery(const CliOptions& options) {
+  Result<api::StoreQueryReport> run = api::RunStoreQuery(options.query);
+  if (!run.ok()) {
+    std::fprintf(stderr, "operb_cli: %s\n",
+                 run.status().ToString().c_str());
+    switch (run.status().code()) {
+      case StatusCode::kIOError:
+      case StatusCode::kCorruption:
+        return kExitIo;
+      case StatusCode::kNotFound:
+        // --at outside the object's stored time span: a data answer
+        // ("not there"), not a usage mistake.
+        return kExitBoundViolation;
+      default:
+        return kExitUsage;
+    }
+  }
+  const api::StoreQueryReport& report = *run;
+  std::printf("store:     %s  (%zu blocks, %llu segments, zeta %g m%s)\n",
+              options.query.store_path.c_str(), report.store_blocks,
+              static_cast<unsigned long long>(report.store_segments),
+              report.zeta,
+              report.tail_dropped ? ", torn tail dropped" : "");
+  const store::StoreQueryStats& stats = report.stats;
+  std::printf("scan:      skipped %llu of %llu blocks on footer metadata, "
+              "decoded %llu segments  (%.3f ms)\n",
+              static_cast<unsigned long long>(stats.blocks_skipped),
+              static_cast<unsigned long long>(stats.blocks_total),
+              static_cast<unsigned long long>(stats.segments_scanned),
+              report.seconds * 1e3);
+  if (report.has_position) {
+    std::printf("position:  %.3f, %.3f at t=%g  (on the stored segment; "
+                "covered samples stay within zeta %g m of its line)\n",
+                report.position.x, report.position.y,
+                options.query.at_time, report.zeta);
+    return kExitOk;
+  }
+  std::printf("matched:   %llu segment(s)\n",
+              static_cast<unsigned long long>(stats.segments_matched));
+  if (!options.output_path.empty()) {
+    std::vector<traj::TaggedSegment> tagged;
+    tagged.reserve(report.segments.size());
+    for (const traj::TimedSegment& s : report.segments) {
+      tagged.push_back({s.object_id, s.segment});
+    }
+    if (const Status s = traj::WriteTaggedSegmentsCsv(
+            std::span<const traj::TaggedSegment>(tagged),
+            options.output_path);
+        !s.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+      return kExitIo;
+    }
+    std::printf("wrote:     %s\n", options.output_path.c_str());
+  }
+  return kExitOk;
+}
+
 /// The --group-by-id flow, composed on the Pipeline facade: interleaved
 /// updates -> StreamEngine -> id-tagged segments, with per-object bound
 /// verification.
@@ -446,6 +656,9 @@ int RunGroupById(const CliOptions& options) {
       .Engine(eopts);
   if (options.clean) builder.Clean();
   if (options.verify) builder.Verify(options.verify_slack);
+  if (!options.store_out_path.empty()) {
+    builder.WriteStore(options.store_out_path);
+  }
   Result<api::Pipeline> pipeline = builder.Build();
   if (!pipeline.ok()) {
     std::fprintf(stderr, "operb_cli: %s\n",
@@ -454,12 +667,14 @@ int RunGroupById(const CliOptions& options) {
   }
   Result<api::PipelineReport> run = pipeline->Run();
   if (!run.ok()) {
-    // Data errors (non-monotone per-object timestamps, corrupt rows)
-    // surface here; configuration was already validated.
+    // Data errors (non-monotone per-object timestamps, corrupt rows,
+    // unwritable store) surface here; configuration was already
+    // validated.
     std::fprintf(stderr, "operb_cli: %s%s\n",
                  run.status().ToString().c_str(),
                  options.clean ? "" : " (try --clean)");
-    return kExitUsage;
+    return run.status().code() == StatusCode::kIOError ? kExitIo
+                                                       : kExitUsage;
   }
   const api::PipelineReport& report = *run;
   const engine::StreamEngineStats& stats = report.engine_stats;
@@ -486,6 +701,7 @@ int RunGroupById(const CliOptions& options) {
   std::printf("time:      %.3f ms  (%.0f ns/point, %.2f M points/s)\n",
               elapsed_ms, ns_per_point,
               ns_per_point > 0.0 ? 1e3 / ns_per_point : 0.0);
+  PrintStoreLine(report);
 
   if (!options.output_path.empty()) {
     if (const Status s = traj::WriteTaggedSegmentsCsv(
@@ -580,6 +796,9 @@ int RunSingle(const CliOptions& options) {
   builder.FromTrajectory(std::move(*input)).Simplify(options.spec);
   if (options.clean) builder.Clean();
   if (options.verify) builder.Verify(options.verify_slack);
+  if (!options.store_out_path.empty()) {
+    builder.WriteStore(options.store_out_path);
+  }
   Result<api::Pipeline> pipeline = builder.Build();
   if (!pipeline.ok()) {
     std::fprintf(stderr, "operb_cli: %s\n",
@@ -588,12 +807,13 @@ int RunSingle(const CliOptions& options) {
   }
   Result<api::PipelineReport> run = pipeline->Run();
   if (!run.ok()) {
-    // Data errors (e.g. non-monotone timestamps) — configuration was
-    // already validated.
+    // Data errors (e.g. non-monotone timestamps, unwritable store) —
+    // configuration was already validated.
     std::fprintf(stderr, "operb_cli: %s%s\n",
                  run.status().ToString().c_str(),
                  options.clean ? "" : " (try --clean)");
-    return kExitUsage;
+    return run.status().code() == StatusCode::kIOError ? kExitIo
+                                                       : kExitUsage;
   }
   const api::PipelineReport& report = *run;
 
@@ -629,6 +849,7 @@ int RunSingle(const CliOptions& options) {
               elapsed_ms, ns_per_point,
               ns_per_point > 0.0 ? 1e3 / ns_per_point : 0.0);
   std::printf("error:     avg %.2f m, max %.2f m\n", error.average, error.max);
+  PrintStoreLine(report);
 
   if (!options.output_path.empty()) {
     if (const Status s =
@@ -665,5 +886,6 @@ int main(int argc, char** argv) {
     PrintUsage(stdout);
     return kExitOk;
   }
+  if (options.query_mode) return RunQuery(options);
   return options.group_by_id ? RunGroupById(options) : RunSingle(options);
 }
