@@ -19,15 +19,22 @@
 //                        measurably slower (construction happens once,
 //                        outside the loop — the products are identical
 //                        objects, so any steady-state gap is a bug)
-//   store              — the trajectory store (src/store): write a
-//                        spatially spread fleet's segments into blocks
-//                        (write amplification, file bytes), then serve a
-//                        window query (skip-scan evidence: blocks
-//                        skipped vs scanned) and a per-object
-//                        reconstruction (latency)
+//   store              — the sharded trajectory store (src/store): write
+//                        a spatially spread fleet's segments into a
+//                        manifest-driven shard directory (write
+//                        amplification, file bytes), measure open
+//                        latency (footer scan + R-tree build), serve a
+//                        window query through both the R-tree index and
+//                        the flat footer scan (index-vs-scan skip
+//                        evidence; the run FAILS if the index visits
+//                        more than 25% of the nodes the flat scan
+//                        would), a per-object reconstruction, then one
+//                        compaction pass (its write amplification and
+//                        block densification) and the same query after
+//                        it (must match byte-for-byte counts)
 //
 // Every simplifier-bearing record carries the resolved canonical spec
-// string of what ran (schema version 4).
+// string of what ran (schema version 5).
 //
 // `--smoke` shrinks every dataset to a single fast pass (for CI), `--out
 // PATH` overrides the default ./BENCH_throughput.json. Later PRs
@@ -53,6 +60,9 @@
 #include "engine/stream_engine.h"
 #include "eval/verifier.h"
 #include "geo/bbox.h"
+#include <filesystem>
+
+#include "store/compactor.h"
 #include "store/reader.h"
 #include "store/writer.h"
 #include "traj/io.h"
@@ -513,6 +523,7 @@ int main(int argc, char** argv) {
     store::StoreWriterOptions wopts;
     wopts.zeta = kZeta;
     wopts.block_budget_bytes = smoke ? 4096 : 64 * 1024;
+    wopts.num_shards = smoke ? 2 : 4;
     store::StoreWriterStats wstats;
     bool write_ok = true;
     const Timing wt = TimeLoop([&] {
@@ -527,11 +538,18 @@ int main(int argc, char** argv) {
       write_ok = write_ok && writer.value()->Close().ok();
       wstats = writer.value()->stats();
     });
+    // Open latency: manifest read + per-file footer scan + R-tree bulk
+    // load — the cost the hierarchical index adds at open time.
+    bool open_ok = true;
+    const Timing ot = TimeLoop([&] {
+      open_ok = open_ok && store::StoreReader::Open(store_path).ok();
+    });
     auto reader = store::StoreReader::Open(store_path);
-    if (!write_ok || !reader.ok()) {
+    if (!write_ok || !open_ok || !reader.ok()) {
       std::fprintf(stderr, "bench_throughput: store write/open failed\n");
       return 1;
     }
+    const std::size_t index_nodes = reader.value()->index_node_count();
 
     constexpr double kInf = std::numeric_limits<double>::infinity();
     store::StoreQueryStats window_stats;
@@ -539,9 +557,21 @@ int main(int argc, char** argv) {
     bool query_ok = true;
     const Timing qt = TimeLoop([&] {
       auto r = reader.value()->QueryWindow(first_region, -kInf, kInf,
-                                           &window_stats);
+                                           &window_stats,
+                                           store::ScanMode::kIndexed);
       query_ok = query_ok && r.ok();
       window_matched = r.ok() ? r->size() : 0;
+    });
+    // The same window through the flat footer scan — the index's verify
+    // oracle and the baseline its pruning is judged against.
+    store::StoreQueryStats flat_stats;
+    std::size_t flat_matched = 0;
+    const Timing ft = TimeLoop([&] {
+      auto r = reader.value()->QueryWindow(first_region, -kInf, kInf,
+                                           &flat_stats,
+                                           store::ScanMode::kFlatScan);
+      query_ok = query_ok && r.ok();
+      flat_matched = r.ok() ? r->size() : 0;
     });
     std::size_t reconstructed = 0;
     const Timing rt = TimeLoop([&] {
@@ -549,7 +579,6 @@ int main(int argc, char** argv) {
       query_ok = query_ok && r.ok();
       reconstructed = r.ok() ? r->size() : 0;
     });
-    std::remove(store_path.c_str());
     if (!query_ok) {
       std::fprintf(stderr, "bench_throughput: store query failed\n");
       return 1;
@@ -558,6 +587,64 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "bench_throughput: window query skipped no blocks — "
                    "footer pruning is broken\n");
+      return 1;
+    }
+    if (window_matched != flat_matched ||
+        window_stats.blocks_scanned != flat_stats.blocks_scanned) {
+      std::fprintf(stderr,
+                   "bench_throughput: R-tree and flat scan disagree — "
+                   "index pruning is unsound\n");
+      return 1;
+    }
+    // The acceptance gate: the flat scan visits every footer
+    // (blocks_total); the R-tree must touch at most 25% as many index
+    // nodes to answer the same window.
+    if (window_stats.index_nodes_visited * 4 > window_stats.blocks_total) {
+      std::fprintf(stderr,
+                   "bench_throughput: R-tree visited %llu nodes for %llu "
+                   "footers — pruning under the 25%% gate failed\n",
+                   static_cast<unsigned long long>(
+                       window_stats.index_nodes_visited),
+                   static_cast<unsigned long long>(
+                       window_stats.blocks_total));
+      return 1;
+    }
+
+    // One compaction pass: every shard's single level-0 file rewrites
+    // into dense id-ordered blocks one level up. Queries must answer
+    // identically after it.
+    const std::size_t blocks_before_compaction = reader.value()->block_count();
+    store::CompactionStats cstats;
+    double compact_seconds = 0.0;
+    {
+      Stopwatch watch;
+      store::Compactor compactor(store_path);
+      auto compacted = compactor.Run();
+      compact_seconds = watch.ElapsedSeconds();
+      if (!compacted.ok()) {
+        std::fprintf(stderr, "bench_throughput: compaction failed: %s\n",
+                     compacted.status().ToString().c_str());
+        return 1;
+      }
+      cstats = *compacted;
+    }
+    bool post_ok = true;
+    const Timing pot = TimeLoop([&] {
+      post_ok = post_ok && store::StoreReader::Open(store_path).ok();
+    });
+    auto post_reader = store::StoreReader::Open(store_path);
+    if (!post_ok || !post_reader.ok()) {
+      std::fprintf(stderr, "bench_throughput: post-compaction open failed\n");
+      return 1;
+    }
+    store::StoreQueryStats post_stats;
+    auto post_window = post_reader.value()->QueryWindow(
+        first_region, -kInf, kInf, &post_stats, store::ScanMode::kIndexed);
+    std::filesystem::remove_all(store_path);
+    if (!post_window.ok() || post_window->size() != window_matched) {
+      std::fprintf(stderr,
+                   "bench_throughput: compaction changed the window "
+                   "query's answer\n");
       return 1;
     }
 
@@ -569,32 +656,65 @@ int main(int argc, char** argv) {
     rec.Int("segments", static_cast<long long>(wstats.segments));
     rec.Int("blocks", static_cast<long long>(wstats.blocks));
     rec.Int("file_bytes", static_cast<long long>(wstats.file_bytes));
+    rec.Int("shards", static_cast<long long>(wopts.num_shards));
+    rec.Int("index_nodes", static_cast<long long>(index_nodes));
     rec.Num("write_amplification", wstats.write_amplification);
     rec.Int("write_passes", wt.passes);
     rec.Num("write_seconds_per_pass", wt.seconds_per_pass);
     rec.Num("write_segments_per_sec",
             static_cast<double>(wstats.segments) / wt.seconds_per_pass);
+    rec.Num("open_seconds_per_pass", ot.seconds_per_pass);
     rec.Num("window_query_seconds", qt.seconds_per_pass);
     rec.Int("window_blocks_skipped",
             static_cast<long long>(window_stats.blocks_skipped));
     rec.Int("window_blocks_scanned",
             static_cast<long long>(window_stats.blocks_scanned));
+    rec.Int("window_index_nodes_visited",
+            static_cast<long long>(window_stats.index_nodes_visited));
     rec.Int("window_segments_matched",
             static_cast<long long>(window_matched));
+    rec.Num("flat_window_query_seconds", ft.seconds_per_pass);
+    rec.Int("flat_window_blocks_skipped",
+            static_cast<long long>(flat_stats.blocks_skipped));
+    rec.Int("flat_window_blocks_scanned",
+            static_cast<long long>(flat_stats.blocks_scanned));
+    rec.Int("flat_window_segments_matched",
+            static_cast<long long>(flat_matched));
     rec.Num("reconstruct_seconds", rt.seconds_per_pass);
     rec.Int("reconstruct_segments", static_cast<long long>(reconstructed));
+    rec.Num("compact_seconds", compact_seconds);
+    rec.Int("compact_shards_compacted",
+            static_cast<long long>(cstats.shards_compacted));
+    rec.Num("compact_write_amplification", cstats.write_amplification);
+    rec.Int("compact_blocks_before",
+            static_cast<long long>(blocks_before_compaction));
+    rec.Int("compact_blocks_after",
+            static_cast<long long>(post_reader.value()->block_count()));
+    rec.Int("compact_files_before",
+            static_cast<long long>(cstats.files_before));
+    rec.Int("compact_files_after",
+            static_cast<long long>(cstats.files_after));
+    rec.Num("post_compact_open_seconds", pot.seconds_per_pass);
+    rec.Int("post_compact_window_segments_matched",
+            static_cast<long long>(post_window->size()));
     store_records.push_back(rec);
     std::printf(
-        "store: %zu objects, %llu segments -> %llu blocks (%llu bytes, "
-        "write amp %.3f); window skipped %llu/%llu blocks in %.3f ms, "
-        "reconstruct %.3f ms\n",
+        "store: %zu objects, %llu segments -> %llu blocks in %zu shards "
+        "(%llu bytes, write amp %.3f); open %.3f ms; window skipped "
+        "%llu/%llu blocks via %llu/%zu index nodes in %.3f ms (flat "
+        "%.3f ms), reconstruct %.3f ms; compaction %llu shards, write "
+        "amp %.3f, open after %.3f ms\n",
         store_objects, static_cast<unsigned long long>(wstats.segments),
-        static_cast<unsigned long long>(wstats.blocks),
+        static_cast<unsigned long long>(wstats.blocks), wopts.num_shards,
         static_cast<unsigned long long>(wstats.file_bytes),
-        wstats.write_amplification,
+        wstats.write_amplification, ot.seconds_per_pass * 1e3,
         static_cast<unsigned long long>(window_stats.blocks_skipped),
         static_cast<unsigned long long>(window_stats.blocks_total),
-        qt.seconds_per_pass * 1e3, rt.seconds_per_pass * 1e3);
+        static_cast<unsigned long long>(window_stats.index_nodes_visited),
+        index_nodes, qt.seconds_per_pass * 1e3, ft.seconds_per_pass * 1e3,
+        rt.seconds_per_pass * 1e3,
+        static_cast<unsigned long long>(cstats.shards_compacted),
+        cstats.write_amplification, pot.seconds_per_pass * 1e3);
   }
 
   // ------------------------------------------------------------------
@@ -609,7 +729,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"schema\": \"operb-bench-throughput\",\n"
-               "  \"schema_version\": 4,\n"
+               "  \"schema_version\": 5,\n"
                "  \"smoke\": %s,\n"
                "  \"unix_time\": %lld,\n"
                "  \"zeta\": %g,\n"

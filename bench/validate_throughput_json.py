@@ -1,6 +1,12 @@
 #!/usr/bin/env python3
 """Validates BENCH_throughput.json against the operb-bench-throughput
-schema (version 4). Stdlib-only so CI needs no extra packages.
+schema (version 5). Stdlib-only so CI needs no extra packages.
+
+Beyond shape checks, the store section carries semantic gates: the
+R-tree index must never skip fewer blocks than the flat footer scan, the
+two scan modes must match the same segments, the index may touch at most
+25% of the nodes the flat scan visits (footers), and compaction must not
+change the window query's answer.
 
 Usage: validate_throughput_json.py PATH
 Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
@@ -86,16 +92,33 @@ SECTION_FIELDS = {
         "segments": int,
         "blocks": int,
         "file_bytes": int,
+        "shards": int,
+        "index_nodes": int,
         "write_amplification": NUMBER,
         "write_passes": int,
         "write_seconds_per_pass": NUMBER,
         "write_segments_per_sec": NUMBER,
+        "open_seconds_per_pass": NUMBER,
         "window_query_seconds": NUMBER,
         "window_blocks_skipped": int,
         "window_blocks_scanned": int,
+        "window_index_nodes_visited": int,
         "window_segments_matched": int,
+        "flat_window_query_seconds": NUMBER,
+        "flat_window_blocks_skipped": int,
+        "flat_window_blocks_scanned": int,
+        "flat_window_segments_matched": int,
         "reconstruct_seconds": NUMBER,
         "reconstruct_segments": int,
+        "compact_seconds": NUMBER,
+        "compact_shards_compacted": int,
+        "compact_write_amplification": NUMBER,
+        "compact_blocks_before": int,
+        "compact_blocks_after": int,
+        "compact_files_before": int,
+        "compact_files_after": int,
+        "post_compact_open_seconds": NUMBER,
+        "post_compact_window_segments_matched": int,
     },
 }
 
@@ -126,7 +149,7 @@ def main():
             fail(f"top-level key '{key}' has wrong type")
     if doc["schema"] != "operb-bench-throughput":
         fail(f"unexpected schema '{doc['schema']}'")
-    if doc["schema_version"] != 4:
+    if doc["schema_version"] != 5:
         fail(f"unexpected schema_version {doc['schema_version']}")
 
     for section, fields in SECTION_FIELDS.items():
@@ -152,11 +175,18 @@ def main():
             if section == "store":
                 if (entry["blocks"] <= 0 or entry["file_bytes"] <= 0
                         or entry["segments"] <= 0
+                        or entry["shards"] <= 0
+                        or entry["index_nodes"] <= 0
                         or entry["write_amplification"] <= 0
                         or entry["write_passes"] <= 0
                         or entry["write_seconds_per_pass"] <= 0
+                        or entry["open_seconds_per_pass"] <= 0
                         or entry["window_query_seconds"] <= 0
-                        or entry["reconstruct_seconds"] <= 0):
+                        or entry["flat_window_query_seconds"] <= 0
+                        or entry["reconstruct_seconds"] <= 0
+                        or entry["compact_seconds"] <= 0
+                        or entry["compact_write_amplification"] <= 0
+                        or entry["post_compact_open_seconds"] <= 0):
                     fail(f"{section}[{i}] has non-positive store numbers")
                 if entry["window_blocks_skipped"] < 1:
                     fail(f"{section}[{i}] window query skipped no blocks "
@@ -166,6 +196,32 @@ def main():
                         != entry["blocks"]):
                     fail(f"{section}[{i}] skip/scan counts do not cover "
                          "the block count")
+                # Index soundness and pruning gates (schema v5): the
+                # R-tree must skip at least as many blocks as the flat
+                # footer scan, agree with it on the matched segments,
+                # and visit at most 25% as many index nodes as the flat
+                # scan visits footers.
+                if (entry["window_blocks_skipped"]
+                        < entry["flat_window_blocks_skipped"]):
+                    fail(f"{section}[{i}] R-tree skipped fewer blocks "
+                         "than the flat footer scan")
+                if (entry["window_segments_matched"]
+                        != entry["flat_window_segments_matched"]):
+                    fail(f"{section}[{i}] R-tree and flat scan matched "
+                         "different segment counts")
+                flat_footers = (entry["flat_window_blocks_skipped"]
+                                + entry["flat_window_blocks_scanned"])
+                if entry["window_index_nodes_visited"] * 4 > flat_footers:
+                    fail(f"{section}[{i}] R-tree visited "
+                         f"{entry['window_index_nodes_visited']} nodes "
+                         f"against {flat_footers} flat-scanned footers "
+                         "(over the 25% gate)")
+                if (entry["post_compact_window_segments_matched"]
+                        != entry["window_segments_matched"]):
+                    fail(f"{section}[{i}] compaction changed the window "
+                         "query's answer")
+                if entry["compact_files_after"] > entry["compact_files_before"]:
+                    fail(f"{section}[{i}] compaction grew the file count")
                 continue
             if entry["points"] <= 0 or entry["points_per_sec"] <= 0:
                 fail(f"{section}[{i}] has non-positive throughput")
@@ -190,7 +246,7 @@ def main():
             if not entry["spec"].startswith(entry["algorithm"] + ":"):
                 fail(f"{section}[{i}].spec '{entry['spec']}' does not "
                      f"resolve to algorithm '{entry['algorithm']}'")
-    print(f"{sys.argv[1]}: valid operb-bench-throughput v4 "
+    print(f"{sys.argv[1]}: valid operb-bench-throughput v5 "
           f"({len(doc['steady_state'])} steady-state entries, "
           f"{len(doc['concurrent_streams'])} concurrent-stream entries, "
           f"{len(doc['store'])} store entries)")

@@ -66,6 +66,92 @@ foreach(profile IN LISTS profiles)
   endforeach()
 endforeach()
 
+# Sharded write/query/compact round trip: one 12-object feed persisted
+# at 1, 2 and 8 shards must serve byte-identical per-object and window
+# CSVs — before --compact, after it, and through both the R-tree and the
+# flat footer scan (the acceptance sweep of the sharded-store PR).
+set(shard_ref_csv "")
+foreach(shards IN ITEMS 1 2 8)
+  set(store "${WORK_DIR}/shard${shards}.store")
+  set(mem_csv "${WORK_DIR}/shard${shards}_mem.csv")
+  execute_process(
+    COMMAND "${OPERB_CLI}" --group-by-id
+            --generate "SerCar:400:20170402" --objects 12
+            --spec "OPERB:zeta=40" --no-verify
+            --store-out "${store}" --store-shards "${shards}"
+            --output "${mem_csv}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR
+      "shards=${shards}: store write failed (exit ${result})\n${stderr}")
+  endif()
+
+  # The same store state is queried four ways: {uncompacted, compacted}
+  # x {indexed, flat}. All four CSVs — and the in-memory write-side CSV
+  # — must be byte-identical (the all-covering window matches every
+  # segment, and the canonical result order is object id).
+  file(READ "${mem_csv}" want_bytes)
+  foreach(state uncompacted compacted)
+    if(state STREQUAL "compacted")
+      execute_process(
+        COMMAND "${OPERB_CLI}" --compact "${store}"
+        RESULT_VARIABLE result
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr)
+      if(NOT result EQUAL 0 OR NOT stdout MATCHES "compacted:")
+        message(FATAL_ERROR
+          "shards=${shards}: --compact failed (exit ${result})\n${stderr}")
+      endif()
+    endif()
+    foreach(mode indexed flat)
+      set(query_csv "${WORK_DIR}/shard${shards}_${state}_${mode}.csv")
+      set(mode_flag "")
+      if(mode STREQUAL "flat")
+        set(mode_flag "--flat-scan")
+      endif()
+      execute_process(
+        COMMAND "${OPERB_CLI}" --query "${store}"
+                --window -1e9,-1e9,1e9,1e9 ${mode_flag}
+                --output "${query_csv}"
+        RESULT_VARIABLE result
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr)
+      if(NOT result EQUAL 0)
+        message(FATAL_ERROR
+          "shards=${shards} ${state} ${mode}: query failed "
+          "(exit ${result})\n${stderr}")
+      endif()
+      file(READ "${query_csv}" got_bytes)
+      if(NOT got_bytes STREQUAL want_bytes)
+        message(FATAL_ERROR
+          "shards=${shards} ${state} ${mode}: window query is not "
+          "byte-identical to the write-side CSV")
+      endif()
+    endforeach()
+  endforeach()
+
+  # And across shard counts: every mem CSV equals the 1-shard one.
+  if(shard_ref_csv STREQUAL "")
+    set(shard_ref_csv "${want_bytes}")
+  elseif(NOT want_bytes STREQUAL shard_ref_csv)
+    message(FATAL_ERROR
+      "shards=${shards}: output differs from the 1-shard store")
+  endif()
+endforeach()
+
+# Compacting a store that does not exist keeps the documented exit 3.
+execute_process(
+  COMMAND "${OPERB_CLI}" --compact "${WORK_DIR}/does_not_exist.store"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 3)
+  message(FATAL_ERROR
+    "missing store --compact: expected exit 3, got ${result}\n${stderr}")
+endif()
+
 # A window query against the last store must succeed and report its
 # skip-scan stats line.
 execute_process(
@@ -101,4 +187,6 @@ if(NOT result EQUAL 3)
     "unwritable store: expected exit 3, got ${result}\n${stderr}")
 endif()
 
-message(STATUS "operb_cli store round-trip smoke passed (40 pairs)")
+message(STATUS
+  "operb_cli store round-trip smoke passed (40 pairs + 1/2/8-shard "
+  "compaction sweep)")

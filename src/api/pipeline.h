@@ -126,12 +126,15 @@ class Pipeline {
     /// Lossless delta encoding of the cleaned input (storage contrast).
     Builder& DeltaEncode(codec::DeltaCodecOptions options = {});
     /// Persist the simplified output: every emitted segment, annotated
-    /// with the time interval it covers, streams into an append-only
-    /// block-organized trajectory store at `path` (src/store), which
-    /// `operb_cli --query` / api::RunStoreQuery can then serve. The
-    /// options' zeta field is overwritten by the Simplify() spec's zeta
-    /// (the bound the segments are actually simplified under — it is
-    /// the store's error certificate). Composes with ToSink(): the sink
+    /// with the time interval it covers, streams into a sharded
+    /// directory-based trajectory store at `path` (src/store: manifest +
+    /// per-shard segment files), which `operb_cli --query` /
+    /// api::RunStoreQuery can then serve. The options carry the shard
+    /// count (options.num_shards; objects partition by
+    /// traj::ShardOfObject, the engine's own hash) and block budget; the
+    /// zeta field is overwritten by the Simplify() spec's zeta (the
+    /// bound the segments are actually simplified under — it is the
+    /// store's error certificate). Composes with ToSink(): the sink
     /// still receives every segment.
     Builder& WriteStore(std::string path,
                         store::StoreWriterOptions options = {});

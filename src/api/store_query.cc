@@ -53,6 +53,11 @@ Result<StoreQueryReport> RunStoreQuery(const StoreQuery& query) {
   report.store_blocks = reader->block_count();
   report.store_segments = reader->segment_count();
   report.tail_dropped = reader->open_info().tail_dropped;
+  report.store_shards = reader->num_shards();
+  report.store_files = reader->file_count();
+  report.store_generation = reader->open_info().generation;
+  report.legacy_single_file = reader->open_info().legacy_single_file;
+  report.index_nodes = reader->index_node_count();
 
   Stopwatch watch;
   if (query.has_at) {
@@ -69,7 +74,9 @@ Result<StoreQueryReport> RunStoreQuery(const StoreQuery& query) {
     OPERB_ASSIGN_OR_RETURN(
         report.segments,
         reader->QueryWindow(query.window, query.t_min, query.t_max,
-                            &report.stats));
+                            &report.stats,
+                            query.use_flat_scan ? store::ScanMode::kFlatScan
+                                                : store::ScanMode::kIndexed));
   }
   report.seconds = watch.ElapsedSeconds();
   return report;

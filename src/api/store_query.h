@@ -48,6 +48,12 @@ struct StoreQuery {
   bool has_at = false;
   double at_time = 0.0;
 
+  /// Window queries only: select candidate blocks with the flat footer
+  /// scan instead of the hierarchical R-tree index — the debug/verify
+  /// oracle; results are identical, only the pruning work differs
+  /// (store::ScanMode).
+  bool use_flat_scan = false;
+
   /// Shape and range validation (path set, exactly one query form, sane
   /// time range / window).
   Status Validate() const;
@@ -59,6 +65,11 @@ struct StoreQueryReport {
   std::size_t store_blocks = 0;   ///< blocks in the opened store
   std::uint64_t store_segments = 0;  ///< total stored segments
   bool tail_dropped = false;      ///< reader dropped a torn tail on open
+  std::size_t store_shards = 1;   ///< shard partition of the store
+  std::size_t store_files = 1;    ///< live segment files behind it
+  std::uint64_t store_generation = 0;  ///< manifest generation (0 legacy)
+  bool legacy_single_file = false;  ///< opened through the compat shim
+  std::size_t index_nodes = 0;    ///< R-tree nodes built over the footers
 
   /// Matched segments (reconstruction / window queries; empty for a
   /// pure position-at-time query).

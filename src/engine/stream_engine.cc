@@ -15,16 +15,6 @@ namespace operb::engine {
 
 namespace {
 
-/// SplitMix64 finalizer: id bits are user-controlled (often small dense
-/// integers), the mix spreads them over all 64 bits before the shard
-/// modulus / table mask.
-inline std::uint64_t Mix64(std::uint64_t z) {
-  z += 0x9E3779B97F4A7C15ULL;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
 /// Consumer-side batch size per ring Pop.
 constexpr std::size_t kConsumerBatch = 256;
 /// Batches a worker drains from one shard before moving on (fairness cap
@@ -153,10 +143,11 @@ class StreamEngine::Shard {
   std::size_t Mask() const { return slots_.size() - 1; }
 
   /// Double-mixed so the table mask sees bits independent of the shard
-  /// modulus (with power-of-two shard counts the low bits of one Mix64
+  /// modulus (with power-of-two shard counts the low bits of one mix
   /// are constant within a shard).
   static std::size_t TableHash(traj::ObjectId id) {
-    return static_cast<std::size_t>(Mix64(Mix64(id)));
+    return static_cast<std::size_t>(
+        traj::MixObjectId(traj::MixObjectId(id)));
   }
 
   Slot* Find(traj::ObjectId id) {
@@ -318,7 +309,7 @@ StreamEngine::StreamEngine(const StreamEngineOptions& options,
 StreamEngine::~StreamEngine() { Close(); }
 
 std::size_t StreamEngine::ShardOf(traj::ObjectId id) const {
-  return static_cast<std::size_t>(Mix64(id) % options_.num_shards);
+  return traj::ShardOfObject(id, options_.num_shards);
 }
 
 void StreamEngine::Route(std::size_t shard, const Update& u) {

@@ -1,0 +1,266 @@
+#include "store/compactor.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "store/segment_file.h"
+
+namespace operb::store {
+
+namespace fs = std::filesystem;
+
+Compactor::Compactor(std::string dir, const CompactionOptions& options)
+    : dir_(std::move(dir)), options_(options) {}
+
+bool Compactor::NeedsCompaction(const Manifest& manifest,
+                                std::uint32_t shard) {
+  // Only sealed files are merge candidates — an active file may still be
+  // growing under a live writer. A shard warrants a rewrite when its
+  // sealed set is fragmented (more than one file) or still in the
+  // streaming layout (level 0: frames sealed by the write-path budget,
+  // not re-blocked densely).
+  std::size_t sealed = 0;
+  bool level0 = false;
+  for (const SegmentFileInfo& f : manifest.files) {
+    if (f.shard != shard || !f.sealed) continue;
+    ++sealed;
+    if (f.level == 0) level0 = true;
+  }
+  return sealed > 1 || (sealed == 1 && level0);
+}
+
+void Compactor::RemoveOrphans(const Manifest& manifest,
+                              CompactionStats* stats) {
+  std::unordered_set<std::string> live;
+  for (const SegmentFileInfo& f : manifest.files) live.insert(f.name);
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name == kManifestFileName || name == kManifestTempFileName) continue;
+    if (!IsStoreFileName(name) || live.count(name) != 0) continue;
+    if (fs::remove(entry.path(), ec)) ++stats->orphans_removed;
+  }
+}
+
+Status Compactor::CompactShardLocked(Manifest* manifest, std::uint32_t shard,
+                                     CompactionStats* stats) {
+  // Caller holds the store's manifest commit lock; `manifest` is the
+  // freshly re-read current generation.
+  std::vector<std::size_t> inputs;
+  std::uint32_t max_level = 0;
+  for (std::size_t i = 0; i < manifest->files.size(); ++i) {
+    const SegmentFileInfo& f = manifest->files[i];
+    if (f.shard != shard || !f.sealed) continue;
+    inputs.push_back(i);
+    max_level = std::max(max_level, f.level);
+  }
+  if (inputs.empty()) return Status::OK();
+
+  // Drain the inputs in manifest order — per object that is emission
+  // order — into an id-keyed map, so the rewrite emits every object's
+  // segments contiguously, objects ascending.
+  std::map<traj::ObjectId, std::vector<traj::TimedSegment>> merged;
+  std::uint64_t segments_in = 0;
+  std::uint64_t blocks_in = 0;
+  for (const std::size_t i : inputs) {
+    const std::string path =
+        (fs::path(dir_) / manifest->files[i].name).string();
+    OPERB_ASSIGN_OR_RETURN(const std::unique_ptr<SegmentFileReader> reader,
+                           SegmentFileReader::Open(path));
+    stats->bytes_read += reader->file_bytes();
+    blocks_in += reader->blocks().size();
+    for (std::size_t b = 0; b < reader->blocks().size(); ++b) {
+      OPERB_ASSIGN_OR_RETURN(const std::vector<traj::TimedSegment> segments,
+                             reader->ReadBlock(b));
+      for (const traj::TimedSegment& s : segments) {
+        merged[s.object_id].push_back(s);
+        ++segments_in;
+      }
+    }
+  }
+
+  std::size_t budget = options_.block_budget_bytes != 0
+                           ? options_.block_budget_bytes
+                           : static_cast<std::size_t>(
+                                 manifest->block_budget_bytes);
+  if (budget < 1024) budget = 64 * 1024;
+
+  const std::uint64_t new_generation = manifest->generation + 1;
+  const std::string out_name = SegmentFileName(shard, new_generation);
+  const std::string out_path = (fs::path(dir_) / out_name).string();
+  {
+    OPERB_ASSIGN_OR_RETURN(const std::unique_ptr<SegmentFileWriter> writer,
+                           SegmentFileWriter::Create(out_path,
+                                                     manifest->zeta, budget));
+    for (const auto& [id, segments] : merged) {
+      for (const traj::TimedSegment& s : segments) {
+        OPERB_RETURN_IF_ERROR(writer->Append(s));
+      }
+    }
+    OPERB_RETURN_IF_ERROR(writer->Close());
+    stats->bytes_written += writer->stats().file_bytes;
+    stats->blocks_after += writer->stats().blocks;
+  }
+
+  // Commit: replace the inputs with the compacted file in one manifest
+  // generation. The output is fully on disk before the rename — a crash
+  // on either side of it leaves a consistent store (old generation +
+  // orphan, or new generation).
+  std::vector<std::string> obsolete;
+  Manifest next = *manifest;
+  next.generation = new_generation;
+  std::vector<SegmentFileInfo> kept;
+  kept.reserve(next.files.size() - inputs.size() + 1);
+  for (std::size_t i = 0; i < next.files.size(); ++i) {
+    if (std::find(inputs.begin(), inputs.end(), i) == inputs.end()) {
+      kept.push_back(next.files[i]);
+    } else {
+      obsolete.push_back(next.files[i].name);
+    }
+  }
+  SegmentFileInfo out_info;
+  out_info.shard = shard;
+  out_info.level = max_level + 1;
+  out_info.sealed = true;
+  out_info.name = out_name;
+  kept.push_back(out_info);
+  next.files = std::move(kept);
+  OPERB_RETURN_IF_ERROR(WriteManifest(dir_, next));
+  *manifest = std::move(next);
+
+  // Old inputs are dead to every future open; unlink them. Readers that
+  // already hold the files keep them alive via their descriptors.
+  for (const std::string& name : obsolete) {
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / name, ec);
+  }
+
+  ++stats->shards_compacted;
+  ++stats->generations_committed;
+  stats->files_before += inputs.size();
+  stats->files_after += 1;
+  stats->blocks_before += blocks_in;
+  stats->segments_rewritten += segments_in;
+  return Status::OK();
+}
+
+Result<CompactionStats> Compactor::Run() {
+  CompactionStats stats;
+  std::uint32_t num_shards = 0;
+  {
+    const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
+    OPERB_ASSIGN_OR_RETURN(const Manifest manifest, ReadManifest(dir_));
+    RemoveOrphans(manifest, &stats);
+    num_shards = manifest.num_shards;
+  }
+  for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+    ++stats.shards_examined;
+    // Re-read under the lock per shard: each commit (ours or a writer's
+    // Close) bumps the generation, and the merge must start from the
+    // current file set.
+    const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
+    OPERB_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(dir_));
+    if (shard >= manifest.num_shards || !NeedsCompaction(manifest, shard)) {
+      continue;
+    }
+    OPERB_RETURN_IF_ERROR(CompactShardLocked(&manifest, shard, &stats));
+  }
+  if (stats.bytes_read > 0) {
+    stats.write_amplification = static_cast<double>(stats.bytes_written) /
+                                static_cast<double>(stats.bytes_read);
+  }
+  return stats;
+}
+
+Result<CompactionStats> Compactor::CompactShard(std::uint32_t shard) {
+  CompactionStats stats;
+  const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
+  OPERB_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(dir_));
+  if (shard >= manifest.num_shards) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard) + " out of range (store has " +
+        std::to_string(manifest.num_shards) + " shards)");
+  }
+  ++stats.shards_examined;
+  OPERB_RETURN_IF_ERROR(CompactShardLocked(&manifest, shard, &stats));
+  if (stats.bytes_read > 0) {
+    stats.write_amplification = static_cast<double>(stats.bytes_written) /
+                                static_cast<double>(stats.bytes_read);
+  }
+  return stats;
+}
+
+BackgroundCompactor::BackgroundCompactor(std::string dir,
+                                         const CompactionOptions& options,
+                                         std::chrono::milliseconds interval)
+    : compactor_(std::move(dir), options), interval_(interval) {}
+
+BackgroundCompactor::~BackgroundCompactor() { Stop(); }
+
+void BackgroundCompactor::Start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void BackgroundCompactor::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+CompactionStats BackgroundCompactor::total_stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+Status BackgroundCompactor::last_status() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_status_;
+}
+
+void BackgroundCompactor::Loop() {
+  for (;;) {
+    const Result<CompactionStats> pass = compactor_.Run();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (pass.ok()) {
+        total_.shards_examined += pass->shards_examined;
+        total_.shards_compacted += pass->shards_compacted;
+        total_.files_before += pass->files_before;
+        total_.files_after += pass->files_after;
+        total_.blocks_before += pass->blocks_before;
+        total_.blocks_after += pass->blocks_after;
+        total_.segments_rewritten += pass->segments_rewritten;
+        total_.bytes_read += pass->bytes_read;
+        total_.bytes_written += pass->bytes_written;
+        total_.generations_committed += pass->generations_committed;
+        total_.orphans_removed += pass->orphans_removed;
+        if (total_.bytes_read > 0) {
+          total_.write_amplification =
+              static_cast<double>(total_.bytes_written) /
+              static_cast<double>(total_.bytes_read);
+        }
+      } else {
+        last_status_ = pass.status();
+      }
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) return;
+  }
+}
+
+}  // namespace operb::store

@@ -44,7 +44,7 @@ double GetF64(std::span<const std::uint8_t> data, std::size_t pos) {
   return std::bit_cast<double>(GetU64(data, pos));
 }
 
-/// Serializes the footer body (everything but the trailing checksum).
+/// Serializes the footer body (everything before the checksum fields).
 void EncodeFooterBody(const BlockFooter& footer,
                       std::vector<std::uint8_t>* out) {
   PutU32(kFooterMagic, out);
@@ -73,25 +73,34 @@ std::uint64_t Fnv1a64(std::span<const std::uint8_t> data,
 }
 
 void EncodeFileHeader(double zeta, std::vector<std::uint8_t>* out) {
-  out->insert(out->end(), kFileMagic.begin(), kFileMagic.end());
+  out->insert(out->end(), kFileMagicPrefix.begin(), kFileMagicPrefix.end());
+  out->push_back(static_cast<std::uint8_t>('0' + kFormatVersion));
   PutU32(kFormatVersion, out);
   PutU32(0, out);  // reserved
   PutF64(zeta, out);
 }
 
-Result<double> DecodeFileHeader(std::span<const std::uint8_t> data) {
+Result<FileHeaderInfo> DecodeFileHeader(std::span<const std::uint8_t> data) {
   if (data.size() < kFileHeaderBytes) {
     return Status::Corruption("store file shorter than its header");
   }
-  if (!std::equal(kFileMagic.begin(), kFileMagic.end(), data.begin())) {
+  if (!std::equal(kFileMagicPrefix.begin(), kFileMagicPrefix.end(),
+                  data.begin())) {
     return Status::Corruption("not a trajectory store (bad magic)");
   }
   const std::uint32_t version = GetU32(data, 8);
-  if (version != kFormatVersion) {
+  if (version != kFormatVersionLegacy && version != kFormatVersion) {
     return Status::Corruption("unsupported store format version " +
                               std::to_string(version));
   }
-  return GetF64(data, 16);
+  if (data[7] != static_cast<std::uint8_t>('0' + version)) {
+    return Status::Corruption(
+        "store magic generation disagrees with header version");
+  }
+  FileHeaderInfo info;
+  info.version = version;
+  info.zeta = GetF64(data, 16);
+  return info;
 }
 
 BlockFooter MakeFooter(std::span<const traj::TimedSegment> segments,
@@ -123,6 +132,7 @@ BlockFooter MakeFooter(std::span<const traj::TimedSegment> segments,
     f.max_y = box.max_y;
   }
   f.checksum = BlockChecksum(payload, f);
+  f.footer_checksum = FooterChecksum(f);
   return f;
 }
 
@@ -130,10 +140,12 @@ void EncodeFooter(const BlockFooter& footer,
                   std::vector<std::uint8_t>* out) {
   EncodeFooterBody(footer, out);
   PutU64(footer.checksum, out);
+  PutU64(footer.footer_checksum, out);
 }
 
-Result<BlockFooter> DecodeFooter(std::span<const std::uint8_t> data) {
-  if (data.size() < kBlockFooterBytes) {
+Result<BlockFooter> DecodeFooter(std::span<const std::uint8_t> data,
+                                 std::uint32_t version) {
+  if (data.size() < FooterBytes(version)) {
     return Status::Corruption("truncated block footer");
   }
   if (GetU32(data, 0) != kFooterMagic) {
@@ -151,15 +163,49 @@ Result<BlockFooter> DecodeFooter(std::span<const std::uint8_t> data) {
   f.max_y = GetF64(data, 64);
   f.payload_bytes = GetU32(data, 72);
   f.checksum = GetU64(data, 76);
+  if (version != kFormatVersionLegacy) {
+    f.footer_checksum = GetU64(data, 84);
+    if (f.footer_checksum != FooterChecksum(f)) {
+      return Status::Corruption("block footer checksum mismatch");
+    }
+  }
   return f;
+}
+
+Status ValidateFooterRanges(const BlockFooter& footer) {
+  if (footer.segment_count == 0) {
+    return Status::Corruption("block footer declares zero segments");
+  }
+  if (footer.object_min > footer.object_max) {
+    return Status::Corruption("block footer has an inverted object id range");
+  }
+  // Negated comparisons so NaN bounds are rejected too.
+  if (!(footer.t_min <= footer.t_max)) {
+    return Status::Corruption("block footer has an inverted time interval");
+  }
+  if (!(footer.min_x <= footer.max_x) || !(footer.min_y <= footer.max_y)) {
+    return Status::Corruption("block footer has an inverted bounding box");
+  }
+  return Status::OK();
 }
 
 std::uint64_t BlockChecksum(std::span<const std::uint8_t> payload,
                             const BlockFooter& footer) {
   std::vector<std::uint8_t> body;
-  body.reserve(kBlockFooterBytes - 8);
+  body.reserve(kBlockFooterBytes - 16);
   EncodeFooterBody(footer, &body);
   return Fnv1a64(body, Fnv1a64(payload));
+}
+
+std::uint64_t FooterChecksum(const BlockFooter& footer) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kBlockFooterBytes - 8);
+  EncodeFooterBody(footer, &bytes);
+  std::uint64_t checksum = footer.checksum;
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(checksum >> (8 * i)));
+  }
+  return Fnv1a64(bytes);
 }
 
 }  // namespace operb::store

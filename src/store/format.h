@@ -2,8 +2,8 @@
 #define OPERB_STORE_FORMAT_H_
 
 /// \file
-/// On-disk format of the trajectory store: file header, block frame,
-/// footer metadata, checksums.
+/// On-disk format of the trajectory store: segment-file header, block
+/// frame, footer metadata, checksums.
 
 #include <array>
 #include <cstddef>
@@ -19,12 +19,12 @@
 namespace operb::store {
 
 /// On-disk format of the block-organized trajectory store. The byte-level
-/// specification lives in docs/ARCHITECTURE.md ("On-disk block format");
+/// specification lives in docs/ARCHITECTURE.md ("On-disk store format");
 /// this header is its executable form. Everything is little-endian and
 /// explicitly serialized field by field — no struct memcpy, so the format
 /// is independent of padding and host endianness.
 ///
-/// File layout:
+/// Segment-file layout (one file per shard x generation):
 ///
 ///   FileHeader | Block*          (append-only; blocks are immutable)
 ///   Block = payload_bytes:u32 | payload | BlockFooter
@@ -32,17 +32,23 @@ namespace operb::store {
 /// The payload is a codec::EncodeSegmentBlock stream; the footer carries
 /// the metadata a reader needs to decide — without touching the payload —
 /// whether the block can contain anything a query wants (id range, time
-/// interval, bounding box), plus a checksum over the payload and the
-/// footer body that makes torn or corrupted tail blocks detectable.
+/// interval, bounding box), plus two checksums: one over payload+footer
+/// (verified lazily when the payload is read) and, since format version
+/// 2, one over the footer bytes alone so any flipped footer byte is
+/// caught by the footer-only open scan.
 
-/// First 8 bytes of every store file ("OPRBSTR" + format generation).
-inline constexpr std::array<std::uint8_t, 8> kFileMagic = {
-    'O', 'P', 'R', 'B', 'S', 'T', 'R', '1'};
+/// First 7 bytes of every store file; the 8th byte is '0' + version.
+inline constexpr std::array<std::uint8_t, 7> kFileMagicPrefix = {
+    'O', 'P', 'R', 'B', 'S', 'T', 'R'};
 
-/// Format version written into the header. Readers accept exactly this
-/// version; the versioning rules (when to bump, what may change without a
-/// bump) are specified in docs/ARCHITECTURE.md.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Format version of legacy single-file stores (PR 5). Readable via the
+/// compat shim, never written anymore.
+inline constexpr std::uint32_t kFormatVersionLegacy = 1;
+
+/// Format version written into segment files by the current writer.
+/// Versioning rules (when to bump, what may change without a bump) are
+/// specified in docs/ARCHITECTURE.md.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Marker leading every block footer, used to cross-check the payload
 /// length prefix before trusting the rest of the footer.
@@ -54,10 +60,21 @@ inline constexpr std::size_t kFileHeaderBytes = 8 + 4 + 4 + 8;  // magic,
                                                                 // version,
                                                                 // reserved,
                                                                 // zeta
-inline constexpr std::size_t kBlockFooterBytes =
-    4 + 4 + 8 + 8 + 6 * 8 + 4 + 8;  // magic, segment count, id range,
-                                    // t interval + bbox, payload length,
-                                    // checksum
+
+/// v1 footer: magic, segment count, id range, t interval + bbox, payload
+/// length, payload checksum.
+inline constexpr std::size_t kBlockFooterBytesLegacy =
+    4 + 4 + 8 + 8 + 6 * 8 + 4 + 8;
+
+/// v2 footer: the v1 fields plus a trailing checksum over the footer
+/// bytes themselves.
+inline constexpr std::size_t kBlockFooterBytes = kBlockFooterBytesLegacy + 8;
+
+/// Footer size for a given header version.
+constexpr std::size_t FooterBytes(std::uint32_t version) {
+  return version == kFormatVersionLegacy ? kBlockFooterBytesLegacy
+                                         : kBlockFooterBytes;
+}
 
 /// Fixed-size per-block metadata, appended after the payload. All ranges
 /// are inclusive and describe the *stored segment geometry* (a window
@@ -71,6 +88,11 @@ struct BlockFooter {
   double t_max = 0.0;            ///< latest t_end in the block
   double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;  ///< geometry
   std::uint64_t checksum = 0;  ///< FNV-1a over payload || footer body
+  /// FNV-1a over the serialized footer up to (and including) `checksum`.
+  /// v2 only; stays 0 when a v1 footer is decoded. This is what lets the
+  /// open scan detect a flipped bit in any footer field without reading
+  /// the payload.
+  std::uint64_t footer_checksum = 0;
 
   /// The footer's bounding box as the geo type queries intersect against.
   geo::BoundingBox BBox() const {
@@ -89,32 +111,53 @@ struct BlockFooter {
 std::uint64_t Fnv1a64(std::span<const std::uint8_t> data,
                       std::uint64_t seed = 0xCBF2'9CE4'8422'2325ULL);
 
-/// Serializes the file header (magic, version, reserved, zeta).
+/// Serializes a current-version file header (magic, version, reserved,
+/// zeta).
 void EncodeFileHeader(double zeta, std::vector<std::uint8_t>* out);
 
-/// Parses and validates a file header; returns the store's zeta bound.
-/// Corruption on bad magic, unsupported version or a truncated header.
-Result<double> DecodeFileHeader(std::span<const std::uint8_t> data);
+/// What DecodeFileHeader learned about a file.
+struct FileHeaderInfo {
+  std::uint32_t version = 0;
+  double zeta = 0.0;
+};
+
+/// Parses and validates a file header; accepts versions 1 (legacy
+/// single-file) and 2 (segment files). Corruption on bad magic, an
+/// unsupported version or a truncated header.
+Result<FileHeaderInfo> DecodeFileHeader(std::span<const std::uint8_t> data);
 
 /// Computes footer metadata over `segments` (which must be the block's
-/// exact payload input) and the payload checksum. `payload` is the
-/// encoded block the ranges describe.
+/// exact payload input) plus both checksums. `payload` is the encoded
+/// block the ranges describe.
 BlockFooter MakeFooter(std::span<const traj::TimedSegment> segments,
                        std::span<const std::uint8_t> payload);
 
-/// Serializes `footer` (with `footer.checksum` already final).
+/// Serializes `footer` in the current (v2) layout, checksums included.
 void EncodeFooter(const BlockFooter& footer, std::vector<std::uint8_t>* out);
 
-/// Parses a footer from exactly kBlockFooterBytes bytes. Corruption on a
-/// bad footer magic; the checksum is *not* verified here (the caller
-/// decides whether it holds the payload bytes to verify against).
-Result<BlockFooter> DecodeFooter(std::span<const std::uint8_t> data);
+/// Parses a footer from exactly FooterBytes(version) bytes. Corruption on
+/// a bad footer magic or (v2) a footer-checksum mismatch. The payload
+/// checksum is *not* verified here (the caller decides whether it holds
+/// the payload bytes to verify against).
+Result<BlockFooter> DecodeFooter(std::span<const std::uint8_t> data,
+                                 std::uint32_t version);
 
-/// The checksum a block with this payload and footer body must carry:
-/// FNV-1a over the payload, continued over the serialized footer with the
-/// checksum field zeroed.
+/// Structural sanity of decoded footer metadata: a block must be
+/// non-empty and every range non-inverted (id range, time interval,
+/// bounding box). Corruption with a field-naming message otherwise.
+/// DecodeFooter's checksum catches flipped bits; this catches writer bugs
+/// and hand-crafted files whose checksums are internally consistent.
+Status ValidateFooterRanges(const BlockFooter& footer);
+
+/// The payload checksum a block with this payload and footer body must
+/// carry: FNV-1a over the payload, continued over the serialized footer
+/// body (everything before the two checksum fields).
 std::uint64_t BlockChecksum(std::span<const std::uint8_t> payload,
                             const BlockFooter& footer);
+
+/// The v2 footer self-checksum: FNV-1a over the serialized footer up to
+/// and including the payload checksum field.
+std::uint64_t FooterChecksum(const BlockFooter& footer);
 
 }  // namespace operb::store
 

@@ -1,0 +1,116 @@
+#ifndef OPERB_STORE_MANIFEST_H_
+#define OPERB_STORE_MANIFEST_H_
+
+/// \file
+/// The store manifest: the single source of truth for which segment
+/// files make up a directory store, committed atomically via
+/// temp-file + rename.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace operb::store {
+
+/// A directory store is MANIFEST + segment files. The manifest names
+/// every live segment file; a file on disk that the manifest does not
+/// name is an orphan (a crashed compaction's half-written output) and is
+/// ignored by readers — that is the "manifest rollback" half of crash
+/// recovery, the per-segment valid-prefix scan being the other half.
+///
+/// Commits are atomic: the new manifest is fully written and flushed to
+/// `MANIFEST.tmp`, then renamed over `MANIFEST`. POSIX rename is atomic,
+/// so a reader opening the store concurrently sees either the old or the
+/// new generation, never a torn one. The trailing checksum rejects a
+/// manifest whose rename landed but whose bytes rotted.
+
+/// File name of the manifest inside a store directory.
+inline constexpr char kManifestFileName[] = "MANIFEST";
+/// Staging name the manifest is written to before the atomic rename.
+inline constexpr char kManifestTempFileName[] = "MANIFEST.tmp";
+
+/// First 8 bytes of a serialized manifest.
+inline constexpr std::array<std::uint8_t, 8> kManifestMagic = {
+    'O', 'P', 'R', 'B', 'M', 'A', 'N', '1'};
+
+/// Manifest serialization version.
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+/// One live segment file. `name` is relative to the store directory.
+struct SegmentFileInfo {
+  std::uint32_t shard = 0;
+  /// LSM-style level: 0 for freshly written files, +1 per compaction.
+  std::uint32_t level = 0;
+  /// A sealed file is immutable and a compaction candidate. An active
+  /// (unsealed) file may still be growing under a live writer: readers
+  /// serve its flushed prefix, the compactor must not touch it. The
+  /// writer's Close() commits a generation flipping its files to sealed.
+  bool sealed = true;
+  std::string name;
+};
+
+/// In-memory form of the manifest.
+struct Manifest {
+  /// Monotonically increasing commit counter; every manifest write
+  /// (store creation, each per-shard compaction) bumps it.
+  std::uint64_t generation = 0;
+  /// The error bound the stored segments were simplified under.
+  double zeta = 0.0;
+  /// Shard count the writer partitioned objects with (ShardOfObject).
+  std::uint32_t num_shards = 1;
+  /// Block budget the writer sealed blocks at (informational; compaction
+  /// may rewrite blocks under a different budget).
+  std::uint64_t block_budget_bytes = 0;
+  /// Live segment files. Per shard the order is oldest-first; readers
+  /// must iterate a shard's files in this order to preserve each
+  /// object's segment emission order.
+  std::vector<SegmentFileInfo> files;
+
+  /// Structural sanity: num_shards >= 1, every file's shard in range,
+  /// no duplicate file names.
+  Status Validate() const;
+};
+
+/// Canonical segment file name for a shard written at a generation:
+/// "seg-<shard:05>-g<generation:06>.seg".
+std::string SegmentFileName(std::uint32_t shard, std::uint64_t generation);
+
+/// True when `name` looks like a file this store owns (the manifest, its
+/// temp file, or a "*.seg" segment) — the set a fresh writer may delete
+/// when re-creating a store in a non-empty directory.
+bool IsStoreFileName(const std::string& name);
+
+/// Serializes `manifest` (magic, version, fields, file table, trailing
+/// FNV-1a checksum).
+void EncodeManifest(const Manifest& manifest, std::vector<std::uint8_t>* out);
+
+/// Parses and fully validates a serialized manifest. Corruption on bad
+/// magic/version/checksum or structural violations.
+Result<Manifest> DecodeManifest(std::span<const std::uint8_t> data);
+
+/// Atomically commits `manifest` into `dir`: write + flush MANIFEST.tmp,
+/// rename over MANIFEST. IOError on filesystem failures.
+Status WriteManifest(const std::string& dir, const Manifest& manifest);
+
+/// Reads and decodes `dir`/MANIFEST. IOError when the file cannot be
+/// read, Corruption when it decodes badly.
+Result<Manifest> ReadManifest(const std::string& dir);
+
+/// The per-directory mutex every manifest read-modify-commit sequence
+/// (writer Create/Close, each compaction) must hold, so concurrent
+/// commits within this process never lose each other's updates.
+/// Cross-process writers/compactors are out of scope — the store's
+/// concurrency contract is single-process multi-thread (the daemon
+/// shape the ROADMAP aims at).
+std::mutex& ManifestCommitMutex(const std::string& dir);
+
+}  // namespace operb::store
+
+#endif  // OPERB_STORE_MANIFEST_H_

@@ -1,25 +1,14 @@
 #include "store/reader.h"
 
 #include <algorithm>
-#include <limits>
+#include <filesystem>
 #include <utility>
 
-#include "codec/segment_codec.h"
+#include "store/manifest.h"
 
 namespace operb::store {
 
 namespace {
-
-/// std::fseek takes a long, which is 32 bits on LLP64 platforms; a
-/// position beyond its range must fail cleanly instead of wrapping into
-/// a misread. (On LP64 this is a no-op guard.)
-bool SeekTo(std::FILE* file, std::uint64_t pos) {
-  if (pos > static_cast<std::uint64_t>(
-                std::numeric_limits<long>::max())) {
-    return false;
-  }
-  return std::fseek(file, static_cast<long>(pos), SEEK_SET) == 0;
-}
 
 bool IntervalsOverlap(double a_min, double a_max, double b_min,
                       double b_max) {
@@ -73,105 +62,92 @@ bool SegmentIntersectsBox(geo::Vec2 a, geo::Vec2 b,
 
 Result<std::unique_ptr<StoreReader>> StoreReader::Open(
     const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::IOError("cannot open store file " + path);
-  }
+  namespace fs = std::filesystem;
   std::unique_ptr<StoreReader> reader(new StoreReader());
-  reader->path_ = path;
-  reader->file_ = file;
 
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    return Status::IOError("cannot seek in store file " + path);
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    // A compaction can commit between our manifest read and the file
+    // opens, unlinking a file we were about to open; re-reading the
+    // manifest and retrying converges because every retry starts from a
+    // newer generation.
+    Status open = Status::OK();
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      reader.reset(new StoreReader());
+      open = OpenDirectory(path, reader.get());
+      if (open.ok() || open.code() != StatusCode::kIOError) break;
+    }
+    OPERB_RETURN_IF_ERROR(open);
+  } else {
+    // Compat shim: a regular file is a legacy (PR 5) single-file store —
+    // one implicit shard, no manifest.
+    OPERB_ASSIGN_OR_RETURN(std::unique_ptr<SegmentFileReader> file,
+                           SegmentFileReader::Open(path));
+    reader->zeta_ = file->zeta();
+    reader->open_info_.legacy_single_file = true;
+    reader->shard_blocks_.resize(1);
+    reader->AdoptFile(std::move(file), 0);
   }
-  const long file_size_l = std::ftell(file);
-  if (file_size_l < 0) {
-    return Status::IOError("cannot size store file " + path);
-  }
-  const std::uint64_t file_size = static_cast<std::uint64_t>(file_size_l);
 
-  std::vector<std::uint8_t> header(kFileHeaderBytes);
-  if (file_size < kFileHeaderBytes) {
-    return Status::Corruption("store file shorter than its header: " + path);
+  // Bulk-load the hierarchical index from the footers just scanned.
+  std::vector<BlockIndexEntry> entries;
+  entries.reserve(reader->blocks_.size());
+  for (std::size_t i = 0; i < reader->blocks_.size(); ++i) {
+    const BlockFooter& f = reader->FooterOf(i);
+    BlockIndexEntry e;
+    e.min_x = f.min_x;
+    e.min_y = f.min_y;
+    e.max_x = f.max_x;
+    e.max_y = f.max_y;
+    e.t_min = f.t_min;
+    e.t_max = f.t_max;
+    e.ordinal = static_cast<std::uint32_t>(i);
+    entries.push_back(e);
   }
-  if (!SeekTo(file, 0) ||
-      std::fread(header.data(), 1, header.size(), file) != header.size()) {
-    return Status::IOError("cannot read store header from " + path);
-  }
-  OPERB_ASSIGN_OR_RETURN(reader->zeta_, DecodeFileHeader(header));
-
-  // Structural scan: length prefix -> footer, payloads skipped. The
-  // first structurally invalid frame ends the scan; everything from
-  // there on is the dropped tail (the crash-recovery "valid prefix"
-  // rule — a reader never trusts bytes beyond the first violation).
-  std::uint64_t pos = kFileHeaderBytes;
-  while (pos < file_size) {
-    const std::uint64_t remaining = file_size - pos;
-    if (remaining < 4) break;
-    std::uint8_t len_bytes[4];
-    if (!SeekTo(file, pos) || std::fread(len_bytes, 1, 4, file) != 4) {
-      return Status::IOError("cannot read block length in " + path);
-    }
-    const std::uint32_t payload_bytes =
-        static_cast<std::uint32_t>(len_bytes[0]) |
-        (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
-        (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
-        (static_cast<std::uint32_t>(len_bytes[3]) << 24);
-    if (remaining < 4 + static_cast<std::uint64_t>(payload_bytes) +
-                        kBlockFooterBytes) {
-      break;  // partial tail frame
-    }
-    std::vector<std::uint8_t> footer_bytes(kBlockFooterBytes);
-    if (!SeekTo(file, pos + 4 + payload_bytes) ||
-        std::fread(footer_bytes.data(), 1, footer_bytes.size(), file) !=
-            footer_bytes.size()) {
-      return Status::IOError("cannot read block footer in " + path);
-    }
-    const Result<BlockFooter> footer = DecodeFooter(footer_bytes);
-    if (!footer.ok() || footer->payload_bytes != payload_bytes) {
-      break;  // torn or foreign bytes: drop from here
-    }
-    BlockRef ref;
-    ref.payload_offset = pos + 4;
-    ref.footer = *footer;
-    reader->segment_count_ += footer->segment_count;
-    reader->blocks_.push_back(ref);
-    pos += 4 + payload_bytes + kBlockFooterBytes;
-  }
-  if (pos < file_size) {
-    reader->open_info_.tail_dropped = true;
-    reader->open_info_.dropped_bytes = file_size - pos;
-  }
+  reader->index_.Build(std::move(entries));
   return reader;
 }
 
-StoreReader::~StoreReader() {
-  if (file_ != nullptr) std::fclose(file_);
+Status StoreReader::OpenDirectory(const std::string& path,
+                                  StoreReader* reader) {
+  namespace fs = std::filesystem;
+  OPERB_ASSIGN_OR_RETURN(const Manifest manifest, ReadManifest(path));
+  reader->zeta_ = manifest.zeta;
+  reader->open_info_.generation = manifest.generation;
+  reader->shard_blocks_.resize(manifest.num_shards);
+  for (const SegmentFileInfo& info : manifest.files) {
+    const std::string file_path = (fs::path(path) / info.name).string();
+    OPERB_ASSIGN_OR_RETURN(std::unique_ptr<SegmentFileReader> file,
+                           SegmentFileReader::Open(file_path));
+    if (file->zeta() != manifest.zeta) {
+      return Status::Corruption("segment file " + info.name +
+                                " zeta disagrees with the manifest");
+    }
+    reader->AdoptFile(std::move(file), info.shard);
+  }
+  return Status::OK();
+}
+
+void StoreReader::AdoptFile(std::unique_ptr<SegmentFileReader> file,
+                            std::uint32_t shard) {
+  const std::uint32_t file_index = static_cast<std::uint32_t>(files_.size());
+  if (file->open_info().tail_dropped) {
+    open_info_.tail_dropped = true;
+    open_info_.dropped_bytes += file->open_info().dropped_bytes;
+  }
+  for (std::size_t b = 0; b < file->blocks().size(); ++b) {
+    const std::uint32_t ordinal = static_cast<std::uint32_t>(blocks_.size());
+    blocks_.push_back(GlobalBlock{file_index, static_cast<std::uint32_t>(b)});
+    shard_blocks_[shard].push_back(ordinal);
+    segment_count_ += file->blocks()[b].footer.segment_count;
+  }
+  files_.push_back(std::move(file));
 }
 
 Result<std::vector<traj::TimedSegment>> StoreReader::ReadBlock(
-    std::size_t i) const {
-  const BlockRef& ref = blocks_[i];
-  std::vector<std::uint8_t> payload(ref.footer.payload_bytes);
-  {
-    const std::lock_guard<std::mutex> lock(file_mu_);
-    if (!SeekTo(file_, ref.payload_offset) ||
-        std::fread(payload.data(), 1, payload.size(), file_) !=
-            payload.size()) {
-      return Status::IOError("cannot read store block from " + path_);
-    }
-  }
-  if (BlockChecksum(payload, ref.footer) != ref.footer.checksum) {
-    return Status::Corruption("store block " + std::to_string(i) +
-                              " checksum mismatch in " + path_);
-  }
-  OPERB_ASSIGN_OR_RETURN(std::vector<traj::TimedSegment> segments,
-                         codec::DecodeSegmentBlock(payload));
-  if (segments.size() != ref.footer.segment_count) {
-    return Status::Corruption("store block " + std::to_string(i) +
-                              " segment count mismatch in " + path_);
-  }
-  return segments;
+    std::size_t ordinal) const {
+  const GlobalBlock& b = blocks_[ordinal];
+  return files_[b.file]->ReadBlock(b.block);
 }
 
 Result<std::vector<traj::TimedSegment>> StoreReader::ReconstructObject(
@@ -180,16 +156,20 @@ Result<std::vector<traj::TimedSegment>> StoreReader::ReconstructObject(
   StoreQueryStats local;
   local.blocks_total = blocks_.size();
   std::vector<traj::TimedSegment> out;
-  for (std::size_t i = 0; i < blocks_.size(); ++i) {
-    const BlockFooter& f = blocks_[i].footer;
+  // The shard partition prunes every other shard's blocks without a
+  // footer test — they count as skipped, keeping the invariant
+  // skipped + scanned == total.
+  const std::vector<std::uint32_t>& candidates =
+      shard_blocks_[traj::ShardOfObject(object_id, shard_blocks_.size())];
+  for (const std::uint32_t ordinal : candidates) {
+    const BlockFooter& f = FooterOf(ordinal);
     if (object_id < f.object_min || object_id > f.object_max ||
         !IntervalsOverlap(f.t_min, f.t_max, t_min, t_max)) {
-      ++local.blocks_skipped;
       continue;
     }
     ++local.blocks_scanned;
     OPERB_ASSIGN_OR_RETURN(const std::vector<traj::TimedSegment> segments,
-                           ReadBlock(i));
+                           ReadBlock(ordinal));
     local.segments_scanned += segments.size();
     for (const traj::TimedSegment& s : segments) {
       if (s.object_id == object_id &&
@@ -199,17 +179,18 @@ Result<std::vector<traj::TimedSegment>> StoreReader::ReconstructObject(
       }
     }
   }
+  local.blocks_skipped = local.blocks_total - local.blocks_scanned;
   if (stats != nullptr) *stats = local;
   return out;
 }
 
 Result<std::vector<traj::TimedSegment>> StoreReader::QueryWindow(
     const geo::BoundingBox& window, double t_min, double t_max,
-    StoreQueryStats* stats) const {
+    StoreQueryStats* stats, ScanMode mode) const {
   StoreQueryStats local;
   local.blocks_total = blocks_.size();
   std::vector<traj::TimedSegment> out;
-  if (window.IsEmpty()) {
+  if (window.IsEmpty() || blocks_.empty()) {
     local.blocks_skipped = blocks_.size();
     if (stats != nullptr) *stats = local;
     return out;
@@ -219,16 +200,30 @@ Result<std::vector<traj::TimedSegment>> StoreReader::QueryWindow(
   // covering segment, so serving "everything that might have been in
   // `window`" means matching segment geometry against window + zeta.
   const geo::BoundingBox inflated = Inflate(window, zeta_);
-  for (std::size_t i = 0; i < blocks_.size(); ++i) {
-    const BlockFooter& f = blocks_[i].footer;
-    if (!IntervalsOverlap(f.t_min, f.t_max, t_min, t_max) ||
-        !BoxesOverlap(f.BBox(), inflated)) {
-      ++local.blocks_skipped;
-      continue;
+
+  // Candidate selection: the R-tree and the flat footer scan apply the
+  // same block-level predicates, so they select the same candidates —
+  // the flat mode is the oracle the indexed mode is verified against.
+  std::vector<std::uint32_t> candidates;
+  if (mode == ScanMode::kIndexed && !index_.empty()) {
+    index_.Query(inflated, t_min, t_max, &candidates,
+                 &local.index_nodes_visited);
+    // Tree order -> emission order.
+    std::sort(candidates.begin(), candidates.end());
+  } else {
+    for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
+      const BlockFooter& f = FooterOf(i);
+      if (IntervalsOverlap(f.t_min, f.t_max, t_min, t_max) &&
+          BoxesOverlap(f.BBox(), inflated)) {
+        candidates.push_back(i);
+      }
     }
+  }
+
+  for (const std::uint32_t ordinal : candidates) {
     ++local.blocks_scanned;
     OPERB_ASSIGN_OR_RETURN(const std::vector<traj::TimedSegment> segments,
-                           ReadBlock(i));
+                           ReadBlock(ordinal));
     local.segments_scanned += segments.size();
     for (const traj::TimedSegment& s : segments) {
       if (IntervalsOverlap(s.t_start, s.t_end, t_min, t_max) &&
@@ -238,6 +233,17 @@ Result<std::vector<traj::TimedSegment>> StoreReader::QueryWindow(
       }
     }
   }
+  local.blocks_skipped = local.blocks_total - local.blocks_scanned;
+
+  // Canonical result order: ascending object id, each object's segments
+  // in emission order (candidates were visited in emission order and
+  // the sort is stable). This is what makes results byte-identical
+  // across scan modes, shard counts and compaction states.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const traj::TimedSegment& a,
+                      const traj::TimedSegment& b) {
+                     return a.object_id < b.object_id;
+                   });
   if (stats != nullptr) *stats = local;
   return out;
 }

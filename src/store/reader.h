@@ -2,15 +2,14 @@
 #define OPERB_STORE_READER_H_
 
 /// \file
-/// Skip-scan query reader over a trajectory store file: per-object
-/// reconstruction, window queries, position-at-time.
+/// Query reader over a trajectory store (sharded directory or legacy
+/// single file): per-object reconstruction, window queries via the
+/// hierarchical block index, position-at-time.
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,19 +17,33 @@
 #include "common/status.h"
 #include "geo/bbox.h"
 #include "geo/point.h"
+#include "store/block_index.h"
 #include "store/format.h"
+#include "store/segment_file.h"
 #include "traj/multi_object.h"
 
 namespace operb::store {
 
-/// What StoreReader::Open observed about the file's tail. An append
-/// interrupted mid-block (crash, power cut) leaves a partial final frame;
-/// the scan detects it structurally and drops it — the store's recovery
-/// contract is "a valid prefix survives" (DESIGN.md §8).
+/// What StoreReader::Open observed about the store.
 struct StoreOpenInfo {
-  bool tail_dropped = false;      ///< a partial/invalid tail was ignored
-  std::uint64_t dropped_bytes = 0;  ///< bytes of file ignored after the
-                                    ///< last valid block
+  bool tail_dropped = false;        ///< some file's partial tail was ignored
+  std::uint64_t dropped_bytes = 0;  ///< bytes ignored across files after
+                                    ///< the last valid block
+  /// True when the path was a legacy (PR 5) single-file store opened
+  /// through the compat shim: one implicit shard, no manifest.
+  bool legacy_single_file = false;
+  std::uint64_t generation = 0;  ///< manifest generation (0 for legacy)
+};
+
+/// How QueryWindow selects candidate blocks.
+enum class ScanMode {
+  /// Descend the packed R-tree (block_index.h): O(log n) index nodes on
+  /// selective windows. The default.
+  kIndexed,
+  /// Test every block footer linearly — the debug/verify oracle the
+  /// indexed path is checked against; both modes select identical
+  /// candidates and return identical results.
+  kFlatScan,
 };
 
 /// Per-query counters — the observable form of the block-skipping
@@ -43,27 +56,39 @@ struct StoreQueryStats {
   std::uint64_t blocks_scanned = 0;
   std::uint64_t segments_scanned = 0;  ///< decoded segments inspected
   std::uint64_t segments_matched = 0;
+  /// R-tree nodes whose box/interval was tested (kIndexed window queries
+  /// only; 0 otherwise). The flat scan's equivalent is blocks_total
+  /// footer tests — the acceptance ratio compares the two.
+  std::uint64_t index_nodes_visited = 0;
 };
 
-/// Skip-scan query reader over a store file written by StoreWriter.
+/// Query reader over a trajectory store.
 ///
-/// Open() scans the block structure once (length prefixes and footers
-/// only — payloads stay on disk) and builds the in-memory block index;
-/// every query walks that index, prunes blocks whose footer metadata
-/// cannot match (id range, time interval, bounding box), and decodes
-/// only the survivors. Payload checksums are verified lazily, the first
-/// time a query reads a block — a corrupted block surfaces as a
-/// Corruption status from the query that touched it.
+/// Open() accepts either a store directory (manifest + per-shard
+/// segment files, the current format) or a legacy single-file store
+/// (compat shim, read-only as ever). It reads the manifest, opens every
+/// live segment file — footer scans only, payloads stay on disk — and
+/// bulk-loads the hierarchical block index from the footers.
+///
+/// Queries prune blocks whose footer metadata cannot match and decode
+/// only the survivors; payload checksums are verified lazily, the first
+/// time a query reads a block. Per-object queries additionally prune
+/// whole shards: only the object's own shard (traj::ShardOfObject) is
+/// consulted. Window queries descend the R-tree by default; the flat
+/// footer scan remains available as the verification oracle
+/// (ScanMode::kFlatScan) and both modes return identical results in the
+/// canonical order (ascending object id, each object's segments in
+/// emission order) — which is also why results are byte-identical
+/// across shard counts and before/after compaction.
 ///
 /// Queries are thread-safe (file access is serialized internally).
 class StoreReader {
  public:
-  /// Opens and index-scans `path`. IOError when unreadable, Corruption
-  /// when the header is invalid. A structurally invalid suffix is *not*
-  /// an error: it is dropped and reported via open_info().
+  /// Opens and index-scans the store at `path`. IOError when
+  /// unreadable, Corruption when the manifest, a header or any complete
+  /// block frame is invalid. A torn tail in a segment file is *not* an
+  /// error: it is dropped and reported via open_info().
   static Result<std::unique_ptr<StoreReader>> Open(const std::string& path);
-
-  ~StoreReader();
 
   StoreReader(const StoreReader&) = delete;
   StoreReader& operator=(const StoreReader&) = delete;
@@ -76,13 +101,26 @@ class StoreReader {
   /// Total stored segments (sum of footer counts).
   std::uint64_t segment_count() const { return segment_count_; }
 
+  /// Shards the store was written with (1 for legacy files).
+  std::size_t num_shards() const { return shard_blocks_.size(); }
+
+  /// Live segment files backing this reader.
+  std::size_t file_count() const { return files_.size(); }
+
+  /// Nodes in the hierarchical block index.
+  std::size_t index_node_count() const { return index_.node_count(); }
+
+  /// Height of the hierarchical block index (0 when the store is empty).
+  std::size_t index_height() const { return index_.height(); }
+
   const StoreOpenInfo& open_info() const { return open_info_; }
 
   /// Per-object time-range reconstruction: every stored segment of
   /// `object_id` whose [t_start, t_end] interval overlaps
   /// [t_min, t_max], in emission order — the contiguous piecewise
-  /// representation of that object over the range. Blocks whose footer
-  /// id range or time interval cannot match are skipped unread.
+  /// representation of that object over the range. Only the object's
+  /// shard is consulted; within it, blocks whose footer id range or
+  /// time interval cannot match are skipped unread.
   Result<std::vector<traj::TimedSegment>> ReconstructObject(
       traj::ObjectId object_id,
       double t_min = -std::numeric_limits<double>::infinity(),
@@ -95,12 +133,14 @@ class StoreReader {
   /// points: a sample inside `window` lies within zeta of its covering
   /// segment's line, so that segment intersects the inflated window and
   /// is returned — which is also why footer-bbox skipping loses nothing
-  /// (DESIGN.md §8). Blocks are pruned on footer bbox x time interval.
+  /// (DESIGN.md §8). Results come in the canonical order (ascending
+  /// object id, emission order within an object) in both scan modes.
   Result<std::vector<traj::TimedSegment>> QueryWindow(
       const geo::BoundingBox& window,
       double t_min = -std::numeric_limits<double>::infinity(),
       double t_max = std::numeric_limits<double>::infinity(),
-      StoreQueryStats* stats = nullptr) const;
+      StoreQueryStats* stats = nullptr,
+      ScanMode mode = ScanMode::kIndexed) const;
 
   /// Interpolated position of `object_id` at time `t`: the point on the
   /// covering stored segment at the time-proportional parameter. The
@@ -112,25 +152,40 @@ class StoreReader {
                                 StoreQueryStats* stats = nullptr) const;
 
  private:
-  /// One indexed block: where its payload lives plus its footer.
-  struct BlockRef {
-    std::uint64_t payload_offset = 0;
-    BlockFooter footer;
+  /// One block's global position: which file, which block within it.
+  struct GlobalBlock {
+    std::uint32_t file = 0;
+    std::uint32_t block = 0;
   };
 
   StoreReader() = default;
 
-  /// Reads, checksum-verifies and decodes block `i`'s payload.
-  Result<std::vector<traj::TimedSegment>> ReadBlock(std::size_t i) const;
+  /// Opens a directory store (manifest + segment files) into `reader`.
+  static Status OpenDirectory(const std::string& path, StoreReader* reader);
 
-  std::string path_;
+  /// Indexes `file`'s blocks into the global tables under `shard`.
+  void AdoptFile(std::unique_ptr<SegmentFileReader> file,
+                 std::uint32_t shard);
+
+  const BlockFooter& FooterOf(std::size_t ordinal) const {
+    return files_[blocks_[ordinal].file]->blocks()[blocks_[ordinal].block]
+        .footer;
+  }
+
+  /// Reads, checksum-verifies and decodes block `ordinal`'s payload.
+  Result<std::vector<traj::TimedSegment>> ReadBlock(
+      std::size_t ordinal) const;
+
   double zeta_ = 0.0;
   std::uint64_t segment_count_ = 0;
-  std::vector<BlockRef> blocks_;
+  std::vector<std::unique_ptr<SegmentFileReader>> files_;
+  /// All blocks, file-major in manifest order — the emission order every
+  /// query iterates candidates in.
+  std::vector<GlobalBlock> blocks_;
+  /// Block ordinals per shard, ascending.
+  std::vector<std::vector<std::uint32_t>> shard_blocks_;
+  BlockIndex index_;
   StoreOpenInfo open_info_;
-
-  mutable std::mutex file_mu_;  ///< serializes seek+read pairs
-  std::FILE* file_ = nullptr;
 };
 
 }  // namespace operb::store

@@ -1,0 +1,173 @@
+#ifndef OPERB_STORE_SEGMENT_FILE_H_
+#define OPERB_STORE_SEGMENT_FILE_H_
+
+/// \file
+/// One segment file: the append-only block container that is the unit of
+/// sharding and compaction. A directory store is a manifest naming many
+/// of these; a legacy single-file store is exactly one of them.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "store/format.h"
+#include "traj/multi_object.h"
+
+namespace operb::store {
+
+/// What SegmentFileReader::Open observed about the file's tail. An
+/// append interrupted mid-block (crash, power cut) leaves a partial
+/// final frame; the scan detects it structurally and drops it — the
+/// per-segment half of the store's recovery contract is "a valid prefix
+/// survives" (DESIGN.md §8).
+struct SegmentFileOpenInfo {
+  bool tail_dropped = false;        ///< a partial tail frame was ignored
+  std::uint64_t dropped_bytes = 0;  ///< bytes ignored after the last
+                                    ///< complete block
+};
+
+/// One indexed block: where its payload lives plus its footer.
+struct BlockRef {
+  std::uint64_t payload_offset = 0;
+  BlockFooter footer;
+};
+
+/// Counters of one segment-file writer's lifetime (final after Close()).
+struct SegmentFileStats {
+  std::uint64_t segments = 0;       ///< segments appended
+  std::uint64_t blocks = 0;         ///< blocks sealed
+  std::uint64_t payload_bytes = 0;  ///< encoded payload across blocks
+  std::uint64_t file_bytes = 0;     ///< total bytes written (incl. framing)
+};
+
+/// Append-only writer of one segment file.
+///
+/// Buffers id-tagged, time-annotated segments per object and seals
+/// fixed-budget blocks: each object's buffered segments become one
+/// contiguous run (objects ordered by id for determinism), delta-encoded
+/// by codec::EncodeSegmentBlock, framed with a length prefix and a
+/// metadata footer (store/format.h).
+///
+/// Thread safety: Append() may be called concurrently (it takes an
+/// internal lock). Per object, callers must append in emission order.
+/// Create/Close are not concurrent with Append.
+///
+/// Crash safety: the stream is flushed after every sealed block; a
+/// crash mid-block loses at most the unflushed tail, which the reader's
+/// open scan detects and drops.
+class SegmentFileWriter {
+ public:
+  /// Opens `path` for writing (truncating any existing file) and writes
+  /// the v2 file header. IOError when the file cannot be created.
+  /// `block_budget_bytes` must already be validated by the caller
+  /// (StoreWriterOptions::Validate).
+  static Result<std::unique_ptr<SegmentFileWriter>> Create(
+      const std::string& path, double zeta, std::size_t block_budget_bytes);
+
+  /// Seals any buffered segments into a final block and closes the file.
+  ~SegmentFileWriter();
+
+  SegmentFileWriter(const SegmentFileWriter&) = delete;
+  SegmentFileWriter& operator=(const SegmentFileWriter&) = delete;
+
+  /// Buffers one segment; seals a block when the budget fills.
+  /// Thread-safe. Returns the first write error encountered (subsequent
+  /// appends keep buffering but the writer is poisoned — Close() reports
+  /// the error again).
+  Status Append(const traj::TimedSegment& segment);
+
+  /// Seals the remaining buffered segments (if any), flushes and closes
+  /// the file. Idempotent: the first call's status is remembered and
+  /// re-returned. stats() is final after Close().
+  Status Close();
+
+  /// Lifetime counters; final after Close().
+  const SegmentFileStats& stats() const { return stats_; }
+
+ private:
+  SegmentFileWriter(std::FILE* file, std::size_t block_budget_bytes);
+
+  /// Seals the pending buffer into one block. Caller holds mu_.
+  Status SealLocked();
+
+  std::size_t block_budget_bytes_ = 0;
+  std::FILE* file_ = nullptr;
+
+  std::mutex mu_;
+  /// Pending segments per object, in arrival order. std::map: blocks are
+  /// sealed with objects in ascending id order, making the file contents
+  /// a deterministic function of the per-object input sequences.
+  std::map<traj::ObjectId, std::vector<traj::TimedSegment>> pending_;
+  std::size_t pending_segments_ = 0;
+  /// Bytes/segment estimate used against the block budget, updated from
+  /// each sealed block's actual encoding.
+  double estimated_segment_bytes_ = 48.0;
+  bool closed_ = false;
+  Status first_error_;
+  SegmentFileStats stats_;
+};
+
+/// Footer-scan reader of one segment file (format v1 or v2).
+///
+/// Open() scans the block structure once — length prefixes and footers
+/// only, payloads stay on disk — applying the valid-prefix rule: an
+/// *incomplete* final frame is a torn tail and is dropped (reported via
+/// open_info()), but a size-complete frame that fails validation (bad
+/// footer magic, v2 footer-checksum mismatch, length-prefix/footer
+/// disagreement, inverted ranges) is Corruption — dropping it would
+/// silently lose committed data. Payload checksums are verified lazily
+/// by ReadBlock().
+///
+/// ReadBlock() is thread-safe (file access is serialized internally).
+class SegmentFileReader {
+ public:
+  /// Opens and footer-scans `path`. IOError when unreadable, Corruption
+  /// when the header or any complete block frame is invalid.
+  static Result<std::unique_ptr<SegmentFileReader>> Open(
+      const std::string& path);
+
+  ~SegmentFileReader();
+
+  SegmentFileReader(const SegmentFileReader&) = delete;
+  SegmentFileReader& operator=(const SegmentFileReader&) = delete;
+
+  /// The error bound recorded in the file header.
+  double zeta() const { return zeta_; }
+
+  /// The file's format version (kFormatVersionLegacy or kFormatVersion).
+  std::uint32_t format_version() const { return version_; }
+
+  const std::vector<BlockRef>& blocks() const { return blocks_; }
+
+  const SegmentFileOpenInfo& open_info() const { return open_info_; }
+
+  /// Total file bytes the open scan saw.
+  std::uint64_t file_bytes() const { return file_bytes_; }
+
+  /// Reads, checksum-verifies and decodes block `i`'s payload.
+  Result<std::vector<traj::TimedSegment>> ReadBlock(std::size_t i) const;
+
+ private:
+  SegmentFileReader() = default;
+
+  std::string path_;
+  double zeta_ = 0.0;
+  std::uint32_t version_ = kFormatVersion;
+  std::uint64_t file_bytes_ = 0;
+  std::vector<BlockRef> blocks_;
+  SegmentFileOpenInfo open_info_;
+
+  mutable std::mutex file_mu_;  ///< serializes seek+read pairs
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace operb::store
+
+#endif  // OPERB_STORE_SEGMENT_FILE_H_

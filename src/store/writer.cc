@@ -1,12 +1,12 @@
 #include "store/writer.h"
 
 #include <cmath>
-#include <limits>
+#include <filesystem>
 #include <utility>
 
-#include "codec/segment_codec.h"
-
 namespace operb::store {
+
+namespace fs = std::filesystem;
 
 Status StoreWriterOptions::Validate() const {
   if (!(zeta > 0.0) || !std::isfinite(zeta)) {
@@ -24,98 +24,158 @@ Status StoreWriterOptions::Validate() const {
     return Status::InvalidArgument(
         "store block budget must be at most 1 GiB");
   }
+  if (num_shards < 1 || num_shards > 65536) {
+    return Status::InvalidArgument(
+        "store shard count must be in [1, 65536]");
+  }
   return Status::OK();
 }
 
 Result<std::unique_ptr<StoreWriter>> StoreWriter::Create(
     const std::string& path, const StoreWriterOptions& options) {
   OPERB_RETURN_IF_ERROR(options.Validate());
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IOError("cannot create store file " + path);
+
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  // A leftover single-file store (or any regular file) at the path gives
+  // way, matching the old writer's truncate-on-create semantics.
+  if (!ec && fs::is_regular_file(st)) {
+    fs::remove(path, ec);
+    if (ec) {
+      return Status::IOError("cannot replace file " + path +
+                             " with a store directory");
+    }
   }
-  std::vector<std::uint8_t> header;
-  EncodeFileHeader(options.zeta, &header);
-  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
-    std::fclose(file);
-    return Status::IOError("cannot write store header to " + path);
+  const bool existed = fs::is_directory(path);
+  if (options.append &&
+      (!existed || !fs::exists(fs::path(path) / kManifestFileName))) {
+    // Appending promises the store already exists; silently creating a
+    // fresh one would hide a typo'd path.
+    return Status::IOError("cannot append: no store manifest at " + path);
   }
-  std::unique_ptr<StoreWriter> writer(new StoreWriter(file, options));
-  writer->stats_.file_bytes = header.size();
+  if (!existed) {
+    // Single-level create: a missing parent is the caller's error, not
+    // something to silently mkdir -p over.
+    if (!fs::create_directory(path, ec) || ec) {
+      return Status::IOError("cannot create store directory " + path);
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(ManifestCommitMutex(path));
+
+  Manifest manifest;
+  if (options.append) {
+    OPERB_ASSIGN_OR_RETURN(manifest, ReadManifest(path));
+    if (manifest.zeta != options.zeta) {
+      return Status::InvalidArgument(
+          "append zeta " + std::to_string(options.zeta) +
+          " does not match the store's zeta " +
+          std::to_string(manifest.zeta));
+    }
+    if (manifest.num_shards != options.num_shards) {
+      return Status::InvalidArgument(
+          "append shard count " + std::to_string(options.num_shards) +
+          " does not match the store's " +
+          std::to_string(manifest.num_shards) + " shards");
+    }
+    ++manifest.generation;
+  } else {
+    if (existed) {
+      // Start over: remove the previous store's files (and only those —
+      // foreign files in the directory are left alone).
+      for (const fs::directory_entry& entry :
+           fs::directory_iterator(path, ec)) {
+        if (!entry.is_regular_file(ec)) continue;
+        if (IsStoreFileName(entry.path().filename().string())) {
+          fs::remove(entry.path(), ec);
+        }
+      }
+    }
+    manifest.generation = 1;
+    manifest.zeta = options.zeta;
+    manifest.num_shards = static_cast<std::uint32_t>(options.num_shards);
+  }
+  manifest.block_budget_bytes = options.block_budget_bytes;
+
+  std::unique_ptr<StoreWriter> writer(new StoreWriter(path, options));
+  for (std::size_t s = 0; s < options.num_shards; ++s) {
+    const std::string name = SegmentFileName(static_cast<std::uint32_t>(s),
+                                             manifest.generation);
+    const std::string file_path = (fs::path(path) / name).string();
+    OPERB_ASSIGN_OR_RETURN(std::unique_ptr<SegmentFileWriter> shard,
+                           SegmentFileWriter::Create(
+                               file_path, options.zeta,
+                               options.block_budget_bytes));
+    writer->shards_.push_back(std::move(shard));
+    writer->session_files_.push_back(name);
+    SegmentFileInfo info;
+    info.shard = static_cast<std::uint32_t>(s);
+    info.level = 0;
+    info.sealed = false;  // active until Close() commits the seal
+    info.name = name;
+    manifest.files.push_back(info);
+  }
+
+  // The opening commit: from here a concurrent reader sees this
+  // generation and serves every flushed block of the session's files.
+  OPERB_RETURN_IF_ERROR(WriteManifest(path, manifest));
+  std::vector<std::uint8_t> encoded;
+  EncodeManifest(manifest, &encoded);
+  writer->manifest_bytes_ = encoded.size();
   return writer;
 }
 
-StoreWriter::StoreWriter(std::FILE* file, const StoreWriterOptions& options)
-    : options_(options), file_(file) {}
+StoreWriter::StoreWriter(std::string dir, const StoreWriterOptions& options)
+    : options_(options), dir_(std::move(dir)) {}
 
 StoreWriter::~StoreWriter() { Close(); }
 
 Status StoreWriter::Append(const traj::TimedSegment& segment) {
-  const std::lock_guard<std::mutex> lock(mu_);
   if (closed_) {
     return Status::InvalidArgument("append to a closed store writer");
   }
-  pending_[segment.object_id].push_back(segment);
-  ++pending_segments_;
-  ++stats_.segments;
-  if (static_cast<double>(pending_segments_) * estimated_segment_bytes_ >=
-      static_cast<double>(options_.block_budget_bytes)) {
-    const Status s = SealLocked();
-    if (!s.ok() && first_error_.ok()) first_error_ = s;
-  }
-  return first_error_;
-}
-
-Status StoreWriter::SealLocked() {
-  if (pending_segments_ == 0) return Status::OK();
-  std::vector<traj::TimedSegment> block;
-  block.reserve(pending_segments_);
-  for (const auto& [id, segments] : pending_) {
-    block.insert(block.end(), segments.begin(), segments.end());
-  }
-  pending_.clear();
-  pending_segments_ = 0;
-
-  std::vector<std::uint8_t> payload;
-  codec::EncodeSegmentBlock(block, &payload);
-  if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
-    // Unreachable while Validate() caps the budget at 1 GiB; refuse to
-    // write a wrapped length prefix if it ever regresses.
-    return Status::Internal("store block payload exceeds the u32 frame");
-  }
-  const BlockFooter footer = MakeFooter(block, payload);
-
-  std::vector<std::uint8_t> frame;
-  frame.reserve(4 + payload.size() + kBlockFooterBytes);
-  const std::uint32_t len = footer.payload_bytes;
-  for (int i = 0; i < 4; ++i) {
-    frame.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
-  }
-  frame.insert(frame.end(), payload.begin(), payload.end());
-  EncodeFooter(footer, &frame);
-
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
-      std::fflush(file_) != 0) {
-    return Status::IOError("store block write failed");
-  }
-  ++stats_.blocks;
-  stats_.payload_bytes += payload.size();
-  stats_.file_bytes += frame.size();
-  estimated_segment_bytes_ =
-      static_cast<double>(payload.size()) / static_cast<double>(block.size());
-  return Status::OK();
+  const std::size_t shard =
+      traj::ShardOfObject(segment.object_id, shards_.size());
+  return shards_[shard]->Append(segment);
 }
 
 Status StoreWriter::Close() {
-  const std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return first_error_;
   closed_ = true;
-  const Status seal = SealLocked();
-  if (!seal.ok() && first_error_.ok()) first_error_ = seal;
-  if (std::fclose(file_) != 0 && first_error_.ok()) {
-    first_error_ = Status::IOError("store close failed");
+  for (const std::unique_ptr<SegmentFileWriter>& shard : shards_) {
+    const Status s = shard->Close();
+    if (!s.ok() && first_error_.ok()) first_error_ = s;
+    stats_.segments += shard->stats().segments;
+    stats_.blocks += shard->stats().blocks;
+    stats_.payload_bytes += shard->stats().payload_bytes;
+    stats_.file_bytes += shard->stats().file_bytes;
   }
-  file_ = nullptr;
+
+  // Seal the session: re-read the manifest under the commit lock (a
+  // background compaction may have advanced it) and flip this session's
+  // files to sealed in a new generation.
+  {
+    const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
+    Result<Manifest> current = ReadManifest(dir_);
+    if (!current.ok()) {
+      if (first_error_.ok()) first_error_ = current.status();
+    } else {
+      Manifest manifest = std::move(current).value();
+      ++manifest.generation;
+      for (SegmentFileInfo& f : manifest.files) {
+        for (const std::string& name : session_files_) {
+          if (f.name == name) f.sealed = true;
+        }
+      }
+      const Status commit = WriteManifest(dir_, manifest);
+      if (!commit.ok() && first_error_.ok()) first_error_ = commit;
+      std::vector<std::uint8_t> encoded;
+      EncodeManifest(manifest, &encoded);
+      manifest_bytes_ = encoded.size();
+    }
+  }
+
+  stats_.file_bytes += manifest_bytes_;
   if (stats_.segments > 0) {
     stats_.write_amplification =
         static_cast<double>(stats_.file_bytes) /

@@ -2,20 +2,20 @@
 #define OPERB_STORE_WRITER_H_
 
 /// \file
-/// Append-only block-organized writer of the trajectory store.
+/// Sharded writer of a directory-based trajectory store: one manifest,
+/// one segment file per shard per write session.
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "store/format.h"
+#include "store/manifest.h"
+#include "store/segment_file.h"
 #include "traj/multi_object.h"
 
 namespace operb::store {
@@ -23,9 +23,9 @@ namespace operb::store {
 /// Configuration of a StoreWriter.
 struct StoreWriterOptions {
   /// The error bound the stored segments were simplified under, recorded
-  /// in the file header. Queries inflate windows by it and
-  /// position-at-time answers inherit it as their error certificate
-  /// (DESIGN.md §8). Must be positive and finite.
+  /// in the manifest and every segment file header. Queries inflate
+  /// windows by it and position-at-time answers inherit it as their
+  /// error certificate (DESIGN.md §8). Must be positive and finite.
   double zeta = 40.0;
 
   /// Target encoded payload size per block. A block is sealed once the
@@ -33,6 +33,18 @@ struct StoreWriterOptions {
   /// count scales with data volume and every block's footer prunes a
   /// bounded byte range. Must be >= 1024.
   std::size_t block_budget_bytes = 64 * 1024;
+
+  /// Shards the store's objects are partitioned into, by
+  /// traj::ShardOfObject — the same hash the StreamEngine routes with,
+  /// so engine output streams shard-locally when the counts match. One
+  /// segment file per shard per write session. Must be in [1, 65536].
+  std::size_t num_shards = 1;
+
+  /// When true and `path` already holds a store, a new write session is
+  /// appended: fresh level-0 segment files next to the existing ones
+  /// (zeta and num_shards must match the manifest). When false the
+  /// directory's store files are removed and the store starts over.
+  bool append = false;
 
   /// Parameter-range check (the Status boundary for untrusted
   /// configuration, same contract as StreamEngineOptions::Validate).
@@ -44,7 +56,8 @@ struct StoreWriterStats {
   std::uint64_t segments = 0;       ///< segments appended
   std::uint64_t blocks = 0;         ///< blocks sealed
   std::uint64_t payload_bytes = 0;  ///< encoded payload across blocks
-  std::uint64_t file_bytes = 0;     ///< total bytes written (incl. framing)
+  std::uint64_t file_bytes = 0;     ///< total bytes written (incl. framing
+                                    ///< and the manifest)
   /// file_bytes / (kRawSegmentBytes * segments): bytes the store writes
   /// per byte of the segments' natural in-memory representation. < 1
   /// means the delta codec more than pays for the block framing.
@@ -56,48 +69,52 @@ struct StoreWriterStats {
 /// denominator of write_amplification.
 inline constexpr double kRawSegmentBytes = 8 + 16 + 2 + 48;
 
-/// Append-only writer of the block-organized trajectory store.
+/// Sharded writer of a directory-based trajectory store.
 ///
-/// Consumes id-tagged, time-annotated simplified segments — the shape an
-/// engine::TaggedSegmentSink delivers once the pipeline annotates times —
-/// buffers them per object, and seals fixed-budget blocks: each object's
-/// buffered segments become one contiguous run (objects ordered by id
-/// for determinism), delta-encoded by codec::EncodeSegmentBlock, framed
-/// with a length prefix and a metadata footer (store/format.h).
+/// Create() prepares the directory, opens one SegmentFileWriter per
+/// shard and commits a manifest generation naming the (active) files —
+/// from that point a concurrent reader sees the store and serves every
+/// flushed block. Append() routes each segment to its object's shard
+/// (traj::ShardOfObject); the per-shard files buffer and seal blocks
+/// independently (store/segment_file.h). Close() seals all tails and
+/// commits a generation marking the session's files sealed, which makes
+/// them compaction candidates (store/compactor.h).
 ///
-/// Thread safety: Append() may be called concurrently (it takes an
-/// internal lock) — the StreamEngine's sink contract delivers segments
-/// from worker threads. Per object, callers must append in emission
-/// order, which the engine guarantees. Create/Close are not concurrent
-/// with Append.
+/// Thread safety: Append() may be called concurrently — the
+/// StreamEngine's sink contract delivers segments from worker threads,
+/// and routing takes no global lock (each shard file serializes
+/// internally). Per object, callers must append in emission order,
+/// which the engine guarantees. Create/Close are not concurrent with
+/// Append.
 ///
-/// Crash safety: the stream is flushed after every sealed block, and a
-/// reader validates each block's length prefix, footer magic and
-/// checksum — a crash mid-block loses at most the unflushed tail, which
-/// StoreReader::Open detects and drops (DESIGN.md §8).
+/// Crash safety: every sealed block is flushed; a crash loses at most
+/// the unflushed tails, which readers detect and drop per segment file
+/// (valid-prefix rule). A crash before Close() leaves the session's
+/// files active (never compacted) but fully queryable.
 class StoreWriter {
  public:
-  /// Opens `path` for writing (truncating any existing file) and writes
-  /// the file header. InvalidArgument on bad options, IOError when the
-  /// file cannot be created.
+  /// Creates (or, with options.append, extends) the store directory at
+  /// `path` and commits the opening manifest generation.
+  /// InvalidArgument on bad options or an append mismatch, IOError when
+  /// the directory or files cannot be created.
   static Result<std::unique_ptr<StoreWriter>> Create(
       const std::string& path, const StoreWriterOptions& options = {});
 
-  /// Seals any buffered segments into a final block and closes the file.
+  /// Equivalent to Close().
   ~StoreWriter();
 
   StoreWriter(const StoreWriter&) = delete;
   StoreWriter& operator=(const StoreWriter&) = delete;
 
-  /// Buffers one segment; seals a block when the budget fills.
-  /// Thread-safe. Returns the first write error encountered (subsequent
-  /// appends keep buffering but the writer is poisoned — Close() reports
-  /// the error again).
+  /// Buffers one segment in its shard; seals a block when that shard's
+  /// budget fills. Thread-safe. Returns the first write error
+  /// encountered (the writer is poisoned — Close() reports it again).
   Status Append(const traj::TimedSegment& segment);
 
-  /// Seals the remaining buffered segments (if any), flushes and closes
-  /// the file. Idempotent: the first call's status is remembered and
-  /// re-returned. stats() is final after Close().
+  /// Seals remaining buffered segments, closes every shard file and
+  /// commits the manifest generation sealing them. Idempotent: the
+  /// first call's status is remembered and re-returned. stats() is
+  /// final after Close().
   Status Close();
 
   /// Lifetime counters; final after Close().
@@ -105,24 +122,19 @@ class StoreWriter {
 
   const StoreWriterOptions& options() const { return options_; }
 
- private:
-  StoreWriter(std::FILE* file, const StoreWriterOptions& options);
+  /// The store directory.
+  const std::string& dir() const { return dir_; }
 
-  /// Seals the pending buffer into one block. Caller holds mu_.
-  Status SealLocked();
+ private:
+  StoreWriter(std::string dir, const StoreWriterOptions& options);
 
   StoreWriterOptions options_;
-  std::FILE* file_ = nullptr;
-
-  std::mutex mu_;
-  /// Pending segments per object, in arrival order. std::map: blocks are
-  /// sealed with objects in ascending id order, making the file contents
-  /// a deterministic function of the per-object input sequences.
-  std::map<traj::ObjectId, std::vector<traj::TimedSegment>> pending_;
-  std::size_t pending_segments_ = 0;
-  /// Bytes/segment estimate used against the block budget, updated from
-  /// each sealed block's actual encoding.
-  double estimated_segment_bytes_ = 48.0;
+  std::string dir_;
+  /// Names of this session's files (index = shard), recorded active in
+  /// the opening manifest commit, flipped to sealed by Close().
+  std::vector<std::string> session_files_;
+  std::vector<std::unique_ptr<SegmentFileWriter>> shards_;
+  std::uint64_t manifest_bytes_ = 0;
   bool closed_ = false;
   Status first_error_;
   StoreWriterStats stats_;

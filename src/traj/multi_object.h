@@ -54,6 +54,28 @@ struct ObjectTrajectory {
   Trajectory trajectory;
 };
 
+/// SplitMix64 finalizer over an object id. Ids are user-controlled (often
+/// small dense integers); the mix spreads them over all 64 bits before
+/// any modulus or table mask. This is THE hash every sharded consumer of
+/// object ids agrees on — the StreamEngine's shard routing and the
+/// trajectory store's segment-file partitioning both use it, so engine
+/// shard s and store shard s see the same objects whenever the two sides
+/// run the same shard count (engine output streams shard-locally into
+/// the store).
+inline std::uint64_t MixObjectId(ObjectId id) {
+  std::uint64_t z = id + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// The canonical object -> shard assignment: MixObjectId(id) % num_shards.
+/// Precondition: num_shards >= 1.
+inline std::size_t ShardOfObject(ObjectId id, std::size_t num_shards) {
+  return static_cast<std::size_t>(MixObjectId(id) %
+                                  static_cast<std::uint64_t>(num_shards));
+}
+
 /// Groups an interleaved update stream into per-object trajectories in a
 /// single pass. Objects appear in first-appearance order; each object's
 /// points keep their stream order. Returns InvalidArgument when any

@@ -2,15 +2,22 @@
 // its block codec (codec/segment_codec.h): exact round-trips against the
 // in-memory sink output and the tests/golden fixtures, footer-metadata
 // block skipping (the ISSUE's "provably skips >= 1 block" assertion),
-// crash-recovery (truncated tails, corrupted payloads), and the
-// position-at-time error certificate.
+// crash-recovery (truncated tails, corrupted payloads, the footer
+// corruption matrix), shard-count and compaction-state equivalence, the
+// R-tree-vs-flat-scan oracle, and the position-at-time error
+// certificate.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -23,7 +30,9 @@
 #include "codec/varint.h"
 #include "eval/verifier.h"
 #include "geo/bbox.h"
+#include "store/compactor.h"
 #include "store/format.h"
+#include "store/manifest.h"
 #include "store/reader.h"
 #include "store/writer.h"
 #include "test_util.h"
@@ -37,6 +46,38 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 std::string TempPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
+}
+
+/// Sorted paths of the segment files inside a store directory.
+std::vector<std::string> SegmentFilesIn(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".seg") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The single segment file of a freshly written one-shard store.
+std::string OnlySegmentFile(const std::string& dir) {
+  const std::vector<std::string> files = SegmentFilesIn(dir);
+  EXPECT_EQ(files.size(), 1u) << "expected exactly one segment file in "
+                              << dir;
+  return files.empty() ? std::string() : files.front();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
 /// Simplifies `t` through the streaming sink path and annotates every
@@ -370,18 +411,11 @@ TEST(StoreTest, ReopenAfterTruncationDropsOnlyTheTail) {
     blocks_before = reader->block_count();
     ASSERT_GE(blocks_before, 2u);
   }
-  // Chop into the last block's footer: a crash mid-append.
-  std::string bytes;
-  {
-    std::ifstream in(path, std::ios::binary);
-    bytes.assign(std::istreambuf_iterator<char>(in),
-                 std::istreambuf_iterator<char>());
-  }
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(),
-              static_cast<std::streamsize>(bytes.size() - 17));
-  }
+  // Chop into the last block's footer inside the shard's segment file: a
+  // crash mid-append (the manifest still names the file).
+  const std::string segment = OnlySegmentFile(path);
+  const std::string bytes = ReadFileBytes(segment);
+  WriteFileBytes(segment, bytes.substr(0, bytes.size() - 17));
   const auto reopened = store::StoreReader::Open(path);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_TRUE(reopened.value()->open_info().tail_dropped);
@@ -406,22 +440,138 @@ TEST(StoreTest, CorruptPayloadSurfacesAsCorruptionOnRead) {
   const std::vector<traj::TimedSegment> all =
       SimplifyTimed(t, baselines::Algorithm::kOPERB, 3);
   { WriteAndOpen(path, all); }
-  std::string bytes;
-  {
-    std::ifstream in(path, std::ios::binary);
-    bytes.assign(std::istreambuf_iterator<char>(in),
-                 std::istreambuf_iterator<char>());
-  }
+  const std::string segment = OnlySegmentFile(path);
+  std::string bytes = ReadFileBytes(segment);
   // Flip one payload byte (after the 24-byte header + 4-byte length).
   bytes[store::kFileHeaderBytes + 4 + 5] ^= 0x40;
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  }
+  WriteFileBytes(segment, bytes);
+  // Footers are intact, so the open scan passes: payload corruption is
+  // caught lazily — and through both candidate-selection paths.
   const auto reader = store::StoreReader::Open(path);
   ASSERT_TRUE(reader.ok()) << reader.status().ToString();  // lazy checksum
   EXPECT_EQ(reader.value()->ReconstructObject(3).status().code(),
             StatusCode::kCorruption);
+  geo::BoundingBox everywhere;
+  everywhere.Extend(geo::Vec2{-1e9, -1e9});
+  everywhere.Extend(geo::Vec2{1e9, 1e9});
+  EXPECT_EQ(reader.value()
+                ->QueryWindow(everywhere, -kInf, kInf, nullptr,
+                              store::ScanMode::kIndexed)
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(reader.value()
+                ->QueryWindow(everywhere, -kInf, kInf, nullptr,
+                              store::ScanMode::kFlatScan)
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(StoreTest, InvertedFooterRangesFailOpenWithStatus) {
+  // A hand-crafted block whose checksums are internally consistent but
+  // whose id range is inverted: the open scan must answer Corruption
+  // with a field-naming message — never a CHECK abort or a silent
+  // acceptance (satellite: ValidateFooterRanges through Status).
+  const std::string path = TempPath("store_inverted.store");
+  const traj::Trajectory t = testutil::ZigZag(40);
+  const std::vector<traj::TimedSegment> all =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 3);
+  { WriteAndOpen(path, all); }
+  const std::string segment = OnlySegmentFile(path);
+  const std::string original = ReadFileBytes(segment);
+  ASSERT_GT(original.size(), store::kBlockFooterBytes);
+
+  // The file ends with the last block's footer; rewrite it with an
+  // inverted id range and recomputed checksums.
+  const std::size_t footer_at = original.size() - store::kBlockFooterBytes;
+  const std::span<const std::uint8_t> footer_bytes(
+      reinterpret_cast<const std::uint8_t*>(original.data()) + footer_at,
+      store::kBlockFooterBytes);
+  auto footer = store::DecodeFooter(footer_bytes, store::kFormatVersion);
+  ASSERT_TRUE(footer.ok()) << footer.status().ToString();
+  footer->object_min = footer->object_max + 1;  // inverted
+  const std::span<const std::uint8_t> payload(
+      reinterpret_cast<const std::uint8_t*>(original.data()) + footer_at -
+          footer->payload_bytes,
+      footer->payload_bytes);
+  footer->checksum = store::BlockChecksum(payload, *footer);
+  footer->footer_checksum = store::FooterChecksum(*footer);
+  std::vector<std::uint8_t> encoded;
+  store::EncodeFooter(*footer, &encoded);
+  ASSERT_EQ(encoded.size(), store::kBlockFooterBytes);
+  std::string patched = original;
+  std::copy(encoded.begin(), encoded.end(),
+            reinterpret_cast<std::uint8_t*>(patched.data()) + footer_at);
+  WriteFileBytes(segment, patched);
+
+  const auto reopened = store::StoreReader::Open(path);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(reopened.status().ToString().find("inverted object id range"),
+            std::string::npos)
+      << reopened.status().ToString();
+
+  // The same treatment for the time interval and the bounding box.
+  auto patch_and_open = [&](auto mutate) {
+    auto f = store::DecodeFooter(footer_bytes, store::kFormatVersion);
+    EXPECT_TRUE(f.ok());
+    mutate(&*f);
+    f->checksum = store::BlockChecksum(payload, *f);
+    f->footer_checksum = store::FooterChecksum(*f);
+    std::vector<std::uint8_t> bytes;
+    store::EncodeFooter(*f, &bytes);
+    std::string next = original;
+    std::copy(bytes.begin(), bytes.end(),
+              reinterpret_cast<std::uint8_t*>(next.data()) + footer_at);
+    WriteFileBytes(segment, next);
+    return store::StoreReader::Open(path).status();
+  };
+  const Status bad_time = patch_and_open([](store::BlockFooter* f) {
+    f->t_min = f->t_max + 1.0;
+  });
+  EXPECT_EQ(bad_time.code(), StatusCode::kCorruption);
+  EXPECT_NE(bad_time.ToString().find("inverted time interval"),
+            std::string::npos);
+  const Status bad_box = patch_and_open([](store::BlockFooter* f) {
+    f->min_x = f->max_x + 1.0;
+  });
+  EXPECT_EQ(bad_box.code(), StatusCode::kCorruption);
+  EXPECT_NE(bad_box.ToString().find("inverted bounding box"),
+            std::string::npos);
+}
+
+TEST(StoreTest, FooterCorruptionMatrixAlwaysSurfacesAsCorruption) {
+  // The corruption matrix (satellite): flip one byte at *every* offset of
+  // a sealed block's footer; every flip must surface as Corruption at
+  // open — caught footer-only by the v2 footer checksum (or the footer
+  // magic / range validation), never a crash or a silently wrong answer.
+  const std::string path = TempPath("store_matrix.store");
+  const traj::Trajectory t = testutil::ZigZag(40);
+  const std::vector<traj::TimedSegment> all =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 3);
+  { WriteAndOpen(path, all); }
+  const std::string segment = OnlySegmentFile(path);
+  const std::string original = ReadFileBytes(segment);
+  ASSERT_GT(original.size(), store::kBlockFooterBytes);
+  const std::size_t footer_at = original.size() - store::kBlockFooterBytes;
+
+  for (std::size_t offset = 0; offset < store::kBlockFooterBytes; ++offset) {
+    std::string corrupted = original;
+    corrupted[footer_at + offset] =
+        static_cast<char>(corrupted[footer_at + offset] ^ 0x01);
+    WriteFileBytes(segment, corrupted);
+    const auto reopened = store::StoreReader::Open(path);
+    ASSERT_FALSE(reopened.ok())
+        << "flipped footer byte " << offset << " went undetected";
+    EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption)
+        << "footer byte " << offset << ": "
+        << reopened.status().ToString();
+  }
+  // Restore: the pristine file opens again (the matrix itself did not
+  // wear anything out).
+  WriteFileBytes(segment, original);
+  EXPECT_TRUE(store::StoreReader::Open(path).ok());
 }
 
 TEST(StoreTest, OpenRejectsForeignAndTruncatedHeaders) {
@@ -476,6 +626,313 @@ TEST(StoreTest, WriterRejectsBadOptionsAndLateAppends) {
   EXPECT_EQ(writer.value()->Append({}).code(),
             StatusCode::kInvalidArgument);
   EXPECT_TRUE(writer.value()->Close().ok());  // idempotent
+}
+
+// ---------------------------------------------------------------------
+// Sharding and compaction equivalence
+// ---------------------------------------------------------------------
+
+/// One fixture feed: 12 objects over three profiles, simplified with
+/// OPERB at the golden zeta.
+std::vector<std::vector<traj::TimedSegment>> MultiObjectFeed() {
+  std::vector<std::vector<traj::TimedSegment>> per_object;
+  for (traj::ObjectId id = 0; id < 12; ++id) {
+    const traj::Trajectory t = testutil::Generated(
+        datagen::DatasetKind::kTaxi, 200, 50 + id);
+    per_object.push_back(SimplifyTimed(t, baselines::Algorithm::kOPERB, id));
+  }
+  return per_object;
+}
+
+/// Everything a query equivalence check compares: per-object
+/// reconstructions plus a window answered by both scan modes.
+struct QuerySnapshot {
+  std::vector<std::vector<traj::TimedSegment>> reconstructions;
+  std::vector<traj::TimedSegment> window_indexed;
+  std::vector<traj::TimedSegment> window_flat;
+  store::StoreQueryStats indexed_stats;
+  store::StoreQueryStats flat_stats;
+};
+
+QuerySnapshot Snapshot(const std::string& path, std::size_t objects,
+                       const geo::BoundingBox& window) {
+  QuerySnapshot snap;
+  const auto reader = store::StoreReader::Open(path);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  if (!reader.ok()) return snap;
+  for (traj::ObjectId id = 0; id < objects; ++id) {
+    auto rec = reader.value()->ReconstructObject(id);
+    EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+    snap.reconstructions.push_back(rec.ok() ? *std::move(rec)
+                                            : std::vector<traj::TimedSegment>());
+  }
+  auto indexed = reader.value()->QueryWindow(window, -kInf, kInf,
+                                             &snap.indexed_stats,
+                                             store::ScanMode::kIndexed);
+  EXPECT_TRUE(indexed.ok()) << indexed.status().ToString();
+  if (indexed.ok()) snap.window_indexed = *std::move(indexed);
+  auto flat = reader.value()->QueryWindow(window, -kInf, kInf,
+                                          &snap.flat_stats,
+                                          store::ScanMode::kFlatScan);
+  EXPECT_TRUE(flat.ok()) << flat.status().ToString();
+  if (flat.ok()) snap.window_flat = *std::move(flat);
+  return snap;
+}
+
+void ExpectSnapshotsEqual(const QuerySnapshot& actual,
+                          const QuerySnapshot& want,
+                          const std::string& label) {
+  ASSERT_EQ(actual.reconstructions.size(), want.reconstructions.size());
+  for (std::size_t i = 0; i < actual.reconstructions.size(); ++i) {
+    ExpectTimedEqual(actual.reconstructions[i], want.reconstructions[i],
+                     label + " object " + std::to_string(i));
+  }
+  ExpectTimedEqual(actual.window_indexed, want.window_indexed,
+                   label + " window (indexed)");
+  ExpectTimedEqual(actual.window_flat, want.window_flat,
+                   label + " window (flat)");
+}
+
+TEST(StoreShardingTest, QueriesAreByteIdenticalAcrossShardCounts) {
+  const std::vector<std::vector<traj::TimedSegment>> per_object =
+      MultiObjectFeed();
+  geo::BoundingBox window;
+  window.Extend(geo::Vec2{-500.0, -500.0});
+  window.Extend(geo::Vec2{1500.0, 1500.0});
+
+  QuerySnapshot reference;
+  bool have_reference = false;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    const std::string path =
+        TempPath("store_shards_" + std::to_string(shards) + ".store");
+    store::StoreWriterOptions options;
+    options.zeta = testutil::kGoldenZeta;
+    options.block_budget_bytes = 2048;
+    options.num_shards = shards;
+    auto writer = store::StoreWriter::Create(path, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const auto& object : per_object) {
+      for (const traj::TimedSegment& s : object) {
+        ASSERT_TRUE(writer.value()->Append(s).ok());
+      }
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+
+    const auto reader = store::StoreReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(reader.value()->num_shards(), shards);
+    EXPECT_EQ(reader.value()->file_count(), shards);
+
+    QuerySnapshot snap = Snapshot(path, per_object.size(), window);
+    ASSERT_FALSE(HasFatalFailure());
+    // Reconstructions equal the in-memory emission at every shard count.
+    for (std::size_t id = 0; id < per_object.size(); ++id) {
+      ExpectTimedEqual(snap.reconstructions[id], per_object[id],
+                       "shards=" + std::to_string(shards) + " object " +
+                           std::to_string(id));
+    }
+    // Indexed and flat scans agree on results *and* on the candidate
+    // set (the index's entry predicates are the flat scan's predicates).
+    ExpectTimedEqual(snap.window_indexed, snap.window_flat,
+                     "indexed vs flat, shards=" + std::to_string(shards));
+    EXPECT_EQ(snap.indexed_stats.blocks_scanned,
+              snap.flat_stats.blocks_scanned);
+    EXPECT_EQ(snap.indexed_stats.blocks_skipped,
+              snap.flat_stats.blocks_skipped);
+    EXPECT_LE(snap.indexed_stats.index_nodes_visited,
+              reader.value()->index_node_count());
+    EXPECT_EQ(snap.flat_stats.index_nodes_visited, 0u);
+    if (have_reference) {
+      ExpectSnapshotsEqual(snap, reference,
+                           "shards=" + std::to_string(shards) +
+                               " vs shards=1");
+    } else {
+      reference = std::move(snap);
+      have_reference = true;
+    }
+  }
+}
+
+TEST(StoreCompactionTest, QueriesAreByteIdenticalAcrossCompactionStates) {
+  // Three append sessions x 4 shards: every shard holds three level-0
+  // files — the LSM shape compaction exists for. Queries must answer
+  // byte-identically uncompacted, at every mid-compaction manifest
+  // generation, and fully compacted (satellite 3).
+  const std::string path = TempPath("store_compact_eq.store");
+  const std::vector<std::vector<traj::TimedSegment>> per_object =
+      MultiObjectFeed();
+  store::StoreWriterOptions options;
+  options.zeta = testutil::kGoldenZeta;
+  options.block_budget_bytes = 1024;  // many small frames to merge
+  options.num_shards = 4;
+  for (int session = 0; session < 3; ++session) {
+    options.append = session > 0;
+    auto writer = store::StoreWriter::Create(path, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (std::size_t id = static_cast<std::size_t>(session) * 4;
+         id < static_cast<std::size_t>(session + 1) * 4; ++id) {
+      for (const traj::TimedSegment& s : per_object[id]) {
+        ASSERT_TRUE(writer.value()->Append(s).ok());
+      }
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+  ASSERT_EQ(SegmentFilesIn(path).size(), 12u) << "3 sessions x 4 shards";
+
+  geo::BoundingBox window;
+  window.Extend(geo::Vec2{-500.0, -500.0});
+  window.Extend(geo::Vec2{1500.0, 1500.0});
+  const QuerySnapshot uncompacted =
+      Snapshot(path, per_object.size(), window);
+  ASSERT_FALSE(HasFatalFailure());
+
+  // Mid-compaction: compact two of the four shards, one generation
+  // each. The manifest now mixes merged and unmerged shards.
+  store::Compactor compactor(path);
+  for (const std::uint32_t shard : {0u, 2u}) {
+    const auto mid = compactor.CompactShard(shard);
+    ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+    EXPECT_EQ(mid->generations_committed, 1u);
+    const QuerySnapshot snap = Snapshot(path, per_object.size(), window);
+    ASSERT_FALSE(HasFatalFailure());
+    ExpectSnapshotsEqual(snap, uncompacted,
+                         "mid-compaction after shard " +
+                             std::to_string(shard));
+  }
+
+  // Full pass: every remaining shard merges; files drop to one per
+  // shard.
+  const auto full = compactor.Run();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_GE(full->shards_compacted, 2u);
+  EXPECT_GT(full->write_amplification, 0.0);
+  EXPECT_EQ(SegmentFilesIn(path).size(), 4u);
+  const QuerySnapshot compacted = Snapshot(path, per_object.size(), window);
+  ASSERT_FALSE(HasFatalFailure());
+  ExpectSnapshotsEqual(compacted, uncompacted, "fully compacted");
+
+  // Idempotence: a second pass finds nothing to do.
+  const auto again = compactor.Run();
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->shards_compacted, 0u);
+  EXPECT_EQ(again->generations_committed, 0u);
+
+  // Out-of-range shard: InvalidArgument, not a crash.
+  EXPECT_EQ(compactor.CompactShard(99).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StoreCompactionTest, AppendSessionValidatesManifestAgreement) {
+  const std::string path = TempPath("store_append_validate.store");
+  store::StoreWriterOptions options;
+  options.zeta = testutil::kGoldenZeta;
+  options.num_shards = 2;
+  {
+    auto writer = store::StoreWriter::Create(path, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+  // An append session must agree with the manifest on the partition and
+  // the error bound — both are properties of the *store*, not of a
+  // session.
+  store::StoreWriterOptions wrong_shards = options;
+  wrong_shards.append = true;
+  wrong_shards.num_shards = 4;
+  EXPECT_EQ(store::StoreWriter::Create(path, wrong_shards).status().code(),
+            StatusCode::kInvalidArgument);
+  store::StoreWriterOptions wrong_zeta = options;
+  wrong_zeta.append = true;
+  wrong_zeta.zeta = options.zeta * 2;
+  EXPECT_EQ(store::StoreWriter::Create(path, wrong_zeta).status().code(),
+            StatusCode::kInvalidArgument);
+  // Append into a store that does not exist yet: IOError, not a silent
+  // fresh create.
+  const std::string missing = TempPath("store_no_append.store");
+  std::filesystem::remove_all(missing);
+  store::StoreWriterOptions fresh_append = options;
+  fresh_append.append = true;
+  EXPECT_EQ(store::StoreWriter::Create(missing, fresh_append)
+                .status()
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST(StoreCompactionTest, ConcurrentAppendQueryAndBackgroundCompaction) {
+  // The TSan target: an appending writer, polling readers and the
+  // BackgroundCompactor all live on one store directory at once. The
+  // invariants: no data race (TSan), readers only ever see committed
+  // manifest generations (never Corruption), and the final state holds
+  // every session's data.
+  const std::string path = TempPath("store_concurrent.store");
+  const std::vector<std::vector<traj::TimedSegment>> per_object =
+      MultiObjectFeed();
+  store::StoreWriterOptions options;
+  options.zeta = testutil::kGoldenZeta;
+  options.block_budget_bytes = 1024;
+  options.num_shards = 2;
+  {
+    auto writer = store::StoreWriter::Create(path, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const traj::TimedSegment& s : per_object[0]) {
+      ASSERT_TRUE(writer.value()->Append(s).ok());
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+
+  store::BackgroundCompactor background(path, {},
+                                        std::chrono::milliseconds(1));
+  background.Start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> successful_reads{0};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto reader = store::StoreReader::Open(path);
+      if (!reader.ok()) {
+        // A commit can race the open; the retry loop absorbs most of
+        // it, and what remains must be IOError, never Corruption.
+        EXPECT_EQ(reader.status().code(), StatusCode::kIOError)
+            << reader.status().ToString();
+        continue;
+      }
+      const auto rec = reader.value()->ReconstructObject(0);
+      if (rec.ok() && !rec->empty()) {
+        successful_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  for (std::size_t id = 1; id < per_object.size(); ++id) {
+    store::StoreWriterOptions session = options;
+    session.append = true;
+    auto writer = store::StoreWriter::Create(path, session);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const traj::TimedSegment& s : per_object[id]) {
+      ASSERT_TRUE(writer.value()->Append(s).ok());
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+
+  stop.store(true);
+  poller.join();
+  background.Stop();
+  EXPECT_TRUE(background.last_status().ok())
+      << background.last_status().ToString();
+  EXPECT_GE(successful_reads.load(), 1u);
+
+  // Quiescent verification: one final pass, then every object answers
+  // exactly its emission.
+  store::Compactor compactor(path);
+  ASSERT_TRUE(compactor.Run().ok());
+  const auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  for (std::size_t id = 0; id < per_object.size(); ++id) {
+    const auto rec = reader.value()->ReconstructObject(id);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    ExpectTimedEqual(*rec, per_object[id],
+                     "post-churn object " + std::to_string(id));
+  }
 }
 
 // ---------------------------------------------------------------------

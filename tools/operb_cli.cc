@@ -19,12 +19,16 @@
 // segments are tagged with their object id, and the bound is verified
 // per object.
 //
-// With --store-out the simplified segments additionally stream into an
-// append-only block-organized trajectory store (src/store), which
-// --query then serves without re-simplifying: per-object time-range
-// reconstruction (--object [--from --to]), position-at-time
-// (--object --at), and spatio-temporal window queries (--window),
-// all skip-scanning on per-block footer metadata.
+// With --store-out the simplified segments additionally stream into a
+// sharded directory-based trajectory store (src/store: manifest +
+// per-shard segment files, --store-shards N), which --query then serves
+// without re-simplifying: per-object time-range reconstruction
+// (--object [--from --to]), position-at-time (--object --at), and
+// spatio-temporal window queries (--window) answered through a packed
+// R-tree over per-block footer metadata (--flat-scan switches to the
+// linear footer scan, the index's verification oracle). --compact PATH
+// is the admin verb that merges each shard's segment files into dense
+// id-ordered blocks (one manifest generation per shard).
 //
 // Examples:
 //   operb_cli --input drive.csv --spec OPERB-A:zeta=30 --output out.csv
@@ -33,8 +37,10 @@
 //   operb_cli --group-by-id --input fleet.csv --threads 4 --output tagged.csv
 //   operb_cli --group-by-id --generate Taxi:500 --objects 1000 --threads 8
 //   operb_cli --group-by-id --generate Taxi:500 --store-out fleet.store
+//             --store-shards 8   (one command line; wrapped here)
 //   operb_cli --query fleet.store --object 3 --from 100 --to 900
 //   operb_cli --query fleet.store --window 1000,2000,4000,5000
+//   operb_cli --compact fleet.store
 //
 // Exit codes: 0 success (bound verified or --no-verify), 1 bound violation
 // (or: --at time not covered by the store), 2 usage error, 3 I/O error.
@@ -57,6 +63,8 @@
 #include "datagen/rng.h"
 #include "engine/stream_engine.h"
 #include "eval/metrics.h"
+#include "store/compactor.h"
+#include "store/writer.h"
 #include "traj/io.h"
 #include "traj/multi_object.h"
 #include "traj/trajectory.h"
@@ -87,6 +95,7 @@ struct CliOptions {
   std::string output_path;      ///< representation CSV (optional)
   std::string save_input_path;  ///< write the input trajectory as CSV
   std::string store_out_path;   ///< write a queryable segment store
+  std::uint64_t store_shards = 1;  ///< shard count for --store-out
   bool clean = false;           ///< repair raw streams before simplifying
   bool verify = true;
   double verify_slack = 1e-9;
@@ -95,6 +104,10 @@ struct CliOptions {
   // simplifying. Parsed into an api::StoreQuery, validated there.
   api::StoreQuery query;
   bool query_mode = false;
+
+  // Admin mode (--compact PATH): compacts an existing store in place.
+  bool compact_mode = false;
+  std::string compact_path;
 };
 
 void PrintUsage(std::FILE* out) {
@@ -146,11 +159,15 @@ void PrintUsage(std::FILE* out) {
                "\n"
                "Store (write side):\n"
                "  --store-out PATH      additionally persist the simplified "
-               "segments into an\n"
-               "                        append-only queryable store (both "
-               "modes; single-\n"
-               "                        trajectory input is stored as object "
-               "0)\n"
+               "segments into a\n"
+               "                        sharded queryable store directory "
+               "(both modes;\n"
+               "                        single-trajectory input is stored as "
+               "object 0)\n"
+               "  --store-shards N      partition the store into N shards by "
+               "object-id hash\n"
+               "                        (1..65536, default 1; requires "
+               "--store-out)\n"
                "\n"
                "Store (query mode; excludes every simplification flag):\n"
                "  --query PATH          serve an existing store instead of "
@@ -164,6 +181,20 @@ void PrintUsage(std::FILE* out) {
                "                        is inflated by the store's zeta so "
                "no original\n"
                "                        sample inside it can be missed)\n"
+               "  --flat-scan           answer --window with the linear "
+               "footer scan instead\n"
+               "                        of the R-tree index (the verify "
+               "oracle; results are\n"
+               "                        identical, only pruning work "
+               "differs)\n"
+               "\n"
+               "Store (admin mode; excludes every other flag):\n"
+               "  --compact PATH        merge each shard's segment files "
+               "into dense\n"
+               "                        id-ordered blocks, one manifest "
+               "generation per\n"
+               "                        shard; queries return byte-identical "
+               "results\n"
                "\n"
                "Output:\n"
                "  --output PATH         write the piecewise representation as "
@@ -284,9 +315,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
   };
 
   bool spec_flag_seen = false;    // --spec/--algorithm/--zeta/--fidelity
-  bool query_flag_seen = false;   // --object/--from/--to/--at/--window
+  bool query_flag_seen = false;   // --object/--from/.../--window/--flat-scan
   bool engine_flag_seen = false;  // --threads/--shards/--objects
   bool no_verify_seen = false;
+  bool store_shards_seen = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -297,7 +329,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
                arg == "--fidelity" || arg == "--output" ||
                arg == "--save-input" || arg == "--threads" ||
                arg == "--shards" || arg == "--objects" ||
-               arg == "--store-out" || arg == "--query" ||
+               arg == "--store-out" || arg == "--store-shards" ||
+               arg == "--query" || arg == "--compact" ||
                arg == "--object" || arg == "--from" || arg == "--to" ||
                arg == "--at" || arg == "--window") {
       const char* value = need_value(i, arg);
@@ -354,9 +387,27 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
         options->save_input_path = value;
       } else if (arg == "--store-out") {
         options->store_out_path = value;
+      } else if (arg == "--store-shards") {
+        store_shards_seen = true;
+        // Same ceiling as the writer's own StoreWriterOptions::Validate();
+        // rejecting here keeps the error a one-line usage message.
+        constexpr std::uint64_t kMaxStoreShards = 65536;
+        if (!ParseU64(value, &options->store_shards) ||
+            options->store_shards == 0 ||
+            options->store_shards > kMaxStoreShards) {
+          std::fprintf(stderr,
+                       "operb_cli: --store-shards must be an integer in "
+                       "1..%llu, got '%s'\n",
+                       static_cast<unsigned long long>(kMaxStoreShards),
+                       value);
+          return false;
+        }
       } else if (arg == "--query") {
         options->query_mode = true;
         options->query.store_path = value;
+      } else if (arg == "--compact") {
+        options->compact_mode = true;
+        options->compact_path = value;
       } else if (arg == "--object") {
         query_flag_seen = true;
         std::uint64_t id = 0;
@@ -446,6 +497,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
                      std::string(arg).c_str());
         return false;
       }
+    } else if (arg == "--flat-scan") {
+      query_flag_seen = true;
+      options->query.use_flat_scan = true;
     } else if (arg == "--clean") {
       options->clean = true;
     } else if (arg == "--no-verify") {
@@ -463,13 +517,29 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
   const int inputs = (options->csv_path.empty() ? 0 : 1) +
                      (options->plt_path.empty() ? 0 : 1) +
                      (options->generate_spec.empty() ? 0 : 1);
+  if (options->compact_mode) {
+    // Admin verb: it rewrites an existing store in place; combining it
+    // with any other mode or flag is a contradiction.
+    if (inputs > 0 || options->query_mode || query_flag_seen ||
+        !options->store_out_path.empty() || store_shards_seen ||
+        options->group_by_id || options->clean || spec_flag_seen ||
+        engine_flag_seen || no_verify_seen ||
+        !options->output_path.empty() ||
+        !options->save_input_path.empty()) {
+      std::fprintf(stderr,
+                   "operb_cli: --compact is an exclusive admin verb and "
+                   "cannot be combined with any other flag\n");
+      return false;
+    }
+    return true;
+  }
   if (options->query_mode) {
     // Query mode serves an existing store: nothing is ingested,
     // simplified or verified, so every write-side flag — including the
     // engine knobs and --no-verify — is a contradiction, not a no-op.
     if (inputs > 0 || !options->store_out_path.empty() ||
-        options->group_by_id || options->clean || spec_flag_seen ||
-        engine_flag_seen || no_verify_seen ||
+        store_shards_seen || options->group_by_id || options->clean ||
+        spec_flag_seen || engine_flag_seen || no_verify_seen ||
         !options->save_input_path.empty()) {
       std::fprintf(stderr,
                    "operb_cli: --query serves an existing store and cannot "
@@ -481,8 +551,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
   }
   if (query_flag_seen) {
     std::fprintf(stderr,
-                 "operb_cli: --object/--from/--to/--at/--window require "
-                 "--query PATH\n");
+                 "operb_cli: --object/--from/--to/--at/--window/--flat-scan "
+                 "require --query PATH\n");
+    return false;
+  }
+  if (store_shards_seen && options->store_out_path.empty()) {
+    std::fprintf(stderr,
+                 "operb_cli: --store-shards shards a store written by "
+                 "--store-out PATH\n");
     return false;
   }
   if (inputs > 1) {
@@ -551,13 +627,15 @@ std::optional<std::vector<traj::ObjectUpdate>> LoadUpdates(
 }
 
 /// Prints the WriteStore-stage summary line of a pipeline report.
-void PrintStoreLine(const api::PipelineReport& report) {
+void PrintStoreLine(const api::PipelineReport& report,
+                    std::uint64_t store_shards) {
   if (!report.store_ran) return;
-  std::printf("store:     %s  (%llu blocks, %llu bytes, write amp "
-              "%.3f)\n",
+  std::printf("store:     %s  (%llu blocks, %llu bytes, %llu shard(s), "
+              "write amp %.3f)\n",
               report.store_path.c_str(),
               static_cast<unsigned long long>(report.store_stats.blocks),
               static_cast<unsigned long long>(report.store_stats.file_bytes),
+              static_cast<unsigned long long>(store_shards),
               report.store_stats.write_amplification);
 }
 
@@ -581,10 +659,13 @@ int RunQuery(const CliOptions& options) {
     }
   }
   const api::StoreQueryReport& report = *run;
-  std::printf("store:     %s  (%zu blocks, %llu segments, zeta %g m%s)\n",
+  std::printf("store:     %s  (%zu blocks, %llu segments, zeta %g m, "
+              "%zu shard(s), %zu file(s), generation %llu%s%s)\n",
               options.query.store_path.c_str(), report.store_blocks,
               static_cast<unsigned long long>(report.store_segments),
-              report.zeta,
+              report.zeta, report.store_shards, report.store_files,
+              static_cast<unsigned long long>(report.store_generation),
+              report.legacy_single_file ? ", legacy single-file" : "",
               report.tail_dropped ? ", torn tail dropped" : "");
   const store::StoreQueryStats& stats = report.stats;
   std::printf("scan:      skipped %llu of %llu blocks on footer metadata, "
@@ -593,6 +674,17 @@ int RunQuery(const CliOptions& options) {
               static_cast<unsigned long long>(stats.blocks_total),
               static_cast<unsigned long long>(stats.segments_scanned),
               report.seconds * 1e3);
+  if (options.query.has_window) {
+    if (options.query.use_flat_scan) {
+      std::printf("index:     flat footer scan (oracle mode), %zu R-tree "
+                  "nodes unused\n",
+                  report.index_nodes);
+    } else {
+      std::printf("index:     R-tree visited %llu of %zu nodes\n",
+                  static_cast<unsigned long long>(stats.index_nodes_visited),
+                  report.index_nodes);
+    }
+  }
   if (report.has_position) {
     std::printf("position:  %.3f, %.3f at t=%g  (on the stored segment; "
                 "covered samples stay within zeta %g m of its line)\n",
@@ -617,6 +709,46 @@ int RunQuery(const CliOptions& options) {
     }
     std::printf("wrote:     %s\n", options.output_path.c_str());
   }
+  return kExitOk;
+}
+
+/// The --compact admin flow: one full compaction pass over an existing
+/// store (GC orphans, merge every shard that needs it), printing what
+/// changed.
+int RunCompact(const CliOptions& options) {
+  store::Compactor compactor(options.compact_path);
+  Result<store::CompactionStats> run = compactor.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "operb_cli: %s\n",
+                 run.status().ToString().c_str());
+    switch (run.status().code()) {
+      case StatusCode::kIOError:
+      case StatusCode::kCorruption:
+        return kExitIo;
+      default:
+        return kExitUsage;
+    }
+  }
+  const store::CompactionStats& stats = *run;
+  std::printf("compacted: %s  (%llu of %llu shard(s), %llu generation(s) "
+              "committed)\n",
+              options.compact_path.c_str(),
+              static_cast<unsigned long long>(stats.shards_compacted),
+              static_cast<unsigned long long>(stats.shards_examined),
+              static_cast<unsigned long long>(stats.generations_committed));
+  std::printf("merged:    %llu -> %llu file(s), %llu -> %llu block(s), "
+              "%llu segment(s) rewritten\n",
+              static_cast<unsigned long long>(stats.files_before),
+              static_cast<unsigned long long>(stats.files_after),
+              static_cast<unsigned long long>(stats.blocks_before),
+              static_cast<unsigned long long>(stats.blocks_after),
+              static_cast<unsigned long long>(stats.segments_rewritten));
+  std::printf("io:        read %llu bytes, wrote %llu bytes (write amp "
+              "%.3f), %llu orphan(s) removed\n",
+              static_cast<unsigned long long>(stats.bytes_read),
+              static_cast<unsigned long long>(stats.bytes_written),
+              stats.write_amplification,
+              static_cast<unsigned long long>(stats.orphans_removed));
   return kExitOk;
 }
 
@@ -657,7 +789,9 @@ int RunGroupById(const CliOptions& options) {
   if (options.clean) builder.Clean();
   if (options.verify) builder.Verify(options.verify_slack);
   if (!options.store_out_path.empty()) {
-    builder.WriteStore(options.store_out_path);
+    store::StoreWriterOptions store_options;
+    store_options.num_shards = static_cast<std::size_t>(options.store_shards);
+    builder.WriteStore(options.store_out_path, store_options);
   }
   Result<api::Pipeline> pipeline = builder.Build();
   if (!pipeline.ok()) {
@@ -701,7 +835,7 @@ int RunGroupById(const CliOptions& options) {
   std::printf("time:      %.3f ms  (%.0f ns/point, %.2f M points/s)\n",
               elapsed_ms, ns_per_point,
               ns_per_point > 0.0 ? 1e3 / ns_per_point : 0.0);
-  PrintStoreLine(report);
+  PrintStoreLine(report, options.store_shards);
 
   if (!options.output_path.empty()) {
     if (const Status s = traj::WriteTaggedSegmentsCsv(
@@ -797,7 +931,9 @@ int RunSingle(const CliOptions& options) {
   if (options.clean) builder.Clean();
   if (options.verify) builder.Verify(options.verify_slack);
   if (!options.store_out_path.empty()) {
-    builder.WriteStore(options.store_out_path);
+    store::StoreWriterOptions store_options;
+    store_options.num_shards = static_cast<std::size_t>(options.store_shards);
+    builder.WriteStore(options.store_out_path, store_options);
   }
   Result<api::Pipeline> pipeline = builder.Build();
   if (!pipeline.ok()) {
@@ -849,7 +985,7 @@ int RunSingle(const CliOptions& options) {
               elapsed_ms, ns_per_point,
               ns_per_point > 0.0 ? 1e3 / ns_per_point : 0.0);
   std::printf("error:     avg %.2f m, max %.2f m\n", error.average, error.max);
-  PrintStoreLine(report);
+  PrintStoreLine(report, options.store_shards);
 
   if (!options.output_path.empty()) {
     if (const Status s =
@@ -886,6 +1022,7 @@ int main(int argc, char** argv) {
     PrintUsage(stdout);
     return kExitOk;
   }
+  if (options.compact_mode) return RunCompact(options);
   if (options.query_mode) return RunQuery(options);
   return options.group_by_id ? RunGroupById(options) : RunSingle(options);
 }
