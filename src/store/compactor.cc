@@ -1,6 +1,7 @@
 #include "store/compactor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <map>
 #include <unordered_set>
@@ -12,6 +13,24 @@
 namespace operb::store {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Staging name a shard merge writes to before the commit renames it to
+/// its final SegmentFileName (the final name embeds the committing
+/// generation, unknown until the commit lock is re-taken). Ends in
+/// ".seg" so a crash's leftover is swept by orphan GC and a fresh
+/// writer's start-over wipe; the "cmp-" prefix keeps it out of the
+/// writer's "seg-" namespace.
+std::string CompactionTempName(std::uint32_t shard,
+                               std::uint64_t snapshot_generation) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "cmp-%05u-g%06llu.seg", shard,
+                static_cast<unsigned long long>(snapshot_generation));
+  return buf;
+}
+
+}  // namespace
 
 Compactor::Compactor(std::string dir, const CompactionOptions& options)
     : dir_(std::move(dir)), options_(options) {}
@@ -47,32 +66,54 @@ void Compactor::RemoveOrphans(const Manifest& manifest,
   }
 }
 
-Status Compactor::CompactShardLocked(Manifest* manifest, std::uint32_t shard,
-                                     CompactionStats* stats) {
-  // Caller holds the store's manifest commit lock; `manifest` is the
-  // freshly re-read current generation.
-  std::vector<std::size_t> inputs;
+Status Compactor::CompactShardPass(std::uint32_t shard, bool force,
+                                   CompactionStats* stats) {
+  // Phase 1 — snapshot, under the commit lock: the shard's sealed files
+  // in manifest (= per-object emission) order. Sealed files are
+  // immutable and only a compactor ever removes one — and at most one
+  // compactor runs per store — so the snapshot stays valid while the
+  // merge below runs unlocked.
+  std::vector<SegmentFileInfo> inputs;
   std::uint32_t max_level = 0;
-  for (std::size_t i = 0; i < manifest->files.size(); ++i) {
-    const SegmentFileInfo& f = manifest->files[i];
-    if (f.shard != shard || !f.sealed) continue;
-    inputs.push_back(i);
-    max_level = std::max(max_level, f.level);
+  std::uint64_t snapshot_generation = 0;
+  double zeta = 0.0;
+  std::size_t budget = options_.block_budget_bytes;
+  {
+    const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
+    OPERB_ASSIGN_OR_RETURN(const Manifest manifest, ReadManifest(dir_));
+    if (shard >= manifest.num_shards ||
+        (!force && !NeedsCompaction(manifest, shard))) {
+      return Status::OK();
+    }
+    for (const SegmentFileInfo& f : manifest.files) {
+      if (f.shard != shard || !f.sealed) continue;
+      inputs.push_back(f);
+      max_level = std::max(max_level, f.level);
+    }
+    snapshot_generation = manifest.generation;
+    zeta = manifest.zeta;
+    if (budget == 0) {
+      budget = static_cast<std::size_t>(manifest.block_budget_bytes);
+    }
   }
   if (inputs.empty()) return Status::OK();
+  if (budget < 1024) budget = 64 * 1024;
 
-  // Drain the inputs in manifest order — per object that is emission
-  // order — into an id-keyed map, so the rewrite emits every object's
-  // segments contiguously, objects ascending.
+  // Phase 2 — merge, outside the lock, so append sessions (the writer's
+  // Create/Close commits) never stall behind a shard rewrite. Drain the
+  // inputs in snapshot order — per object that is emission order — into
+  // an id-keyed map and rewrite through one writer, objects ascending.
+  // NOTE: this materializes the shard's full decoded segment set; see
+  // the memory caveat on the class.
   std::map<traj::ObjectId, std::vector<traj::TimedSegment>> merged;
   std::uint64_t segments_in = 0;
   std::uint64_t blocks_in = 0;
-  for (const std::size_t i : inputs) {
-    const std::string path =
-        (fs::path(dir_) / manifest->files[i].name).string();
+  std::uint64_t bytes_read = 0;
+  for (const SegmentFileInfo& input : inputs) {
+    const std::string path = (fs::path(dir_) / input.name).string();
     OPERB_ASSIGN_OR_RETURN(const std::unique_ptr<SegmentFileReader> reader,
                            SegmentFileReader::Open(path));
-    stats->bytes_read += reader->file_bytes();
+    bytes_read += reader->file_bytes();
     blocks_in += reader->blocks().size();
     for (std::size_t b = 0; b < reader->blocks().size(); ++b) {
       OPERB_ASSIGN_OR_RETURN(const std::vector<traj::TimedSegment> segments,
@@ -84,54 +125,102 @@ Status Compactor::CompactShardLocked(Manifest* manifest, std::uint32_t shard,
     }
   }
 
-  std::size_t budget = options_.block_budget_bytes != 0
-                           ? options_.block_budget_bytes
-                           : static_cast<std::size_t>(
-                                 manifest->block_budget_bytes);
-  if (budget < 1024) budget = 64 * 1024;
-
-  const std::uint64_t new_generation = manifest->generation + 1;
-  const std::string out_name = SegmentFileName(shard, new_generation);
-  const std::string out_path = (fs::path(dir_) / out_name).string();
+  // The output is staged under a temp name, fully written and flushed
+  // before the commit below — a crash on either side of the commit
+  // leaves a consistent store (old generation + orphan, or new
+  // generation). An error path that abandons the temp file leaves an
+  // orphan the next pass GC's.
+  const fs::path tmp_path =
+      fs::path(dir_) / CompactionTempName(shard, snapshot_generation);
+  std::uint64_t bytes_written = 0;
+  std::uint64_t blocks_out = 0;
   {
-    OPERB_ASSIGN_OR_RETURN(const std::unique_ptr<SegmentFileWriter> writer,
-                           SegmentFileWriter::Create(out_path,
-                                                     manifest->zeta, budget));
+    OPERB_ASSIGN_OR_RETURN(
+        const std::unique_ptr<SegmentFileWriter> writer,
+        SegmentFileWriter::Create(tmp_path.string(), zeta, budget));
     for (const auto& [id, segments] : merged) {
       for (const traj::TimedSegment& s : segments) {
         OPERB_RETURN_IF_ERROR(writer->Append(s));
       }
     }
     OPERB_RETURN_IF_ERROR(writer->Close());
-    stats->bytes_written += writer->stats().file_bytes;
-    stats->blocks_after += writer->stats().blocks;
+    bytes_written = writer->stats().file_bytes;
+    blocks_out = writer->stats().blocks;
   }
 
-  // Commit: replace the inputs with the compacted file in one manifest
-  // generation. The output is fully on disk before the rename — a crash
-  // on either side of it leaves a consistent store (old generation +
-  // orphan, or new generation).
-  std::vector<std::string> obsolete;
-  Manifest next = *manifest;
-  next.generation = new_generation;
-  std::vector<SegmentFileInfo> kept;
-  kept.reserve(next.files.size() - inputs.size() + 1);
-  for (std::size_t i = 0; i < next.files.size(); ++i) {
-    if (std::find(inputs.begin(), inputs.end(), i) == inputs.end()) {
-      kept.push_back(next.files[i]);
-    } else {
-      obsolete.push_back(next.files[i].name);
-    }
+  // Phase 3 — commit, under the lock: validate the snapshot still
+  // holds, give the output its final name, and swap it for the inputs
+  // in one manifest generation.
+  const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
+  const Result<Manifest> current = ReadManifest(dir_);
+  if (!current.ok()) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    return current.status();
   }
+
+  std::unordered_set<std::string> input_names;
+  for (const SegmentFileInfo& input : inputs) input_names.insert(input.name);
+  std::size_t first_input_pos = current->files.size();
+  std::size_t inputs_live = 0;
+  for (std::size_t i = 0; i < current->files.size(); ++i) {
+    const SegmentFileInfo& f = current->files[i];
+    if (input_names.count(f.name) == 0) continue;
+    if (f.shard == shard && f.sealed) ++inputs_live;
+    first_input_pos = std::min(first_input_pos, i);
+  }
+  if (shard >= current->num_shards || inputs_live != inputs.size()) {
+    // The store was re-created out from under the merge — the only way
+    // a sealed file disappears besides this compactor. The inputs' data
+    // is gone by that writer's decision, not ours to resurrect: abandon
+    // the merge without committing.
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    return Status::OK();
+  }
+
+  Manifest next = *current;
+  next.generation = current->generation + 1;
+  // Generations are unique across commits and segment files are only
+  // ever created while this lock is held, so the final name cannot
+  // collide with a live file (a same-named orphan from a pre-crash run
+  // is dead and safe to replace).
+  const std::string out_name = SegmentFileName(shard, next.generation);
+  std::error_code rename_ec;
+  fs::rename(tmp_path, fs::path(dir_) / out_name, rename_ec);
+  if (rename_ec) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    return Status::IOError("cannot rename " + tmp_path.string() + " to " +
+                           out_name);
+  }
+
   SegmentFileInfo out_info;
   out_info.shard = shard;
   out_info.level = max_level + 1;
   out_info.sealed = true;
   out_info.name = out_name;
-  kept.push_back(out_info);
+
+  // The output replaces the inputs at the position of the *first*
+  // input, not at the end: the manifest's per-shard oldest-first order
+  // is what readers replay to keep each object's segments in emission
+  // order, and the inputs — all sealed — predate every active file and
+  // every file a session added after the snapshot. Appending instead
+  // would replay an object's compacted (older) segments after segments
+  // a session sealed mid-merge.
+  std::vector<std::string> obsolete;
+  std::vector<SegmentFileInfo> kept;
+  kept.reserve(next.files.size() - inputs.size() + 1);
+  for (std::size_t i = 0; i < next.files.size(); ++i) {
+    if (i == first_input_pos) kept.push_back(out_info);
+    if (input_names.count(next.files[i].name) != 0) {
+      obsolete.push_back(next.files[i].name);
+    } else {
+      kept.push_back(next.files[i]);
+    }
+  }
   next.files = std::move(kept);
   OPERB_RETURN_IF_ERROR(WriteManifest(dir_, next));
-  *manifest = std::move(next);
 
   // Old inputs are dead to every future open; unlink them. Readers that
   // already hold the files keep them alive via their descriptors.
@@ -145,7 +234,10 @@ Status Compactor::CompactShardLocked(Manifest* manifest, std::uint32_t shard,
   stats->files_before += inputs.size();
   stats->files_after += 1;
   stats->blocks_before += blocks_in;
+  stats->blocks_after += blocks_out;
   stats->segments_rewritten += segments_in;
+  stats->bytes_read += bytes_read;
+  stats->bytes_written += bytes_written;
   return Status::OK();
 }
 
@@ -160,15 +252,7 @@ Result<CompactionStats> Compactor::Run() {
   }
   for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
     ++stats.shards_examined;
-    // Re-read under the lock per shard: each commit (ours or a writer's
-    // Close) bumps the generation, and the merge must start from the
-    // current file set.
-    const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
-    OPERB_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(dir_));
-    if (shard >= manifest.num_shards || !NeedsCompaction(manifest, shard)) {
-      continue;
-    }
-    OPERB_RETURN_IF_ERROR(CompactShardLocked(&manifest, shard, &stats));
+    OPERB_RETURN_IF_ERROR(CompactShardPass(shard, /*force=*/false, &stats));
   }
   if (stats.bytes_read > 0) {
     stats.write_amplification = static_cast<double>(stats.bytes_written) /
@@ -179,15 +263,17 @@ Result<CompactionStats> Compactor::Run() {
 
 Result<CompactionStats> Compactor::CompactShard(std::uint32_t shard) {
   CompactionStats stats;
-  const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
-  OPERB_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(dir_));
-  if (shard >= manifest.num_shards) {
-    return Status::InvalidArgument(
-        "shard " + std::to_string(shard) + " out of range (store has " +
-        std::to_string(manifest.num_shards) + " shards)");
+  {
+    const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
+    OPERB_ASSIGN_OR_RETURN(const Manifest manifest, ReadManifest(dir_));
+    if (shard >= manifest.num_shards) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(shard) + " out of range (store has " +
+          std::to_string(manifest.num_shards) + " shards)");
+    }
   }
   ++stats.shards_examined;
-  OPERB_RETURN_IF_ERROR(CompactShardLocked(&manifest, shard, &stats));
+  OPERB_RETURN_IF_ERROR(CompactShardPass(shard, /*force=*/true, &stats));
   if (stats.bytes_read > 0) {
     stats.write_amplification = static_cast<double>(stats.bytes_written) /
                                 static_cast<double>(stats.bytes_read);
@@ -211,15 +297,19 @@ void BackgroundCompactor::Start() {
 }
 
 void BackgroundCompactor::Stop() {
+  std::thread to_join;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
+    // Claim the join while holding the lock: a concurrent Stop() sees
+    // running_ == false and returns instead of joining the thread a
+    // second time (UB).
+    running_ = false;
     stop_ = true;
+    to_join = std::move(thread_);
   }
   cv_.notify_all();
-  thread_.join();
-  const std::lock_guard<std::mutex> lock(mu_);
-  running_ = false;
+  to_join.join();
 }
 
 CompactionStats BackgroundCompactor::total_stats() const {

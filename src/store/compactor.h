@@ -70,9 +70,22 @@ struct CompactionStats {
 /// semantics).
 ///
 /// Concurrency: readers may open and query the store at any time; the
-/// reader retries its manifest/file dance when a commit races it. At
-/// most one compactor (foreground or background) may run per store
+/// reader retries its manifest/file dance when a commit races it. The
+/// merge itself runs *outside* the manifest commit lock — the inputs
+/// are sealed, hence immutable — so append sessions never stall behind
+/// a shard rewrite; only the input snapshot and the final swap-and-
+/// commit hold the lock, with the commit re-validating that every
+/// input is still live (a store re-created mid-merge abandons the
+/// output as an orphan). The merged file replaces the inputs at the
+/// first input's manifest position, preserving the per-shard
+/// oldest-first order readers rely on for per-object emission order.
+/// At most one compactor (foreground or background) may run per store
 /// directory at a time.
+///
+/// Memory: a shard merge materializes the shard's full decoded segment
+/// set in memory before rewriting, so peak memory is proportional to
+/// the decoded shard — not to a block. Size shards (num_shards at
+/// store creation) with that in mind.
 class Compactor {
  public:
   explicit Compactor(std::string dir, const CompactionOptions& options = {});
@@ -90,10 +103,11 @@ class Compactor {
   /// True when the shard's live file set warrants a rewrite.
   static bool NeedsCompaction(const Manifest& manifest, std::uint32_t shard);
 
-  /// Rewrites `shard`'s files and commits `manifest` at generation+1.
-  /// Updates `manifest` in place and accumulates into `stats`.
-  Status CompactShardLocked(Manifest* manifest, std::uint32_t shard,
-                            CompactionStats* stats);
+  /// One shard's snapshot → merge → commit sequence; `force` skips the
+  /// NeedsCompaction gate. Takes the commit lock only around the
+  /// snapshot and the commit, accumulates into `stats` on commit.
+  Status CompactShardPass(std::uint32_t shard, bool force,
+                          CompactionStats* stats);
 
   /// Removes .seg files in the directory the manifest does not name.
   void RemoveOrphans(const Manifest& manifest, CompactionStats* stats);
@@ -120,7 +134,8 @@ class BackgroundCompactor {
   /// Starts the loop; the first pass runs immediately.
   void Start();
 
-  /// Signals and joins the thread. Idempotent.
+  /// Signals and joins the thread. Idempotent and safe against
+  /// concurrent callers — exactly one of them performs the join.
   void Stop();
 
   /// Aggregated stats across all completed passes.

@@ -46,9 +46,12 @@ Result<std::unique_ptr<StoreWriter>> StoreWriter::Create(
                              " with a store directory");
     }
   }
-  const bool existed = fs::is_directory(path);
+  // Throw-free status queries: `st` was taken with an error_code, and
+  // fs::exists(p, ec) reports a failed stat as "absent" instead of
+  // throwing out of this function's Status contract.
+  const bool existed = fs::is_directory(st);
   if (options.append &&
-      (!existed || !fs::exists(fs::path(path) / kManifestFileName))) {
+      (!existed || !fs::exists(fs::path(path) / kManifestFileName, ec))) {
     // Appending promises the store already exists; silently creating a
     // fresh one would hide a typo'd path.
     return Status::IOError("cannot append: no store manifest at " + path);

@@ -823,6 +823,67 @@ TEST(StoreCompactionTest, QueriesAreByteIdenticalAcrossCompactionStates) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(StoreCompactionTest, CompactionDuringLiveSessionKeepsEmissionOrder) {
+  // An object's data spans a sealed first session and a still-active
+  // second one, and a compaction commits in between. The merged (older)
+  // file must slot into the manifest at the sealed inputs' position —
+  // ahead of the active session's file — or the reader replays the
+  // object's newer segments before its older ones, and the next
+  // compaction bakes that order in permanently.
+  const std::string path = TempPath("store_compact_live.store");
+  const std::vector<std::vector<traj::TimedSegment>> per_object =
+      MultiObjectFeed();
+  const std::vector<traj::TimedSegment>& all = per_object[0];
+  ASSERT_GE(all.size(), 4u);
+  const std::size_t half = all.size() / 2;
+
+  store::StoreWriterOptions options;
+  options.zeta = testutil::kGoldenZeta;
+  options.block_budget_bytes = 1024;
+  options.num_shards = 2;
+  {
+    auto first = store::StoreWriter::Create(path, options);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    for (std::size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(first.value()->Append(all[i]).ok());
+    }
+    ASSERT_TRUE(first.value()->Close().ok());
+  }
+
+  store::StoreWriterOptions session = options;
+  session.append = true;
+  auto second = store::StoreWriter::Create(path, session);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  for (std::size_t i = half; i < all.size(); ++i) {
+    ASSERT_TRUE(second.value()->Append(all[i]).ok());
+  }
+
+  // The compaction commits while the second session is live: it merges
+  // only the first session's sealed file of the object's shard.
+  store::Compactor compactor(path);
+  const std::uint32_t shard = static_cast<std::uint32_t>(
+      traj::ShardOfObject(all[0].object_id, options.num_shards));
+  const auto mid = compactor.CompactShard(shard);
+  ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+  EXPECT_EQ(mid->generations_committed, 1u);
+
+  ASSERT_TRUE(second.value()->Close().ok());
+
+  const auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  const auto rec = reader.value()->ReconstructObject(all[0].object_id);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ExpectTimedEqual(*rec, all, "object spanning sealed file + live session");
+
+  // And the order survives the next full pass merging both halves.
+  ASSERT_TRUE(compactor.Run().ok());
+  const auto compacted = store::StoreReader::Open(path);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  const auto rec2 = compacted.value()->ReconstructObject(all[0].object_id);
+  ASSERT_TRUE(rec2.ok()) << rec2.status().ToString();
+  ExpectTimedEqual(*rec2, all, "after full compaction");
+}
+
 TEST(StoreCompactionTest, AppendSessionValidatesManifestAgreement) {
   const std::string path = TempPath("store_append_validate.store");
   store::StoreWriterOptions options;
@@ -916,7 +977,11 @@ TEST(StoreCompactionTest, ConcurrentAppendQueryAndBackgroundCompaction) {
 
   stop.store(true);
   poller.join();
+  // Racing Stop() calls: exactly one joins, neither crashes (the
+  // destructor adds a third, sequential, call).
+  std::thread stopper([&] { background.Stop(); });
   background.Stop();
+  stopper.join();
   EXPECT_TRUE(background.last_status().ok())
       << background.last_status().ToString();
   EXPECT_GE(successful_reads.load(), 1u);
