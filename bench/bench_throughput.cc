@@ -32,9 +32,16 @@
 //                        compaction pass (its write amplification and
 //                        block densification) and the same query after
 //                        it (must match byte-for-byte counts)
+//   checkpoint         — StreamEngine::Checkpoint on a live engine
+//                        halfway through a fleet feed: snapshot write
+//                        latency and file size (bytes per live state),
+//                        CreateFromCheckpoint restore latency, and an
+//                        output-match gate — the run FAILS unless
+//                        prefix + resumed-tail output equals the
+//                        uninterrupted run's (DESIGN.md §9)
 //
 // Every simplifier-bearing record carries the resolved canonical spec
-// string of what ran (schema version 5).
+// string of what ran (schema version 6).
 //
 // `--smoke` shrinks every dataset to a single fast pass (for CI), `--out
 // PATH` overrides the default ./BENCH_throughput.json. Later PRs
@@ -43,6 +50,8 @@
 //
 // Exit codes: 0 success, 1 write failure, 2 usage error.
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -56,6 +65,7 @@
 #include "api/registry.h"
 #include "api/spec.h"
 #include "bench_util.h"
+#include "common/serial.h"
 #include "common/stopwatch.h"
 #include "engine/stream_engine.h"
 #include "eval/verifier.h"
@@ -718,6 +728,172 @@ int main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------------------
+  // Checkpoint: engine snapshot write latency/size and restore latency
+  // (DESIGN.md §9). A fleet feed is pushed halfway, the live engine is
+  // checkpointed repeatedly (Checkpoint is a drain barrier, not a
+  // close — the engine keeps running, so the loop measures the
+  // steady-state snapshot cost an operator would pay with
+  // --checkpoint-every), the file is restored once under a stopwatch,
+  // and the restored engine replays the remainder. The run FAILS
+  // unless prefix + tail output matches the uninterrupted run exactly
+  // — a checkpoint/restore cycle must be semantically invisible.
+  // ------------------------------------------------------------------
+  std::vector<JsonRecord> checkpoint_records;
+  {
+    const std::size_t ckpt_objects = smoke ? 32 : 2000;
+    const std::size_t ckpt_per_object = smoke ? 40 : 500;
+    std::vector<traj::ObjectUpdate> updates;
+    {
+      std::vector<traj::ObjectTrajectory> objects;
+      objects.reserve(ckpt_objects);
+      for (std::size_t k = 0; k < ckpt_objects; ++k) {
+        datagen::Rng rng(bench::kBenchSeed + 7919 * (k + 1));
+        objects.push_back(
+            {k, datagen::GenerateTrajectory(
+                    datagen::DatasetProfile::For(datagen::DatasetKind::kSerCar),
+                    ckpt_per_object, &rng)});
+      }
+      updates = traj::InterleaveRoundRobin(objects);
+    }
+    engine::StreamEngineOptions eopts;
+    eopts.spec.zeta = kZeta;  // default algorithm: OPERB, guarded
+    eopts.num_threads = smoke ? 2 : 4;
+    eopts.num_shards = 4 * eopts.num_threads;
+
+    // Order-insensitive output fingerprint: the engine's per-object
+    // emission order is deterministic but worker threads interleave
+    // objects freely, so two runs are compared as multisets — a
+    // wrapping sum of per-segment FNV hashes (sum, not xor: xor would
+    // cancel duplicated segments pairwise).
+    const auto segment_hash = [](traj::ObjectId id,
+                                 const traj::RepresentedSegment& s) {
+      std::uint8_t buf[3 * sizeof(std::uint64_t) + 4 * sizeof(double) + 2];
+      std::uint8_t* p = buf;
+      const std::uint64_t id64 = id;
+      std::memcpy(p, &id64, sizeof id64), p += sizeof id64;
+      std::memcpy(p, &s.start.x, sizeof(double)), p += sizeof(double);
+      std::memcpy(p, &s.start.y, sizeof(double)), p += sizeof(double);
+      std::memcpy(p, &s.end.x, sizeof(double)), p += sizeof(double);
+      std::memcpy(p, &s.end.y, sizeof(double)), p += sizeof(double);
+      const std::uint64_t first = s.first_index;
+      const std::uint64_t last = s.last_index;
+      std::memcpy(p, &first, sizeof first), p += sizeof first;
+      std::memcpy(p, &last, sizeof last), p += sizeof last;
+      *p++ = s.start_is_patch ? 1 : 0;
+      *p++ = s.end_is_patch ? 1 : 0;
+      return serial::Fnv1a64(std::span<const std::uint8_t>(buf, sizeof buf));
+    };
+    const auto hashing_sink = [&segment_hash](
+                                  std::atomic<std::uint64_t>* sum,
+                                  std::atomic<std::uint64_t>* count) {
+      return [&segment_hash, sum, count](
+                 traj::ObjectId id, const traj::RepresentedSegment& s) {
+        sum->fetch_add(segment_hash(id, s), std::memory_order_relaxed);
+        count->fetch_add(1, std::memory_order_relaxed);
+      };
+    };
+
+    // The uninterrupted reference run.
+    std::atomic<std::uint64_t> ref_hash{0};
+    std::atomic<std::uint64_t> ref_count{0};
+    {
+      engine::StreamEngine eng(eopts, hashing_sink(&ref_hash, &ref_count));
+      eng.Push(std::span<const traj::ObjectUpdate>(updates));
+      eng.Close();
+    }
+
+    // Prefix run: push half the feed, then checkpoint the live engine.
+    const std::size_t cut = updates.size() / 2;
+    const std::string ckpt_path = "bench_engine_checkpoint.tmp";
+    std::atomic<std::uint64_t> prefix_hash{0};
+    std::atomic<std::uint64_t> prefix_count{0};
+    engine::StreamEngine prefix_eng(eopts,
+                                    hashing_sink(&prefix_hash, &prefix_count));
+    prefix_eng.Push(std::span<const traj::ObjectUpdate>(updates).first(cut));
+    bool ckpt_ok = true;
+    const Timing ckt = TimeLoop(
+        [&] { ckpt_ok = ckpt_ok && prefix_eng.Checkpoint(ckpt_path).ok(); });
+    if (!ckpt_ok) {
+      std::fprintf(stderr, "bench_throughput: engine checkpoint failed\n");
+      return 1;
+    }
+    std::error_code ckpt_ec;
+    const std::uint64_t ckpt_bytes =
+        std::filesystem::file_size(ckpt_path, ckpt_ec);
+    if (ckpt_ec || ckpt_bytes == 0) {
+      std::fprintf(stderr, "bench_throughput: checkpoint file missing\n");
+      return 1;
+    }
+    // Checkpoint() is a drain barrier, so these snapshots are exactly
+    // the prefix's output; Close() afterwards flushes tails the
+    // restored engine must re-emit, so it must not touch the hashes we
+    // compare — hence the copies first.
+    const std::uint64_t prefix_h = prefix_hash.load();
+    const std::uint64_t prefix_c = prefix_count.load();
+    prefix_eng.Close();
+
+    // Restore once under a stopwatch (the construct path: read +
+    // checksum + rebuild every state + start workers), then replay the
+    // remainder through the restored engine.
+    std::atomic<std::uint64_t> tail_hash{0};
+    std::atomic<std::uint64_t> tail_count{0};
+    double restore_seconds = 0.0;
+    std::unique_ptr<engine::StreamEngine> restored;
+    {
+      Stopwatch watch;
+      auto r = engine::StreamEngine::CreateFromCheckpoint(
+          ckpt_path, eopts, hashing_sink(&tail_hash, &tail_count));
+      restore_seconds = watch.ElapsedSeconds();
+      if (!r.ok()) {
+        std::fprintf(stderr, "bench_throughput: checkpoint restore failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      restored = std::move(r).value();
+    }
+    restored->Push(std::span<const traj::ObjectUpdate>(updates).subspan(cut));
+    restored->Close();
+    std::filesystem::remove(ckpt_path, ckpt_ec);
+    const bool output_match =
+        prefix_c + tail_count.load() == ref_count.load() &&
+        prefix_h + tail_hash.load() == ref_hash.load();
+    if (!output_match) {
+      std::fprintf(stderr,
+                   "bench_throughput: resumed output does not match the "
+                   "uninterrupted run — checkpoint/restore is unsound\n");
+      return 1;
+    }
+
+    JsonRecord rec;
+    rec.Str("algorithm", "OPERB");
+    rec.Str("spec", eopts.spec.ToString());
+    rec.Int("objects", static_cast<long long>(ckpt_objects));
+    rec.Int("points", static_cast<long long>(updates.size()));
+    rec.Int("prefix_points", static_cast<long long>(cut));
+    // Every object is still live at the cut (no FinishObject, no idle
+    // timeout), so the snapshot holds one state per object.
+    rec.Int("live_states", static_cast<long long>(ckpt_objects));
+    rec.Int("threads", static_cast<long long>(eopts.num_threads));
+    rec.Int("shards", static_cast<long long>(eopts.num_shards));
+    rec.Int("checkpoint_bytes", static_cast<long long>(ckpt_bytes));
+    rec.Num("checkpoint_bytes_per_state",
+            static_cast<double>(ckpt_bytes) /
+                static_cast<double>(ckpt_objects));
+    rec.Int("checkpoint_write_passes", ckt.passes);
+    rec.Num("checkpoint_write_seconds_per_pass", ckt.seconds_per_pass);
+    rec.Num("restore_seconds", restore_seconds);
+    rec.Int("segments", static_cast<long long>(ref_count.load()));
+    rec.Int("output_match", output_match ? 1 : 0);
+    checkpoint_records.push_back(rec);
+    std::printf(
+        "checkpoint: %zu live states -> %llu bytes (%.1f B/state) in "
+        "%.3f ms; restore %.3f ms; resumed output matches\n",
+        ckpt_objects, static_cast<unsigned long long>(ckpt_bytes),
+        static_cast<double>(ckpt_bytes) / static_cast<double>(ckpt_objects),
+        ckt.seconds_per_pass * 1e3, restore_seconds * 1e3);
+  }
+
+  // ------------------------------------------------------------------
   // Emit JSON.
   // ------------------------------------------------------------------
   std::FILE* f = std::fopen(out_path.c_str(), "wb");
@@ -729,7 +905,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"schema\": \"operb-bench-throughput\",\n"
-               "  \"schema_version\": 5,\n"
+               "  \"schema_version\": 6,\n"
                "  \"smoke\": %s,\n"
                "  \"unix_time\": %lld,\n"
                "  \"zeta\": %g,\n"
@@ -744,8 +920,10 @@ int main(int argc, char** argv) {
                JoinRecords(concurrent).c_str());
   std::fprintf(f, "  \"facade_overhead\": %s,\n",
                JoinRecords(facade).c_str());
-  std::fprintf(f, "  \"store\": %s\n}\n",
+  std::fprintf(f, "  \"store\": %s,\n",
                JoinRecords(store_records).c_str());
+  std::fprintf(f, "  \"checkpoint\": %s\n}\n",
+               JoinRecords(checkpoint_records).c_str());
   if (std::fclose(f) != 0) {
     std::fprintf(stderr, "bench_throughput: write failure on %s\n",
                  out_path.c_str());

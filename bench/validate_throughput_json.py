@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Validates BENCH_throughput.json against the operb-bench-throughput
-schema (version 5). Stdlib-only so CI needs no extra packages.
+schema (version 6). Stdlib-only so CI needs no extra packages.
 
 Beyond shape checks, the store section carries semantic gates: the
 R-tree index must never skip fewer blocks than the flat footer scan, the
 two scan modes must match the same segments, the index may touch at most
 25% of the nodes the flat scan visits (footers), and compaction must not
-change the window query's answer.
+change the window query's answer. The checkpoint section (new in v6)
+gates on output_match == 1: a checkpoint/restore cycle must reproduce
+the uninterrupted run's output exactly.
 
 Usage: validate_throughput_json.py PATH
 Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
@@ -30,6 +32,7 @@ TOP_LEVEL = {
     "concurrent_streams": list,
     "facade_overhead": list,
     "store": list,
+    "checkpoint": list,
 }
 
 SECTION_FIELDS = {
@@ -120,6 +123,23 @@ SECTION_FIELDS = {
         "post_compact_open_seconds": NUMBER,
         "post_compact_window_segments_matched": int,
     },
+    "checkpoint": {
+        "algorithm": str,
+        "spec": str,
+        "objects": int,
+        "points": int,
+        "prefix_points": int,
+        "live_states": int,
+        "threads": int,
+        "shards": int,
+        "checkpoint_bytes": int,
+        "checkpoint_bytes_per_state": NUMBER,
+        "checkpoint_write_passes": int,
+        "checkpoint_write_seconds_per_pass": NUMBER,
+        "restore_seconds": NUMBER,
+        "segments": int,
+        "output_match": int,
+    },
 }
 
 
@@ -149,7 +169,7 @@ def main():
             fail(f"top-level key '{key}' has wrong type")
     if doc["schema"] != "operb-bench-throughput":
         fail(f"unexpected schema '{doc['schema']}'")
-    if doc["schema_version"] != 5:
+    if doc["schema_version"] != 6:
         fail(f"unexpected schema_version {doc['schema_version']}")
 
     for section, fields in SECTION_FIELDS.items():
@@ -223,6 +243,31 @@ def main():
                 if entry["compact_files_after"] > entry["compact_files_before"]:
                     fail(f"{section}[{i}] compaction grew the file count")
                 continue
+            if section == "checkpoint":
+                # Semantic gates (schema v6): the snapshot must exist and
+                # cost something, every live state must fit in it, the
+                # restore must be timed, and — the acceptance gate — the
+                # resumed run must have reproduced the uninterrupted
+                # run's output exactly.
+                if (entry["points"] <= 0
+                        or entry["prefix_points"] <= 0
+                        or entry["prefix_points"] >= entry["points"]
+                        or entry["live_states"] <= 0
+                        or entry["checkpoint_bytes"] <= 0
+                        or entry["checkpoint_bytes_per_state"] <= 0
+                        or entry["checkpoint_write_passes"] <= 0
+                        or entry["checkpoint_write_seconds_per_pass"] <= 0
+                        or entry["restore_seconds"] <= 0
+                        or entry["segments"] <= 0):
+                    fail(f"{section}[{i}] has non-positive checkpoint "
+                         "numbers")
+                if entry["checkpoint_bytes"] < entry["live_states"]:
+                    fail(f"{section}[{i}] checkpoint smaller than one "
+                         "byte per live state")
+                if entry["output_match"] != 1:
+                    fail(f"{section}[{i}] resumed output did not match "
+                         "the uninterrupted run")
+                continue
             if entry["points"] <= 0 or entry["points_per_sec"] <= 0:
                 fail(f"{section}[{i}] has non-positive throughput")
             if entry["passes"] <= 0 or entry["seconds_per_pass"] <= 0:
@@ -241,15 +286,16 @@ def main():
         fail("concurrent_streams must sweep at least 2 thread counts")
     # Spec strings must resolve to the algorithm they annotate.
     for section in ("steady_state", "end_to_end", "concurrent_streams",
-                    "facade_overhead", "store"):
+                    "facade_overhead", "store", "checkpoint"):
         for i, entry in enumerate(doc[section]):
             if not entry["spec"].startswith(entry["algorithm"] + ":"):
                 fail(f"{section}[{i}].spec '{entry['spec']}' does not "
                      f"resolve to algorithm '{entry['algorithm']}'")
-    print(f"{sys.argv[1]}: valid operb-bench-throughput v5 "
+    print(f"{sys.argv[1]}: valid operb-bench-throughput v6 "
           f"({len(doc['steady_state'])} steady-state entries, "
           f"{len(doc['concurrent_streams'])} concurrent-stream entries, "
-          f"{len(doc['store'])} store entries)")
+          f"{len(doc['store'])} store entries, "
+          f"{len(doc['checkpoint'])} checkpoint entries)")
 
 
 if __name__ == "__main__":

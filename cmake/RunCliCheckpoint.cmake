@@ -1,0 +1,195 @@
+# Checkpoint/restore round-trip smoke for operb_cli, run via `cmake -P`
+# from ctest. Expects -DOPERB_CLI=<path> and -DWORK_DIR=<scratch dir>.
+#
+# The exact-resume check exploits a universal invariant: no streaming
+# simplifier can emit a segment from a single point. The interleaved
+# feed is cut after its FIRST update, so the checkpointing prefix run
+# emits nothing before the snapshot — which makes the resumed run's
+# output CSV byte-identical to the uninterrupted run's, with no
+# splicing needed. One cut, all ten algorithms.
+#
+# A periodic-checkpoint transparency check (snapshots must not perturb
+# the output) and the flag-contract negatives ride along.
+
+if(NOT OPERB_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DOPERB_CLI=... -DWORK_DIR=... -P RunCliCheckpoint.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# One canonical input CSV: both the reference and the split runs must
+# re-read the same %.9g-rendered bytes (re-generating would round the
+# doubles differently than the file round trip).
+set(full_csv "${WORK_DIR}/full.csv")
+execute_process(
+  COMMAND "${OPERB_CLI}" --group-by-id
+          --generate "SerCar:300:20170403" --objects 6
+          --spec "OPERB:zeta=40" --no-verify
+          --save-input "${full_csv}"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "input synthesis failed (exit ${result})\n${stderr}")
+endif()
+
+# Split after the first data line (line 1; line 0 is the # header).
+file(STRINGS "${full_csv}" lines)
+list(LENGTH lines line_count)
+if(line_count LESS 3)
+  message(FATAL_ERROR "synthesized input has only ${line_count} lines")
+endif()
+list(GET lines 0 header)
+list(GET lines 1 first_update)
+list(SUBLIST lines 2 -1 tail_lines)
+file(WRITE "${WORK_DIR}/prefix.csv" "${header}\n${first_update}\n")
+string(JOIN "\n" tail_body ${tail_lines})
+file(WRITE "${WORK_DIR}/tail.csv" "${header}\n${tail_body}\n")
+
+set(algorithms
+  OPERB OPERB-A Raw-OPERB Raw-OPERB-A DP DP-SED OPW OPW-SED BQS FBQS)
+
+foreach(algorithm IN LISTS algorithms)
+  set(full_out "${WORK_DIR}/full_out.csv")
+  set(resumed_out "${WORK_DIR}/resumed_out.csv")
+  set(periodic_out "${WORK_DIR}/periodic_out.csv")
+  set(ckpt "${WORK_DIR}/engine.ckpt")
+
+  # Uninterrupted reference.
+  execute_process(
+    COMMAND "${OPERB_CLI}" --group-by-id --input "${full_csv}"
+            --spec "${algorithm}:zeta=40" --no-verify
+            --output "${full_out}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR
+      "${algorithm}: reference run failed (exit ${result})\n${stderr}")
+  endif()
+
+  # Prefix run: one update, then the snapshot (nothing emitted yet).
+  execute_process(
+    COMMAND "${OPERB_CLI}" --group-by-id --input "${WORK_DIR}/prefix.csv"
+            --spec "${algorithm}:zeta=40" --no-verify
+            --checkpoint-out "${ckpt}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT result EQUAL 0 OR NOT stdout MATCHES "checkpoint:")
+    message(FATAL_ERROR
+      "${algorithm}: checkpoint run failed (exit ${result})\n"
+      "${stdout}\n${stderr}")
+  endif()
+
+  # Resumed run over the stream's remainder.
+  execute_process(
+    COMMAND "${OPERB_CLI}" --group-by-id --input "${WORK_DIR}/tail.csv"
+            --spec "${algorithm}:zeta=40" --resume "${ckpt}"
+            --output "${resumed_out}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT result EQUAL 0 OR NOT stdout MATCHES "resumed:")
+    message(FATAL_ERROR
+      "${algorithm}: resumed run failed (exit ${result})\n"
+      "${stdout}\n${stderr}")
+  endif()
+
+  file(READ "${full_out}" want_bytes)
+  file(READ "${resumed_out}" got_bytes)
+  if(NOT got_bytes STREQUAL want_bytes)
+    message(FATAL_ERROR
+      "${algorithm}: resumed output is not byte-identical to the "
+      "uninterrupted run\nreference: ${full_out}\nresumed:   ${resumed_out}")
+  endif()
+
+  # Periodic snapshots must be observationally transparent: the
+  # checkpointing run's own output equals the plain run's.
+  execute_process(
+    COMMAND "${OPERB_CLI}" --group-by-id --input "${full_csv}"
+            --spec "${algorithm}:zeta=40" --no-verify
+            --checkpoint-out "${ckpt}" --checkpoint-every 137
+            --output "${periodic_out}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT result EQUAL 0 OR NOT stdout MATCHES "snapshot\\(s\\) written")
+    message(FATAL_ERROR
+      "${algorithm}: periodic checkpoint run failed (exit ${result})\n"
+      "${stdout}\n${stderr}")
+  endif()
+  file(READ "${periodic_out}" periodic_bytes)
+  if(NOT periodic_bytes STREQUAL want_bytes)
+    message(FATAL_ERROR
+      "${algorithm}: writing periodic checkpoints perturbed the output")
+  endif()
+endforeach()
+
+# Flag-contract negatives keep their documented exit codes.
+
+# A missing checkpoint is an I/O error (exit 3) — the caller can tell
+# "no checkpoint yet" from "bad checkpoint".
+execute_process(
+  COMMAND "${OPERB_CLI}" --group-by-id --input "${WORK_DIR}/tail.csv"
+          --spec "OPERB:zeta=40" --resume "${WORK_DIR}/does_not_exist.ckpt"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 3)
+  message(FATAL_ERROR
+    "missing checkpoint: expected exit 3, got ${result}\n${stderr}")
+endif()
+
+# Resuming with a different spec is refused, not approximated (exit 2).
+execute_process(
+  COMMAND "${OPERB_CLI}" --group-by-id --input "${WORK_DIR}/prefix.csv"
+          --spec "OPERB:zeta=40" --no-verify
+          --checkpoint-out "${WORK_DIR}/mismatch.ckpt"
+  RESULT_VARIABLE result
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "mismatch setup failed (exit ${result})\n${stderr}")
+endif()
+execute_process(
+  COMMAND "${OPERB_CLI}" --group-by-id --input "${WORK_DIR}/tail.csv"
+          --spec "DP:zeta=40" --resume "${WORK_DIR}/mismatch.ckpt"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 2)
+  message(FATAL_ERROR
+    "spec-mismatched resume: expected exit 2, got ${result}\n${stderr}")
+endif()
+
+# A damaged checkpoint is Corruption (exit 2), never a crash.
+file(WRITE "${WORK_DIR}/garbage.ckpt" "not a checkpoint")
+execute_process(
+  COMMAND "${OPERB_CLI}" --group-by-id --input "${WORK_DIR}/tail.csv"
+          --spec "OPERB:zeta=40" --resume "${WORK_DIR}/garbage.ckpt"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 2)
+  message(FATAL_ERROR
+    "corrupt checkpoint: expected exit 2, got ${result}\n${stderr}")
+endif()
+
+# The snapshot is of engine shard state: single-trajectory mode has no
+# engine, so the flags are a usage error there (exit 2).
+execute_process(
+  COMMAND "${OPERB_CLI}" --generate SerCar:300:1
+          --checkpoint-out "${WORK_DIR}/single.ckpt"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 2)
+  message(FATAL_ERROR
+    "--checkpoint-out without --group-by-id: expected exit 2, got "
+    "${result}\n${stderr}")
+endif()
+
+message(STATUS
+  "operb_cli checkpoint round-trip smoke passed (10 algorithms resumed "
+  "byte-identically + periodic transparency + 4 negatives)")

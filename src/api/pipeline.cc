@@ -130,6 +130,20 @@ Pipeline::Builder& Pipeline::Builder::ToSink(engine::TaggedSegmentSink sink) {
   return *this;
 }
 
+Pipeline::Builder& Pipeline::Builder::Checkpoint(std::string path,
+                                                 std::size_t every_n_points,
+                                                 store::Env* env) {
+  checkpoint_path_ = std::move(path);
+  checkpoint_every_ = every_n_points;
+  checkpoint_env_ = env;
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::ResumeFrom(std::string path) {
+  resume_path_ = std::move(path);
+  return *this;
+}
+
 Result<Pipeline> Pipeline::Builder::Build() {
   if (!source_error_.ok()) return source_error_;
   if (source_ == Source::kNone) {
@@ -148,10 +162,34 @@ Result<Pipeline> Pipeline::Builder::Build() {
   OPERB_RETURN_IF_ERROR(AlgorithmRegistry::Global().Validate(spec_));
   const bool multi_source =
       source_ == Source::kUpdates || source_ == Source::kMultiCsvFile;
-  if (use_engine_ || multi_source) {
+  // Checkpoint/resume are engine features: the snapshot is of engine
+  // shard state, so either stage routes the run through the engine.
+  if (use_engine_ || multi_source || !checkpoint_path_.empty() ||
+      !resume_path_.empty()) {
     use_engine_ = true;
     engine_options_.spec = spec_;
     OPERB_RETURN_IF_ERROR(engine_options_.Validate());
+  }
+  if (!resume_path_.empty()) {
+    // A resumed run only sees the stream's remainder; stages that need
+    // the full original stream would silently mis-report on the tail.
+    if (clean_) {
+      return Status::InvalidArgument(
+          "ResumeFrom cannot be combined with Clean: cleaner state is not "
+          "part of an engine checkpoint, so the tail would be cleaned "
+          "against a fresh history");
+    }
+    if (verify_) {
+      return Status::InvalidArgument(
+          "ResumeFrom cannot be combined with Verify: verification needs "
+          "the full original stream, a resumed run only has its tail");
+    }
+    if (write_store_) {
+      return Status::InvalidArgument(
+          "ResumeFrom cannot be combined with WriteStore: stored time "
+          "annotations index into the full original stream, a resumed run "
+          "only has its tail");
+    }
   }
   if (verify_ && !(verify_slack_ >= 0.0)) {
     return Status::InvalidArgument("verify slack must be >= 0");
@@ -429,12 +467,39 @@ Result<PipelineReport> Pipeline::RunEngine() {
     };
   }
 
-  OPERB_ASSIGN_OR_RETURN(
-      const std::unique_ptr<engine::StreamEngine> eng,
-      engine::StreamEngine::Create(cfg.engine_options_,
-                                   std::move(engine_sink)));
+  std::unique_ptr<engine::StreamEngine> eng;
+  if (!cfg.resume_path_.empty()) {
+    OPERB_ASSIGN_OR_RETURN(
+        eng, engine::StreamEngine::CreateFromCheckpoint(
+                 cfg.resume_path_, cfg.engine_options_,
+                 std::move(engine_sink)));
+    report.resumed = true;
+  } else {
+    OPERB_ASSIGN_OR_RETURN(eng,
+                           engine::StreamEngine::Create(
+                               cfg.engine_options_, std::move(engine_sink)));
+  }
   Stopwatch watch;
-  eng->Push(std::span<const traj::ObjectUpdate>(updates));
+  if (!cfg.checkpoint_path_.empty()) {
+    // Chunked ingest with a snapshot after every chunk (every_n == 0:
+    // one chunk, one snapshot). Each Checkpoint() call is a drain
+    // barrier, so the written state is exactly "after this prefix".
+    const std::size_t chunk =
+        cfg.checkpoint_every_ == 0 ? updates.size() : cfg.checkpoint_every_;
+    std::span<const traj::ObjectUpdate> rest(updates);
+    do {
+      const std::size_t take = std::min(chunk, rest.size());
+      if (take > 0) eng->Push(rest.first(take));
+      rest = rest.subspan(take);
+      OPERB_RETURN_IF_ERROR(
+          eng->Checkpoint(cfg.checkpoint_path_, cfg.checkpoint_env_));
+      ++report.checkpoints_written;
+    } while (!rest.empty());
+    report.checkpointed = true;
+    report.checkpoint_path = cfg.checkpoint_path_;
+  } else {
+    eng->Push(std::span<const traj::ObjectUpdate>(updates));
+  }
   eng->Close();
   report.simplify_seconds = watch.ElapsedSeconds();
   report.engine_stats = eng->stats();

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "engine/stream_engine.h"
 #include "eval/verifier.h"
+#include "store/env.h"
 #include "store/writer.h"
 #include "traj/cleaner.h"
 #include "traj/multi_object.h"
@@ -68,6 +69,14 @@ struct PipelineReport {
   /// Engine-path extras.
   bool used_engine = false;
   engine::StreamEngineStats engine_stats;
+
+  /// Checkpoint-stage outcome (engine path only; see
+  /// Builder::Checkpoint / Builder::ResumeFrom).
+  bool checkpointed = false;          ///< a Checkpoint() stage ran
+  std::string checkpoint_path;        ///< where the last snapshot went
+  std::size_t checkpoints_written = 0;
+  bool resumed = false;               ///< the engine was restored from a
+                                      ///< checkpoint before ingesting
 };
 
 /// Composable facade over the library's full dataflow:
@@ -148,6 +157,25 @@ class Pipeline {
     /// TaggedSegmentSink's contract); single path: called inline, with
     /// object id 0.
     Builder& ToSink(engine::TaggedSegmentSink sink);
+    /// Periodically snapshot the engine's complete streaming state to
+    /// `path` (engine::StreamEngine::Checkpoint: drain barrier, temp
+    /// file + rename, DESIGN.md §9). With every_n_points > 0 a
+    /// checkpoint is written after each chunk of that many updates
+    /// (each overwriting `path`); with 0, exactly one is written after
+    /// the last update, before Close(). Implies the engine path. `env`
+    /// is the write-side filesystem seam (nullptr: real filesystem; not
+    /// owned, must outlive Run()).
+    Builder& Checkpoint(std::string path, std::size_t every_n_points = 0,
+                        store::Env* env = nullptr);
+    /// Restore the engine from a checkpoint before ingesting: the
+    /// source must then supply exactly the stream's *remainder* (the
+    /// updates after the cut), and the run emits the segments the
+    /// uninterrupted run would have emitted from that point on,
+    /// bit-identically. Implies the engine path. Incompatible with
+    /// Clean(), Verify() and WriteStore() — those stages need the full
+    /// original stream, which a resumed run by definition does not have
+    /// (Build() rejects the combination).
+    Builder& ResumeFrom(std::string path);
 
     /// Validates the configuration (source present, spec parses and
     /// resolves, engine knobs in range).
@@ -189,6 +217,10 @@ class Pipeline {
     bool use_engine_ = false;
     engine::StreamEngineOptions engine_options_;
     engine::TaggedSegmentSink sink_;
+    std::string checkpoint_path_;
+    std::size_t checkpoint_every_ = 0;
+    store::Env* checkpoint_env_ = nullptr;
+    std::string resume_path_;
   };
 
   /// Executes the pipeline. Single use: a second call returns

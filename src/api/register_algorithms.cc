@@ -12,11 +12,15 @@
 // linker is free to drop a translation unit nothing references, which
 // silently unregisters algorithms. See DESIGN.md §7.
 
+#include <bit>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "api/registry.h"
 #include "api/spec.h"
@@ -26,6 +30,7 @@
 #include "baselines/simplifier.h"
 #include "baselines/streaming.h"
 #include "common/check.h"
+#include "common/serial.h"
 #include "core/operb.h"
 #include "core/operb_a.h"
 #include "core/options.h"
@@ -37,6 +42,74 @@ namespace {
 
 using FreeFunction = traj::PiecewiseRepresentation (*)(const traj::Trajectory&,
                                                        double);
+
+// ---------------------------------------------------------------------
+// State-blob framing shared by the streaming adapters' Serialize /
+// Deserialize: 4-byte family magic, version byte, payload, trailing
+// FNV-1a64 over everything from the magic (see StreamingSimplifier).
+// ---------------------------------------------------------------------
+
+constexpr std::uint8_t kStateVersion = 1;
+constexpr std::uint32_t kOperbStateMagic = 0x5342'504Fu;     // "OPBS"
+constexpr std::uint32_t kOperbAStateMagic = 0x5341'504Fu;    // "OPAS"
+constexpr std::uint32_t kBufferedStateMagic = 0x5346'5542u;  // "BUFS"
+
+void AppendStateChecksum(std::size_t start, std::vector<std::uint8_t>* out) {
+  const std::uint64_t sum = serial::Fnv1a64(std::span<const std::uint8_t>(
+      out->data() + start, out->size() - start));
+  serial::PutU64(sum, out);
+}
+
+Status CheckStateHeader(std::uint32_t magic, std::string_view name,
+                        std::span<const std::uint8_t> in, std::size_t* pos) {
+  std::uint32_t m = 0;
+  std::uint8_t version = 0;
+  if (!serial::GetU32(in, pos, &m) || !serial::GetU8(in, pos, &version)) {
+    return Status::Corruption("truncated simplifier state header");
+  }
+  if (m != magic) {
+    return Status::Corruption("simplifier state magic mismatch for " +
+                              std::string(name));
+  }
+  if (version != kStateVersion) {
+    return Status::InvalidArgument("unsupported simplifier state version " +
+                                   std::to_string(version));
+  }
+  return Status::OK();
+}
+
+/// The serialized zeta is a configuration cross-check, not restored
+/// state: a blob written under one error bound must never resume a state
+/// constructed under another.
+Status CheckStateZeta(double zeta, std::span<const std::uint8_t> in,
+                      std::size_t* pos) {
+  double stored = 0.0;
+  if (!serial::GetF64(in, pos, &stored)) {
+    return Status::Corruption("truncated simplifier state header");
+  }
+  if (std::bit_cast<std::uint64_t>(stored) !=
+      std::bit_cast<std::uint64_t>(zeta)) {
+    return Status::InvalidArgument(
+        "simplifier state zeta " + std::to_string(stored) +
+        " does not match the configured zeta " + std::to_string(zeta));
+  }
+  return Status::OK();
+}
+
+Status VerifyStateChecksum(std::span<const std::uint8_t> in,
+                           std::size_t start, std::size_t* pos) {
+  const std::size_t payload_end = *pos;
+  std::uint64_t expect = 0;
+  if (!serial::GetU64(in, pos, &expect)) {
+    return Status::Corruption("truncated simplifier state checksum");
+  }
+  const std::uint64_t got =
+      serial::Fnv1a64(in.subspan(start, payload_end - start));
+  if (got != expect) {
+    return Status::Corruption("simplifier state checksum mismatch");
+  }
+  return Status::OK();
+}
 
 // ---------------------------------------------------------------------
 // Batch adapters (uniform Simplifier over the concrete algorithms).
@@ -135,6 +208,24 @@ class OperbStreaming final : public baselines::StreamingSimplifier {
   void Finish() override { stream_.Finish(); }
   void Reset() override { stream_.Reset(); }
 
+  void Serialize(std::vector<std::uint8_t>* out) const override {
+    const std::size_t start = out->size();
+    serial::PutU32(kOperbStateMagic, out);
+    serial::PutU8(kStateVersion, out);
+    serial::PutF64(stream_.options().zeta, out);
+    stream_.Serialize(out);
+    AppendStateChecksum(start, out);
+  }
+
+  Status Deserialize(std::span<const std::uint8_t> in,
+                     std::size_t* pos) override {
+    const std::size_t start = *pos;
+    OPERB_RETURN_IF_ERROR(CheckStateHeader(kOperbStateMagic, name_, in, pos));
+    OPERB_RETURN_IF_ERROR(CheckStateZeta(stream_.options().zeta, in, pos));
+    OPERB_RETURN_IF_ERROR(stream_.Deserialize(in, pos));
+    return VerifyStateChecksum(in, start, pos);
+  }
+
  private:
   std::string_view name_;
   core::OperbStream stream_;
@@ -157,6 +248,25 @@ class OperbAStreaming final : public baselines::StreamingSimplifier {
   }
   void Finish() override { stream_.Finish(); }
   void Reset() override { stream_.Reset(); }
+
+  void Serialize(std::vector<std::uint8_t>* out) const override {
+    const std::size_t start = out->size();
+    serial::PutU32(kOperbAStateMagic, out);
+    serial::PutU8(kStateVersion, out);
+    serial::PutF64(stream_.options().base.zeta, out);
+    stream_.Serialize(out);
+    AppendStateChecksum(start, out);
+  }
+
+  Status Deserialize(std::span<const std::uint8_t> in,
+                     std::size_t* pos) override {
+    const std::size_t start = *pos;
+    OPERB_RETURN_IF_ERROR(CheckStateHeader(kOperbAStateMagic, name_, in, pos));
+    OPERB_RETURN_IF_ERROR(
+        CheckStateZeta(stream_.options().base.zeta, in, pos));
+    OPERB_RETURN_IF_ERROR(stream_.Deserialize(in, pos));
+    return VerifyStateChecksum(in, start, pos);
+  }
 
  private:
   std::string_view name_;
@@ -188,6 +298,42 @@ class BufferedStreaming final : public baselines::StreamingSimplifier {
     }
   }
   void Reset() override { buffer_.clear(); }
+
+  void Serialize(std::vector<std::uint8_t>* out) const override {
+    const std::size_t start = out->size();
+    serial::PutU32(kBufferedStateMagic, out);
+    serial::PutU8(kStateVersion, out);
+    serial::PutF64(zeta_, out);
+    serial::PutU64(buffer_.size(), out);
+    for (const geo::Point& p : buffer_.points()) {
+      serial::PutF64(p.x, out);
+      serial::PutF64(p.y, out);
+      serial::PutF64(p.t, out);
+    }
+    AppendStateChecksum(start, out);
+  }
+
+  Status Deserialize(std::span<const std::uint8_t> in,
+                     std::size_t* pos) override {
+    const std::size_t start = *pos;
+    OPERB_RETURN_IF_ERROR(
+        CheckStateHeader(kBufferedStateMagic, name_, in, pos));
+    OPERB_RETURN_IF_ERROR(CheckStateZeta(zeta_, in, pos));
+    std::uint64_t count = 0;
+    if (!serial::GetU64(in, pos, &count)) {
+      return Status::Corruption("truncated buffered simplifier state");
+    }
+    buffer_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      geo::Point p;
+      if (!serial::GetF64(in, pos, &p.x) || !serial::GetF64(in, pos, &p.y) ||
+          !serial::GetF64(in, pos, &p.t)) {
+        return Status::Corruption("truncated buffered simplifier state");
+      }
+      buffer_.AppendUnchecked(p);
+    }
+    return VerifyStateChecksum(in, start, pos);
+  }
 
  private:
   std::string_view name_;

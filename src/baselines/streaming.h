@@ -1,11 +1,15 @@
 #ifndef OPERB_BASELINES_STREAMING_H_
 #define OPERB_BASELINES_STREAMING_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "baselines/simplifier.h"
+#include "common/status.h"
 #include "geo/point.h"
 #include "traj/piecewise.h"
 
@@ -58,6 +62,22 @@ class StreamingSimplifier {
 
   /// Ready the state for the next trajectory, keeping capacity.
   virtual void Reset() = 0;
+
+  /// Appends a versioned, checksummed, byte-stable encoding of the
+  /// complete dynamic state: a 4-byte family magic, a version byte, the
+  /// fixed-size field payload, and a trailing FNV-1a64 over all of it —
+  /// the same discipline as the store's block footer. Options and the
+  /// sink are configuration, not state: Deserialize() must run on an
+  /// instance created from the identical SimplifierSpec, which then
+  /// resumes mid-trajectory bit-identically (the engine checkpoint
+  /// contract; see DESIGN.md §9).
+  virtual void Serialize(std::vector<std::uint8_t>* out) const = 0;
+
+  /// Inverse of Serialize(), advancing `*pos` past the consumed blob.
+  /// Corruption for a wrong magic, failed checksum or truncation;
+  /// InvalidArgument for a version or configuration (zeta) mismatch.
+  virtual Status Deserialize(std::span<const std::uint8_t> in,
+                             std::size_t* pos) = 0;
 };
 
 /// Creates a resettable streaming state for any algorithm, configured

@@ -1,0 +1,103 @@
+#ifndef OPERB_COMMON_SERIAL_H_
+#define OPERB_COMMON_SERIAL_H_
+
+/// \file
+/// Byte-stable little-endian field encoding plus the FNV-1a checksum —
+/// the shared vocabulary of every durable byte format in this repo (store
+/// block footers, MANIFEST, simplifier state blobs, engine checkpoints).
+///
+/// The discipline: fixed-size fields appended one at a time, doubles as
+/// their IEEE-754 bit patterns, every blob prefixed with a magic + version
+/// byte and closed by a trailing FNV-1a64 over everything before it.
+/// Readers advance a caller-owned cursor and report truncation instead of
+/// reading past the end, so a corrupt length upstream can never walk a
+/// parser out of its buffer.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace operb::serial {
+
+inline void PutU8(std::uint8_t v, std::vector<std::uint8_t>* out) {
+  out->push_back(v);
+}
+
+inline void PutU32(std::uint32_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutU64(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutF64(double v, std::vector<std::uint8_t>* out) {
+  PutU64(std::bit_cast<std::uint64_t>(v), out);
+}
+
+/// Cursor-advancing readers: each returns false (leaving `*v` untouched
+/// and `*pos` unspecified-but-unmoved) when fewer than the field's bytes
+/// remain.
+inline bool GetU8(std::span<const std::uint8_t> in, std::size_t* pos,
+                  std::uint8_t* v) {
+  if (in.size() - *pos < 1 || *pos > in.size()) return false;
+  *v = in[(*pos)++];
+  return true;
+}
+
+inline bool GetU32(std::span<const std::uint8_t> in, std::size_t* pos,
+                   std::uint32_t* v) {
+  if (*pos > in.size() || in.size() - *pos < 4) return false;
+  std::uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<std::uint32_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += 4;
+  *v = r;
+  return true;
+}
+
+inline bool GetU64(std::span<const std::uint8_t> in, std::size_t* pos,
+                   std::uint64_t* v) {
+  if (*pos > in.size() || in.size() - *pos < 8) return false;
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<std::uint64_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += 8;
+  *v = r;
+  return true;
+}
+
+inline bool GetF64(std::span<const std::uint8_t> in, std::size_t* pos,
+                   double* v) {
+  std::uint64_t bits = 0;
+  if (!GetU64(in, pos, &bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+inline constexpr std::uint64_t kFnv1a64OffsetBasis = 0xCBF2'9CE4'8422'2325ULL;
+
+/// 64-bit FNV-1a over `data`, chainable through `seed` (pass a previous
+/// call's result to hash discontiguous pieces as one stream).
+inline std::uint64_t Fnv1a64(std::span<const std::uint8_t> data,
+                             std::uint64_t seed = kFnv1a64OffsetBasis) {
+  constexpr std::uint64_t kPrime = 0x0000'0100'0000'01B3ULL;
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace operb::serial
+
+#endif  // OPERB_COMMON_SERIAL_H_

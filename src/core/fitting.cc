@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/serial.h"
 #include "geo/angle.h"
 
 namespace operb::core {
@@ -179,6 +180,41 @@ void FittingFunction::ApplyActivation(geo::Vec2 p,
 
 void FittingFunction::Activate(geo::Vec2 p) {
   ApplyActivation(p, PlanActivation(p));
+}
+
+void FittingFunction::SerializeTo(std::vector<std::uint8_t>* out) const {
+  serial::PutF64(anchor_.x, out);
+  serial::PutF64(anchor_.y, out);
+  serial::PutF64(length_, out);
+  serial::PutF64(theta_, out);
+  serial::PutF64(dir_.x, out);
+  serial::PutF64(dir_.y, out);
+  serial::PutU64(static_cast<std::uint64_t>(last_active_zone_), out);
+  serial::PutF64(d_plus_max_, out);
+  serial::PutF64(d_minus_max_, out);
+  serial::PutF64(drift_plus_, out);
+  serial::PutF64(drift_minus_, out);
+  serial::PutF64(drift_back_, out);
+}
+
+Status FittingFunction::DeserializeFrom(std::span<const std::uint8_t> in,
+                                        std::size_t* pos) {
+  std::uint64_t zone = 0;
+  if (!serial::GetF64(in, pos, &anchor_.x) ||
+      !serial::GetF64(in, pos, &anchor_.y) ||
+      !serial::GetF64(in, pos, &length_) ||
+      !serial::GetF64(in, pos, &theta_) ||
+      !serial::GetF64(in, pos, &dir_.x) ||
+      !serial::GetF64(in, pos, &dir_.y) || !serial::GetU64(in, pos, &zone) ||
+      !serial::GetF64(in, pos, &d_plus_max_) ||
+      !serial::GetF64(in, pos, &d_minus_max_) ||
+      !serial::GetF64(in, pos, &drift_plus_) ||
+      !serial::GetF64(in, pos, &drift_minus_) ||
+      !serial::GetF64(in, pos, &drift_back_)) {
+    return Status::Corruption("truncated fitting-function state");
+  }
+  last_active_zone_ = static_cast<std::int64_t>(zone);
+  return Status::OK();
 }
 
 }  // namespace operb::core

@@ -2,8 +2,12 @@
 #define OPERB_CORE_FITTING_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <span>
+#include <vector>
 
+#include "common/status.h"
 #include "core/options.h"
 #include "geo/distance.h"
 #include "geo/point.h"
@@ -142,6 +146,20 @@ class FittingFunction {
   /// delta = R.theta - L.theta (normalized into (-2pi, 2pi)) falls in
   /// (-2pi, -3pi/2], [-pi, -pi/2], [0, pi/2] or [pi, 3pi/2), else -1.
   static int SignFunction(double delta);
+
+  /// Appends the dynamic state (anchor, length, unnormalized theta, the
+  /// cached direction, zone index, side maxima and drift budgets) as
+  /// byte-stable little-endian fields. The parameters derived from
+  /// OperbOptions are *not* written — DeserializeFrom runs on an instance
+  /// constructed with the same options, which is what makes a restored
+  /// stream bit-identical: `dir_` in particular is the cached unit vector
+  /// of the *unnormalized* theta_ and must round-trip exactly, not be
+  /// recomputed.
+  void SerializeTo(std::vector<std::uint8_t>* out) const;
+
+  /// Overwrites the dynamic state from `in`, advancing `*pos`.
+  /// Corruption on truncation.
+  Status DeserializeFrom(std::span<const std::uint8_t> in, std::size_t* pos);
 
  private:
   void SetTheta(double theta) {

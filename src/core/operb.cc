@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/serial.h"
 #include "geo/distance.h"
 
 namespace operb::core {
@@ -268,6 +269,141 @@ void OperbStream::Reset() {
   next_index_ = 0;
   last_pos_ = geo::Vec2{};
   last_index_ = 0;
+}
+
+void OperbStream::Serialize(std::vector<std::uint8_t>* out) const {
+  serial::PutU8(static_cast<std::uint8_t>(mode_), out);
+  serial::PutU32(static_cast<std::uint32_t>(emitted_.size()), out);
+  for (const traj::RepresentedSegment& s : emitted_) {
+    traj::SerializeSegment(s, out);
+  }
+  serial::PutU64(last_take_size_, out);
+  serial::PutU64(stats_.points_processed, out);
+  serial::PutU64(stats_.segments_emitted, out);
+  serial::PutU64(stats_.points_absorbed, out);
+  serial::PutU64(stats_.cap_breaks, out);
+  traj::SerializeSegment(last_emitted_, out);
+  serial::PutU8(any_emitted_ ? 1 : 0, out);
+  serial::PutU8(fitting_.has_value() ? 1 : 0, out);
+  if (fitting_.has_value()) fitting_->SerializeTo(out);
+  serial::PutF64(anchor_pos_.x, out);
+  serial::PutF64(anchor_pos_.y, out);
+  serial::PutU64(segment_first_index_, out);
+  serial::PutU8(anchor_detached_ ? 1 : 0, out);
+  serial::PutU64(points_in_segment_, out);
+  serial::PutF64(active_pos_.x, out);
+  serial::PutF64(active_pos_.y, out);
+  serial::PutU64(active_index_, out);
+  serial::PutF64(ra_unit_.x, out);
+  serial::PutF64(ra_unit_.y, out);
+  traj::SerializeSegment(pending_, out);
+  serial::PutU64(pending_end_index_, out);
+  serial::PutF64(pending_unit_.x, out);
+  serial::PutF64(pending_unit_.y, out);
+  serial::PutU64(covered_index_, out);
+  serial::PutU64(next_index_, out);
+  serial::PutF64(last_pos_.x, out);
+  serial::PutF64(last_pos_.y, out);
+  serial::PutU64(last_index_, out);
+}
+
+Status OperbStream::Deserialize(std::span<const std::uint8_t> in,
+                                std::size_t* pos) {
+  std::uint8_t mode = 0;
+  std::uint32_t emitted_count = 0;
+  if (!serial::GetU8(in, pos, &mode) ||
+      !serial::GetU32(in, pos, &emitted_count)) {
+    return Status::Corruption("truncated OPERB stream state");
+  }
+  if (mode > static_cast<std::uint8_t>(Mode::kFinished)) {
+    return Status::Corruption("OPERB stream mode out of range");
+  }
+  mode_ = static_cast<Mode>(mode);
+  emitted_.clear();
+  emitted_.reserve(emitted_count);
+  for (std::uint32_t i = 0; i < emitted_count; ++i) {
+    traj::RepresentedSegment s;
+    OPERB_RETURN_IF_ERROR(traj::DeserializeSegment(in, pos, &s));
+    emitted_.push_back(s);
+  }
+  std::uint64_t last_take = 0;
+  std::uint64_t points_processed = 0;
+  std::uint64_t segments_emitted = 0;
+  std::uint64_t points_absorbed = 0;
+  std::uint64_t cap_breaks = 0;
+  if (!serial::GetU64(in, pos, &last_take) ||
+      !serial::GetU64(in, pos, &points_processed) ||
+      !serial::GetU64(in, pos, &segments_emitted) ||
+      !serial::GetU64(in, pos, &points_absorbed) ||
+      !serial::GetU64(in, pos, &cap_breaks)) {
+    return Status::Corruption("truncated OPERB stream state");
+  }
+  last_take_size_ = static_cast<std::size_t>(last_take);
+  stats_.points_processed = static_cast<std::size_t>(points_processed);
+  stats_.segments_emitted = static_cast<std::size_t>(segments_emitted);
+  stats_.points_absorbed = static_cast<std::size_t>(points_absorbed);
+  stats_.cap_breaks = static_cast<std::size_t>(cap_breaks);
+  OPERB_RETURN_IF_ERROR(traj::DeserializeSegment(in, pos, &last_emitted_));
+  std::uint8_t any_emitted = 0;
+  std::uint8_t has_fitting = 0;
+  if (!serial::GetU8(in, pos, &any_emitted) ||
+      !serial::GetU8(in, pos, &has_fitting)) {
+    return Status::Corruption("truncated OPERB stream state");
+  }
+  if (any_emitted > 1 || has_fitting > 1) {
+    return Status::Corruption("OPERB stream flag out of range");
+  }
+  any_emitted_ = any_emitted != 0;
+  if (has_fitting != 0) {
+    // Placeholder anchor: DeserializeFrom overwrites the dynamic fields,
+    // the constructor re-derives the option-dependent parameters.
+    fitting_.emplace(geo::Vec2{}, options_);
+    OPERB_RETURN_IF_ERROR(fitting_->DeserializeFrom(in, pos));
+  } else {
+    fitting_.reset();
+  }
+  std::uint64_t segment_first = 0;
+  std::uint8_t anchor_detached = 0;
+  std::uint64_t points_in_segment = 0;
+  std::uint64_t active_index = 0;
+  std::uint64_t pending_end = 0;
+  std::uint64_t covered = 0;
+  std::uint64_t next = 0;
+  std::uint64_t last = 0;
+  if (!serial::GetF64(in, pos, &anchor_pos_.x) ||
+      !serial::GetF64(in, pos, &anchor_pos_.y) ||
+      !serial::GetU64(in, pos, &segment_first) ||
+      !serial::GetU8(in, pos, &anchor_detached) ||
+      !serial::GetU64(in, pos, &points_in_segment) ||
+      !serial::GetF64(in, pos, &active_pos_.x) ||
+      !serial::GetF64(in, pos, &active_pos_.y) ||
+      !serial::GetU64(in, pos, &active_index) ||
+      !serial::GetF64(in, pos, &ra_unit_.x) ||
+      !serial::GetF64(in, pos, &ra_unit_.y)) {
+    return Status::Corruption("truncated OPERB stream state");
+  }
+  if (anchor_detached > 1) {
+    return Status::Corruption("OPERB stream flag out of range");
+  }
+  OPERB_RETURN_IF_ERROR(traj::DeserializeSegment(in, pos, &pending_));
+  if (!serial::GetU64(in, pos, &pending_end) ||
+      !serial::GetF64(in, pos, &pending_unit_.x) ||
+      !serial::GetF64(in, pos, &pending_unit_.y) ||
+      !serial::GetU64(in, pos, &covered) || !serial::GetU64(in, pos, &next) ||
+      !serial::GetF64(in, pos, &last_pos_.x) ||
+      !serial::GetF64(in, pos, &last_pos_.y) ||
+      !serial::GetU64(in, pos, &last)) {
+    return Status::Corruption("truncated OPERB stream state");
+  }
+  segment_first_index_ = static_cast<std::size_t>(segment_first);
+  anchor_detached_ = anchor_detached != 0;
+  points_in_segment_ = static_cast<std::size_t>(points_in_segment);
+  active_index_ = static_cast<std::size_t>(active_index);
+  pending_end_index_ = static_cast<std::size_t>(pending_end);
+  covered_index_ = static_cast<std::size_t>(covered);
+  next_index_ = static_cast<std::size_t>(next);
+  last_index_ = static_cast<std::size_t>(last);
+  return Status::OK();
 }
 
 void OperbStream::Finish() {

@@ -2,10 +2,12 @@
 #define OPERB_CORE_OPERB_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "core/fitting.h"
 #include "core/options.h"
 #include "geo/point.h"
@@ -108,6 +110,18 @@ class OperbStream {
 
   const OperbStats& stats() const { return stats_; }
   const OperbOptions& options() const { return options_; }
+
+  /// Appends the complete dynamic state (mode, counters, current-segment
+  /// geometry, the fitting function, pending/undrained segments) as
+  /// byte-stable fields — everything Reset() clears, nothing it keeps:
+  /// options and the sink are configuration, re-established at
+  /// construction. Serializing then Deserializing into a stream built
+  /// with identical options resumes mid-trajectory bit-identically.
+  void Serialize(std::vector<std::uint8_t>* out) const;
+
+  /// Overwrites the dynamic state from `in`, advancing `*pos`.
+  /// Corruption on truncation or out-of-range enum/flag bytes.
+  Status Deserialize(std::span<const std::uint8_t> in, std::size_t* pos);
 
  private:
   enum class Mode {

@@ -1,6 +1,7 @@
 #include "core/operb_a.h"
 
 #include "common/check.h"
+#include "common/serial.h"
 #include "core/patch.h"
 
 namespace operb::core {
@@ -89,6 +90,59 @@ void LazyPatcher::Reset() {
   patches_applied_ = 0;
 }
 
+void LazyPatcher::Serialize(std::vector<std::uint8_t>* out) const {
+  serial::PutU32(static_cast<std::uint32_t>(emitted_.size()), out);
+  for (const traj::RepresentedSegment& s : emitted_) {
+    traj::SerializeSegment(s, out);
+  }
+  serial::PutU8(x_.has_value() ? 1 : 0, out);
+  if (x_.has_value()) traj::SerializeSegment(*x_, out);
+  serial::PutU8(y_.has_value() ? 1 : 0, out);
+  if (y_.has_value()) traj::SerializeSegment(*y_, out);
+  serial::PutU64(anomalous_segments_, out);
+  serial::PutU64(patches_applied_, out);
+}
+
+Status LazyPatcher::Deserialize(std::span<const std::uint8_t> in,
+                                std::size_t* pos) {
+  std::uint32_t emitted_count = 0;
+  if (!serial::GetU32(in, pos, &emitted_count)) {
+    return Status::Corruption("truncated lazy-patcher state");
+  }
+  emitted_.clear();
+  emitted_.reserve(emitted_count);
+  for (std::uint32_t i = 0; i < emitted_count; ++i) {
+    traj::RepresentedSegment s;
+    OPERB_RETURN_IF_ERROR(traj::DeserializeSegment(in, pos, &s));
+    emitted_.push_back(s);
+  }
+  for (std::optional<traj::RepresentedSegment>* slot : {&x_, &y_}) {
+    std::uint8_t present = 0;
+    if (!serial::GetU8(in, pos, &present)) {
+      return Status::Corruption("truncated lazy-patcher state");
+    }
+    if (present > 1) {
+      return Status::Corruption("lazy-patcher flag out of range");
+    }
+    if (present != 0) {
+      traj::RepresentedSegment s;
+      OPERB_RETURN_IF_ERROR(traj::DeserializeSegment(in, pos, &s));
+      *slot = s;
+    } else {
+      slot->reset();
+    }
+  }
+  std::uint64_t anomalous = 0;
+  std::uint64_t patches = 0;
+  if (!serial::GetU64(in, pos, &anomalous) ||
+      !serial::GetU64(in, pos, &patches)) {
+    return Status::Corruption("truncated lazy-patcher state");
+  }
+  anomalous_segments_ = static_cast<std::size_t>(anomalous);
+  patches_applied_ = static_cast<std::size_t>(patches);
+  return Status::OK();
+}
+
 OperbAStream::OperbAStream(const OperbAOptions& options)
     : options_(options), inner_(options.base), patcher_(options) {
   // Segments flow inner -> patcher without touching inner's buffer: the
@@ -132,6 +186,17 @@ OperbAStats OperbAStream::stats() const {
   s.anomalous_segments = patcher_.anomalous_segments();
   s.patches_applied = patcher_.patches_applied();
   return s;
+}
+
+void OperbAStream::Serialize(std::vector<std::uint8_t>* out) const {
+  inner_.Serialize(out);
+  patcher_.Serialize(out);
+}
+
+Status OperbAStream::Deserialize(std::span<const std::uint8_t> in,
+                                 std::size_t* pos) {
+  OPERB_RETURN_IF_ERROR(inner_.Deserialize(in, pos));
+  return patcher_.Deserialize(in, pos);
 }
 
 traj::PiecewiseRepresentation SimplifyOperbA(

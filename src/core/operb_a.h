@@ -68,6 +68,14 @@ class LazyPatcher {
   std::size_t anomalous_segments() const { return anomalous_segments_; }
   std::size_t patches_applied() const { return patches_applied_; }
 
+  /// Appends the dynamic state (lazy buffer, undrained emissions,
+  /// counters) as byte-stable fields; options and sink are configuration
+  /// and not written (same contract as OperbStream::Serialize).
+  void Serialize(std::vector<std::uint8_t>* out) const;
+
+  /// Overwrites the dynamic state from `in`, advancing `*pos`.
+  Status Deserialize(std::span<const std::uint8_t> in, std::size_t* pos);
+
  private:
   static bool IsAnomalous(const traj::RepresentedSegment& s) {
     return s.PointCount() == 2;
@@ -120,6 +128,11 @@ class OperbAStream {
 
   OperbAStats stats() const;
   const OperbAOptions& options() const { return options_; }
+
+  /// Framed inner-OPERB state followed by the patcher state (see
+  /// OperbStream::Serialize for the contract).
+  void Serialize(std::vector<std::uint8_t>* out) const;
+  Status Deserialize(std::span<const std::uint8_t> in, std::size_t* pos);
 
  private:
   OperbAOptions options_;

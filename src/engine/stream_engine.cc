@@ -9,6 +9,7 @@
 #include "api/registry.h"
 #include "baselines/streaming.h"
 #include "common/check.h"
+#include "common/serial.h"
 #include "engine/spsc_ring.h"
 
 namespace operb::engine {
@@ -24,6 +25,17 @@ constexpr int kMaxBatchesPerShard = 4;
 constexpr int kIdleSpinsBeforeSleep = 64;
 constexpr std::chrono::microseconds kIdleSleep{200};
 constexpr std::chrono::microseconds kDrainPoll{50};
+
+/// Engine checkpoint file framing (DESIGN.md §9): 8-byte magic, version
+/// byte, embedded spec string and shard count (the compatibility keys),
+/// engine counters, per-shard state sections, trailing FNV-1a64.
+constexpr std::uint8_t kCheckpointMagic[8] = {'O', 'P', 'R', 'B',
+                                              'C', 'K', 'P', '1'};
+constexpr std::uint8_t kCheckpointVersion = 1;
+
+Status TruncatedCheckpoint() {
+  return Status::Corruption("truncated engine checkpoint");
+}
 
 }  // namespace
 
@@ -113,6 +125,78 @@ class StreamEngine::Shard {
         break;
       }
     }
+  }
+
+  /// Appends this shard's checkpoint section: live objects in ascending
+  /// id order (canonical, so equal engine states serialize to equal
+  /// bytes regardless of table history), each as id + last event time +
+  /// length-prefixed simplifier state blob, then the shard counters.
+  /// Caller must hold the drain barrier (Checkpoint() does) — the
+  /// owning worker is then provably idle.
+  void SerializeState(std::vector<std::uint8_t>* out) const {
+    std::vector<const Slot*> live;
+    live.reserve(live_);
+    for (const Slot& s : slots_) {
+      if (s.status == kOccupied) live.push_back(&s);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Slot* a, const Slot* b) { return a->id < b->id; });
+    serial::PutU64(live.size(), out);
+    std::vector<std::uint8_t> blob;
+    for (const Slot* s : live) {
+      serial::PutU64(s->id, out);
+      serial::PutF64(s->last_time, out);
+      blob.clear();
+      states_[s->state]->Serialize(&blob);
+      serial::PutU32(static_cast<std::uint32_t>(blob.size()), out);
+      out->insert(out->end(), blob.begin(), blob.end());
+    }
+    serial::PutU64(segments_, out);
+    serial::PutU64(objects_opened_, out);
+    serial::PutU64(objects_finished_, out);
+    serial::PutU64(idle_evictions_, out);
+  }
+
+  /// Rebuilds the shard from its checkpoint section (before the workers
+  /// start; thread creation publishes the restored state to the owning
+  /// worker). Each blob is handed to a freshly pooled state's
+  /// Deserialize, which enforces the blob's own magic/version/zeta
+  /// framing; counters are then overwritten with the checkpointed
+  /// values so a resumed run's totals match the uninterrupted run.
+  Status RestoreState(std::span<const std::uint8_t> in, std::size_t* pos) {
+    std::uint64_t count = 0;
+    if (!serial::GetU64(in, pos, &count)) return TruncatedCheckpoint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t id = 0;
+      double last_time = 0.0;
+      std::uint32_t blob_len = 0;
+      if (!serial::GetU64(in, pos, &id) ||
+          !serial::GetF64(in, pos, &last_time) ||
+          !serial::GetU32(in, pos, &blob_len)) {
+        return TruncatedCheckpoint();
+      }
+      if (in.size() - *pos < blob_len) return TruncatedCheckpoint();
+      Slot& s = FindOrCreate(id);
+      s.last_time = last_time;
+      // Bound the blob's span to its declared length so a state that
+      // (wrongly) reads long lands on truncation, not the next record.
+      std::size_t blob_pos = *pos;
+      OPERB_RETURN_IF_ERROR(
+          states_[s.state]->Deserialize(in.first(*pos + blob_len),
+                                        &blob_pos));
+      if (blob_pos != *pos + blob_len) {
+        return Status::Corruption(
+            "checkpoint state blob length disagrees with its contents");
+      }
+      *pos += blob_len;
+    }
+    if (!serial::GetU64(in, pos, &segments_) ||
+        !serial::GetU64(in, pos, &objects_opened_) ||
+        !serial::GetU64(in, pos, &objects_finished_) ||
+        !serial::GetU64(in, pos, &idle_evictions_)) {
+      return TruncatedCheckpoint();
+    }
+    return Status::OK();
   }
 
   /// Folds this shard's counters into `out` (call after the workers have
@@ -281,8 +365,159 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::Create(
   return std::make_unique<StreamEngine>(options, std::move(sink));
 }
 
+Status StreamEngine::Checkpoint(const std::string& path, store::Env* env) {
+  if (closed_) {
+    return Status::InvalidArgument("checkpoint of a closed engine");
+  }
+  // Drain barrier: hand every staged update to the rings, then wait for
+  // each shard's processed count (released by the worker after the
+  // batch) to reach the hand-off count. After it, every worker is
+  // provably idle and its shard state is the deterministic function of
+  // the stream prefix pushed so far — the state the snapshot captures.
+  Flush();
+  WaitDrained();
+
+  std::vector<std::uint8_t> buf;
+  // Byte-wise append: vector::insert from a constexpr array trips
+  // GCC 12's -Wstringop-overflow false positive under -fsanitize=thread.
+  for (const std::uint8_t b : kCheckpointMagic) buf.push_back(b);
+  serial::PutU8(kCheckpointVersion, &buf);
+  const std::string spec = options_.spec.ToString();
+  serial::PutU32(static_cast<std::uint32_t>(spec.size()), &buf);
+  buf.insert(buf.end(), spec.begin(), spec.end());
+  serial::PutU64(options_.num_shards, &buf);
+  serial::PutU64(stats_.points, &buf);
+  serial::PutU64(stats_.ring_full_stalls, &buf);
+  serial::PutU64(peak_live_.load(std::memory_order_relaxed), &buf);
+  for (const auto& shard : shards_) shard->SerializeState(&buf);
+  serial::PutU64(serial::Fnv1a64(buf), &buf);
+
+  // Same durability discipline as a manifest commit: fully write and
+  // flush a temp file, then rename — a crash anywhere leaves either the
+  // previous checkpoint or none, never a torn one.
+  store::Env* e = store::ResolveEnv(env);
+  const std::string tmp = path + ".tmp";
+  OPERB_ASSIGN_OR_RETURN(std::unique_ptr<store::WritableFile> file,
+                         e->NewWritableFile(tmp));
+  const Status written = [&] {
+    OPERB_RETURN_IF_ERROR(file->Append(buf));
+    OPERB_RETURN_IF_ERROR(file->Flush());
+    return file->Close();
+  }();
+  if (!written.ok()) {
+    (void)e->Remove(tmp);
+    return written;
+  }
+  const Status renamed = e->Rename(tmp, path);
+  if (!renamed.ok()) {
+    (void)e->Remove(tmp);
+    return renamed;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StreamEngine>> StreamEngine::CreateFromCheckpoint(
+    const std::string& path, const StreamEngineOptions& options,
+    TaggedSegmentSink sink) {
+  OPERB_RETURN_IF_ERROR(options.Validate());
+
+  // Reads go through stdio like every store read path; the Env seam
+  // covers durable writes only.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open engine checkpoint " + path);
+  }
+  std::vector<std::uint8_t> data;
+  {
+    bool read_ok = std::fseek(f, 0, SEEK_END) == 0;
+    const long size = read_ok ? std::ftell(f) : -1;
+    read_ok = read_ok && size >= 0 && std::fseek(f, 0, SEEK_SET) == 0;
+    if (read_ok) {
+      data.resize(static_cast<std::size_t>(size));
+      read_ok = std::fread(data.data(), 1, data.size(), f) == data.size();
+    }
+    std::fclose(f);
+    if (!read_ok) {
+      return Status::IOError("cannot read engine checkpoint " + path);
+    }
+  }
+
+  // Framing first: magic, then the whole-file checksum, so every later
+  // parse step runs over bytes already known to be what was written.
+  if (data.size() < sizeof(kCheckpointMagic) + 1 + 8 ||
+      !std::equal(kCheckpointMagic, kCheckpointMagic + 8, data.begin())) {
+    return Status::Corruption("not an engine checkpoint: " + path);
+  }
+  const std::span<const std::uint8_t> body(data.data(), data.size() - 8);
+  std::size_t tail = body.size();
+  std::uint64_t stored_checksum = 0;
+  serial::GetU64(data, &tail, &stored_checksum);
+  if (serial::Fnv1a64(body) != stored_checksum) {
+    return Status::Corruption("engine checkpoint checksum mismatch: " +
+                              path);
+  }
+
+  std::size_t pos = sizeof(kCheckpointMagic);
+  std::uint8_t version = 0;
+  if (!serial::GetU8(body, &pos, &version)) return TruncatedCheckpoint();
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported engine checkpoint version " +
+                                   std::to_string(version));
+  }
+  std::uint32_t spec_len = 0;
+  if (!serial::GetU32(body, &pos, &spec_len) ||
+      body.size() - pos < spec_len) {
+    return TruncatedCheckpoint();
+  }
+  const std::string spec(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                         data.begin() + static_cast<std::ptrdiff_t>(pos) +
+                             spec_len);
+  pos += spec_len;
+  if (spec != options.spec.ToString()) {
+    return Status::InvalidArgument(
+        "checkpoint was written by " + spec + ", options resolve to " +
+        options.spec.ToString());
+  }
+  std::uint64_t num_shards = 0;
+  if (!serial::GetU64(body, &pos, &num_shards)) return TruncatedCheckpoint();
+  if (num_shards != options.num_shards) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(num_shards) +
+        " shards, options ask for " + std::to_string(options.num_shards) +
+        " (the object partition would not line up)");
+  }
+
+  std::unique_ptr<StreamEngine> engine(
+      new StreamEngine(options, std::move(sink), DeferWorkersTag{}));
+  std::uint64_t peak = 0;
+  if (!serial::GetU64(body, &pos, &engine->stats_.points) ||
+      !serial::GetU64(body, &pos, &engine->stats_.ring_full_stalls) ||
+      !serial::GetU64(body, &pos, &peak)) {
+    return TruncatedCheckpoint();
+  }
+  engine->peak_live_.store(peak, std::memory_order_relaxed);
+  for (const auto& shard : engine->shards_) {
+    OPERB_RETURN_IF_ERROR(shard->RestoreState(body, &pos));
+  }
+  if (pos != body.size()) {
+    return Status::Corruption("engine checkpoint has trailing bytes");
+  }
+  // Restoring bumped the peak census if the live count momentarily
+  // exceeded the checkpointed peak mid-rebuild — it cannot (the peak
+  // covered these very objects), so re-assert the checkpointed value.
+  engine->peak_live_.store(peak, std::memory_order_relaxed);
+  engine->StartWorkers();
+  return engine;
+}
+
 StreamEngine::StreamEngine(const StreamEngineOptions& options,
                            TaggedSegmentSink sink)
+    : StreamEngine(options, std::move(sink), DeferWorkersTag{}) {
+  StartWorkers();
+}
+
+StreamEngine::StreamEngine(const StreamEngineOptions& options,
+                           TaggedSegmentSink sink, DeferWorkersTag)
     : options_(options), sink_(std::move(sink)) {
   OPERB_CHECK_MSG(options_.Validate().ok(), "invalid StreamEngineOptions");
   options_.num_threads = std::min(options_.num_threads, options_.num_shards);
@@ -300,6 +535,9 @@ StreamEngine::StreamEngine(const StreamEngineOptions& options,
   staging_.resize(options_.num_shards);
   for (auto& batch : staging_) batch.reserve(options_.producer_batch);
   pushed_.assign(options_.num_shards, 0);
+}
+
+void StreamEngine::StartWorkers() {
   workers_.reserve(options_.num_threads);
   for (std::size_t t = 0; t < options_.num_threads; ++t) {
     workers_.emplace_back([this, t] { WorkerLoop(t); });
@@ -381,6 +619,14 @@ void StreamEngine::WaitDrained() {
 
 void StreamEngine::Close() {
   if (closed_) return;
+  if (workers_.empty()) {
+    // A deferred engine whose restore failed before StartWorkers():
+    // nothing runs, nothing is in flight, so closing is bookkeeping.
+    for (const auto& shard : shards_) shard->AccumulateStats(&stats_);
+    stats_.peak_live_objects = peak_live_.load(std::memory_order_relaxed);
+    closed_ = true;
+    return;
+  }
   Flush();
   const Update close_all{0, geo::Point{}, Kind::kCloseAll};
   for (std::size_t s = 0; s < shards_.size(); ++s) {

@@ -19,6 +19,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "geo/point.h"
+#include "store/env.h"
 #include "traj/multi_object.h"
 #include "traj/piecewise.h"
 
@@ -132,6 +133,22 @@ class StreamEngine {
   static Result<std::unique_ptr<StreamEngine>> Create(
       const StreamEngineOptions& options, TaggedSegmentSink sink);
 
+  /// Reconstructs an engine mid-stream from a file Checkpoint() wrote.
+  /// `options` must describe the same engine: the simplifier spec and
+  /// shard count are embedded in the checkpoint and checked
+  /// (InvalidArgument on mismatch; thread count, ring sizing and idle
+  /// timeout may differ — they never affect per-object output, see the
+  /// determinism contract). Corruption on a damaged, truncated or
+  /// foreign file; InvalidArgument on an unsupported checkpoint
+  /// version. Worker threads start only after every per-object state is
+  /// rebuilt, so the first post-restore Push() continues each
+  /// trajectory exactly where the checkpoint cut it: replaying the
+  /// stream's remainder emits bit-identical segments to the
+  /// uninterrupted run.
+  static Result<std::unique_ptr<StreamEngine>> CreateFromCheckpoint(
+      const std::string& path, const StreamEngineOptions& options,
+      TaggedSegmentSink sink);
+
   /// Precondition: options.Validate().ok() (checked — use Create() when
   /// the options come from user input). The engine starts its worker
   /// threads immediately; `sink` may be empty (segments are then only
@@ -165,6 +182,19 @@ class StreamEngine {
   /// still asynchronous; Close() is the only completion barrier).
   void Flush();
 
+  /// Writes a consistent snapshot of the complete streaming state —
+  /// every live object's simplifier state, engine and shard counters —
+  /// to `path`, durably (temp file + rename through the store Env
+  /// seam, DESIGN.md §9). The call is a drain barrier: everything
+  /// pushed before it is fully processed first, so the snapshot is
+  /// exactly "the engine after the stream's prefix" and the engine
+  /// keeps running afterwards. Producer-thread only, like Push().
+  /// InvalidArgument on a closed engine; IOError when the write or the
+  /// rename fails (no partial checkpoint is left at `path` — at most a
+  /// stale `path + ".tmp"`). `env` is the write-side filesystem seam;
+  /// nullptr uses the real filesystem.
+  Status Checkpoint(const std::string& path, store::Env* env = nullptr);
+
   /// Finishes every live object, drains all rings, stops the workers and
   /// joins them. Idempotent. After Close() the engine only serves
   /// stats().
@@ -188,6 +218,14 @@ class StreamEngine {
   };
 
   class Shard;
+
+  /// Tag for the deferred-start constructor CreateFromCheckpoint uses:
+  /// members are built but no worker thread runs until StartWorkers(),
+  /// so restore can write shard state without synchronization.
+  struct DeferWorkersTag {};
+  StreamEngine(const StreamEngineOptions& options, TaggedSegmentSink sink,
+               DeferWorkersTag);
+  void StartWorkers();
 
   std::size_t ShardOf(traj::ObjectId id) const;
   /// Appends to the shard's staging batch, flushing it when full.

@@ -33,7 +33,8 @@ std::string CompactionTempName(std::uint32_t shard,
 }  // namespace
 
 Compactor::Compactor(std::string dir, const CompactionOptions& options)
-    : dir_(std::move(dir)), options_(options) {}
+    : dir_(std::move(dir)), options_(options),
+      env_(ResolveEnv(options.env)) {}
 
 bool Compactor::NeedsCompaction(const Manifest& manifest,
                                 std::uint32_t shard) {
@@ -62,7 +63,7 @@ void Compactor::RemoveOrphans(const Manifest& manifest,
     const std::string name = entry.path().filename().string();
     if (name == kManifestFileName || name == kManifestTempFileName) continue;
     if (!IsStoreFileName(name) || live.count(name) != 0) continue;
-    if (fs::remove(entry.path(), ec)) ++stats->orphans_removed;
+    if (env_->Remove(entry.path().string()).ok()) ++stats->orphans_removed;
   }
 }
 
@@ -137,7 +138,7 @@ Status Compactor::CompactShardPass(std::uint32_t shard, bool force,
   {
     OPERB_ASSIGN_OR_RETURN(
         const std::unique_ptr<SegmentFileWriter> writer,
-        SegmentFileWriter::Create(tmp_path.string(), zeta, budget));
+        SegmentFileWriter::Create(tmp_path.string(), zeta, budget, env_));
     for (const auto& [id, segments] : merged) {
       for (const traj::TimedSegment& s : segments) {
         OPERB_RETURN_IF_ERROR(writer->Append(s));
@@ -154,8 +155,7 @@ Status Compactor::CompactShardPass(std::uint32_t shard, bool force,
   const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
   const Result<Manifest> current = ReadManifest(dir_);
   if (!current.ok()) {
-    std::error_code ec;
-    fs::remove(tmp_path, ec);
+    (void)env_->Remove(tmp_path.string());
     return current.status();
   }
 
@@ -174,8 +174,7 @@ Status Compactor::CompactShardPass(std::uint32_t shard, bool force,
     // a sealed file disappears besides this compactor. The inputs' data
     // is gone by that writer's decision, not ours to resurrect: abandon
     // the merge without committing.
-    std::error_code ec;
-    fs::remove(tmp_path, ec);
+    (void)env_->Remove(tmp_path.string());
     return Status::OK();
   }
 
@@ -186,11 +185,10 @@ Status Compactor::CompactShardPass(std::uint32_t shard, bool force,
   // collide with a live file (a same-named orphan from a pre-crash run
   // is dead and safe to replace).
   const std::string out_name = SegmentFileName(shard, next.generation);
-  std::error_code rename_ec;
-  fs::rename(tmp_path, fs::path(dir_) / out_name, rename_ec);
-  if (rename_ec) {
-    std::error_code ec;
-    fs::remove(tmp_path, ec);
+  const Status renamed =
+      env_->Rename(tmp_path.string(), (fs::path(dir_) / out_name).string());
+  if (!renamed.ok()) {
+    (void)env_->Remove(tmp_path.string());
     return Status::IOError("cannot rename " + tmp_path.string() + " to " +
                            out_name);
   }
@@ -220,13 +218,13 @@ Status Compactor::CompactShardPass(std::uint32_t shard, bool force,
     }
   }
   next.files = std::move(kept);
-  OPERB_RETURN_IF_ERROR(WriteManifest(dir_, next));
+  OPERB_RETURN_IF_ERROR(WriteManifest(dir_, next, env_));
 
   // Old inputs are dead to every future open; unlink them. Readers that
   // already hold the files keep them alive via their descriptors.
+  // Failures leave orphans the next pass GC's.
   for (const std::string& name : obsolete) {
-    std::error_code ec;
-    fs::remove(fs::path(dir_) / name, ec);
+    (void)env_->Remove((fs::path(dir_) / name).string());
   }
 
   ++stats->shards_compacted;
@@ -312,6 +310,23 @@ void BackgroundCompactor::Stop() {
   to_join.join();
 }
 
+void BackgroundCompactor::Pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++pause_depth_;
+  // Wait out an in-flight pass; the loop won't start another while
+  // pause_depth_ > 0. No stop_ escape needed: in_pass_ always returns to
+  // false — either the pass completes or Loop() never entered one.
+  cv_.wait(lock, [this] { return !in_pass_; });
+}
+
+void BackgroundCompactor::Resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    --pause_depth_;
+  }
+  cv_.notify_all();
+}
+
 CompactionStats BackgroundCompactor::total_stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return total_;
@@ -324,9 +339,18 @@ Status BackgroundCompactor::last_status() const {
 
 void BackgroundCompactor::Loop() {
   for (;;) {
+    {
+      // Honor a pause before touching the store; a Stop() during the
+      // wait ends the loop without another pass.
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || pause_depth_ == 0; });
+      if (stop_) return;
+      in_pass_ = true;
+    }
     const Result<CompactionStats> pass = compactor_.Run();
     {
       const std::lock_guard<std::mutex> lock(mu_);
+      in_pass_ = false;
       if (pass.ok()) {
         total_.shards_examined += pass->shards_examined;
         total_.shards_compacted += pass->shards_compacted;
@@ -348,6 +372,8 @@ void BackgroundCompactor::Loop() {
         last_status_ = pass.status();
       }
     }
+    // A Pause() may be blocked on in_pass_; wake it before sleeping.
+    cv_.notify_all();
     std::unique_lock<std::mutex> lock(mu_);
     if (cv_.wait_for(lock, interval_, [this] { return stop_; })) return;
   }

@@ -17,6 +17,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "store/env.h"
 #include "store/manifest.h"
 
 namespace operb::store {
@@ -27,6 +28,11 @@ struct CompactionOptions {
   /// the manifest. A larger budget is how many small sealed frames
   /// become few dense blocks.
   std::size_t block_budget_bytes = 0;
+
+  /// Filesystem seam for the pass's durable mutations (temp-file write,
+  /// rename-commit, manifest commit, obsolete/orphan unlinks). nullptr:
+  /// the real filesystem. Not owned; must outlive the compactor.
+  Env* env = nullptr;
 };
 
 /// What one compaction pass did.
@@ -114,6 +120,7 @@ class Compactor {
 
   std::string dir_;
   CompactionOptions options_;
+  Env* env_;
 };
 
 /// Owns a thread running Compactor::Run() on a fixed cadence — the
@@ -138,6 +145,31 @@ class BackgroundCompactor {
   /// concurrent callers — exactly one of them performs the join.
   void Stop();
 
+  /// Blocks new passes and waits for an in-flight pass to finish: after
+  /// Pause() returns, no compaction touches the store until the matching
+  /// Resume(). Re-entrant (pauses nest); safe against concurrent Stop()
+  /// in either order. Prefer PauseGuard.
+  void Pause();
+  void Resume();
+
+  /// RAII pause: quiesces the background loop for a critical section —
+  /// an engine checkpoint or a foreground `--compact` pass — instead of
+  /// racing it.
+  class PauseGuard {
+   public:
+    explicit PauseGuard(BackgroundCompactor& compactor)
+        : compactor_(&compactor) {
+      compactor_->Pause();
+    }
+    ~PauseGuard() { compactor_->Resume(); }
+
+    PauseGuard(const PauseGuard&) = delete;
+    PauseGuard& operator=(const PauseGuard&) = delete;
+
+   private:
+    BackgroundCompactor* const compactor_;
+  };
+
   /// Aggregated stats across all completed passes.
   CompactionStats total_stats() const;
 
@@ -154,6 +186,8 @@ class BackgroundCompactor {
   std::condition_variable cv_;
   bool stop_ = false;
   bool running_ = false;
+  int pause_depth_ = 0;   ///< nested Pause() calls currently holding
+  bool in_pass_ = false;  ///< a Run() is executing outside mu_
   CompactionStats total_;
   Status last_status_;
   std::thread thread_;

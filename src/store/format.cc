@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/serial.h"
+
 namespace operb::store {
 
 namespace {
@@ -64,12 +66,7 @@ void EncodeFooterBody(const BlockFooter& footer,
 
 std::uint64_t Fnv1a64(std::span<const std::uint8_t> data,
                       std::uint64_t seed) {
-  std::uint64_t h = seed;
-  for (const std::uint8_t b : data) {
-    h ^= b;
-    h *= 0x0000'0100'0000'01B3ULL;
-  }
-  return h;
+  return serial::Fnv1a64(data, seed);
 }
 
 void EncodeFileHeader(double zeta, std::vector<std::uint8_t>* out) {

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string_view>
 #include <unordered_set>
 
@@ -167,30 +168,32 @@ Result<Manifest> DecodeManifest(std::span<const std::uint8_t> data) {
   return m;
 }
 
-Status WriteManifest(const std::string& dir, const Manifest& manifest) {
+Status WriteManifest(const std::string& dir, const Manifest& manifest,
+                     Env* env) {
   OPERB_RETURN_IF_ERROR(manifest.Validate());
+  env = ResolveEnv(env);
   std::vector<std::uint8_t> bytes;
   EncodeManifest(manifest, &bytes);
 
   namespace fs = std::filesystem;
-  const fs::path tmp = fs::path(dir) / kManifestTempFileName;
-  const fs::path final_path = fs::path(dir) / kManifestFileName;
-  std::FILE* file = std::fopen(tmp.string().c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IOError("cannot create " + tmp.string());
-  }
-  const bool written =
-      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size() &&
-      std::fflush(file) == 0;
-  if (std::fclose(file) != 0 || !written) {
-    std::remove(tmp.string().c_str());
-    return Status::IOError("cannot write " + tmp.string());
+  const std::string tmp = (fs::path(dir) / kManifestTempFileName).string();
+  const std::string final_path = (fs::path(dir) / kManifestFileName).string();
+  OPERB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(tmp));
+  const Status written = [&] {
+    OPERB_RETURN_IF_ERROR(file->Append(bytes));
+    OPERB_RETURN_IF_ERROR(file->Flush());
+    return file->Close();
+  }();
+  if (!written.ok()) {
+    (void)env->Remove(tmp);
+    return written;
   }
   // The atomic commit point: readers see the old manifest or this one.
-  if (std::rename(tmp.string().c_str(), final_path.string().c_str()) != 0) {
-    std::remove(tmp.string().c_str());
-    return Status::IOError("cannot rename " + tmp.string() + " over " +
-                           final_path.string());
+  const Status renamed = env->Rename(tmp, final_path);
+  if (!renamed.ok()) {
+    (void)env->Remove(tmp);
+    return renamed;
   }
   return Status::OK();
 }

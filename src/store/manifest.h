@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "store/env.h"
 
 namespace operb::store {
 
@@ -96,8 +97,10 @@ void EncodeManifest(const Manifest& manifest, std::vector<std::uint8_t>* out);
 Result<Manifest> DecodeManifest(std::span<const std::uint8_t> data);
 
 /// Atomically commits `manifest` into `dir`: write + flush MANIFEST.tmp,
-/// rename over MANIFEST. IOError on filesystem failures.
-Status WriteManifest(const std::string& dir, const Manifest& manifest);
+/// rename over MANIFEST, through `env` (nullptr: the real filesystem).
+/// IOError on filesystem failures.
+Status WriteManifest(const std::string& dir, const Manifest& manifest,
+                     Env* env = nullptr);
 
 /// Reads and decodes `dir`/MANIFEST. IOError when the file cannot be
 /// read, Corruption when it decodes badly.

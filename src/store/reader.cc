@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "store/manifest.h"
@@ -9,6 +10,28 @@
 namespace operb::store {
 
 namespace {
+
+/// Backoff schedule of Open()'s manifest-swap retry: first wait, the
+/// cap each doubling saturates at, and the attempt budget. Six attempts
+/// at these spacings ride out several back-to-back compaction commits
+/// without turning a persistently broken store into a long hang.
+constexpr std::chrono::microseconds kOpenRetryInitialBackoff{100};
+constexpr std::chrono::microseconds kOpenRetryMaxBackoff{5000};
+constexpr int kOpenMaxAttempts = 6;
+
+std::function<void(std::chrono::microseconds)>& OpenRetrySleepHook() {
+  static auto* hook = new std::function<void(std::chrono::microseconds)>();
+  return *hook;
+}
+
+void OpenRetrySleep(std::chrono::microseconds d) {
+  const auto& hook = OpenRetrySleepHook();
+  if (hook) {
+    hook(d);
+  } else {
+    std::this_thread::sleep_for(d);
+  }
+}
 
 bool IntervalsOverlap(double a_min, double a_max, double b_min,
                       double b_max) {
@@ -60,6 +83,11 @@ bool SegmentIntersectsBox(geo::Vec2 a, geo::Vec2 b,
 
 }  // namespace
 
+void StoreReader::SetRetrySleepHookForTest(
+    std::function<void(std::chrono::microseconds)> hook) {
+  OpenRetrySleepHook() = std::move(hook);
+}
+
 Result<std::unique_ptr<StoreReader>> StoreReader::Open(
     const std::string& path) {
   namespace fs = std::filesystem;
@@ -70,14 +98,23 @@ Result<std::unique_ptr<StoreReader>> StoreReader::Open(
     // A compaction can commit between our manifest read and the file
     // opens, unlinking a file we were about to open; re-reading the
     // manifest and retrying converges because every retry starts from a
-    // newer generation.
+    // newer generation. Losing twice in a row means commits are coming
+    // fast, so the retries back off (doubling, capped) instead of
+    // hammering the manifest in a tight loop.
     Status open = Status::OK();
-    for (int attempt = 0; attempt < 3; ++attempt) {
+    std::uint32_t retries = 0;
+    std::chrono::microseconds backoff = kOpenRetryInitialBackoff;
+    for (int attempt = 0; attempt < kOpenMaxAttempts; ++attempt) {
       reader.reset(new StoreReader());
       open = OpenDirectory(path, reader.get());
       if (open.ok() || open.code() != StatusCode::kIOError) break;
+      if (attempt + 1 == kOpenMaxAttempts) break;
+      ++retries;
+      OpenRetrySleep(backoff);
+      backoff = std::min(backoff * 2, kOpenRetryMaxBackoff);
     }
     OPERB_RETURN_IF_ERROR(open);
+    reader->open_info_.open_retries = retries;
   } else {
     // Compat shim: a regular file is a legacy (PR 5) single-file store —
     // one implicit shard, no manifest.
@@ -155,6 +192,7 @@ Result<std::vector<traj::TimedSegment>> StoreReader::ReconstructObject(
     StoreQueryStats* stats) const {
   StoreQueryStats local;
   local.blocks_total = blocks_.size();
+  local.open_retries = open_info_.open_retries;
   std::vector<traj::TimedSegment> out;
   // The shard partition prunes every other shard's blocks without a
   // footer test — they count as skipped, keeping the invariant
@@ -189,6 +227,7 @@ Result<std::vector<traj::TimedSegment>> StoreReader::QueryWindow(
     StoreQueryStats* stats, ScanMode mode) const {
   StoreQueryStats local;
   local.blocks_total = blocks_.size();
+  local.open_retries = open_info_.open_retries;
   std::vector<traj::TimedSegment> out;
   if (window.IsEmpty() || blocks_.empty()) {
     local.blocks_skipped = blocks_.size();

@@ -6,8 +6,10 @@
 /// single file): per-object reconstruction, window queries via the
 /// hierarchical block index, position-at-time.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
@@ -33,6 +35,10 @@ struct StoreOpenInfo {
   /// through the compat shim: one implicit shard, no manifest.
   bool legacy_single_file = false;
   std::uint64_t generation = 0;  ///< manifest generation (0 for legacy)
+  /// Times Open() lost the manifest-swap race against a concurrent
+  /// compaction commit and re-read the manifest (each retry backs off,
+  /// see StoreReader::Open).
+  std::uint32_t open_retries = 0;
 };
 
 /// How QueryWindow selects candidate blocks.
@@ -60,6 +66,10 @@ struct StoreQueryStats {
   /// only; 0 otherwise). The flat scan's equivalent is blocks_total
   /// footer tests — the acceptance ratio compares the two.
   std::uint64_t index_nodes_visited = 0;
+  /// Mirror of StoreOpenInfo::open_retries — how many manifest-swap
+  /// races this reader's Open() survived — so per-query telemetry
+  /// carries the contention signal without a second API call.
+  std::uint32_t open_retries = 0;
 };
 
 /// Query reader over a trajectory store.
@@ -89,6 +99,13 @@ class StoreReader {
   /// block frame is invalid. A torn tail in a segment file is *not* an
   /// error: it is dropped and reported via open_info().
   static Result<std::unique_ptr<StoreReader>> Open(const std::string& path);
+
+  /// Replaces the sleep Open()'s retry backoff performs between
+  /// attempts (tests observe the backoff schedule without real delays).
+  /// nullptr restores the real sleep. Not thread-safe against
+  /// concurrent Open() calls — a test-only seam.
+  static void SetRetrySleepHookForTest(
+      std::function<void(std::chrono::microseconds)> hook);
 
   StoreReader(const StoreReader&) = delete;
   StoreReader& operator=(const StoreReader&) = delete;

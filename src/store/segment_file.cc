@@ -22,27 +22,28 @@ bool SeekTo(std::FILE* file, std::uint64_t pos) {
 }  // namespace
 
 Result<std::unique_ptr<SegmentFileWriter>> SegmentFileWriter::Create(
-    const std::string& path, double zeta, std::size_t block_budget_bytes) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IOError("cannot create segment file " + path);
-  }
+    const std::string& path, double zeta, std::size_t block_budget_bytes,
+    Env* env) {
+  OPERB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         ResolveEnv(env)->NewWritableFile(path));
   std::vector<std::uint8_t> header;
   EncodeFileHeader(zeta, &header);
-  if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
-      std::fflush(file) != 0) {
-    std::fclose(file);
+  const Status written = [&] {
+    OPERB_RETURN_IF_ERROR(file->Append(header));
+    return file->Flush();
+  }();
+  if (!written.ok()) {
     return Status::IOError("cannot write segment file header to " + path);
   }
   std::unique_ptr<SegmentFileWriter> writer(
-      new SegmentFileWriter(file, block_budget_bytes));
+      new SegmentFileWriter(std::move(file), block_budget_bytes));
   writer->stats_.file_bytes = header.size();
   return writer;
 }
 
-SegmentFileWriter::SegmentFileWriter(std::FILE* file,
+SegmentFileWriter::SegmentFileWriter(std::unique_ptr<WritableFile> file,
                                      std::size_t block_budget_bytes)
-    : block_budget_bytes_(block_budget_bytes), file_(file) {}
+    : block_budget_bytes_(block_budget_bytes), file_(std::move(file)) {}
 
 SegmentFileWriter::~SegmentFileWriter() { Close(); }
 
@@ -90,9 +91,13 @@ Status SegmentFileWriter::SealLocked() {
   frame.insert(frame.end(), payload.begin(), payload.end());
   EncodeFooter(footer, &frame);
 
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
-      std::fflush(file_) != 0) {
-    return Status::IOError("segment file block write failed");
+  const Status written = [&] {
+    OPERB_RETURN_IF_ERROR(file_->Append(frame));
+    return file_->Flush();
+  }();
+  if (!written.ok()) {
+    return Status::IOError("segment file block write failed: " +
+                           written.message());
   }
   ++stats_.blocks;
   stats_.payload_bytes += payload.size();
@@ -108,10 +113,9 @@ Status SegmentFileWriter::Close() {
   closed_ = true;
   const Status seal = SealLocked();
   if (!seal.ok() && first_error_.ok()) first_error_ = seal;
-  if (std::fclose(file_) != 0 && first_error_.ok()) {
-    first_error_ = Status::IOError("segment file close failed");
-  }
-  file_ = nullptr;
+  const Status closed = file_->Close();
+  if (!closed.ok() && first_error_.ok()) first_error_ = closed;
+  file_.reset();
   return first_error_;
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "store/env.h"
 #include "store/format.h"
 #include "traj/multi_object.h"
 
@@ -64,12 +65,13 @@ struct SegmentFileStats {
 /// open scan detects and drops.
 class SegmentFileWriter {
  public:
-  /// Opens `path` for writing (truncating any existing file) and writes
-  /// the v2 file header. IOError when the file cannot be created.
-  /// `block_budget_bytes` must already be validated by the caller
-  /// (StoreWriterOptions::Validate).
+  /// Opens `path` for writing (truncating any existing file) through
+  /// `env` (nullptr: the real filesystem) and writes the v2 file header.
+  /// IOError when the file cannot be created. `block_budget_bytes` must
+  /// already be validated by the caller (StoreWriterOptions::Validate).
   static Result<std::unique_ptr<SegmentFileWriter>> Create(
-      const std::string& path, double zeta, std::size_t block_budget_bytes);
+      const std::string& path, double zeta, std::size_t block_budget_bytes,
+      Env* env = nullptr);
 
   /// Seals any buffered segments into a final block and closes the file.
   ~SegmentFileWriter();
@@ -92,13 +94,14 @@ class SegmentFileWriter {
   const SegmentFileStats& stats() const { return stats_; }
 
  private:
-  SegmentFileWriter(std::FILE* file, std::size_t block_budget_bytes);
+  SegmentFileWriter(std::unique_ptr<WritableFile> file,
+                    std::size_t block_budget_bytes);
 
   /// Seals the pending buffer into one block. Caller holds mu_.
   Status SealLocked();
 
   std::size_t block_budget_bytes_ = 0;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
 
   std::mutex mu_;
   /// Pending segments per object, in arrival order. std::map: blocks are

@@ -108,7 +108,7 @@ Result<std::unique_ptr<StoreWriter>> StoreWriter::Create(
     OPERB_ASSIGN_OR_RETURN(std::unique_ptr<SegmentFileWriter> shard,
                            SegmentFileWriter::Create(
                                file_path, options.zeta,
-                               options.block_budget_bytes));
+                               options.block_budget_bytes, options.env));
     writer->shards_.push_back(std::move(shard));
     writer->session_files_.push_back(name);
     SegmentFileInfo info;
@@ -121,7 +121,8 @@ Result<std::unique_ptr<StoreWriter>> StoreWriter::Create(
 
   // The opening commit: from here a concurrent reader sees this
   // generation and serves every flushed block of the session's files.
-  OPERB_RETURN_IF_ERROR(WriteManifest(path, manifest));
+  OPERB_RETURN_IF_ERROR(WriteManifest(path, manifest, options.env));
+  writer->opened_ = true;
   std::vector<std::uint8_t> encoded;
   EncodeManifest(manifest, &encoded);
   writer->manifest_bytes_ = encoded.size();
@@ -156,8 +157,11 @@ Status StoreWriter::Close() {
 
   // Seal the session: re-read the manifest under the commit lock (a
   // background compaction may have advanced it) and flip this session's
-  // files to sealed in a new generation.
-  {
+  // files to sealed in a new generation. Skipped when the opening
+  // commit never happened — there is no session in the manifest to
+  // seal, and the half-built writer Create() destroys on its error
+  // paths dies while Create() still holds the commit mutex.
+  if (opened_) {
     const std::lock_guard<std::mutex> lock(ManifestCommitMutex(dir_));
     Result<Manifest> current = ReadManifest(dir_);
     if (!current.ok()) {
@@ -170,7 +174,7 @@ Status StoreWriter::Close() {
           if (f.name == name) f.sealed = true;
         }
       }
-      const Status commit = WriteManifest(dir_, manifest);
+      const Status commit = WriteManifest(dir_, manifest, options_.env);
       if (!commit.ok() && first_error_.ok()) first_error_ = commit;
       std::vector<std::uint8_t> encoded;
       EncodeManifest(manifest, &encoded);

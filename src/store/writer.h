@@ -46,6 +46,12 @@ struct StoreWriterOptions {
   /// directory's store files are removed and the store starts over.
   bool append = false;
 
+  /// Filesystem seam for every durable write (segment files, manifest
+  /// commits). nullptr: the real filesystem. Tests inject a
+  /// FaultInjectingEnv here to enumerate crash points (store/env.h).
+  /// Not owned; must outlive the writer.
+  Env* env = nullptr;
+
   /// Parameter-range check (the Status boundary for untrusted
   /// configuration, same contract as StreamEngineOptions::Validate).
   Status Validate() const;
@@ -135,6 +141,12 @@ class StoreWriter {
   std::vector<std::string> session_files_;
   std::vector<std::unique_ptr<SegmentFileWriter>> shards_;
   std::uint64_t manifest_bytes_ = 0;
+  /// True once the opening manifest commit succeeded. A writer whose
+  /// opening commit failed must not run Close()'s sealing commit: there
+  /// is no session to seal — and Create() still holds the store's
+  /// commit mutex when such a writer is destroyed, so re-locking it
+  /// there would self-deadlock.
+  bool opened_ = false;
   bool closed_ = false;
   Status first_error_;
   StoreWriterStats stats_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/serial.h"
+
 namespace operb::traj {
 
 namespace {
@@ -15,6 +17,43 @@ bool NearlyEqual(geo::Vec2 a, geo::Vec2 b) {
 }
 
 }  // namespace
+
+void SerializeSegment(const RepresentedSegment& s,
+                      std::vector<std::uint8_t>* out) {
+  serial::PutF64(s.start.x, out);
+  serial::PutF64(s.start.y, out);
+  serial::PutF64(s.end.x, out);
+  serial::PutF64(s.end.y, out);
+  serial::PutU64(s.first_index, out);
+  serial::PutU64(s.last_index, out);
+  serial::PutU8(s.start_is_patch ? 1 : 0, out);
+  serial::PutU8(s.end_is_patch ? 1 : 0, out);
+}
+
+Status DeserializeSegment(std::span<const std::uint8_t> in, std::size_t* pos,
+                          RepresentedSegment* s) {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  std::uint8_t start_patch = 0;
+  std::uint8_t end_patch = 0;
+  if (!serial::GetF64(in, pos, &s->start.x) ||
+      !serial::GetF64(in, pos, &s->start.y) ||
+      !serial::GetF64(in, pos, &s->end.x) ||
+      !serial::GetF64(in, pos, &s->end.y) ||
+      !serial::GetU64(in, pos, &first) || !serial::GetU64(in, pos, &last) ||
+      !serial::GetU8(in, pos, &start_patch) ||
+      !serial::GetU8(in, pos, &end_patch)) {
+    return Status::Corruption("truncated segment encoding");
+  }
+  if (start_patch > 1 || end_patch > 1) {
+    return Status::Corruption("segment patch flag out of range");
+  }
+  s->first_index = static_cast<std::size_t>(first);
+  s->last_index = static_cast<std::size_t>(last);
+  s->start_is_patch = start_patch != 0;
+  s->end_is_patch = end_patch != 0;
+  return Status::OK();
+}
 
 std::string RepresentedSegment::ToString() const {
   char buf[200];

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,18 @@ struct RepresentedSegment {
 
   std::string ToString() const;
 };
+
+/// Appends the byte-stable encoding of `s` (4 doubles, 2 u64 indices,
+/// 2 patch-flag bytes — 50 bytes, little-endian, doubles as IEEE-754 bit
+/// patterns). Building block of the simplifier state blobs the engine
+/// checkpoints; see common/serial.h for the encoding discipline.
+void SerializeSegment(const RepresentedSegment& s,
+                      std::vector<std::uint8_t>* out);
+
+/// Inverse of SerializeSegment, advancing `*pos`. Corruption on
+/// truncation or a patch-flag byte that is not 0/1.
+Status DeserializeSegment(std::span<const std::uint8_t> in, std::size_t* pos,
+                          RepresentedSegment* s);
 
 /// Consumer callback for streaming segment emission: the zero-allocation
 /// output path of the one-pass simplifiers. A stream with a sink installed

@@ -9,6 +9,9 @@
 // configurations.
 
 #include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,11 +25,14 @@
 #include "api/registry.h"
 #include "api/spec.h"
 #include "baselines/simplifier.h"
+#include "baselines/streaming.h"
+#include "common/serial.h"
 #include "core/operb.h"
 #include "datagen/profiles.h"
 #include "datagen/rng.h"
 #include "engine/spsc_ring.h"
 #include "engine/stream_engine.h"
+#include "store/env.h"
 #include "test_util.h"
 #include "traj/multi_object.h"
 #include "traj/piecewise.h"
@@ -80,6 +86,15 @@ class Collector {
     static const std::vector<traj::RepresentedSegment> kEmpty;
     const auto it = by_object_.find(id);
     return it == by_object_.end() ? kEmpty : it->second;
+  }
+
+  /// Locked copy — for reading while worker threads are still alive
+  /// (e.g. right after a Checkpoint() drain barrier, before Close()).
+  std::vector<traj::RepresentedSegment> Snapshot(traj::ObjectId id) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_object_.find(id);
+    return it == by_object_.end() ? std::vector<traj::RepresentedSegment>{}
+                                  : it->second;
   }
 
   std::size_t objects() const { return by_object_.size(); }
@@ -423,6 +438,359 @@ TEST(SpscRingTest, TryPushReportsPartialAcceptanceWhenFull) {
   EXPECT_EQ(ring.Pop(out, 6), 4u);
   EXPECT_EQ(out[0], 0);
   EXPECT_EQ(out[3], 3);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / restore (ISSUE 7 tentpole; see DESIGN.md §9)
+// ---------------------------------------------------------------------
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<std::uint8_t> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path,
+                   const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Global index of the update whose Push emits the first mid-stream
+/// segment anywhere in the interleave — cutting just before it
+/// checkpoints the richest possible pending state. Falls back to a
+/// one-third cut for the batch adapters that only emit on Finish.
+std::size_t FirstEmitCut(baselines::Algorithm algo,
+                         const std::vector<traj::ObjectUpdate>& updates) {
+  std::map<traj::ObjectId, std::unique_ptr<baselines::StreamingSimplifier>>
+      sims;
+  bool emitted = false;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    std::unique_ptr<baselines::StreamingSimplifier>& sim =
+        sims[updates[i].object_id];
+    if (sim == nullptr) {
+      sim = baselines::MakeStreamingSimplifier(algo, kGoldenZeta);
+      sim->SetSink(
+          [&emitted](const traj::RepresentedSegment&) { emitted = true; });
+    }
+    sim->Push(updates[i].point);
+    if (emitted) return i;
+  }
+  return updates.size() / 3;
+}
+
+class EngineCheckpointTest
+    : public testing::TestWithParam<baselines::Algorithm> {};
+
+TEST_P(EngineCheckpointTest, RestoreResumesBitIdenticallyAtEveryCut) {
+  const baselines::Algorithm algo = GetParam();
+  const std::vector<datagen::DatasetKind> kinds = datagen::AllDatasetKinds();
+  std::vector<traj::ObjectTrajectory> objects;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    objects.push_back({i * 7919 + 3, GoldenTrajectory(kinds[i])});
+  }
+  const std::vector<traj::ObjectUpdate> updates =
+      ShuffleInterleave(objects, /*seed=*/77);
+
+  engine::StreamEngineOptions opts;
+  opts.spec = api::SpecFor(algo, kGoldenZeta);
+  opts.num_shards = 2;
+  opts.num_threads = 2;
+
+  // Uninterrupted reference run (itself golden-anchored below).
+  Collector uninterrupted;
+  engine::StreamEngineStats full_stats;
+  {
+    engine::StreamEngine eng(opts, uninterrupted.Sink());
+    eng.Push(std::span<const traj::ObjectUpdate>(updates));
+    eng.Close();
+    full_stats = eng.stats();
+  }
+
+  // Cut at the very start (empty state), mid-stream, and right before
+  // the first emission-triggering update (maximal pending state).
+  const std::size_t cuts[] = {0, updates.size() / 2,
+                              FirstEmitCut(algo, updates)};
+  for (const std::size_t cut : cuts) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    // Unique per test instance: the suite's cases run concurrently
+    // under `ctest -j` and must not overwrite each other's snapshots.
+    const std::string path =
+        TempPath("engine_checkpoint_" +
+                 std::string(baselines::AlgorithmName(algo)) + ".ckpt");
+
+    Collector prefix;
+    auto eng = engine::StreamEngine::Create(opts, prefix.Sink());
+    ASSERT_TRUE(eng.ok()) << eng.status().ToString();
+    eng.value()->Push(std::span<const traj::ObjectUpdate>(updates).first(cut));
+    const Status written = eng.value()->Checkpoint(path);
+    ASSERT_TRUE(written.ok()) << written.ToString();
+    // Snapshot before Close(): Close flushes tails that the resumed
+    // engine — not this one — must produce.
+    std::map<traj::ObjectId, std::vector<traj::RepresentedSegment>> combined;
+    for (const traj::ObjectTrajectory& o : objects) {
+      combined[o.object_id] = prefix.Snapshot(o.object_id);
+    }
+    eng.value()->Close();
+
+    // Worker/ring/batch knobs may differ freely across the restore —
+    // only spec and shard count are identity (determinism contract).
+    engine::StreamEngineOptions resume_opts = opts;
+    resume_opts.num_threads = 1;
+    resume_opts.ring_capacity = 64;
+    resume_opts.producer_batch = 8;
+    Collector tail;
+    auto restored = engine::StreamEngine::CreateFromCheckpoint(
+        path, resume_opts, tail.Sink());
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    restored.value()->Push(
+        std::span<const traj::ObjectUpdate>(updates).subspan(cut));
+    restored.value()->Close();
+
+    // Counters continue across the cut as if nothing happened: the
+    // restored engine's totals equal the uninterrupted run's.
+    EXPECT_EQ(restored.value()->stats().points, updates.size());
+    EXPECT_EQ(restored.value()->stats().segments, full_stats.segments);
+    EXPECT_EQ(restored.value()->stats().objects_finished,
+              full_stats.objects_finished);
+
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      std::vector<traj::RepresentedSegment>& c =
+          combined[objects[i].object_id];
+      const std::vector<traj::RepresentedSegment> rest =
+          tail.Snapshot(objects[i].object_id);
+      c.insert(c.end(), rest.begin(), rest.end());
+      // Bit-identical to the uninterrupted engine run…
+      ExpectSegmentsEqual(
+          c, uninterrupted.ForObject(objects[i].object_id),
+          std::string(datagen::DatasetName(kinds[i])) + " across cut " +
+              std::to_string(cut));
+      // …and to the committed golden fixture.
+      const std::string golden_path =
+          std::string(OPERB_GOLDEN_DIR) + "/golden_" +
+          std::string(baselines::AlgorithmName(algo)) + "_" +
+          std::string(datagen::DatasetName(kinds[i])) + ".csv";
+      ExpectSegmentsEqual(c, LoadGolden(golden_path),
+                          std::string(datagen::DatasetName(kinds[i])) +
+                              " golden across cut " + std::to_string(cut));
+      if (HasFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, EngineCheckpointTest,
+    testing::ValuesIn(baselines::AllAlgorithms()),
+    [](const testing::TestParamInfo<baselines::Algorithm>& info) {
+      std::string name = std::string(baselines::AlgorithmName(info.param));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(EngineTest, CheckpointStatusContract) {
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kSerCar, 200, 5);
+  engine::StreamEngineOptions opts;
+  opts.spec = api::SpecFor(baselines::Algorithm::kOPERB, kGoldenZeta);
+  opts.num_shards = 4;
+
+  const std::string path = TempPath("engine_ckpt_contract.ckpt");
+  {
+    engine::StreamEngine eng(opts, nullptr);
+    for (std::size_t i = 0; i < t.size(); ++i) eng.Push(11, t[i]);
+    for (std::size_t i = 0; i < t.size(); ++i) eng.Push(12, t[i]);
+    ASSERT_TRUE(eng.Checkpoint(path).ok());
+    eng.Close();
+    // A closed engine has nothing consistent left to snapshot.
+    EXPECT_EQ(eng.Checkpoint(path).code(), StatusCode::kInvalidArgument);
+  }
+  const std::vector<std::uint8_t> good = ReadAllBytes(path);
+  ASSERT_GT(good.size(), 16u);
+
+  const auto restore = [&](const std::vector<std::uint8_t>& bytes) {
+    WriteAllBytes(path, bytes);
+    return engine::StreamEngine::CreateFromCheckpoint(path, opts, nullptr)
+        .status();
+  };
+
+  // A missing file is an I/O condition, not corruption.
+  EXPECT_EQ(engine::StreamEngine::CreateFromCheckpoint(
+                TempPath("no_such.ckpt"), opts, nullptr)
+                .status()
+                .code(),
+            StatusCode::kIOError);
+
+  // Foreign magic / flipped payload byte / truncation / trailing
+  // garbage: all Corruption — the checksum and framing catch them.
+  std::vector<std::uint8_t> bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_EQ(restore(bad).code(), StatusCode::kCorruption);
+  bad = good;
+  bad[good.size() / 2] ^= 0x01;
+  EXPECT_EQ(restore(bad).code(), StatusCode::kCorruption);
+  bad.assign(good.begin(), good.end() - 9);
+  EXPECT_EQ(restore(bad).code(), StatusCode::kCorruption);
+  bad = good;
+  bad.insert(bad.end(), {1, 2, 3, 4});
+  EXPECT_EQ(restore(bad).code(), StatusCode::kCorruption);
+  for (std::size_t len = 0; len < 16u && len < good.size(); ++len) {
+    bad.assign(good.begin(), good.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_EQ(restore(bad).code(), StatusCode::kCorruption) << len;
+  }
+
+  // An unsupported *version* with an intact checksum: InvalidArgument —
+  // the file is honest about being from a future writer, not damaged.
+  bad = good;
+  bad[8] += 1;
+  std::uint64_t sum = serial::Fnv1a64(
+      std::span<const std::uint8_t>(bad.data(), bad.size() - 8));
+  for (std::size_t i = 0; i < 8; ++i) {
+    bad[bad.size() - 8 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+  EXPECT_EQ(restore(bad).code(), StatusCode::kInvalidArgument);
+
+  // Configuration mismatches: the checkpoint pins spec and shard count.
+  WriteAllBytes(path, good);
+  engine::StreamEngineOptions wrong_spec = opts;
+  wrong_spec.spec = api::SpecFor(baselines::Algorithm::kDP, kGoldenZeta);
+  EXPECT_EQ(engine::StreamEngine::CreateFromCheckpoint(path, wrong_spec,
+                                                       nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  engine::StreamEngineOptions wrong_zeta = opts;
+  wrong_zeta.spec = api::SpecFor(baselines::Algorithm::kOPERB, 2 * kGoldenZeta);
+  EXPECT_EQ(engine::StreamEngine::CreateFromCheckpoint(path, wrong_zeta,
+                                                       nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  engine::StreamEngineOptions wrong_shards = opts;
+  wrong_shards.num_shards = 8;
+  EXPECT_EQ(engine::StreamEngine::CreateFromCheckpoint(path, wrong_shards,
+                                                       nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // The intact file still restores after all that.
+  auto ok = engine::StreamEngine::CreateFromCheckpoint(path, opts, nullptr);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ok.value()->Close();
+  EXPECT_EQ(ok.value()->stats().points, 2 * t.size());
+}
+
+TEST(EngineTest, CheckpointWriteFaultsLeaveNoPartialCheckpoint) {
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kTaxi, 150, 9);
+  engine::StreamEngineOptions opts;
+  opts.spec = api::SpecFor(baselines::Algorithm::kOPERB, kGoldenZeta);
+  opts.num_shards = 2;
+  engine::StreamEngine eng(opts, nullptr);
+  for (std::size_t i = 0; i < t.size(); ++i) eng.Push(3, t[i]);
+
+  // Counting pass: how many durable operations one checkpoint performs.
+  const std::string path = TempPath("engine_ckpt_faults.ckpt");
+  store::FaultInjectingEnv env;
+  ASSERT_TRUE(eng.Checkpoint(path, &env).ok());
+  const std::uint64_t ops = env.op_count();
+  ASSERT_GE(ops, 4u);  // create, append, flush, rename at minimum
+  std::filesystem::remove(path);
+
+  // Every crash point, every fault kind: the failure surfaces as
+  // IOError and `path` never holds a partial checkpoint — at most a
+  // stale .tmp the next attempt truncates.
+  using FaultKind = store::FaultInjectingEnv::FaultKind;
+  for (const FaultKind kind : {FaultKind::kError, FaultKind::kShortWrite,
+                               FaultKind::kTornWriteCrash}) {
+    for (std::uint64_t k = 0; k < ops; ++k) {
+      SCOPED_TRACE("fault kind " + std::to_string(static_cast<int>(kind)) +
+                   " at op " + std::to_string(k));
+      env.ArmFault(kind, k);
+      EXPECT_EQ(eng.Checkpoint(path, &env).code(), StatusCode::kIOError);
+      EXPECT_TRUE(env.fault_fired());
+      EXPECT_FALSE(std::filesystem::exists(path));
+    }
+  }
+
+  // A failed checkpoint is not fatal: the engine keeps streaming, the
+  // next attempt succeeds, and the file restores.
+  env.Disarm();
+  for (std::size_t i = 0; i < t.size(); ++i) eng.Push(4, t[i]);
+  ASSERT_TRUE(eng.Checkpoint(path, &env).ok());
+  auto restored =
+      engine::StreamEngine::CreateFromCheckpoint(path, opts, nullptr);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  restored.value()->Close();
+  EXPECT_EQ(restored.value()->stats().points, 2 * t.size());
+  eng.Close();
+}
+
+TEST(EngineTest, PeriodicCheckpointsDuringConcurrentIngest) {
+  // The TSan target for the checkpoint path: a multi-threaded engine
+  // ingesting while the producer periodically checkpoints — the drain
+  // barrier must fully synchronize against every worker, and the
+  // resumed tail must complete the prefix output bit-identically.
+  const std::vector<datagen::DatasetKind> kinds = datagen::AllDatasetKinds();
+  std::vector<traj::ObjectTrajectory> objects;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    objects.push_back({i * 131 + 1, GoldenTrajectory(kinds[i])});
+  }
+  const std::vector<traj::ObjectUpdate> updates =
+      ShuffleInterleave(objects, /*seed=*/5);
+
+  engine::StreamEngineOptions opts;
+  opts.spec = api::SpecFor(baselines::Algorithm::kOPERBA, kGoldenZeta);
+  opts.num_shards = 8;
+  opts.num_threads = 4;
+  opts.ring_capacity = 256;
+
+  const std::string path = TempPath("engine_ckpt_concurrent.ckpt");
+  Collector collector;
+  engine::StreamEngine eng(opts, collector.Sink());
+  const std::span<const traj::ObjectUpdate> all(updates);
+  const std::size_t kChunk = 400;
+  std::size_t checkpoints = 0;
+  for (std::size_t offset = 0; offset < all.size(); offset += kChunk) {
+    eng.Push(all.subspan(offset, std::min(kChunk, all.size() - offset)));
+    const Status written = eng.Checkpoint(path);
+    ASSERT_TRUE(written.ok()) << written.ToString();
+    ++checkpoints;
+  }
+  ASSERT_GT(checkpoints, 2u);
+
+  // Prefix output as of the last checkpoint (pre-Close flush).
+  std::map<traj::ObjectId, std::vector<traj::RepresentedSegment>> combined;
+  for (const traj::ObjectTrajectory& o : objects) {
+    combined[o.object_id] = collector.Snapshot(o.object_id);
+  }
+  eng.Close();  // flushes tails; the full reference output
+
+  // The resumed engine has nothing left to ingest — its Close() must
+  // emit exactly the tails the original Close() emitted.
+  Collector tails;
+  auto restored =
+      engine::StreamEngine::CreateFromCheckpoint(path, opts, tails.Sink());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  restored.value()->Close();
+  EXPECT_EQ(restored.value()->stats().points, updates.size());
+
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    std::vector<traj::RepresentedSegment>& c = combined[objects[i].object_id];
+    const std::vector<traj::RepresentedSegment> rest =
+        tails.Snapshot(objects[i].object_id);
+    c.insert(c.end(), rest.begin(), rest.end());
+    ExpectSegmentsEqual(c, collector.ForObject(objects[i].object_id),
+                        std::string(datagen::DatasetName(kinds[i])) +
+                            " resumed tail");
+  }
 }
 
 }  // namespace

@@ -31,6 +31,7 @@
 #include "eval/verifier.h"
 #include "geo/bbox.h"
 #include "store/compactor.h"
+#include "store/env.h"
 #include "store/format.h"
 #include "store/manifest.h"
 #include "store/reader.h"
@@ -1138,6 +1139,393 @@ TEST(StoreQueryApiTest, PipelineWriteStoreOnEnginePathRoundTrips) {
       EXPECT_EQ(s.t_start, obj.trajectory[s.segment.first_index].t);
       EXPECT_EQ(s.t_end, obj.trajectory[s.segment.last_index].t);
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Env seam: deterministic fault injection and crash-point recovery
+// (the ISSUE 7 robustness suite; see DESIGN.md §9)
+// ---------------------------------------------------------------------
+
+TEST(StoreEnvTest, FaultInjectingEnvCountsAndInjectsDeterministically) {
+  const std::string path = TempPath("env_unit.bin");
+  store::FaultInjectingEnv env;
+
+  // Disarmed: pure pass-through, counting create/append/flush/rename/
+  // remove — and not Close, which models no durable transition of its
+  // own (the flush before it does).
+  {
+    auto file = env.NewWritableFile(path);  // op 0
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    const std::vector<std::uint8_t> payload(8, 0xAB);
+    ASSERT_TRUE(file.value()->Append(payload).ok());  // op 1
+    ASSERT_TRUE(file.value()->Flush().ok());          // op 2
+    ASSERT_TRUE(file.value()->Close().ok());          // uncounted
+    ASSERT_TRUE(env.Rename(path, path + ".renamed").ok());  // op 3
+    ASSERT_TRUE(env.Remove(path + ".renamed").ok());        // op 4
+    EXPECT_EQ(env.op_count(), 5u);
+    EXPECT_FALSE(env.fault_fired());
+  }
+  // Base-env semantics shine through where no fault is armed.
+  EXPECT_EQ(env.Remove(path).code(), StatusCode::kNotFound);
+
+  // kError: exactly the armed operation fails, earlier and later ones
+  // succeed, and ArmFault resets the counter.
+  env.ArmFault(store::FaultInjectingEnv::FaultKind::kError, 1);
+  {
+    auto file = env.NewWritableFile(path);  // op 0 succeeds
+    ASSERT_TRUE(file.ok());
+    const std::vector<std::uint8_t> payload(8, 0xCD);
+    EXPECT_EQ(file.value()->Append(payload).code(), StatusCode::kIOError);
+    EXPECT_TRUE(env.fault_fired());
+    EXPECT_TRUE(file.value()->Append(payload).ok());  // op 2 succeeds again
+    EXPECT_TRUE(file.value()->Flush().ok());
+    EXPECT_TRUE(file.value()->Close().ok());
+  }
+  EXPECT_EQ(ReadFileBytes(path).size(), 8u);
+
+  // kShortWrite: the armed append persists exactly half its bytes (a
+  // torn write) and reports failure; the process keeps running and
+  // later operations succeed.
+  env.ArmFault(store::FaultInjectingEnv::FaultKind::kShortWrite, 1);
+  {
+    auto file = env.NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    const std::vector<std::uint8_t> payload(8, 0xEF);
+    EXPECT_EQ(file.value()->Append(payload).code(), StatusCode::kIOError);
+    EXPECT_TRUE(file.value()->Close().ok());
+    EXPECT_TRUE(env.Rename(path, path + ".renamed").ok());
+    EXPECT_TRUE(env.Rename(path + ".renamed", path).ok());
+  }
+  EXPECT_EQ(ReadFileBytes(path).size(), 4u);
+
+  // kTornWriteCrash: the torn write is the process's last successful
+  // act — every later operation fails, like a machine that went down.
+  env.ArmFault(store::FaultInjectingEnv::FaultKind::kTornWriteCrash, 1);
+  {
+    auto file = env.NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    const std::vector<std::uint8_t> payload(8, 0x99);
+    EXPECT_EQ(file.value()->Append(payload).code(), StatusCode::kIOError);
+    EXPECT_EQ(file.value()->Flush().code(), StatusCode::kIOError);
+  }
+  EXPECT_EQ(env.Rename(path, path + ".renamed").code(), StatusCode::kIOError);
+  EXPECT_EQ(env.Remove(path).code(), StatusCode::kIOError);
+  EXPECT_EQ(ReadFileBytes(path).size(), 4u);
+
+  env.Disarm();
+  EXPECT_EQ(env.op_count(), 0u);
+  EXPECT_TRUE(env.Remove(path).ok());  // the "crash" ends with the env
+}
+
+/// A small deterministic 3-object feed for the crash matrix — enough
+/// segments per shard to seal multiple blocks at the 1 KiB budget, small
+/// enough that the full op matrix stays a few hundred pipeline runs.
+std::vector<std::vector<traj::TimedSegment>> CrashFeed() {
+  std::vector<std::vector<traj::TimedSegment>> feed;
+  for (traj::ObjectId id = 0; id < 3; ++id) {
+    const traj::Trajectory t = testutil::Generated(
+        datagen::DatasetKind::kTaxi, 120, 90 + static_cast<int>(id));
+    feed.push_back(SimplifyTimed(t, baselines::Algorithm::kOPERB, id));
+  }
+  return feed;
+}
+
+/// The store's full durable-write pipeline under a pluggable Env: a
+/// creating session (object 0), an appending session (objects 1..), then
+/// a compaction pass. Stops at the first error — a crashed process does
+/// not keep going. The optional watermarks report the op counter after
+/// each completed phase, which the counting run uses to classify crash
+/// points.
+Status RunCrashPipeline(
+    const std::string& dir, store::FaultInjectingEnv* env,
+    const std::vector<std::vector<traj::TimedSegment>>& feed,
+    std::uint64_t* after_session1 = nullptr,
+    std::uint64_t* after_session2 = nullptr) {
+  store::StoreWriterOptions options;
+  options.zeta = testutil::kGoldenZeta;
+  options.block_budget_bytes = 1024;
+  options.num_shards = 2;
+  options.env = env;
+  {
+    auto writer = store::StoreWriter::Create(dir, options);
+    if (!writer.ok()) return writer.status();
+    for (const traj::TimedSegment& s : feed[0]) {
+      const Status appended = writer.value()->Append(s);
+      if (!appended.ok()) return appended;
+    }
+    const Status closed = writer.value()->Close();
+    if (!closed.ok()) return closed;
+  }
+  if (after_session1 != nullptr) *after_session1 = env->op_count();
+  {
+    store::StoreWriterOptions session = options;
+    session.append = true;
+    auto writer = store::StoreWriter::Create(dir, session);
+    if (!writer.ok()) return writer.status();
+    for (std::size_t id = 1; id < feed.size(); ++id) {
+      for (const traj::TimedSegment& s : feed[id]) {
+        const Status appended = writer.value()->Append(s);
+        if (!appended.ok()) return appended;
+      }
+    }
+    const Status closed = writer.value()->Close();
+    if (!closed.ok()) return closed;
+  }
+  if (after_session2 != nullptr) *after_session2 = env->op_count();
+  store::CompactionOptions compaction;
+  compaction.env = env;
+  store::Compactor compactor(dir, compaction);
+  return compactor.Run().status();
+}
+
+TEST(StoreTest, CrashPointMatrixRecoversAtEveryFault) {
+  const std::vector<std::vector<traj::TimedSegment>> feed = CrashFeed();
+
+  // Counting run: how many durable operations the pipeline performs,
+  // where each phase ends, and what the intact store answers.
+  const std::string golden_dir = TempPath("crash_golden.store");
+  std::filesystem::remove_all(golden_dir);
+  store::FaultInjectingEnv counting;
+  std::uint64_t after_session1 = 0;
+  std::uint64_t after_session2 = 0;
+  const Status golden_run = RunCrashPipeline(golden_dir, &counting, feed,
+                                             &after_session1, &after_session2);
+  ASSERT_TRUE(golden_run.ok()) << golden_run.ToString();
+  const std::uint64_t total_ops = counting.op_count();
+  ASSERT_GT(after_session1, 0u);
+  ASSERT_GT(after_session2, after_session1);
+  ASSERT_GT(total_ops, after_session2);
+
+  // Every operation index × every fault kind: run the pipeline into the
+  // injected failure, then reopen with the real filesystem and demand a
+  // sane store — never Corruption, and nothing lost that an earlier
+  // phase had already made durable.
+  using FaultKind = store::FaultInjectingEnv::FaultKind;
+  for (const FaultKind kind : {FaultKind::kError, FaultKind::kShortWrite,
+                               FaultKind::kTornWriteCrash}) {
+    for (std::uint64_t k = 0; k < total_ops; ++k) {
+      SCOPED_TRACE("fault kind " + std::to_string(static_cast<int>(kind)) +
+                   " at op " + std::to_string(k) + "/" +
+                   std::to_string(total_ops));
+      const std::string dir = TempPath("crash_matrix.store");
+      std::filesystem::remove_all(dir);
+      store::FaultInjectingEnv env;
+      env.ArmFault(kind, k);
+      // The run's status is deliberately ignored: some faults surface
+      // (a failed manifest commit), some are absorbed (a failed orphan
+      // unlink). Recovery below is the contract.
+      (void)RunCrashPipeline(dir, &env, feed);
+      EXPECT_TRUE(env.fault_fired());
+
+      const auto reopened = store::StoreReader::Open(dir);
+      if (!reopened.ok()) {
+        // Acceptable only when the store never became visible — a crash
+        // before the first manifest commit. An absent store, never a
+        // corrupt one.
+        EXPECT_NE(reopened.status().code(), StatusCode::kCorruption)
+            << reopened.status().ToString();
+        EXPECT_LT(k, after_session1);
+        continue;
+      }
+      for (std::size_t id = 0; id < feed.size(); ++id) {
+        const auto rec = reopened.value()->ReconstructObject(
+            static_cast<traj::ObjectId>(id));
+        ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+        const std::vector<traj::TimedSegment>& expected = feed[id];
+        // Whatever survived is a prefix of the emission order — blocks
+        // become durable in order, and readers drop torn tails.
+        ASSERT_LE(rec->size(), expected.size());
+        for (std::size_t i = 0; i < rec->size(); ++i) {
+          EXPECT_EQ((*rec)[i].object_id, expected[i].object_id);
+          EXPECT_EQ((*rec)[i].t_start, expected[i].t_start);
+          EXPECT_EQ((*rec)[i].t_end, expected[i].t_end);
+        }
+        testutil::ExpectSegmentsEqual(
+            Untimed(*rec),
+            Untimed(std::vector<traj::TimedSegment>(
+                expected.begin(),
+                expected.begin() + static_cast<std::ptrdiff_t>(rec->size()))),
+            "crash prefix, object " + std::to_string(id));
+        // Completed phases are durable: object 0's session closed before
+        // op after_session1; everything closed before compaction began.
+        if ((id == 0 && k >= after_session1) || k >= after_session2) {
+          EXPECT_EQ(rec->size(), expected.size())
+              << "a crash at op " << k
+              << " lost data an earlier phase had sealed and flushed";
+        }
+      }
+    }
+  }
+}
+
+TEST(StoreTest, OpenRetriesManifestSwapRaceWithCappedBackoff) {
+  const std::string path = TempPath("store_backoff.store");
+  std::filesystem::remove_all(path);
+  const traj::Trajectory t = testutil::ZigZag(60);
+  const std::vector<traj::TimedSegment> all =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 3);
+  { WriteAndOpen(path, all); }
+
+  // Hide the manifest-named segment file: Open now fails exactly the
+  // way it does when a compaction commit swaps files underneath it.
+  const std::string seg = OnlySegmentFile(path);
+  const std::string hidden = seg + ".hidden";
+  std::filesystem::rename(seg, hidden);
+
+  // The injected sleep observes the schedule and "loses the race" twice
+  // before the store heals — the third attempt succeeds.
+  std::vector<std::chrono::microseconds> sleeps;
+  store::StoreReader::SetRetrySleepHookForTest(
+      [&](std::chrono::microseconds d) {
+        sleeps.push_back(d);
+        if (sleeps.size() == 2) std::filesystem::rename(hidden, seg);
+      });
+
+  const auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->open_info().open_retries, 2u);
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], std::chrono::microseconds(100));
+  EXPECT_EQ(sleeps[1], std::chrono::microseconds(200));
+
+  // The count rides along on every query's stats, so callers can see
+  // contention without instrumenting Open themselves.
+  store::StoreQueryStats stats;
+  const auto rec = reader.value()->ReconstructObject(3, -kInf, kInf, &stats);
+  ASSERT_TRUE(rec.ok());
+  ExpectTimedEqual(*rec, all, "after retried open");
+  EXPECT_EQ(stats.open_retries, 2u);
+
+  // A race that never resolves: the schedule doubles from 100us and the
+  // reader gives up after the attempt cap with the underlying IOError —
+  // bounded patience, no spin and no hang.
+  sleeps.clear();
+  store::StoreReader::SetRetrySleepHookForTest(
+      [&](std::chrono::microseconds d) { sleeps.push_back(d); });
+  std::filesystem::rename(seg, hidden);
+  const auto failed = store::StoreReader::Open(path);
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+  ASSERT_EQ(sleeps.size(), 5u);
+  const std::chrono::microseconds want[] = {
+      std::chrono::microseconds(100), std::chrono::microseconds(200),
+      std::chrono::microseconds(400), std::chrono::microseconds(800),
+      std::chrono::microseconds(1600)};
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(sleeps[i], want[i]);
+
+  std::filesystem::rename(hidden, seg);
+  store::StoreReader::SetRetrySleepHookForTest(nullptr);
+}
+
+TEST(StoreCompactionTest, PauseGuardQuiescesTheBackgroundLoop) {
+  const std::string path = TempPath("store_pause.store");
+  std::filesystem::remove_all(path);
+  const std::vector<std::vector<traj::TimedSegment>> feed = CrashFeed();
+  store::StoreWriterOptions options;
+  options.zeta = testutil::kGoldenZeta;
+  options.block_budget_bytes = 1024;
+  options.num_shards = 2;
+  {
+    auto writer = store::StoreWriter::Create(path, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const traj::TimedSegment& s : feed[0]) {
+      ASSERT_TRUE(writer.value()->Append(s).ok());
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+
+  store::BackgroundCompactor background(path, {},
+                                        std::chrono::milliseconds(1));
+  background.Start();
+  for (int i = 0; i < 5000 && background.total_stats().shards_examined == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(background.total_stats().shards_examined, 0u);
+
+  std::uint64_t frozen = 0;
+  {
+    store::BackgroundCompactor::PauseGuard guard(background);
+    // Pauses nest (an engine checkpoint inside a paused CLI section).
+    { store::BackgroundCompactor::PauseGuard nested(background); }
+    frozen = background.total_stats().shards_examined;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    // No pass ran while paused — the store was exclusively ours.
+    EXPECT_EQ(background.total_stats().shards_examined, frozen);
+    // So a foreground session can run without racing the compactor.
+    store::StoreWriterOptions session = options;
+    session.append = true;
+    auto writer = store::StoreWriter::Create(path, session);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (std::size_t id = 1; id < feed.size(); ++id) {
+      for (const traj::TimedSegment& s : feed[id]) {
+        ASSERT_TRUE(writer.value()->Append(s).ok());
+      }
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+
+  // Resumed: the loop picks the new session up on its own.
+  for (int i = 0;
+       i < 5000 && background.total_stats().shards_examined == frozen; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(background.total_stats().shards_examined, frozen);
+  background.Stop();
+  EXPECT_TRUE(background.last_status().ok())
+      << background.last_status().ToString();
+
+  const auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  for (std::size_t id = 0; id < feed.size(); ++id) {
+    const auto rec =
+        reader.value()->ReconstructObject(static_cast<traj::ObjectId>(id));
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    ExpectTimedEqual(*rec, feed[id],
+                     "post-pause object " + std::to_string(id));
+  }
+}
+
+TEST(StoreCompactionTest, PauseResumeRacingStopIsSafe) {
+  // TSan target: PauseGuard sections racing Stop() in every interleaving
+  // — pause before stop, stop mid-pause, pause after the loop is gone.
+  // The invariants are no deadlock, no double-join, no race.
+  const std::string path = TempPath("store_pause_race.store");
+  std::filesystem::remove_all(path);
+  const traj::Trajectory t = testutil::ZigZag(40);
+  const std::vector<traj::TimedSegment> all =
+      SimplifyTimed(t, baselines::Algorithm::kOPERB, 1);
+  {
+    store::StoreWriterOptions options;
+    options.zeta = testutil::kGoldenZeta;
+    auto writer = store::StoreWriter::Create(path, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const traj::TimedSegment& s : all) {
+      ASSERT_TRUE(writer.value()->Append(s).ok());
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    store::BackgroundCompactor background(path, {},
+                                          std::chrono::milliseconds(1));
+    background.Start();
+    std::atomic<bool> go{false};
+    std::thread pauser([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < 50; ++i) {
+        store::BackgroundCompactor::PauseGuard guard(background);
+        std::this_thread::yield();
+      }
+    });
+    std::thread stopper([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      background.Stop();
+    });
+    go.store(true, std::memory_order_release);
+    pauser.join();
+    stopper.join();
+    background.Stop();  // idempotent after the race resolved
   }
 }
 

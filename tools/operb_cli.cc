@@ -96,6 +96,11 @@ struct CliOptions {
   std::string save_input_path;  ///< write the input trajectory as CSV
   std::string store_out_path;   ///< write a queryable segment store
   std::uint64_t store_shards = 1;  ///< shard count for --store-out
+
+  // Engine checkpoint/restore (--group-by-id only).
+  std::string checkpoint_out_path;   ///< snapshot engine state here
+  std::uint64_t checkpoint_every = 0;  ///< 0 = once, after the last update
+  std::string resume_path;           ///< restore engine state from here
   bool clean = false;           ///< repair raw streams before simplifying
   bool verify = true;
   double verify_slack = 1e-9;
@@ -156,6 +161,29 @@ void PrintUsage(std::FILE* out) {
                "  --objects K           with --generate: synthesize K "
                "objects, round-robin\n"
                "                        interleaved (default 8)\n"
+               "\n"
+               "Checkpoint/restore (engine mode, requires --group-by-id):\n"
+               "  --checkpoint-out PATH snapshot the engine's complete "
+               "streaming state to\n"
+               "                        PATH (atomic temp-file + rename) "
+               "after the last\n"
+               "                        update — or repeatedly, with "
+               "--checkpoint-every\n"
+               "  --checkpoint-every N  rewrite the checkpoint after every N "
+               "ingested\n"
+               "                        updates (requires --checkpoint-out)\n"
+               "  --resume PATH         restore the engine from a checkpoint "
+               "and feed it the\n"
+               "                        stream's *remainder*; the emitted "
+               "segments are\n"
+               "                        bit-identical to the uninterrupted "
+               "run's tail. The\n"
+               "                        spec and shard count must match the "
+               "checkpoint.\n"
+               "                        Implies --no-verify (verification "
+               "needs the full\n"
+               "                        stream); excludes --clean and "
+               "--store-out\n"
                "\n"
                "Store (write side):\n"
                "  --store-out PATH      additionally persist the simplified "
@@ -319,6 +347,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
   bool engine_flag_seen = false;  // --threads/--shards/--objects
   bool no_verify_seen = false;
   bool store_shards_seen = false;
+  bool checkpoint_flag_seen = false;  // --checkpoint-out/-every/--resume
+  bool checkpoint_every_seen = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -330,6 +360,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
                arg == "--save-input" || arg == "--threads" ||
                arg == "--shards" || arg == "--objects" ||
                arg == "--store-out" || arg == "--store-shards" ||
+               arg == "--checkpoint-out" || arg == "--checkpoint-every" ||
+               arg == "--resume" ||
                arg == "--query" || arg == "--compact" ||
                arg == "--object" || arg == "--from" || arg == "--to" ||
                arg == "--at" || arg == "--window") {
@@ -402,6 +434,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
                        value);
           return false;
         }
+      } else if (arg == "--checkpoint-out") {
+        checkpoint_flag_seen = true;
+        options->checkpoint_out_path = value;
+      } else if (arg == "--checkpoint-every") {
+        checkpoint_flag_seen = true;
+        checkpoint_every_seen = true;
+        // Same typo ceiling as the generation flags: a wrapped or absurd
+        // cadence fails as a usage error.
+        constexpr std::uint64_t kMaxCheckpointEvery = 1'000'000'000;
+        if (!ParseU64(value, &options->checkpoint_every) ||
+            options->checkpoint_every == 0 ||
+            options->checkpoint_every > kMaxCheckpointEvery) {
+          std::fprintf(stderr,
+                       "operb_cli: --checkpoint-every must be an integer in "
+                       "1..%llu, got '%s'\n",
+                       static_cast<unsigned long long>(kMaxCheckpointEvery),
+                       value);
+          return false;
+        }
+      } else if (arg == "--resume") {
+        checkpoint_flag_seen = true;
+        options->resume_path = value;
       } else if (arg == "--query") {
         options->query_mode = true;
         options->query.store_path = value;
@@ -523,7 +577,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
     if (inputs > 0 || options->query_mode || query_flag_seen ||
         !options->store_out_path.empty() || store_shards_seen ||
         options->group_by_id || options->clean || spec_flag_seen ||
-        engine_flag_seen || no_verify_seen ||
+        engine_flag_seen || no_verify_seen || checkpoint_flag_seen ||
         !options->output_path.empty() ||
         !options->save_input_path.empty()) {
       std::fprintf(stderr,
@@ -540,7 +594,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
     if (inputs > 0 || !options->store_out_path.empty() ||
         store_shards_seen || options->group_by_id || options->clean ||
         spec_flag_seen || engine_flag_seen || no_verify_seen ||
-        !options->save_input_path.empty()) {
+        checkpoint_flag_seen || !options->save_input_path.empty()) {
       std::fprintf(stderr,
                    "operb_cli: --query serves an existing store and cannot "
                    "be combined with input, simplification, engine or "
@@ -560,6 +614,32 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
                  "operb_cli: --store-shards shards a store written by "
                  "--store-out PATH\n");
     return false;
+  }
+  if (checkpoint_flag_seen && !options->group_by_id) {
+    // The checkpoint is of StreamEngine shard state; the single-
+    // trajectory flow never constructs an engine.
+    std::fprintf(stderr,
+                 "operb_cli: --checkpoint-out/--checkpoint-every/--resume "
+                 "snapshot the streaming engine and require --group-by-id\n");
+    return false;
+  }
+  if (checkpoint_every_seen && options->checkpoint_out_path.empty()) {
+    std::fprintf(stderr,
+                 "operb_cli: --checkpoint-every sets the cadence of "
+                 "--checkpoint-out PATH\n");
+    return false;
+  }
+  if (!options->resume_path.empty()) {
+    if (options->clean || !options->store_out_path.empty()) {
+      std::fprintf(stderr,
+                   "operb_cli: --resume feeds the engine a stream tail and "
+                   "cannot be combined with --clean or --store-out (both "
+                   "need the full original stream)\n");
+      return false;
+    }
+    // Verification needs the full original stream too; a resumed run
+    // only has the tail, so the check is skipped rather than mis-run.
+    options->verify = false;
   }
   if (inputs > 1) {
     std::fprintf(stderr,
@@ -793,6 +873,11 @@ int RunGroupById(const CliOptions& options) {
     store_options.num_shards = static_cast<std::size_t>(options.store_shards);
     builder.WriteStore(options.store_out_path, store_options);
   }
+  if (!options.checkpoint_out_path.empty()) {
+    builder.Checkpoint(options.checkpoint_out_path,
+                       static_cast<std::size_t>(options.checkpoint_every));
+  }
+  if (!options.resume_path.empty()) builder.ResumeFrom(options.resume_path);
   Result<api::Pipeline> pipeline = builder.Build();
   if (!pipeline.ok()) {
     std::fprintf(stderr, "operb_cli: %s\n",
@@ -802,8 +887,8 @@ int RunGroupById(const CliOptions& options) {
   Result<api::PipelineReport> run = pipeline->Run();
   if (!run.ok()) {
     // Data errors (non-monotone per-object timestamps, corrupt rows,
-    // unwritable store) surface here; configuration was already
-    // validated.
+    // unwritable store, a damaged or mismatched checkpoint) surface
+    // here; configuration was already validated.
     std::fprintf(stderr, "operb_cli: %s%s\n",
                  run.status().ToString().c_str(),
                  options.clean ? "" : " (try --clean)");
@@ -836,6 +921,13 @@ int RunGroupById(const CliOptions& options) {
               elapsed_ms, ns_per_point,
               ns_per_point > 0.0 ? 1e3 / ns_per_point : 0.0);
   PrintStoreLine(report, options.store_shards);
+  if (report.resumed) {
+    std::printf("resumed:   %s\n", options.resume_path.c_str());
+  }
+  if (report.checkpointed) {
+    std::printf("checkpoint: %s  (%zu snapshot(s) written)\n",
+                report.checkpoint_path.c_str(), report.checkpoints_written);
+  }
 
   if (!options.output_path.empty()) {
     if (const Status s = traj::WriteTaggedSegmentsCsv(
