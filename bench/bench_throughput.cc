@@ -19,6 +19,14 @@
 //                        measurably slower (construction happens once,
 //                        outside the loop — the products are identical
 //                        objects, so any steady-state gap is a bug)
+//   metrics_overhead   — the same steady-state sink loop plain vs
+//                        instrumented the way the engine batches its
+//                        obs updates (per ~64-point Counter::Add +
+//                        MaxGauge::Observe, one histogram Record per
+//                        pass); the run FAILS if live metrics cost the
+//                        hot loop more than 3% over the plain loop
+//                        (which is what an OPERB_NO_METRICS build
+//                        compiles the instrumentation down to)
 //   store              — the sharded trajectory store (src/store): write
 //                        a spatially spread fleet's segments into a
 //                        manifest-driven shard directory (write
@@ -41,7 +49,7 @@
 //                        uninterrupted run's (DESIGN.md §9)
 //
 // Every simplifier-bearing record carries the resolved canonical spec
-// string of what ran (schema version 6).
+// string of what ran (schema version 7).
 //
 // `--smoke` shrinks every dataset to a single fast pass (for CI), `--out
 // PATH` overrides the default ./BENCH_throughput.json. Later PRs
@@ -71,6 +79,8 @@
 #include "eval/verifier.h"
 #include "geo/bbox.h"
 #include <filesystem>
+
+#include "obs/metrics.h"
 
 #include "store/compactor.h"
 #include "store/reader.h"
@@ -472,6 +482,101 @@ int main(int argc, char** argv) {
     if (overhead_pct > tolerance_pct) {
       std::fprintf(stderr,
                    "bench_throughput: facade overhead %.1f%% exceeds the "
+                   "%.0f%% gate\n",
+                   overhead_pct, tolerance_pct);
+      return 1;
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Metrics overhead: the obs instruments are amortized in the engine
+  // (one batched Counter::Add + MaxGauge::Observe per ~64-point stride,
+  // one LatencyHistogram::Record per flush) — so live metrics must cost
+  // the steady-state sink loop at most 3%. An OPERB_NO_METRICS build
+  // compiles the instrumented loop down to the plain one; this gate
+  // keeps the metrics-on default honest against it.
+  // ------------------------------------------------------------------
+  std::vector<JsonRecord> metrics_records;
+  {
+    const auto dataset = bench::MakeDataset(datagen::DatasetKind::kSerCar, 2,
+                                            smoke ? 400 : 100000);
+    const std::size_t total = bench::TotalPoints(dataset);
+    const auto simplifier = bench::MakePaperSimplifier(
+        baselines::Algorithm::kOPERB, kZeta);
+    const auto run_plain = [&] {
+      return TimeLoop([&] {
+        std::size_t segments = 0;
+        for (const traj::Trajectory& t : dataset) {
+          simplifier->SimplifyToSink(
+              t, [&segments](const traj::RepresentedSegment&) {
+                ++segments;
+              });
+        }
+      });
+    };
+    auto& registry = obs::MetricsRegistry::Global();
+    obs::Counter* points_ctr = registry.GetCounter("bench.metrics.points");
+    obs::Counter* segments_ctr =
+        registry.GetCounter("bench.metrics.segments");
+    obs::MaxGauge* occupancy =
+        registry.GetMaxGauge("bench.metrics.occupancy");
+    obs::LatencyHistogram* pass_ns =
+        registry.GetHistogram("bench.metrics.pass_ns");
+    constexpr std::size_t kStride = 64;  // the engine's amortization stride
+    const auto run_instrumented = [&] {
+      return TimeLoop([&] {
+        const std::int64_t start_ns = NowNanos();
+        std::size_t segments = 0;
+        for (const traj::Trajectory& t : dataset) {
+          std::size_t since_batch = 0;
+          for (std::size_t i = 0; i < t.size(); i += kStride) {
+            const std::size_t take = std::min(kStride, t.size() - i);
+            // SimplifyToSink is whole-trajectory; feed the instruments
+            // at the same stride the engine's FlushShard batches them.
+            since_batch += take;
+            points_ctr->Add(take);
+            occupancy->Observe(static_cast<std::int64_t>(since_batch));
+          }
+          simplifier->SimplifyToSink(
+              t, [&segments](const traj::RepresentedSegment&) {
+                ++segments;
+              });
+        }
+        segments_ctr->Add(segments);
+        pass_ns->Record(static_cast<std::uint64_t>(NowNanos() - start_ns));
+      });
+    };
+    // Best of 3 per path, interleaved, like the facade gate.
+    double plain_s = 1e99;
+    double instrumented_s = 1e99;
+    for (int round = 0; round < 3; ++round) {
+      plain_s = std::min(plain_s, run_plain().seconds_per_pass);
+      instrumented_s =
+          std::min(instrumented_s, run_instrumented().seconds_per_pass);
+    }
+    const double overhead_pct = 100.0 * (instrumented_s / plain_s - 1.0);
+    JsonRecord rec;
+    rec.Str("algorithm", "OPERB");
+    rec.Str("spec", "OPERB:zeta=40,fidelity=paper");
+    rec.Str("profile", "SerCar");
+    rec.Int("points", static_cast<long long>(total));
+    rec.Int("metrics_compiled_in", obs::kMetricsEnabled ? 1 : 0);
+    rec.Num("plain_points_per_sec", static_cast<double>(total) / plain_s);
+    rec.Num("instrumented_points_per_sec",
+            static_cast<double>(total) / instrumented_s);
+    rec.Num("overhead_pct", overhead_pct);
+    metrics_records.push_back(rec);
+    std::printf("metrics overhead: plain %.2f M pts/s, instrumented "
+                "%.2f M pts/s (%+.1f%%)\n",
+                static_cast<double>(total) / plain_s / 1e6,
+                static_cast<double>(total) / instrumented_s / 1e6,
+                overhead_pct);
+    // Smoke datasets run microsecond-scale passes where timer noise
+    // dominates; the full-mode 3% gate is the meaningful one.
+    const double tolerance_pct = smoke ? 50.0 : 3.0;
+    if (overhead_pct > tolerance_pct) {
+      std::fprintf(stderr,
+                   "bench_throughput: metrics overhead %.1f%% exceeds the "
                    "%.0f%% gate\n",
                    overhead_pct, tolerance_pct);
       return 1;
@@ -905,7 +1010,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"schema\": \"operb-bench-throughput\",\n"
-               "  \"schema_version\": 6,\n"
+               "  \"schema_version\": 7,\n"
                "  \"smoke\": %s,\n"
                "  \"unix_time\": %lld,\n"
                "  \"zeta\": %g,\n"
@@ -920,6 +1025,8 @@ int main(int argc, char** argv) {
                JoinRecords(concurrent).c_str());
   std::fprintf(f, "  \"facade_overhead\": %s,\n",
                JoinRecords(facade).c_str());
+  std::fprintf(f, "  \"metrics_overhead\": %s,\n",
+               JoinRecords(metrics_records).c_str());
   std::fprintf(f, "  \"store\": %s,\n",
                JoinRecords(store_records).c_str());
   std::fprintf(f, "  \"checkpoint\": %s\n}\n",

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Validates BENCH_throughput.json against the operb-bench-throughput
-schema (version 6). Stdlib-only so CI needs no extra packages.
+schema (version 7). Stdlib-only so CI needs no extra packages.
 
 Beyond shape checks, the store section carries semantic gates: the
 R-tree index must never skip fewer blocks than the flat footer scan, the
 two scan modes must match the same segments, the index may touch at most
 25% of the nodes the flat scan visits (footers), and compaction must not
-change the window query's answer. The checkpoint section (new in v6)
-gates on output_match == 1: a checkpoint/restore cycle must reproduce
-the uninterrupted run's output exactly.
+change the window query's answer. The checkpoint section (v6) gates on
+output_match == 1: a checkpoint/restore cycle must reproduce the
+uninterrupted run's output exactly. The metrics_overhead section (new in
+v7) gates live obs instrumentation to at most 3% over the plain sink
+loop in full mode (smoke passes are microsecond-scale, so the benchmark
+binary applies a looser smoke tolerance before the JSON is written; the
+validator re-checks the full-mode bound only when smoke is false).
 
 Usage: validate_throughput_json.py PATH
 Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
@@ -31,6 +35,7 @@ TOP_LEVEL = {
     "end_to_end": list,
     "concurrent_streams": list,
     "facade_overhead": list,
+    "metrics_overhead": list,
     "store": list,
     "checkpoint": list,
 }
@@ -85,6 +90,16 @@ SECTION_FIELDS = {
         "points": int,
         "direct_points_per_sec": NUMBER,
         "facade_points_per_sec": NUMBER,
+        "overhead_pct": NUMBER,
+    },
+    "metrics_overhead": {
+        "algorithm": str,
+        "spec": str,
+        "profile": str,
+        "points": int,
+        "metrics_compiled_in": int,
+        "plain_points_per_sec": NUMBER,
+        "instrumented_points_per_sec": NUMBER,
         "overhead_pct": NUMBER,
     },
     "store": {
@@ -169,7 +184,7 @@ def main():
             fail(f"top-level key '{key}' has wrong type")
     if doc["schema"] != "operb-bench-throughput":
         fail(f"unexpected schema '{doc['schema']}'")
-    if doc["schema_version"] != 6:
+    if doc["schema_version"] != 7:
         fail(f"unexpected schema_version {doc['schema_version']}")
 
     for section, fields in SECTION_FIELDS.items():
@@ -191,6 +206,21 @@ def main():
                         or entry["direct_points_per_sec"] <= 0
                         or entry["facade_points_per_sec"] <= 0):
                     fail(f"{section}[{i}] has non-positive throughput")
+                continue
+            if section == "metrics_overhead":
+                # Semantic gate (schema v7): live metrics may cost the
+                # steady-state sink loop at most 3%. Smoke passes are
+                # too short for the bound to be meaningful.
+                if (entry["points"] <= 0
+                        or entry["plain_points_per_sec"] <= 0
+                        or entry["instrumented_points_per_sec"] <= 0):
+                    fail(f"{section}[{i}] has non-positive throughput")
+                if entry["metrics_compiled_in"] not in (0, 1):
+                    fail(f"{section}[{i}].metrics_compiled_in must be 0/1")
+                if not doc["smoke"] and entry["overhead_pct"] > 3.0:
+                    fail(f"{section}[{i}] metrics overhead "
+                         f"{entry['overhead_pct']:.1f}% exceeds the 3% "
+                         "gate")
                 continue
             if section == "store":
                 if (entry["blocks"] <= 0 or entry["file_bytes"] <= 0
@@ -286,16 +316,18 @@ def main():
         fail("concurrent_streams must sweep at least 2 thread counts")
     # Spec strings must resolve to the algorithm they annotate.
     for section in ("steady_state", "end_to_end", "concurrent_streams",
-                    "facade_overhead", "store", "checkpoint"):
+                    "facade_overhead", "metrics_overhead", "store",
+                    "checkpoint"):
         for i, entry in enumerate(doc[section]):
             if not entry["spec"].startswith(entry["algorithm"] + ":"):
                 fail(f"{section}[{i}].spec '{entry['spec']}' does not "
                      f"resolve to algorithm '{entry['algorithm']}'")
-    print(f"{sys.argv[1]}: valid operb-bench-throughput v6 "
+    print(f"{sys.argv[1]}: valid operb-bench-throughput v7 "
           f"({len(doc['steady_state'])} steady-state entries, "
           f"{len(doc['concurrent_streams'])} concurrent-stream entries, "
           f"{len(doc['store'])} store entries, "
-          f"{len(doc['checkpoint'])} checkpoint entries)")
+          f"{len(doc['checkpoint'])} checkpoint entries, "
+          f"{len(doc['metrics_overhead'])} metrics-overhead entries)")
 
 
 if __name__ == "__main__":

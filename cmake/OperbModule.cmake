@@ -36,6 +36,7 @@ function(operb_link_all_modules TARGET)
     operb::eval
     operb::traj
     operb::geo
+    operb::obs
     operb::common
     operb::build_flags)
 endfunction()

@@ -1,15 +1,21 @@
 #include "api/pipeline.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "api/registry.h"
 #include "baselines/streaming.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "traj/io.h"
 #include "traj/piecewise.h"
 
@@ -20,6 +26,111 @@ namespace {
 /// Raw storage cost a trajectory point is charged against (three doubles),
 /// the same constant codec::DeltaCompressionRatio uses.
 constexpr double kRawBytesPerPoint = 24.0;
+
+/// Pipeline-layer registry instruments — the cumulative counterpart of
+/// PipelineReport (which stays the per-run API). Acquired once per
+/// process, then lock-free.
+struct PipelineMetrics {
+  obs::Counter* runs;
+  obs::Counter* points_in;
+  obs::Counter* points_kept;
+  obs::Counter* segments_out;
+  obs::Counter* snapshots_written;
+  obs::Counter* snapshot_failures;
+  obs::LatencyHistogram* ingest_ns;
+  obs::LatencyHistogram* clean_ns;
+  obs::LatencyHistogram* simplify_ns;
+  obs::LatencyHistogram* verify_ns;
+  obs::LatencyHistogram* delta_ns;
+  obs::LatencyHistogram* store_close_ns;
+};
+
+PipelineMetrics& GetPipelineMetrics() {
+  static PipelineMetrics* const m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return new PipelineMetrics{
+        r.GetCounter("pipeline.runs"),
+        r.GetCounter("pipeline.points_in"),
+        r.GetCounter("pipeline.points_kept"),
+        r.GetCounter("pipeline.segments_out"),
+        r.GetCounter("pipeline.snapshots_written"),
+        r.GetCounter("pipeline.snapshot_failures"),
+        r.GetHistogram("pipeline.stage.ingest_ns"),
+        r.GetHistogram("pipeline.stage.clean_ns"),
+        r.GetHistogram("pipeline.stage.simplify_ns"),
+        r.GetHistogram("pipeline.stage.verify_ns"),
+        r.GetHistogram("pipeline.stage.delta_ns"),
+        r.GetHistogram("pipeline.stage.store_close_ns"),
+    };
+  }();
+  return *m;
+}
+
+/// Routes one snapshot write through the store's Env seam with the same
+/// temp-file + rename discipline as a manifest commit or checkpoint, so
+/// FaultInjectingEnv can fail it like any other durable write.
+Status WriteSnapshotViaEnv(store::Env* env, const std::string& path,
+                           std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  OPERB_ASSIGN_OR_RETURN(std::unique_ptr<store::WritableFile> file,
+                         env->NewWritableFile(tmp));
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(content.data()), content.size());
+  const Status written = [&] {
+    OPERB_RETURN_IF_ERROR(file->Append(bytes));
+    OPERB_RETURN_IF_ERROR(file->Flush());
+    return file->Close();
+  }();
+  if (!written.ok()) {
+    (void)env->Remove(tmp);
+    return written;
+  }
+  const Status renamed = env->Rename(tmp, path);
+  if (!renamed.ok()) {
+    (void)env->Remove(tmp);
+    return renamed;
+  }
+  return Status::OK();
+}
+
+/// MetricsSnapshots-stage write. Never fatal: a failure is logged to
+/// stderr, counted (report + `pipeline.snapshot_failures`) and the run
+/// continues — losing a telemetry file must not lose the ingest.
+void WriteMetricsSnapshot(const std::string& path, store::Env* env,
+                          PipelineReport* report) {
+  obs::AtomicWriteFn write;  // default: obs::AtomicWriteFile
+  if (env != nullptr) {
+    write = [env](const std::string& p, std::string_view content) {
+      return WriteSnapshotViaEnv(env, p, content);
+    };
+  }
+  const Status s = obs::WriteSnapshotJson(path, {}, std::move(write));
+  if (s.ok()) {
+    ++report->snapshots_written;
+    if constexpr (obs::kMetricsEnabled) {
+      GetPipelineMetrics().snapshots_written->Increment();
+    }
+    return;
+  }
+  ++report->snapshot_failures;
+  if constexpr (obs::kMetricsEnabled) {
+    GetPipelineMetrics().snapshot_failures->Increment();
+  }
+  std::fprintf(stderr, "operb: metrics snapshot to %s failed: %s\n",
+               path.c_str(), s.ToString().c_str());
+}
+
+/// Folds the run's headline counters into the registry once the report
+/// is final.
+void FoldRunCounters(const PipelineReport& report) {
+  if constexpr (obs::kMetricsEnabled) {
+    PipelineMetrics& m = GetPipelineMetrics();
+    m.runs->Increment();
+    m.points_in->Add(report.points_in);
+    m.points_kept->Add(report.points_kept);
+    m.segments_out->Add(report.segments);
+  }
+}
 
 }  // namespace
 
@@ -139,6 +250,16 @@ Pipeline::Builder& Pipeline::Builder::Checkpoint(std::string path,
   return *this;
 }
 
+Pipeline::Builder& Pipeline::Builder::MetricsSnapshots(std::string path,
+                                                       std::size_t every_n_points,
+                                                       store::Env* env) {
+  metrics_ = true;
+  metrics_path_ = std::move(path);
+  metrics_every_ = every_n_points;
+  metrics_env_ = env;
+  return *this;
+}
+
 Pipeline::Builder& Pipeline::Builder::ResumeFrom(std::string path) {
   resume_path_ = std::move(path);
   return *this;
@@ -160,12 +281,18 @@ Result<Pipeline> Pipeline::Builder::Build() {
     spec_string_.clear();
   }
   OPERB_RETURN_IF_ERROR(AlgorithmRegistry::Global().Validate(spec_));
+  if (metrics_ && metrics_path_.empty()) {
+    return Status::InvalidArgument(
+        "MetricsSnapshots needs a non-empty path");
+  }
   const bool multi_source =
       source_ == Source::kUpdates || source_ == Source::kMultiCsvFile;
   // Checkpoint/resume are engine features: the snapshot is of engine
   // shard state, so either stage routes the run through the engine.
+  // Periodic (every_n > 0) metrics snapshots need the chunked ingest
+  // loop, which also lives on the engine path.
   if (use_engine_ || multi_source || !checkpoint_path_.empty() ||
-      !resume_path_.empty()) {
+      !resume_path_.empty() || (metrics_ && metrics_every_ > 0)) {
     use_engine_ = true;
     engine_options_.spec = spec_;
     OPERB_RETURN_IF_ERROR(engine_options_.Validate());
@@ -227,35 +354,41 @@ Result<PipelineReport> Pipeline::RunSingle() {
   // validating; a corrupt .plt is a Corruption, not a cleanable stream.)
   std::vector<geo::Point> raw;
   traj::Trajectory input;
-  switch (cfg.source_) {
-    case Builder::Source::kTrajectory:
-      input = std::move(cfg.trajectory_);
-      break;
-    case Builder::Source::kCsvFile: {
-      if (cfg.clean_) {
-        OPERB_ASSIGN_OR_RETURN(raw,
-                               traj::ReadCsvPoints(cfg.path_or_content_));
-      } else {
-        OPERB_ASSIGN_OR_RETURN(input, traj::ReadCsv(cfg.path_or_content_));
+  {
+    obs::ScopedTimer ingest_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().ingest_ns : nullptr);
+    switch (cfg.source_) {
+      case Builder::Source::kTrajectory:
+        input = std::move(cfg.trajectory_);
+        break;
+      case Builder::Source::kCsvFile: {
+        if (cfg.clean_) {
+          OPERB_ASSIGN_OR_RETURN(raw,
+                                 traj::ReadCsvPoints(cfg.path_or_content_));
+        } else {
+          OPERB_ASSIGN_OR_RETURN(input, traj::ReadCsv(cfg.path_or_content_));
+        }
+        break;
       }
-      break;
-    }
-    case Builder::Source::kCsvContent: {
-      if (cfg.clean_) {
-        OPERB_ASSIGN_OR_RETURN(raw,
-                               traj::ParseCsvPoints(cfg.path_or_content_));
-      } else {
-        OPERB_ASSIGN_OR_RETURN(input, traj::ParseCsv(cfg.path_or_content_));
+      case Builder::Source::kCsvContent: {
+        if (cfg.clean_) {
+          OPERB_ASSIGN_OR_RETURN(raw,
+                                 traj::ParseCsvPoints(cfg.path_or_content_));
+        } else {
+          OPERB_ASSIGN_OR_RETURN(input,
+                                 traj::ParseCsv(cfg.path_or_content_));
+        }
+        break;
       }
-      break;
+      case Builder::Source::kPltFile: {
+        OPERB_ASSIGN_OR_RETURN(input,
+                               traj::ReadGeoLifePlt(cfg.path_or_content_));
+        break;
+      }
+      default:
+        return Status::Internal(
+            "single-path Run with a multi-object source");
     }
-    case Builder::Source::kPltFile: {
-      OPERB_ASSIGN_OR_RETURN(input,
-                             traj::ReadGeoLifePlt(cfg.path_or_content_));
-      break;
-    }
-    default:
-      return Status::Internal("single-path Run with a multi-object source");
   }
 
   PipelineReport report;
@@ -264,6 +397,8 @@ Result<PipelineReport> Pipeline::RunSingle() {
 
   traj::Trajectory cleaned;
   if (cfg.clean_) {
+    obs::ScopedTimer clean_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().clean_ns : nullptr);
     if (raw.empty()) raw = input.points();  // trajectory / PLT sources
     report.points_in = raw.size();
     traj::StreamCleaner cleaner(cfg.cleaner_options_);
@@ -315,13 +450,21 @@ Result<PipelineReport> Pipeline::RunSingle() {
   // skipping the push entirely mirrors Simplifier::Simplify's contract
   // for the buffering baselines too.
   Stopwatch watch;
-  if (cleaned.size() >= 2) {
-    simplifier->Push(std::span<const geo::Point>(cleaned.points()));
-    simplifier->Finish();
+  {
+    obs::TraceSpan span("pipeline.simplify");
+    obs::ScopedTimer simplify_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().simplify_ns : nullptr);
+    if (cleaned.size() >= 2) {
+      simplifier->Push(std::span<const geo::Point>(cleaned.points()));
+      simplifier->Finish();
+    }
   }
   report.simplify_seconds = watch.ElapsedSeconds();
 
   if (store_writer != nullptr) {
+    obs::ScopedTimer close_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().store_close_ns
+                             : nullptr);
     OPERB_RETURN_IF_ERROR(store_writer->Close());
     report.store_ran = true;
     report.store_path = cfg.store_path_;
@@ -329,6 +472,8 @@ Result<PipelineReport> Pipeline::RunSingle() {
   }
 
   if (cfg.verify_) {
+    obs::ScopedTimer verify_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().verify_ns : nullptr);
     report.verify_ran = true;
     const eval::VerificationResult verdict = eval::VerifyErrorBound(
         cleaned, rep, cfg.spec_.zeta, cfg.verify_slack_);
@@ -338,6 +483,8 @@ Result<PipelineReport> Pipeline::RunSingle() {
   }
 
   if (cfg.delta_) {
+    obs::ScopedTimer delta_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().delta_ns : nullptr);
     report.delta_bytes =
         codec::DeltaEncode(cleaned, cfg.delta_options_).size();
     report.delta_ratio =
@@ -346,43 +493,56 @@ Result<PipelineReport> Pipeline::RunSingle() {
                               (kRawBytesPerPoint *
                                static_cast<double>(cleaned.size()));
   }
+
+  FoldRunCounters(report);
+  if (cfg.metrics_) {
+    // Fold first so the final snapshot already carries this run.
+    report.metrics_ran = true;
+    report.metrics_path = cfg.metrics_path_;
+    WriteMetricsSnapshot(cfg.metrics_path_, cfg.metrics_env_, &report);
+  }
   return report;
 }
 
 Result<PipelineReport> Pipeline::RunEngine() {
   Builder& cfg = config_;
   std::vector<traj::ObjectUpdate> updates;
-  switch (cfg.source_) {
-    case Builder::Source::kUpdates:
-      updates = std::move(cfg.updates_);
-      break;
-    case Builder::Source::kMultiCsvFile: {
-      OPERB_ASSIGN_OR_RETURN(updates,
-                             traj::ReadMultiObjectCsv(cfg.path_or_content_));
-      break;
-    }
-    case Builder::Source::kTrajectory: {
-      updates.reserve(cfg.trajectory_.size());
-      for (const geo::Point& p : cfg.trajectory_) updates.push_back({0, p});
-      break;
-    }
-    case Builder::Source::kCsvFile:
-    case Builder::Source::kCsvContent:
-    case Builder::Source::kPltFile: {
-      traj::Trajectory t;
-      if (cfg.source_ == Builder::Source::kCsvFile) {
-        OPERB_ASSIGN_OR_RETURN(t, traj::ReadCsv(cfg.path_or_content_));
-      } else if (cfg.source_ == Builder::Source::kCsvContent) {
-        OPERB_ASSIGN_OR_RETURN(t, traj::ParseCsv(cfg.path_or_content_));
-      } else {
-        OPERB_ASSIGN_OR_RETURN(t, traj::ReadGeoLifePlt(cfg.path_or_content_));
+  {
+    obs::ScopedTimer ingest_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().ingest_ns : nullptr);
+    switch (cfg.source_) {
+      case Builder::Source::kUpdates:
+        updates = std::move(cfg.updates_);
+        break;
+      case Builder::Source::kMultiCsvFile: {
+        OPERB_ASSIGN_OR_RETURN(
+            updates, traj::ReadMultiObjectCsv(cfg.path_or_content_));
+        break;
       }
-      updates.reserve(t.size());
-      for (const geo::Point& p : t) updates.push_back({0, p});
-      break;
+      case Builder::Source::kTrajectory: {
+        updates.reserve(cfg.trajectory_.size());
+        for (const geo::Point& p : cfg.trajectory_) updates.push_back({0, p});
+        break;
+      }
+      case Builder::Source::kCsvFile:
+      case Builder::Source::kCsvContent:
+      case Builder::Source::kPltFile: {
+        traj::Trajectory t;
+        if (cfg.source_ == Builder::Source::kCsvFile) {
+          OPERB_ASSIGN_OR_RETURN(t, traj::ReadCsv(cfg.path_or_content_));
+        } else if (cfg.source_ == Builder::Source::kCsvContent) {
+          OPERB_ASSIGN_OR_RETURN(t, traj::ParseCsv(cfg.path_or_content_));
+        } else {
+          OPERB_ASSIGN_OR_RETURN(t,
+                                 traj::ReadGeoLifePlt(cfg.path_or_content_));
+        }
+        updates.reserve(t.size());
+        for (const geo::Point& p : t) updates.push_back({0, p});
+        break;
+      }
+      case Builder::Source::kNone:
+        return Status::Internal("engine-path Run without a source");
     }
-    case Builder::Source::kNone:
-      return Status::Internal("engine-path Run without a source");
   }
 
   PipelineReport report;
@@ -391,6 +551,8 @@ Result<PipelineReport> Pipeline::RunEngine() {
   report.points_in = updates.size();
 
   if (cfg.clean_) {
+    obs::ScopedTimer clean_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().clean_ns : nullptr);
     // Cleaning is a per-stream repair: one cleaner per object id.
     std::unordered_map<traj::ObjectId, traj::StreamCleaner> cleaners;
     std::vector<traj::ObjectUpdate> kept;
@@ -480,32 +642,68 @@ Result<PipelineReport> Pipeline::RunEngine() {
                                cfg.engine_options_, std::move(engine_sink)));
   }
   Stopwatch watch;
-  if (!cfg.checkpoint_path_.empty()) {
-    // Chunked ingest with a snapshot after every chunk (every_n == 0:
-    // one chunk, one snapshot). Each Checkpoint() call is a drain
-    // barrier, so the written state is exactly "after this prefix".
-    const std::size_t chunk =
-        cfg.checkpoint_every_ == 0 ? updates.size() : cfg.checkpoint_every_;
-    std::span<const traj::ObjectUpdate> rest(updates);
-    do {
-      const std::size_t take = std::min(chunk, rest.size());
-      if (take > 0) eng->Push(rest.first(take));
-      rest = rest.subspan(take);
-      OPERB_RETURN_IF_ERROR(
-          eng->Checkpoint(cfg.checkpoint_path_, cfg.checkpoint_env_));
-      ++report.checkpoints_written;
-    } while (!rest.empty());
-    report.checkpointed = true;
-    report.checkpoint_path = cfg.checkpoint_path_;
-  } else {
-    eng->Push(std::span<const traj::ObjectUpdate>(updates));
+  {
+    obs::TraceSpan span("pipeline.simplify");
+    obs::ScopedTimer simplify_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().simplify_ns : nullptr);
+    const bool do_checkpoint = !cfg.checkpoint_path_.empty();
+    const std::size_t snap_every = cfg.metrics_ ? cfg.metrics_every_ : 0;
+    if (do_checkpoint || snap_every > 0) {
+      // Chunked ingest with a durable write at every cadence boundary.
+      // Checkpoints keep their historical contract (every_n == 0: one
+      // chunk covering everything, one snapshot after it; a trailing
+      // partial chunk still checkpoints — each Checkpoint() is a drain
+      // barrier, so the written state is exactly "after this prefix").
+      // Metrics snapshots fire after each chunk of metrics_every_
+      // updates. With both stages on, each Push covers the distance to
+      // the nearer boundary, so neither cadence disturbs the other.
+      const std::size_t cp_chunk = cfg.checkpoint_every_ == 0
+                                       ? updates.size()
+                                       : cfg.checkpoint_every_;
+      std::span<const traj::ObjectUpdate> rest(updates);
+      std::size_t cp_due = cp_chunk;
+      std::size_t snap_due = snap_every;
+      do {
+        std::size_t take = rest.size();
+        if (do_checkpoint) take = std::min(take, cp_due);
+        if (snap_every > 0) take = std::min(take, snap_due);
+        if (take > 0) eng->Push(rest.first(take));
+        rest = rest.subspan(take);
+        if (do_checkpoint) {
+          cp_due -= take;
+          if (cp_due == 0 || rest.empty()) {
+            OPERB_RETURN_IF_ERROR(
+                eng->Checkpoint(cfg.checkpoint_path_, cfg.checkpoint_env_));
+            ++report.checkpoints_written;
+            cp_due = cp_chunk;
+          }
+        }
+        if (snap_every > 0) {
+          snap_due -= take;
+          if (snap_due == 0) {
+            WriteMetricsSnapshot(cfg.metrics_path_, cfg.metrics_env_,
+                                 &report);
+            snap_due = snap_every;
+          }
+        }
+      } while (!rest.empty());
+      if (do_checkpoint) {
+        report.checkpointed = true;
+        report.checkpoint_path = cfg.checkpoint_path_;
+      }
+    } else {
+      eng->Push(std::span<const traj::ObjectUpdate>(updates));
+    }
+    eng->Close();
   }
-  eng->Close();
   report.simplify_seconds = watch.ElapsedSeconds();
   report.engine_stats = eng->stats();
   report.segments = static_cast<std::size_t>(report.engine_stats.segments);
 
   if (store_writer != nullptr) {
+    obs::ScopedTimer close_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().store_close_ns
+                             : nullptr);
     OPERB_RETURN_IF_ERROR(store_writer->Close());
     report.store_ran = true;
     report.store_path = cfg.store_path_;
@@ -523,6 +721,8 @@ Result<PipelineReport> Pipeline::RunEngine() {
   }
 
   if (cfg.verify_) {
+    obs::ScopedTimer verify_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().verify_ns : nullptr);
     report.verify_ran = true;
     report.verified = true;
     // `collected` is sorted by id: walk each object's contiguous run.
@@ -557,6 +757,8 @@ Result<PipelineReport> Pipeline::RunEngine() {
   }
 
   if (cfg.delta_) {
+    obs::ScopedTimer delta_timer(
+        obs::kMetricsEnabled ? GetPipelineMetrics().delta_ns : nullptr);
     for (const traj::ObjectTrajectory& obj : grouped) {
       report.delta_bytes +=
           codec::DeltaEncode(obj.trajectory, cfg.delta_options_).size();
@@ -569,6 +771,16 @@ Result<PipelineReport> Pipeline::RunEngine() {
   }
 
   if (!cfg.sink_) report.segments_out = std::move(collected);
+
+  FoldRunCounters(report);
+  if (cfg.metrics_) {
+    // Fold first so the final snapshot already carries this run; the
+    // final snapshot is written on both cadences (with every_n > 0 it
+    // supersedes the last periodic one at the same path).
+    report.metrics_ran = true;
+    report.metrics_path = cfg.metrics_path_;
+    WriteMetricsSnapshot(cfg.metrics_path_, cfg.metrics_env_, &report);
+  }
   return report;
 }
 

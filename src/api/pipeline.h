@@ -26,6 +26,13 @@
 namespace operb::api {
 
 /// Everything one Pipeline::Run() produced and measured.
+///
+/// The counters and stage timings here are the *per-run view* of the
+/// `pipeline.*` instruments in obs::MetricsRegistry::Global()
+/// (DESIGN.md §10): every run folds the same numbers into the registry,
+/// so a metrics snapshot shows them accumulated across runs. The report
+/// keeps working unchanged with OPERB_NO_METRICS (only the fold
+/// compiles out).
 struct PipelineReport {
   /// Resolved canonical spec string of the simplifier that ran.
   std::string spec;
@@ -77,6 +84,15 @@ struct PipelineReport {
   std::size_t checkpoints_written = 0;
   bool resumed = false;               ///< the engine was restored from a
                                       ///< checkpoint before ingesting
+
+  /// MetricsSnapshots-stage outcome. A failed snapshot write is never
+  /// fatal to the run: it is logged, counted here (and in the
+  /// `pipeline.snapshot_failures` registry counter) and ingest
+  /// continues.
+  bool metrics_ran = false;
+  std::string metrics_path;            ///< where the last snapshot went
+  std::size_t snapshots_written = 0;   ///< successful snapshot writes
+  std::size_t snapshot_failures = 0;   ///< failed writes (non-fatal)
 };
 
 /// Composable facade over the library's full dataflow:
@@ -167,6 +183,18 @@ class Pipeline {
     /// owned, must outlive Run()).
     Builder& Checkpoint(std::string path, std::size_t every_n_points = 0,
                         store::Env* env = nullptr);
+    /// Periodically export a metrics snapshot (obs::WriteSnapshotJson:
+    /// every registry instrument plus trace totals, temp file + rename)
+    /// to `path`. With every_n_points > 0 a snapshot is written after
+    /// each chunk of that many updates (each overwriting `path`; implies
+    /// the engine path, like Checkpoint); with 0, exactly one is written
+    /// after the run completes, on either path. `env` is the write-side
+    /// filesystem seam (nullptr: real filesystem; not owned, must
+    /// outlive Run()) — under FaultInjectingEnv a failed write is
+    /// logged and counted, never fatal (see PipelineReport).
+    Builder& MetricsSnapshots(std::string path,
+                              std::size_t every_n_points = 0,
+                              store::Env* env = nullptr);
     /// Restore the engine from a checkpoint before ingesting: the
     /// source must then supply exactly the stream's *remainder* (the
     /// updates after the cut), and the run emits the segments the
@@ -220,6 +248,10 @@ class Pipeline {
     std::string checkpoint_path_;
     std::size_t checkpoint_every_ = 0;
     store::Env* checkpoint_env_ = nullptr;
+    bool metrics_ = false;
+    std::string metrics_path_;
+    std::size_t metrics_every_ = 0;
+    store::Env* metrics_env_ = nullptr;
     std::string resume_path_;
   };
 

@@ -6,6 +6,18 @@
 
 namespace operb {
 
+/// Monotonic now() in nanoseconds (steady_clock, arbitrary epoch).
+///
+/// The single time source for the obs instrumentation layer: latency
+/// histograms and trace spans subtract two NowNanos() reads, so only
+/// monotonicity matters — never use system_clock here (it steps under
+/// NTP adjustment and would record negative or wildly wrong latencies).
+inline std::int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Monotonic wall-clock stopwatch used by the evaluation harness.
 ///
 /// Deliberately trivial: start on construction (or Restart()), read

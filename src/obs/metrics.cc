@@ -1,0 +1,95 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace operb::obs {
+
+double HistogramSnapshot::ApproxPercentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      // Upper edge of the bucket: 0 for the zero bucket, 2^b - 1 above.
+      if (b == 0) return 0.0;
+      if (b >= 64) return static_cast<double>(~std::uint64_t{0});
+      return static_cast<double>((std::uint64_t{1} << b) - 1);
+    }
+  }
+  return static_cast<double>(~std::uint64_t{0});
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(&counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(&gauges_, name);
+}
+
+MaxGauge* MetricsRegistry::GetMaxGauge(std::string_view name) {
+  return GetOrCreate(&max_gauges_, name);
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(&histograms_, name);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.by_name.size());
+  for (const auto& [name, c] : counters_.by_name) {
+    out.emplace_back(name, c->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricsRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(gauges_.by_name.size());
+  for (const auto& [name, g] : gauges_.by_name) {
+    out.emplace_back(name, g->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricsRegistry::MaxGaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(max_gauges_.by_name.size());
+  for (const auto& [name, g] : max_gauges_.by_name) {
+    out.emplace_back(name, g->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::HistogramValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.by_name.size());
+  for (const auto& [name, h] : histograms_.by_name) {
+    out.emplace_back(name, h->Snapshot());
+  }
+  return out;
+}
+
+}  // namespace operb::obs

@@ -1,0 +1,74 @@
+#include "obs/trace.h"
+
+namespace operb::obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* const recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
+  const std::thread::id me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = by_thread_.find(me); it != by_thread_.end()) {
+    return it->second;
+  }
+  rings_.emplace_back(ring_capacity_);
+  Ring* ring = &rings_.back();
+  by_thread_.emplace(me, ring);
+  return ring;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  Ring* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->size == ring->events.size()) {
+    ++ring->dropped;  // `next` already points at the oldest event
+  } else {
+    ++ring->size;
+  }
+  ring->events[ring->next] = event;
+  ring->next = (ring->next + 1) % ring->events.size();
+  ++ring->recorded;
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Ring& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring.mu);
+    // Oldest-first: when full, `next` is the oldest slot; otherwise the
+    // ring starts at 0.
+    const std::size_t capacity = ring.events.size();
+    const std::size_t first =
+        ring.size == capacity ? ring.next : (ring.next - ring.size);
+    for (std::size_t i = 0; i < ring.size; ++i) {
+      out.push_back(ring.events[(first + i) % capacity]);
+    }
+    ring.size = 0;
+    ring.next = 0;
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring.mu);
+    total += ring.dropped;
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring.mu);
+    total += ring.recorded;
+  }
+  return total;
+}
+
+}  // namespace operb::obs

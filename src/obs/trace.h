@@ -1,0 +1,107 @@
+#ifndef OPERB_OBS_TRACE_H_
+#define OPERB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+/// Bounded trace recording (DESIGN.md §10).
+///
+/// A `TraceSpan` is an RAII interval: it stamps `NowNanos()` on
+/// construction and records {name, start, end} into the recorder on
+/// destruction. Each recording thread owns a fixed-capacity ring that
+/// overwrites its oldest event when full and counts the overwrites —
+/// a long run keeps the most recent window of activity per thread at
+/// constant memory, never blocking or aborting the traced work.
+///
+/// Spans mark stage-grained work (pipeline stages, checkpoints, store
+/// opens, compaction passes), not per-point work, so the per-record
+/// mutexes here are off any hot loop.
+
+namespace operb::obs {
+
+/// One completed span. `name` must outlive the recorder — pass string
+/// literals (the recorder stores the pointer, not a copy, so the
+/// record path never allocates once the thread's ring exists).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+};
+
+/// Owns one bounded ring per recording thread. Rings are created on a
+/// thread's first record and never freed (deque storage), so draining
+/// after a worker pool exits still sees its events.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 256;
+
+  explicit TraceRecorder(std::size_t ring_capacity = kDefaultRingCapacity)
+      : ring_capacity_(ring_capacity > 0 ? ring_capacity : 1) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide recorder (immortal, like MetricsRegistry).
+  static TraceRecorder& Global();
+
+  /// Appends to this thread's ring, overwriting the oldest event (and
+  /// bumping the drop counter) when the ring is full.
+  void Record(const TraceEvent& event);
+
+  /// Moves every ring's events out, oldest-first per ring, and clears
+  /// the rings. Drop counters are cumulative and survive the drain.
+  std::vector<TraceEvent> Drain();
+
+  /// Events overwritten before anyone drained them, across all rings.
+  std::uint64_t dropped() const;
+  /// Total events ever recorded (including later-overwritten ones).
+  std::uint64_t recorded() const;
+
+  std::size_t ring_capacity() const { return ring_capacity_; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity) : events(capacity) {}
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;  // fixed capacity, circular
+    std::size_t next = 0;            // write cursor
+    std::size_t size = 0;            // valid events (<= capacity)
+    std::uint64_t dropped = 0;
+    std::uint64_t recorded = 0;
+  };
+
+  Ring* RingForThisThread();
+
+  const std::size_t ring_capacity_;
+  mutable std::mutex mu_;
+  std::map<std::thread::id, Ring*> by_thread_;
+  std::deque<Ring> rings_;
+};
+
+/// RAII span: records its interval into `recorder` (the global one by
+/// default) when the scope exits. `name` must be a string literal (or
+/// otherwise outlive the recorder).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, TraceRecorder* recorder = nullptr)
+      : name_(name),
+        recorder_(recorder != nullptr ? recorder : &TraceRecorder::Global()),
+        start_ns_(NowNanos()) {}
+  ~TraceSpan() { recorder_->Record({name_, start_ns_, NowNanos()}); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  TraceRecorder* recorder_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace operb::obs
+
+#endif  // OPERB_OBS_TRACE_H_

@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "store/segment_file.h"
+#include "store/store_metrics.h"
 
 namespace operb::store {
 
@@ -28,6 +30,20 @@ std::string CompactionTempName(std::uint32_t shard,
   std::snprintf(buf, sizeof(buf), "cmp-%05u-g%06llu.seg", shard,
                 static_cast<unsigned long long>(snapshot_generation));
   return buf;
+}
+
+/// Folds a finished pass's stats into the registry — the cumulative
+/// counterpart of the CompactionStats the caller gets back.
+void FoldCompactionStats(const CompactionStats& s) {
+  if constexpr (obs::kMetricsEnabled) {
+    StoreWriteMetrics& m = GetStoreWriteMetrics();
+    m.compaction_passes->Increment();
+    m.compaction_bytes_read->Add(s.bytes_read);
+    m.compaction_bytes_written->Add(s.bytes_written);
+    m.compaction_segments_rewritten->Add(s.segments_rewritten);
+    m.compaction_write_amp_milli->Observe(
+        static_cast<std::int64_t>(s.write_amplification * 1000.0));
+  }
 }
 
 }  // namespace
@@ -240,6 +256,10 @@ Status Compactor::CompactShardPass(std::uint32_t shard, bool force,
 }
 
 Result<CompactionStats> Compactor::Run() {
+  obs::ScopedTimer pass_timer(obs::kMetricsEnabled
+                                  ? GetStoreWriteMetrics().compaction_pass_ns
+                                  : nullptr);
+  obs::TraceSpan span("store.compaction.run");
   CompactionStats stats;
   std::uint32_t num_shards = 0;
   {
@@ -256,6 +276,7 @@ Result<CompactionStats> Compactor::Run() {
     stats.write_amplification = static_cast<double>(stats.bytes_written) /
                                 static_cast<double>(stats.bytes_read);
   }
+  FoldCompactionStats(stats);
   return stats;
 }
 
@@ -276,6 +297,7 @@ Result<CompactionStats> Compactor::CompactShard(std::uint32_t shard) {
     stats.write_amplification = static_cast<double>(stats.bytes_written) /
                                 static_cast<double>(stats.bytes_read);
   }
+  FoldCompactionStats(stats);
   return stats;
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "store/format.h"
+#include "store/store_metrics.h"
 
 namespace operb::store {
 
@@ -194,6 +195,12 @@ Status WriteManifest(const std::string& dir, const Manifest& manifest,
   if (!renamed.ok()) {
     (void)env->Remove(tmp);
     return renamed;
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    StoreWriteMetrics& m = GetStoreWriteMetrics();
+    m.manifest_commits->Increment();
+    m.file_flushes->Increment();
+    m.bytes_written->Add(bytes.size());
   }
   return Status::OK();
 }

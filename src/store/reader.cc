@@ -5,11 +5,63 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "store/manifest.h"
 
 namespace operb::store {
 
 namespace {
+
+/// Registry instruments the reader folds its per-call stats into: each
+/// Open/query computes a local StoreQueryStats (the per-call API value)
+/// and the same increments accumulate here, so snapshots show the
+/// cumulative view of the numbers the structs already report
+/// (DESIGN.md §10). Acquired once, then lock-free.
+struct ReaderMetrics {
+  obs::Counter* opens;
+  obs::Counter* open_retries;
+  obs::Counter* blocks_scanned;
+  obs::Counter* blocks_skipped;
+  obs::Counter* segments_scanned;
+  obs::Counter* segments_matched;
+  obs::Counter* index_nodes_visited;
+  obs::LatencyHistogram* open_ns;
+  obs::LatencyHistogram* window_query_ns;
+  obs::LatencyHistogram* reconstruct_ns;
+  obs::LatencyHistogram* position_at_ns;
+};
+
+ReaderMetrics& GetReaderMetrics() {
+  static ReaderMetrics* const m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return new ReaderMetrics{
+        r.GetCounter("store.opens"),
+        r.GetCounter("store.open_retries"),
+        r.GetCounter("store.query.blocks_scanned"),
+        r.GetCounter("store.query.blocks_skipped"),
+        r.GetCounter("store.query.segments_scanned"),
+        r.GetCounter("store.query.segments_matched"),
+        r.GetCounter("store.query.index_nodes_visited"),
+        r.GetHistogram("store.open_ns"),
+        r.GetHistogram("store.query.window_ns"),
+        r.GetHistogram("store.query.reconstruct_ns"),
+        r.GetHistogram("store.query.position_at_ns"),
+    };
+  }();
+  return *m;
+}
+
+/// The per-query half of the fold (open_retries folds at Open time).
+void FoldQueryStats(const StoreQueryStats& s) {
+  if constexpr (obs::kMetricsEnabled) {
+    ReaderMetrics& m = GetReaderMetrics();
+    m.blocks_scanned->Add(s.blocks_scanned);
+    m.blocks_skipped->Add(s.blocks_skipped);
+    m.segments_scanned->Add(s.segments_scanned);
+    m.segments_matched->Add(s.segments_matched);
+    m.index_nodes_visited->Add(s.index_nodes_visited);
+  }
+}
 
 /// Backoff schedule of Open()'s manifest-swap retry: first wait, the
 /// cap each doubling saturates at, and the attempt budget. Six attempts
@@ -91,6 +143,8 @@ void StoreReader::SetRetrySleepHookForTest(
 Result<std::unique_ptr<StoreReader>> StoreReader::Open(
     const std::string& path) {
   namespace fs = std::filesystem;
+  obs::ScopedTimer open_timer(
+      obs::kMetricsEnabled ? GetReaderMetrics().open_ns : nullptr);
   std::unique_ptr<StoreReader> reader(new StoreReader());
 
   std::error_code ec;
@@ -115,6 +169,9 @@ Result<std::unique_ptr<StoreReader>> StoreReader::Open(
     }
     OPERB_RETURN_IF_ERROR(open);
     reader->open_info_.open_retries = retries;
+    if constexpr (obs::kMetricsEnabled) {
+      GetReaderMetrics().open_retries->Add(retries);
+    }
   } else {
     // Compat shim: a regular file is a legacy (PR 5) single-file store —
     // one implicit shard, no manifest.
@@ -142,6 +199,7 @@ Result<std::unique_ptr<StoreReader>> StoreReader::Open(
     entries.push_back(e);
   }
   reader->index_.Build(std::move(entries));
+  if constexpr (obs::kMetricsEnabled) GetReaderMetrics().opens->Increment();
   return reader;
 }
 
@@ -190,6 +248,8 @@ Result<std::vector<traj::TimedSegment>> StoreReader::ReadBlock(
 Result<std::vector<traj::TimedSegment>> StoreReader::ReconstructObject(
     traj::ObjectId object_id, double t_min, double t_max,
     StoreQueryStats* stats) const {
+  obs::ScopedTimer timer(
+      obs::kMetricsEnabled ? GetReaderMetrics().reconstruct_ns : nullptr);
   StoreQueryStats local;
   local.blocks_total = blocks_.size();
   local.open_retries = open_info_.open_retries;
@@ -218,6 +278,7 @@ Result<std::vector<traj::TimedSegment>> StoreReader::ReconstructObject(
     }
   }
   local.blocks_skipped = local.blocks_total - local.blocks_scanned;
+  FoldQueryStats(local);
   if (stats != nullptr) *stats = local;
   return out;
 }
@@ -225,12 +286,15 @@ Result<std::vector<traj::TimedSegment>> StoreReader::ReconstructObject(
 Result<std::vector<traj::TimedSegment>> StoreReader::QueryWindow(
     const geo::BoundingBox& window, double t_min, double t_max,
     StoreQueryStats* stats, ScanMode mode) const {
+  obs::ScopedTimer timer(
+      obs::kMetricsEnabled ? GetReaderMetrics().window_query_ns : nullptr);
   StoreQueryStats local;
   local.blocks_total = blocks_.size();
   local.open_retries = open_info_.open_retries;
   std::vector<traj::TimedSegment> out;
   if (window.IsEmpty() || blocks_.empty()) {
     local.blocks_skipped = blocks_.size();
+    FoldQueryStats(local);
     if (stats != nullptr) *stats = local;
     return out;
   }
@@ -283,6 +347,7 @@ Result<std::vector<traj::TimedSegment>> StoreReader::QueryWindow(
                       const traj::TimedSegment& b) {
                      return a.object_id < b.object_id;
                    });
+  FoldQueryStats(local);
   if (stats != nullptr) *stats = local;
   return out;
 }
@@ -290,6 +355,8 @@ Result<std::vector<traj::TimedSegment>> StoreReader::QueryWindow(
 Result<geo::Point> StoreReader::PositionAt(traj::ObjectId object_id,
                                            double t,
                                            StoreQueryStats* stats) const {
+  obs::ScopedTimer timer(
+      obs::kMetricsEnabled ? GetReaderMetrics().position_at_ns : nullptr);
   OPERB_ASSIGN_OR_RETURN(const std::vector<traj::TimedSegment> covering,
                          ReconstructObject(object_id, t, t, stats));
   for (const traj::TimedSegment& s : covering) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "codec/segment_codec.h"
+#include "store/store_metrics.h"
 
 namespace operb::store {
 
@@ -102,6 +103,12 @@ Status SegmentFileWriter::SealLocked() {
   ++stats_.blocks;
   stats_.payload_bytes += payload.size();
   stats_.file_bytes += frame.size();
+  if constexpr (obs::kMetricsEnabled) {
+    StoreWriteMetrics& m = GetStoreWriteMetrics();
+    m.blocks_sealed->Increment();
+    m.file_flushes->Increment();
+    m.bytes_written->Add(frame.size());
+  }
   estimated_segment_bytes_ =
       static_cast<double>(payload.size()) / static_cast<double>(block.size());
   return Status::OK();

@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <utility>
 
+#include "store/store_metrics.h"
+
 namespace operb::store {
 
 namespace fs = std::filesystem;
@@ -140,6 +142,9 @@ Status StoreWriter::Append(const traj::TimedSegment& segment) {
   }
   const std::size_t shard =
       traj::ShardOfObject(segment.object_id, shards_.size());
+  if constexpr (obs::kMetricsEnabled) {
+    GetStoreWriteMetrics().segments_appended->Increment();
+  }
   return shards_[shard]->Append(segment);
 }
 

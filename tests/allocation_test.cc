@@ -17,6 +17,7 @@
 #include "core/operb_a.h"
 #include "datagen/profiles.h"
 #include "datagen/rng.h"
+#include "obs/metrics.h"
 #include "traj/trajectory.h"
 
 namespace {
@@ -210,6 +211,72 @@ TEST(AllocationTest, BufferedStreamingReusePushIsAllocationFree) {
   }
   EXPECT_EQ(allocations, 0u);
   stream->Finish();
+}
+
+/// The obs record path's no-allocation contract (DESIGN.md §10): once a
+/// call site holds its instrument pointers (acquired once, at startup),
+/// counter adds, gauge moves, histogram records and scoped timers touch
+/// only pre-sized atomics — zero heap traffic per point.
+TEST(AllocationTest, MetricsRecordPathIsAllocationFree) {
+  obs::MetricsRegistry registry;  // local: keeps the global dump clean
+  obs::Counter* points = registry.GetCounter("test.points");
+  obs::Gauge* level = registry.GetGauge("test.level");
+  obs::MaxGauge* hwm = registry.GetMaxGauge("test.hwm");
+  obs::LatencyHistogram* lat = registry.GetHistogram("test.lat_ns");
+
+  std::size_t allocations = 0;
+  {
+    CountingScope scope;
+    for (int i = 0; i < 20000; ++i) {
+      points->Increment();
+      level->Add(2);
+      level->Sub(1);
+      hwm->Observe(i);
+      lat->Record(static_cast<std::uint64_t>(i));
+      obs::ScopedTimer timer(lat);
+    }
+    allocations = scope.count();
+  }
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_EQ(points->Value(), 20000u);
+  EXPECT_EQ(lat->Count(), 2 * 20000u);
+}
+
+/// The instrumented sink path: the zero-allocation Push contract holds
+/// with live metrics updates interleaved the way the engine batches
+/// them (per ~64-point stride, against the process-global registry).
+TEST(AllocationTest, InstrumentedSinkPathIsAllocationFreePerPoint) {
+  const traj::Trajectory t = TestTrajectory(20000);
+  core::OperbStream stream(core::OperbOptions::Optimized(40.0));
+  obs::Counter* segments_ctr =
+      obs::MetricsRegistry::Global().GetCounter("test.sink.segments");
+  obs::Counter* points_ctr =
+      obs::MetricsRegistry::Global().GetCounter("test.sink.points");
+  obs::MaxGauge* occupancy =
+      obs::MetricsRegistry::Global().GetMaxGauge("test.sink.occupancy");
+  stream.SetSink([segments_ctr](const traj::RepresentedSegment&) {
+    segments_ctr->Increment();
+  });
+
+  std::size_t allocations = 0;
+  {
+    CountingScope scope;
+    std::size_t since_batch = 0;
+    for (const geo::Point& p : t) {
+      stream.Push(p);
+      if (++since_batch == 64) {  // the engine's amortization stride
+        points_ctr->Add(since_batch);
+        occupancy->Observe(static_cast<std::int64_t>(since_batch));
+        since_batch = 0;
+      }
+    }
+    points_ctr->Add(since_batch);
+    stream.Finish();
+    allocations = scope.count();
+  }
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_EQ(points_ctr->Value(), t.size());
+  EXPECT_GT(segments_ctr->Value(), 10u);
 }
 
 /// Contrast check: the buffered path must still work (and will allocate),

@@ -9,8 +9,10 @@
 // pre-optimization implementation), so all three construction surfaces
 // emit the same segments.
 
+#include <fstream>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -21,6 +23,8 @@
 #include "api/pipeline.h"
 #include "api/registry.h"
 #include "api/spec.h"
+#include "obs/snapshot.h"
+#include "store/env.h"
 #include "baselines/simplifier.h"
 #include "baselines/streaming.h"
 #include "datagen/profiles.h"
@@ -535,6 +539,122 @@ TEST(PipelineTest, RunReportsIoErrorsAndRejectsSecondRun) {
   ASSERT_TRUE(pipeline.ok());
   EXPECT_TRUE(pipeline->Run().ok());
   EXPECT_FALSE(pipeline->Run().ok());  // input was consumed
+}
+
+// ---------------------------------------------------------------------
+// MetricsSnapshots stage (DESIGN.md §10).
+// ---------------------------------------------------------------------
+
+std::vector<traj::ObjectUpdate> MetricsTestUpdates() {
+  const std::vector<traj::ObjectTrajectory> objects = {
+      {1, GoldenTrajectory(datagen::DatasetKind::kSerCar)},
+      {2, GoldenTrajectory(datagen::DatasetKind::kTaxi)},
+  };
+  return traj::InterleaveRoundRobin(
+      std::span<const traj::ObjectTrajectory>(objects));
+}
+
+/// One engine-path run over MetricsTestUpdates with an optional
+/// MetricsSnapshots stage.
+Result<api::PipelineReport> RunWithMetricsStage(const std::string& path,
+                                                std::size_t every,
+                                                store::Env* env,
+                                                bool metrics_on) {
+  engine::StreamEngineOptions eopts;
+  eopts.num_shards = 4;
+  eopts.num_threads = 1;
+  api::Pipeline::Builder builder;
+  builder.FromUpdates(MetricsTestUpdates())
+      .Simplify("OPERB:zeta=40")
+      .Engine(eopts);
+  if (metrics_on) builder.MetricsSnapshots(path, every, env);
+  OPERB_ASSIGN_OR_RETURN(api::Pipeline pipeline, builder.Build());
+  return pipeline.Run();
+}
+
+void ExpectSameTaggedSegments(const std::vector<traj::TaggedSegment>& a,
+                              const std::vector<traj::TaggedSegment>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].object_id, b[i].object_id) << "segment " << i;
+    EXPECT_EQ(a[i].segment.start.x, b[i].segment.start.x) << "segment " << i;
+    EXPECT_EQ(a[i].segment.start.y, b[i].segment.start.y) << "segment " << i;
+    EXPECT_EQ(a[i].segment.end.x, b[i].segment.end.x) << "segment " << i;
+    EXPECT_EQ(a[i].segment.end.y, b[i].segment.end.y) << "segment " << i;
+    EXPECT_EQ(a[i].segment.first_index, b[i].segment.first_index)
+        << "segment " << i;
+    EXPECT_EQ(a[i].segment.last_index, b[i].segment.last_index)
+        << "segment " << i;
+  }
+}
+
+TEST(PipelineTest, MetricsSnapshotsWritePeriodicallyAndParseBack) {
+  const std::string path = testing::TempDir() + "/pipeline_metrics.json";
+  Result<api::PipelineReport> plain =
+      RunWithMetricsStage(path, 0, nullptr, /*metrics_on=*/false);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  Result<api::PipelineReport> run =
+      RunWithMetricsStage(path, 500, nullptr, /*metrics_on=*/true);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->metrics_ran);
+  EXPECT_EQ(run->metrics_path, path);
+  // points_in / 500 periodic snapshots plus the final one.
+  EXPECT_EQ(run->snapshots_written, run->points_in / 500 + 1);
+  EXPECT_EQ(run->snapshot_failures, 0u);
+  // Instrumentation must not perturb the output (bit-identical contract).
+  ExpectSameTaggedSegments(run->segments_out, plain->segments_out);
+
+  // The exported document parses and carries the pipeline counters.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = obs::ParseSnapshotJson(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->schema_version, obs::kSnapshotSchemaVersion);
+  // An OPERB_NO_METRICS build still writes (empty) snapshots; the
+  // instrument values exist only when recording is compiled in.
+  if (obs::kMetricsEnabled) {
+    EXPECT_GE(parsed->counters.at("pipeline.points_in"), run->points_in);
+    EXPECT_GE(parsed->counters.at("engine.points_routed"), run->points_in);
+    EXPECT_GE(parsed->counters.at("pipeline.snapshots_written"), 1u);
+  }
+}
+
+TEST(PipelineTest, MetricsSnapshotFaultsNeverAbortIngest) {
+  // The fault matrix of satellite concern: every snapshot write is 4
+  // counted Env operations (create, append, flush, rename). Failing
+  // each of the first 8 — covering two full periodic writes at every
+  // crash point — must leave the run OK and the output bit-identical;
+  // only the failure counters may move.
+  const std::string path = testing::TempDir() + "/pipeline_metrics_fault.json";
+  Result<api::PipelineReport> plain =
+      RunWithMetricsStage(path, 0, nullptr, /*metrics_on=*/false);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    store::FaultInjectingEnv env;
+    env.ArmFault(store::FaultInjectingEnv::FaultKind::kError, k);
+    Result<api::PipelineReport> run =
+        RunWithMetricsStage(path, 500, &env, /*metrics_on=*/true);
+    ASSERT_TRUE(run.ok()) << "k=" << k << ": " << run.status().ToString();
+    EXPECT_TRUE(env.fault_fired()) << "k=" << k;
+    EXPECT_EQ(run->snapshot_failures, 1u) << "k=" << k;
+    EXPECT_EQ(run->snapshots_written, run->points_in / 500) << "k=" << k;
+    ExpectSameTaggedSegments(run->segments_out, plain->segments_out);
+  }
+
+  // A crash-style fault (every operation fails from op k on) loses
+  // every snapshot — and still not the run.
+  store::FaultInjectingEnv env;
+  env.ArmFault(store::FaultInjectingEnv::FaultKind::kTornWriteCrash, 0);
+  Result<api::PipelineReport> run =
+      RunWithMetricsStage(path, 500, &env, /*metrics_on=*/true);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->snapshots_written, 0u);
+  EXPECT_EQ(run->snapshot_failures, run->points_in / 500 + 1);
+  ExpectSameTaggedSegments(run->segments_out, plain->segments_out);
 }
 
 }  // namespace

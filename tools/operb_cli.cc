@@ -63,6 +63,7 @@
 #include "datagen/rng.h"
 #include "engine/stream_engine.h"
 #include "eval/metrics.h"
+#include "obs/snapshot.h"
 #include "store/compactor.h"
 #include "store/writer.h"
 #include "traj/io.h"
@@ -101,6 +102,10 @@ struct CliOptions {
   std::string checkpoint_out_path;   ///< snapshot engine state here
   std::uint64_t checkpoint_every = 0;  ///< 0 = once, after the last update
   std::string resume_path;           ///< restore engine state from here
+
+  // Metrics export (--metrics-out; periodic cadence needs --group-by-id).
+  std::string metrics_out_path;     ///< write a registry snapshot here
+  std::uint64_t metrics_every = 0;  ///< 0 = once, after the run
   bool clean = false;           ///< repair raw streams before simplifying
   bool verify = true;
   double verify_slack = 1e-9;
@@ -237,6 +242,20 @@ void PrintUsage(std::FILE* out) {
                "--group-by-id)\n"
                "  --no-verify           skip the independent error-bound "
                "check\n"
+               "\n"
+               "Observability (see DESIGN.md \"Metrics and tracing\"):\n"
+               "  --metrics-out PATH    export a metrics snapshot (every "
+               "engine/store/pipeline\n"
+               "                        registry instrument, versioned JSON, "
+               "atomic temp-file +\n"
+               "                        rename) to PATH after the run; also "
+               "works with --query\n"
+               "  --metrics-every N     additionally rewrite the snapshot "
+               "after every N ingested\n"
+               "                        updates (requires --metrics-out and "
+               "--group-by-id; a\n"
+               "                        failed periodic write is logged and "
+               "counted, never fatal)\n"
                "  --help                this text\n",
                algorithms.c_str());
 }
@@ -349,6 +368,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
   bool store_shards_seen = false;
   bool checkpoint_flag_seen = false;  // --checkpoint-out/-every/--resume
   bool checkpoint_every_seen = false;
+  bool metrics_every_seen = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -362,6 +382,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
                arg == "--store-out" || arg == "--store-shards" ||
                arg == "--checkpoint-out" || arg == "--checkpoint-every" ||
                arg == "--resume" ||
+               arg == "--metrics-out" || arg == "--metrics-every" ||
                arg == "--query" || arg == "--compact" ||
                arg == "--object" || arg == "--from" || arg == "--to" ||
                arg == "--at" || arg == "--window") {
@@ -456,6 +477,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
       } else if (arg == "--resume") {
         checkpoint_flag_seen = true;
         options->resume_path = value;
+      } else if (arg == "--metrics-out") {
+        options->metrics_out_path = value;
+      } else if (arg == "--metrics-every") {
+        metrics_every_seen = true;
+        // Same typo ceiling as --checkpoint-every.
+        constexpr std::uint64_t kMaxMetricsEvery = 1'000'000'000;
+        if (!ParseU64(value, &options->metrics_every) ||
+            options->metrics_every == 0 ||
+            options->metrics_every > kMaxMetricsEvery) {
+          std::fprintf(stderr,
+                       "operb_cli: --metrics-every must be an integer in "
+                       "1..%llu, got '%s'\n",
+                       static_cast<unsigned long long>(kMaxMetricsEvery),
+                       value);
+          return false;
+        }
       } else if (arg == "--query") {
         options->query_mode = true;
         options->query.store_path = value;
@@ -578,6 +615,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
         !options->store_out_path.empty() || store_shards_seen ||
         options->group_by_id || options->clean || spec_flag_seen ||
         engine_flag_seen || no_verify_seen || checkpoint_flag_seen ||
+        !options->metrics_out_path.empty() || metrics_every_seen ||
         !options->output_path.empty() ||
         !options->save_input_path.empty()) {
       std::fprintf(stderr,
@@ -591,10 +629,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
     // Query mode serves an existing store: nothing is ingested,
     // simplified or verified, so every write-side flag — including the
     // engine knobs and --no-verify — is a contradiction, not a no-op.
+    // (--metrics-out stays legal: the snapshot then carries the
+    // store.query.* instruments this query just exercised.)
     if (inputs > 0 || !options->store_out_path.empty() ||
         store_shards_seen || options->group_by_id || options->clean ||
         spec_flag_seen || engine_flag_seen || no_verify_seen ||
-        checkpoint_flag_seen || !options->save_input_path.empty()) {
+        checkpoint_flag_seen || metrics_every_seen ||
+        !options->save_input_path.empty()) {
       std::fprintf(stderr,
                    "operb_cli: --query serves an existing store and cannot "
                    "be combined with input, simplification, engine or "
@@ -627,6 +668,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
     std::fprintf(stderr,
                  "operb_cli: --checkpoint-every sets the cadence of "
                  "--checkpoint-out PATH\n");
+    return false;
+  }
+  if (metrics_every_seen && options->metrics_out_path.empty()) {
+    std::fprintf(stderr,
+                 "operb_cli: --metrics-every sets the cadence of "
+                 "--metrics-out PATH\n");
+    return false;
+  }
+  if (metrics_every_seen && !options->group_by_id) {
+    // Periodic snapshots ride the engine path's chunked ingest loop;
+    // the single-trajectory flow pushes everything at once.
+    std::fprintf(stderr,
+                 "operb_cli: --metrics-every requires --group-by-id (the "
+                 "final --metrics-out snapshot works in every mode)\n");
     return false;
   }
   if (!options->resume_path.empty()) {
@@ -717,6 +772,30 @@ void PrintStoreLine(const api::PipelineReport& report,
               static_cast<unsigned long long>(report.store_stats.file_bytes),
               static_cast<unsigned long long>(store_shards),
               report.store_stats.write_amplification);
+}
+
+/// Prints the MetricsSnapshots-stage summary line of a pipeline report.
+void PrintMetricsLine(const api::PipelineReport& report) {
+  if (!report.metrics_ran) return;
+  std::printf("metrics:   %s  (%zu snapshot(s) written, %zu failure(s))\n",
+              report.metrics_path.c_str(), report.snapshots_written,
+              report.snapshot_failures);
+}
+
+/// Writes the final --metrics-out snapshot for the modes that do not run
+/// the Pipeline facade (query mode). Returns the exit code to use.
+int WriteFinalMetricsSnapshot(const CliOptions& options, int exit_code) {
+  if (options.metrics_out_path.empty() || exit_code == kExitUsage) {
+    return exit_code;
+  }
+  if (const Status s = obs::WriteSnapshotJson(options.metrics_out_path);
+      !s.ok()) {
+    std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+    return kExitIo;
+  }
+  std::printf("metrics:   %s  (1 snapshot(s) written, 0 failure(s))\n",
+              options.metrics_out_path.c_str());
+  return exit_code;
 }
 
 /// The --query flow: open the store, run one query, print the matched
@@ -877,6 +956,10 @@ int RunGroupById(const CliOptions& options) {
     builder.Checkpoint(options.checkpoint_out_path,
                        static_cast<std::size_t>(options.checkpoint_every));
   }
+  if (!options.metrics_out_path.empty()) {
+    builder.MetricsSnapshots(options.metrics_out_path,
+                             static_cast<std::size_t>(options.metrics_every));
+  }
   if (!options.resume_path.empty()) builder.ResumeFrom(options.resume_path);
   Result<api::Pipeline> pipeline = builder.Build();
   if (!pipeline.ok()) {
@@ -928,6 +1011,7 @@ int RunGroupById(const CliOptions& options) {
     std::printf("checkpoint: %s  (%zu snapshot(s) written)\n",
                 report.checkpoint_path.c_str(), report.checkpoints_written);
   }
+  PrintMetricsLine(report);
 
   if (!options.output_path.empty()) {
     if (const Status s = traj::WriteTaggedSegmentsCsv(
@@ -1027,6 +1111,9 @@ int RunSingle(const CliOptions& options) {
     store_options.num_shards = static_cast<std::size_t>(options.store_shards);
     builder.WriteStore(options.store_out_path, store_options);
   }
+  if (!options.metrics_out_path.empty()) {
+    builder.MetricsSnapshots(options.metrics_out_path);
+  }
   Result<api::Pipeline> pipeline = builder.Build();
   if (!pipeline.ok()) {
     std::fprintf(stderr, "operb_cli: %s\n",
@@ -1078,6 +1165,7 @@ int RunSingle(const CliOptions& options) {
               ns_per_point > 0.0 ? 1e3 / ns_per_point : 0.0);
   std::printf("error:     avg %.2f m, max %.2f m\n", error.average, error.max);
   PrintStoreLine(report, options.store_shards);
+  PrintMetricsLine(report);
 
   if (!options.output_path.empty()) {
     if (const Status s =
@@ -1114,7 +1202,22 @@ int main(int argc, char** argv) {
     PrintUsage(stdout);
     return kExitOk;
   }
+  if (!options.metrics_out_path.empty()) {
+    // Pre-flight: snapshots are written late in the run (and periodic
+    // failures are deliberately non-fatal), so an unusable path must
+    // fail up front as a usage error, not as a silent no-op run.
+    std::FILE* probe = std::fopen(options.metrics_out_path.c_str(), "ab");
+    if (probe == nullptr) {
+      std::fprintf(stderr,
+                   "operb_cli: --metrics-out path '%s' is not writable\n",
+                   options.metrics_out_path.c_str());
+      return kExitUsage;
+    }
+    std::fclose(probe);
+  }
   if (options.compact_mode) return RunCompact(options);
-  if (options.query_mode) return RunQuery(options);
+  if (options.query_mode) {
+    return WriteFinalMetricsSnapshot(options, RunQuery(options));
+  }
   return options.group_by_id ? RunGroupById(options) : RunSingle(options);
 }
