@@ -82,6 +82,11 @@
 
 #include "obs/metrics.h"
 
+#include <chrono>
+#include <thread>
+
+#include "server/client.h"
+#include "server/server.h"
 #include "store/compactor.h"
 #include "store/reader.h"
 #include "store/writer.h"
@@ -999,6 +1004,216 @@ int main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------------------
+  // Server: the live daemon surface (src/server). An in-process
+  // TrajectoryServer holds a 100k-object fleet in flight (nothing
+  // finished — every query crosses the read-your-writes merge of the
+  // sealed store, the overlay and the engine tails), and loopback
+  // Client connections sweep PositionAt queries at 1/4/8 client
+  // threads while one more connection keeps ingesting. qps is
+  // wall-clock; p50/p99 come from the server's own
+  // obs server.query_ns histogram.
+  // ------------------------------------------------------------------
+  std::vector<JsonRecord> server_records;
+  {
+    const std::size_t server_objects = smoke ? 2000 : 100000;
+    const std::size_t server_per_object = 4;
+    const std::size_t queries_per_thread = smoke ? 200 : 2000;
+    std::vector<traj::ObjectUpdate> updates;
+    {
+      std::vector<traj::ObjectTrajectory> objects;
+      objects.reserve(server_objects);
+      for (std::size_t k = 0; k < server_objects; ++k) {
+        datagen::Rng rng(bench::kBenchSeed + 31 * (k + 1));
+        objects.push_back(
+            {k, datagen::GenerateTrajectory(
+                    datagen::DatasetProfile::For(datagen::DatasetKind::kSerCar),
+                    server_per_object, &rng)});
+      }
+      updates = traj::InterleaveRoundRobin(objects);
+    }
+
+    const std::string server_store = "bench_server_store.tmp";
+    std::filesystem::remove_all(server_store);
+    server::ServerOptions sopts;
+    sopts.engine.spec.zeta = kZeta;  // default algorithm: OPERB, guarded
+    sopts.engine.num_threads = smoke ? 2 : 4;
+    sopts.engine.num_shards = 4 * sopts.engine.num_threads;
+    sopts.store_path = server_store;
+    sopts.seal_interval_seconds = 0.25;  // background sealer runs live
+    auto started = server::TrajectoryServer::Start(sopts, 0);
+    if (!started.ok()) {
+      std::fprintf(stderr, "bench_throughput: server start failed: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    server::TrajectoryServer& srv = **started;
+
+    // Ingest the whole fleet over one loopback connection, in the
+    // CLI's batch size, under a stopwatch — the daemon-path ingest
+    // rate including framing, admission and the engine hand-off.
+    double ingest_seconds = 0.0;
+    {
+      auto c = server::Client::Connect("127.0.0.1", srv.port());
+      if (!c.ok()) {
+        std::fprintf(stderr, "bench_throughput: client connect failed\n");
+        return 1;
+      }
+      Stopwatch watch;
+      const std::span<const traj::ObjectUpdate> all(updates);
+      for (std::size_t off = 0; off < all.size(); off += 512) {
+        const Status s =
+            c->Ingest(all.subspan(off, std::min<std::size_t>(512, all.size() - off)));
+        if (!s.ok()) {
+          std::fprintf(stderr, "bench_throughput: server ingest failed: %s\n",
+                       s.ToString().c_str());
+          return 1;
+        }
+      }
+      ingest_seconds = watch.ElapsedSeconds();
+    }
+    // One all-covering window query barriers every shard (staging flush
+    // + ring FIFO), so the census below is exact, not a mid-flight
+    // snapshot.
+    {
+      geo::BoundingBox everything;
+      everything.Extend(geo::Vec2{-1e12, -1e12});
+      everything.Extend(geo::Vec2{1e12, 1e12});
+      auto warm = srv.QueryWindow(everything, -1e18, 1e18, false);
+      if (!warm.ok()) {
+        std::fprintf(stderr, "bench_throughput: server warm query failed\n");
+        return 1;
+      }
+    }
+    const std::uint64_t live_objects = srv.Stats().live_objects;
+
+    // Query sweep: each client thread owns its own connection (the
+    // client is single-request-in-flight by design) and fires
+    // PositionAt over random live objects; one extra connection keeps
+    // ingesting fresh points so the merge path never degenerates to a
+    // static store read.
+    struct SweepRow {
+      std::size_t threads;
+      double qps;
+      double p50_ms;
+      double p99_ms;
+      std::uint64_t queries;
+    };
+    std::vector<SweepRow> sweep;
+    // Live-ingest timestamps stay monotone per object across sweeps:
+    // one shared counter, bumped only by the (single) active ingester.
+    double ingest_t = 1e6;  // far past every generated timestamp
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      std::atomic<bool> stop_ingest{false};
+      std::atomic<bool> sweep_failed{false};
+      std::thread ingester([&] {
+        auto c = server::Client::Connect("127.0.0.1", srv.port());
+        if (!c.ok()) return;
+        datagen::Rng rng(bench::kBenchSeed + 999 * threads);
+        while (!stop_ingest.load(std::memory_order_relaxed)) {
+          std::vector<traj::ObjectUpdate> batch;
+          batch.reserve(64);
+          for (std::size_t i = 0; i < 64; ++i) {
+            const traj::ObjectId id = rng.NextBelow(server_objects);
+            batch.push_back({id,
+                             {rng.Uniform(-1e4, 1e4), rng.Uniform(-1e4, 1e4),
+                              ingest_t}});
+            ingest_t += 1.0;
+          }
+          if (!c->Ingest(batch).ok()) return;
+          // Steady background load (~30k pts/s), not ring saturation:
+          // an unthrottled loop keeps every ring near the busy mark and
+          // the sweep measures barrier waits instead of query cost.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+
+      std::atomic<std::uint64_t> completed{0};
+      Stopwatch watch;
+      std::vector<std::thread> workers;
+      for (std::size_t w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+          auto c = server::Client::Connect("127.0.0.1", srv.port());
+          if (!c.ok()) {
+            sweep_failed.store(true);
+            return;
+          }
+          datagen::Rng rng(bench::kBenchSeed + 17 * (w + 1));
+          for (std::size_t q = 0; q < queries_per_thread; ++q) {
+            const traj::ObjectId id = rng.NextBelow(server_objects);
+            // Mid-trajectory timestamp: SerCar samples ~1 Hz from 0.
+            auto r = c->PositionAt(id, 1.0);
+            if (!r.ok() &&
+                r.status().code() != StatusCode::kNotFound) {
+              sweep_failed.store(true);
+              return;
+            }
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      for (std::thread& t : workers) t.join();
+      const double sweep_seconds = watch.ElapsedSeconds();
+      stop_ingest.store(true);
+      ingester.join();
+      if (sweep_failed.load() ||
+          completed.load() != threads * queries_per_thread) {
+        std::fprintf(stderr,
+                     "bench_throughput: server query sweep failed at %zu "
+                     "threads\n",
+                     threads);
+        return 1;
+      }
+      const auto snapshot = obs::MetricsRegistry::Global()
+                                .GetHistogram("server.query_ns")
+                                ->Snapshot();
+      // The histogram is cumulative across sweeps, so the recorded
+      // p50/p99 cover all queries so far — still the ordering-stable
+      // signal the validator gates (p50 <= p99, both positive).
+      SweepRow row;
+      row.threads = threads;
+      row.queries = completed.load();
+      row.qps = static_cast<double>(completed.load()) / sweep_seconds;
+      row.p50_ms = snapshot.ApproxPercentile(0.5) / 1e6;
+      row.p99_ms = snapshot.ApproxPercentile(0.99) / 1e6;
+      sweep.push_back(row);
+      std::printf(
+          "server: %zu client thread(s)  %7.0f qps  p50 %.3f ms  p99 "
+          "%.3f ms  (%llu live objects)\n",
+          threads, row.qps, row.p50_ms, row.p99_ms,
+          static_cast<unsigned long long>(live_objects));
+    }
+
+    const server::StatsBody final_stats = srv.Stats();
+    const Status stopped = srv.Stop();
+    std::filesystem::remove_all(server_store);
+    if (!stopped.ok()) {
+      std::fprintf(stderr, "bench_throughput: server stop failed: %s\n",
+                   stopped.ToString().c_str());
+      return 1;
+    }
+
+    for (const SweepRow& row : sweep) {
+      JsonRecord rec;
+      rec.Str("algorithm", "OPERB");
+      rec.Str("spec", sopts.engine.spec.ToString());
+      rec.Int("live_objects", static_cast<long long>(live_objects));
+      rec.Int("ingest_points", static_cast<long long>(updates.size()));
+      rec.Num("ingest_seconds", ingest_seconds);
+      rec.Num("ingest_points_per_sec",
+              static_cast<double>(updates.size()) / ingest_seconds);
+      rec.Int("client_threads", static_cast<long long>(row.threads));
+      rec.Int("queries", static_cast<long long>(row.queries));
+      rec.Num("query_qps", row.qps);
+      rec.Num("query_p50_ms", row.p50_ms);
+      rec.Num("query_p99_ms", row.p99_ms);
+      rec.Int("seals", static_cast<long long>(final_stats.seals));
+      rec.Int("backpressure_rejects",
+              static_cast<long long>(final_stats.backpressure_rejects));
+      server_records.push_back(rec);
+    }
+  }
+
+  // ------------------------------------------------------------------
   // Emit JSON.
   // ------------------------------------------------------------------
   std::FILE* f = std::fopen(out_path.c_str(), "wb");
@@ -1010,7 +1225,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"schema\": \"operb-bench-throughput\",\n"
-               "  \"schema_version\": 7,\n"
+               "  \"schema_version\": 8,\n"
                "  \"smoke\": %s,\n"
                "  \"unix_time\": %lld,\n"
                "  \"zeta\": %g,\n"
@@ -1029,8 +1244,10 @@ int main(int argc, char** argv) {
                JoinRecords(metrics_records).c_str());
   std::fprintf(f, "  \"store\": %s,\n",
                JoinRecords(store_records).c_str());
-  std::fprintf(f, "  \"checkpoint\": %s\n}\n",
+  std::fprintf(f, "  \"checkpoint\": %s,\n",
                JoinRecords(checkpoint_records).c_str());
+  std::fprintf(f, "  \"server\": %s\n}\n",
+               JoinRecords(server_records).c_str());
   if (std::fclose(f) != 0) {
     std::fprintf(stderr, "bench_throughput: write failure on %s\n",
                  out_path.c_str());

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validates BENCH_throughput.json against the operb-bench-throughput
-schema (version 7). Stdlib-only so CI needs no extra packages.
+schema (version 8). Stdlib-only so CI needs no extra packages.
 
 Beyond shape checks, the store section carries semantic gates: the
 R-tree index must never skip fewer blocks than the flat footer scan, the
@@ -12,7 +12,10 @@ uninterrupted run's output exactly. The metrics_overhead section (new in
 v7) gates live obs instrumentation to at most 3% over the plain sink
 loop in full mode (smoke passes are microsecond-scale, so the benchmark
 binary applies a looser smoke tolerance before the JSON is written; the
-validator re-checks the full-mode bound only when smoke is false).
+validator re-checks the full-mode bound only when smoke is false). The
+server section (new in v8) gates the live daemon: a full-mode run must
+hold at least 100k live objects, sweep at least 2 client-thread counts,
+and report positive qps with p50 <= p99 query latency.
 
 Usage: validate_throughput_json.py PATH
 Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
@@ -38,6 +41,7 @@ TOP_LEVEL = {
     "metrics_overhead": list,
     "store": list,
     "checkpoint": list,
+    "server": list,
 }
 
 SECTION_FIELDS = {
@@ -155,6 +159,21 @@ SECTION_FIELDS = {
         "segments": int,
         "output_match": int,
     },
+    "server": {
+        "algorithm": str,
+        "spec": str,
+        "live_objects": int,
+        "ingest_points": int,
+        "ingest_seconds": NUMBER,
+        "ingest_points_per_sec": NUMBER,
+        "client_threads": int,
+        "queries": int,
+        "query_qps": NUMBER,
+        "query_p50_ms": NUMBER,
+        "query_p99_ms": NUMBER,
+        "seals": int,
+        "backpressure_rejects": int,
+    },
 }
 
 
@@ -184,7 +203,7 @@ def main():
             fail(f"top-level key '{key}' has wrong type")
     if doc["schema"] != "operb-bench-throughput":
         fail(f"unexpected schema '{doc['schema']}'")
-    if doc["schema_version"] != 7:
+    if doc["schema_version"] != 8:
         fail(f"unexpected schema_version {doc['schema_version']}")
 
     for section, fields in SECTION_FIELDS.items():
@@ -273,6 +292,32 @@ def main():
                 if entry["compact_files_after"] > entry["compact_files_before"]:
                     fail(f"{section}[{i}] compaction grew the file count")
                 continue
+            if section == "server":
+                # Semantic gates (schema v8): the daemon must have held
+                # a real live fleet (>= 100k objects in full mode),
+                # served every query, and reported ordered latency
+                # percentiles. backpressure_rejects may be any
+                # non-negative count — BUSY is flow control, not
+                # failure.
+                if (entry["live_objects"] <= 0
+                        or entry["ingest_points"] <= 0
+                        or entry["ingest_seconds"] <= 0
+                        or entry["ingest_points_per_sec"] <= 0
+                        or entry["client_threads"] <= 0
+                        or entry["queries"] <= 0
+                        or entry["query_qps"] <= 0
+                        or entry["query_p50_ms"] <= 0
+                        or entry["query_p99_ms"] <= 0):
+                    fail(f"{section}[{i}] has non-positive server numbers")
+                if entry["query_p50_ms"] > entry["query_p99_ms"]:
+                    fail(f"{section}[{i}] p50 exceeds p99")
+                if entry["seals"] < 0 or entry["backpressure_rejects"] < 0:
+                    fail(f"{section}[{i}] has negative counters")
+                if not doc["smoke"] and entry["live_objects"] < 100000:
+                    fail(f"{section}[{i}] full-mode run held only "
+                         f"{entry['live_objects']} live objects "
+                         "(need >= 100000)")
+                continue
             if section == "checkpoint":
                 # Semantic gates (schema v6): the snapshot must exist and
                 # cost something, every live state must fit in it, the
@@ -314,20 +359,23 @@ def main():
     thread_counts = {e["threads"] for e in doc["concurrent_streams"]}
     if len(thread_counts) < 2:
         fail("concurrent_streams must sweep at least 2 thread counts")
+    server_threads = {e["client_threads"] for e in doc["server"]}
+    if len(server_threads) < 2:
+        fail("server must sweep at least 2 client-thread counts")
     # Spec strings must resolve to the algorithm they annotate.
     for section in ("steady_state", "end_to_end", "concurrent_streams",
                     "facade_overhead", "metrics_overhead", "store",
-                    "checkpoint"):
+                    "checkpoint", "server"):
         for i, entry in enumerate(doc[section]):
             if not entry["spec"].startswith(entry["algorithm"] + ":"):
                 fail(f"{section}[{i}].spec '{entry['spec']}' does not "
                      f"resolve to algorithm '{entry['algorithm']}'")
-    print(f"{sys.argv[1]}: valid operb-bench-throughput v7 "
+    print(f"{sys.argv[1]}: valid operb-bench-throughput v8 "
           f"({len(doc['steady_state'])} steady-state entries, "
           f"{len(doc['concurrent_streams'])} concurrent-stream entries, "
           f"{len(doc['store'])} store entries, "
           f"{len(doc['checkpoint'])} checkpoint entries, "
-          f"{len(doc['metrics_overhead'])} metrics-overhead entries)")
+          f"{len(doc['server'])} server entries)")
 
 
 if __name__ == "__main__":

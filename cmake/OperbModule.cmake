@@ -26,6 +26,7 @@ endfunction()
 function(operb_link_all_modules TARGET)
   target_link_libraries(${TARGET} PRIVATE
     operb::pipeline
+    operb::server
     operb::engine
     operb::api
     operb::store

@@ -31,9 +31,18 @@ constexpr std::chrono::microseconds kDrainPoll{50};
 /// Engine checkpoint file framing (DESIGN.md §9): 8-byte magic, version
 /// byte, embedded spec string and shard count (the compatibility keys),
 /// engine counters, per-shard state sections, trailing FNV-1a64.
+/// Version 1 is the plain engine; version 2 appends each live object's
+/// tail clock (track_segment_times on) so a restored engine keeps
+/// emitting correctly timed segments.
 constexpr std::uint8_t kCheckpointMagic[8] = {'O', 'P', 'R', 'B',
                                               'C', 'K', 'P', '1'};
-constexpr std::uint8_t kCheckpointVersion = 1;
+constexpr std::uint8_t kCheckpointVersionPlain = 1;
+constexpr std::uint8_t kCheckpointVersionTimed = 2;
+
+/// Producer-side wait inside a tail snapshot: spin first (the worker
+/// usually answers within microseconds), then sleep-poll.
+constexpr int kSnapshotSpinsBeforeSleep = 256;
+constexpr std::chrono::microseconds kSnapshotPoll{20};
 
 Status TruncatedCheckpoint() {
   return Status::Corruption("truncated engine checkpoint");
@@ -101,11 +110,21 @@ std::string StreamEngineOptions::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "StreamEngineOptions{%s shards=%zu threads=%zu "
-                "ring=%zu batch=%zu idle_timeout=%gs}",
+                "ring=%zu batch=%zu idle_timeout=%gs%s}",
                 spec.ToString().c_str(), num_shards, num_threads,
-                ring_capacity, producer_batch, idle_timeout_seconds);
+                ring_capacity, producer_batch, idle_timeout_seconds,
+                track_segment_times ? " timed" : "");
   return buf;
 }
+
+/// The producer-owned half of a tail snapshot: what to visit, and the
+/// flag the worker releases when the visitor has run.
+struct StreamEngine::TailSnapshotRequest {
+  const TailSnapshotVisitor* visitor = nullptr;
+  bool filter = false;          ///< visit only `filter_id`
+  traj::ObjectId filter_id = 0;
+  std::atomic<bool> done{false};
+};
 
 /// One state-table partition, owned by exactly one worker thread. All
 /// members below `ring`/`processed` are consumer-side only, so the hot
@@ -114,12 +133,13 @@ class StreamEngine::Shard {
  public:
   Shard(const StreamEngineOptions& options,
         const api::AlgorithmRegistry::Entry* algorithm,
-        const TaggedSegmentSink* sink, std::atomic<std::uint64_t>* live,
-        std::atomic<std::uint64_t>* peak)
+        const TaggedSegmentSink* sink, const TimedSegmentSink* timed_sink,
+        std::atomic<std::uint64_t>* live, std::atomic<std::uint64_t>* peak)
       : ring(options.ring_capacity),
         options_(options),
         algorithm_(algorithm),
         sink_(sink),
+        timed_sink_(timed_sink),
         live_census_(live),
         peak_census_(peak),
         slots_(kInitialSlots) {}
@@ -135,6 +155,12 @@ class StreamEngine::Shard {
       case Kind::kPoint: {
         Slot& s = FindOrCreate(u.id);
         current_id_ = u.id;
+        current_state_ = s.state;
+        // The clock entry must exist before Push: the state may emit a
+        // segment ending at this very point.
+        if (options_.track_segment_times) {
+          clocks_[s.state].Append(u.point.t);
+        }
         states_[s.state]->Push(u.point);
         s.last_time = u.point.t;
         break;
@@ -160,6 +186,53 @@ class StreamEngine::Shard {
         }
         break;
       }
+      case Kind::kSnapshot: {
+        HandleSnapshot(*u.snap);
+        u.snap->done.store(true, std::memory_order_release);
+        break;
+      }
+    }
+  }
+
+  /// Runs a tail snapshot on this worker thread: every live (and
+  /// matching, when filtered) slot's state is serialized, cloned into
+  /// the scratch state and finished; the clone's emissions — timed via
+  /// the slot's tail clock, which is read but never advanced — go to
+  /// the request's visitor in ascending object-id order. The live state
+  /// is never touched, so processing resumes as if the snapshot had
+  /// not happened.
+  void HandleSnapshot(const TailSnapshotRequest& req) {
+    std::vector<const Slot*> live;
+    live.reserve(req.filter ? 1 : live_);
+    for (const Slot& s : slots_) {
+      if (s.status != kOccupied) continue;
+      if (req.filter && s.id != req.filter_id) continue;
+      live.push_back(&s);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Slot* a, const Slot* b) { return a->id < b->id; });
+    for (const Slot* s : live) {
+      snapshot_blob_.clear();
+      states_[s->state]->Serialize(&snapshot_blob_);
+      EnsureScratch();
+      scratch_->Reset();
+      std::size_t pos = 0;
+      const Status restored = scratch_->Deserialize(snapshot_blob_, &pos);
+      OPERB_CHECK_MSG(restored.ok(),
+                      "tail snapshot: live state failed to round-trip");
+      snapshot_raw_.clear();
+      scratch_->Finish();
+      scratch_->Reset();
+      snapshot_tail_.clear();
+      snapshot_tail_.reserve(snapshot_raw_.size());
+      const TailClock& clock = clocks_[s->state];
+      for (const traj::RepresentedSegment& seg : snapshot_raw_) {
+        snapshot_tail_.push_back(traj::TimedSegment{
+            s->id, seg, clock.At(seg.first_index),
+            clock.At(seg.last_index)});
+      }
+      (*req.visitor)(s->id, std::span<const traj::TimedSegment>(
+                                snapshot_tail_));
     }
   }
 
@@ -186,6 +259,17 @@ class StreamEngine::Shard {
       states_[s->state]->Serialize(&blob);
       serial::PutU32(static_cast<std::uint32_t>(blob.size()), out);
       out->insert(out->end(), blob.begin(), blob.end());
+      if (options_.track_segment_times) {
+        // Version-2 extra: the object's tail clock, logically (base
+        // index, window) — physical compaction offsets never leak into
+        // the bytes, keeping equal states byte-equal.
+        const TailClock& clock = clocks_[s->state];
+        serial::PutU64(clock.base, out);
+        serial::PutU64(clock.size(), out);
+        for (std::size_t i = 0; i < clock.size(); ++i) {
+          serial::PutF64(clock.At(clock.base + i), out);
+        }
+      }
     }
     serial::PutU64(segments_, out);
     serial::PutU64(objects_opened_, out);
@@ -225,6 +309,20 @@ class StreamEngine::Shard {
             "checkpoint state blob length disagrees with its contents");
       }
       *pos += blob_len;
+      if (options_.track_segment_times) {
+        TailClock& clock = clocks_[s.state];
+        clock.Clear();
+        std::uint64_t times = 0;
+        if (!serial::GetU64(in, pos, &clock.base) ||
+            !serial::GetU64(in, pos, &times)) {
+          return TruncatedCheckpoint();
+        }
+        for (std::uint64_t t = 0; t < times; ++t) {
+          double value = 0.0;
+          if (!serial::GetF64(in, pos, &value)) return TruncatedCheckpoint();
+          clock.Append(value);
+        }
+      }
     }
     if (!serial::GetU64(in, pos, &segments_) ||
         !serial::GetU64(in, pos, &objects_opened_) ||
@@ -356,8 +454,20 @@ class StreamEngine::Shard {
         algorithm_->streaming(options_.spec);
     OPERB_CHECK_MSG(state != nullptr, "streaming factory returned null");
     states_.push_back(std::move(state));
+    if (options_.track_segment_times) clocks_.emplace_back();
     states_.back()->SetSink([this](const traj::RepresentedSegment& seg) {
       ++segments_;
+      if (options_.track_segment_times) {
+        TailClock& clock = clocks_[current_state_];
+        if (timed_sink_ != nullptr && *timed_sink_) {
+          (*timed_sink_)(traj::TimedSegment{current_id_, seg,
+                                            clock.At(seg.first_index),
+                                            clock.At(seg.last_index)});
+        }
+        // The next segment starts at this one's last index; everything
+        // before it can never be referenced again.
+        clock.DropBefore(seg.last_index);
+      }
       if (*sink_) (*sink_)(current_id_, seg);
     });
     return idx;
@@ -365,9 +475,11 @@ class StreamEngine::Shard {
 
   void FinishSlot(Slot& s, bool idle) {
     current_id_ = s.id;
+    current_state_ = s.state;
     baselines::StreamingSimplifier& state = *states_[s.state];
     state.Finish();
     state.Reset();
+    if (options_.track_segment_times) clocks_[s.state].Clear();
     free_states_.push_back(s.state);
     s.status = kTombstone;
     --live_;
@@ -381,9 +493,54 @@ class StreamEngine::Shard {
     }
   }
 
+  /// Timestamps of one object's points since its last emitted segment
+  /// boundary, addressed by absolute point index. `base` is the
+  /// absolute index of the window's first entry; DropBefore compacts
+  /// the backing vector lazily (offset first, erase when the dead
+  /// prefix dominates) so per-segment upkeep is amortized O(1).
+  struct TailClock {
+    std::uint64_t base = 0;
+    std::size_t off = 0;
+    std::vector<double> times;
+
+    void Append(double t) { times.push_back(t); }
+    std::size_t size() const { return times.size() - off; }
+    double At(std::uint64_t index) const {
+      OPERB_DCHECK(index >= base && index - base < size());
+      return times[off + static_cast<std::size_t>(index - base)];
+    }
+    void DropBefore(std::uint64_t index) {
+      OPERB_DCHECK(index >= base && index - base <= size());
+      off += static_cast<std::size_t>(index - base);
+      base = index;
+      if (off > times.size() / 2) {
+        times.erase(times.begin(),
+                    times.begin() + static_cast<std::ptrdiff_t>(off));
+        off = 0;
+      }
+    }
+    void Clear() {
+      base = 0;
+      off = 0;
+      times.clear();
+    }
+  };
+
+  /// Creates the snapshot scratch state on first use: same spec, sink
+  /// wired once to collect raw emissions into snapshot_raw_.
+  void EnsureScratch() {
+    if (scratch_ != nullptr) return;
+    scratch_ = algorithm_->streaming(options_.spec);
+    OPERB_CHECK_MSG(scratch_ != nullptr, "streaming factory returned null");
+    scratch_->SetSink([this](const traj::RepresentedSegment& seg) {
+      snapshot_raw_.push_back(seg);
+    });
+  }
+
   const StreamEngineOptions& options_;
   const api::AlgorithmRegistry::Entry* algorithm_;
   const TaggedSegmentSink* sink_;
+  const TimedSegmentSink* timed_sink_;
   std::atomic<std::uint64_t>* live_census_;
   std::atomic<std::uint64_t>* peak_census_;
 
@@ -391,8 +548,17 @@ class StreamEngine::Shard {
   std::size_t live_ = 0;
   std::size_t used_ = 0;  ///< occupied + tombstone slots
   std::vector<std::unique_ptr<baselines::StreamingSimplifier>> states_;
+  /// Parallel to states_ when track_segment_times is on (else empty).
+  std::vector<TailClock> clocks_;
   std::vector<std::uint32_t> free_states_;
   traj::ObjectId current_id_ = 0;
+  std::uint32_t current_state_ = 0;
+
+  /// Tail-snapshot scratch (consumer-side, reused across snapshots).
+  std::unique_ptr<baselines::StreamingSimplifier> scratch_;
+  std::vector<std::uint8_t> snapshot_blob_;
+  std::vector<traj::RepresentedSegment> snapshot_raw_;
+  std::vector<traj::TimedSegment> snapshot_tail_;
 
   std::uint64_t segments_ = 0;
   std::uint64_t objects_opened_ = 0;
@@ -426,7 +592,9 @@ Status StreamEngine::Checkpoint(const std::string& path, store::Env* env) {
   // Byte-wise append: vector::insert from a constexpr array trips
   // GCC 12's -Wstringop-overflow false positive under -fsanitize=thread.
   for (const std::uint8_t b : kCheckpointMagic) buf.push_back(b);
-  serial::PutU8(kCheckpointVersion, &buf);
+  serial::PutU8(options_.track_segment_times ? kCheckpointVersionTimed
+                                             : kCheckpointVersionPlain,
+                &buf);
   const std::string spec = options_.spec.ToString();
   serial::PutU32(static_cast<std::uint32_t>(spec.size()), &buf);
   buf.insert(buf.end(), spec.begin(), spec.end());
@@ -509,9 +677,19 @@ Result<std::unique_ptr<StreamEngine>> StreamEngine::CreateFromCheckpoint(
   std::size_t pos = sizeof(kCheckpointMagic);
   std::uint8_t version = 0;
   if (!serial::GetU8(body, &pos, &version)) return TruncatedCheckpoint();
-  if (version != kCheckpointVersion) {
+  if (version != kCheckpointVersionPlain &&
+      version != kCheckpointVersionTimed) {
     return Status::InvalidArgument("unsupported engine checkpoint version " +
                                    std::to_string(version));
+  }
+  const std::uint8_t expected = options.track_segment_times
+                                    ? kCheckpointVersionTimed
+                                    : kCheckpointVersionPlain;
+  if (version != expected) {
+    return Status::InvalidArgument(
+        "checkpoint version " + std::to_string(version) +
+        " disagrees with options.track_segment_times (tail clocks are " +
+        (version == kCheckpointVersionTimed ? "present" : "absent") + ")");
   }
   std::uint32_t spec_len = 0;
   if (!serial::GetU32(body, &pos, &spec_len) ||
@@ -583,11 +761,29 @@ StreamEngine::StreamEngine(const StreamEngineOptions& options,
   shards_.reserve(options_.num_shards);
   for (std::size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(options_, algorithm, &sink_,
-                                              &live_objects_, &peak_live_));
+                                              &timed_sink_, &live_objects_,
+                                              &peak_live_));
   }
   staging_.resize(options_.num_shards);
   for (auto& batch : staging_) batch.reserve(options_.producer_batch);
-  pushed_.assign(options_.num_shards, 0);
+  pushed_ = std::vector<std::atomic<std::uint64_t>>(options_.num_shards);
+}
+
+void StreamEngine::SetTimedSink(TimedSegmentSink sink) {
+  OPERB_CHECK_MSG(options_.track_segment_times,
+                  "SetTimedSink requires track_segment_times");
+  // "Before the first Push" means no update has been staged or handed
+  // to a ring in THIS process — a checkpoint-restored engine carries
+  // the prefix's stats_.points but is still safely sink-less until its
+  // first post-restore Push.
+  bool pushed_any = false;
+  for (std::size_t s = 0; s < options_.num_shards; ++s) {
+    pushed_any = pushed_any ||
+                 pushed_[s].load(std::memory_order_relaxed) != 0 ||
+                 !staging_[s].empty();
+  }
+  OPERB_CHECK_MSG(!pushed_any && !closed_, "SetTimedSink after the first Push");
+  timed_sink_ = std::move(sink);
 }
 
 void StreamEngine::StartWorkers() {
@@ -628,7 +824,7 @@ void StreamEngine::FlushShard(std::size_t shard) {
       std::this_thread::yield();
     }
   }
-  pushed_[shard] += batch.size();
+  pushed_[shard].fetch_add(batch.size(), std::memory_order_relaxed);
   if constexpr (obs::kMetricsEnabled) {
     EngineMetrics& m = GetEngineMetrics();
     m.points_routed->Add(batch.size());
@@ -636,7 +832,7 @@ void StreamEngine::FlushShard(std::size_t shard) {
     // producer batch, so the high-water is a lower bound on the true
     // instantaneous peak.
     m.ring_occupancy_hwm->Observe(static_cast<std::int64_t>(
-        pushed_[shard] -
+        pushed_[shard].load(std::memory_order_relaxed) -
         shards_[shard]->processed.load(std::memory_order_relaxed)));
   }
   batch.clear();
@@ -669,7 +865,7 @@ void StreamEngine::Tick(double watermark) {
       }
       std::this_thread::yield();
     }
-    ++pushed_[s];
+    pushed_[s].fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -677,10 +873,79 @@ void StreamEngine::Flush() {
   for (std::size_t s = 0; s < staging_.size(); ++s) FlushShard(s);
 }
 
+std::uint64_t StreamEngine::RingOccupancy(std::size_t shard) const {
+  OPERB_DCHECK(shard < shards_.size());
+  const std::uint64_t handed = pushed_[shard].load(std::memory_order_relaxed);
+  const std::uint64_t done =
+      shards_[shard]->processed.load(std::memory_order_acquire);
+  return handed >= done ? handed - done : 0;
+}
+
+std::size_t StreamEngine::RingCapacity() const {
+  return shards_.front()->ring.capacity();
+}
+
+Status StreamEngine::SnapshotShardTails(std::size_t shard,
+                                        const TailSnapshotVisitor& visitor) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("tail snapshot shard out of range");
+  }
+  return SnapshotImpl(shard, nullptr, visitor);
+}
+
+Status StreamEngine::SnapshotObjectTail(traj::ObjectId id,
+                                        const TailSnapshotVisitor& visitor) {
+  return SnapshotImpl(ShardOf(id), &id, visitor);
+}
+
+Status StreamEngine::SnapshotImpl(std::size_t shard,
+                                  const traj::ObjectId* only,
+                                  const TailSnapshotVisitor& visitor) {
+  if (closed_) {
+    return Status::InvalidArgument("tail snapshot of a closed engine");
+  }
+  if (!options_.track_segment_times) {
+    return Status::InvalidArgument(
+        "tail snapshots require track_segment_times");
+  }
+  if (!visitor) {
+    return Status::InvalidArgument("tail snapshot visitor must be callable");
+  }
+  TailSnapshotRequest req;
+  req.visitor = &visitor;
+  if (only != nullptr) {
+    req.filter = true;
+    req.filter_id = *only;
+  }
+  // Read-your-writes: everything this producer pushed for the shard is
+  // handed to the FIFO ring before the marker, so the worker runs the
+  // visitor only after processing it all.
+  FlushShard(shard);
+  Update u;
+  u.kind = Kind::kSnapshot;
+  u.snap = &req;
+  while (shards_[shard]->ring.TryPush(&u, 1) == 0) {
+    ++stats_.ring_full_stalls;
+    if constexpr (obs::kMetricsEnabled) {
+      GetEngineMetrics().backpressure_yields->Increment();
+    }
+    std::this_thread::yield();
+  }
+  pushed_[shard].fetch_add(1, std::memory_order_relaxed);
+  for (int spins = 0; !req.done.load(std::memory_order_acquire); ++spins) {
+    if (spins < kSnapshotSpinsBeforeSleep) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(kSnapshotPoll);
+    }
+  }
+  return Status::OK();
+}
+
 void StreamEngine::WaitDrained() {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     while (shards_[s]->processed.load(std::memory_order_acquire) !=
-           pushed_[s]) {
+           pushed_[s].load(std::memory_order_relaxed)) {
       std::this_thread::sleep_for(kDrainPoll);
     }
   }
@@ -706,7 +971,7 @@ void StreamEngine::Close() {
       }
       std::this_thread::yield();
     }
-    ++pushed_[s];
+    pushed_[s].fetch_add(1, std::memory_order_relaxed);
   }
   WaitDrained();
   stop_.store(true, std::memory_order_release);

@@ -33,6 +33,25 @@ namespace operb::engine {
 using TaggedSegmentSink =
     std::function<void(traj::ObjectId, const traj::RepresentedSegment&)>;
 
+/// Time-annotated output callback, available when
+/// StreamEngineOptions::track_segment_times is on: the same segment
+/// stream as TaggedSegmentSink, each segment carrying the timestamps of
+/// the original points at its first/last index — i.e. exactly what a
+/// store::StoreWriter::Append wants. Same threading contract as
+/// TaggedSegmentSink.
+using TimedSegmentSink = std::function<void(const traj::TimedSegment&)>;
+
+/// Callback of the tail-snapshot seam (SnapshotShardTails /
+/// SnapshotObjectTail): invoked once per visited live object — in
+/// ascending object-id order — with the segments a FinishObject at the
+/// snapshot point would emit ("the in-flight tail"; possibly empty).
+/// Runs on the shard's worker thread while the producer blocks, so the
+/// shard is provably between updates: anything the visitor reads of its
+/// own data structures is consistent with exactly the update prefix the
+/// worker has processed. The span is only valid during the call.
+using TailSnapshotVisitor =
+    std::function<void(traj::ObjectId, std::span<const traj::TimedSegment>)>;
+
 /// Configuration of a StreamEngine.
 struct StreamEngineOptions {
   /// Per-object simplifier, resolved through api::AlgorithmRegistry.
@@ -68,6 +87,16 @@ struct StreamEngineOptions {
   /// idle_timeout_seconds` is finished and evicted back to the state
   /// pool. 0 disables idle eviction (Tick becomes a no-op).
   double idle_timeout_seconds = 0.0;
+
+  /// Track, per live object, the timestamps of the points since its
+  /// last emitted segment boundary (consumer-side, lock-free). This
+  /// enables the TimedSegmentSink and the tail-snapshot seam
+  /// (SnapshotShardTails) — the features the server's read-your-writes
+  /// merge is built on — at the cost of O(open-tail length) doubles per
+  /// live object. Checkpoints of a tracking engine are written as
+  /// format version 2 (the tail clocks are part of the state) and can
+  /// only be restored into a tracking engine, and vice versa.
+  bool track_segment_times = false;
 
   /// Validates parameter ranges and resolves the spec against the
   /// algorithm registry; this is the boundary check that makes engine
@@ -161,6 +190,13 @@ class StreamEngine {
   StreamEngine(const StreamEngine&) = delete;
   StreamEngine& operator=(const StreamEngine&) = delete;
 
+  /// Installs the time-annotated sink. Requires
+  /// options.track_segment_times (checked) and must be called before
+  /// the first Push — the workers only read it after popping an update
+  /// handed off later, which is what makes the unsynchronized install
+  /// safe. May be empty (timed emission is then skipped).
+  void SetTimedSink(TimedSegmentSink sink);
+
   /// Feeds one update. Timestamps must be strictly increasing per object.
   void Push(traj::ObjectId id, const geo::Point& p);
 
@@ -195,6 +231,45 @@ class StreamEngine {
   /// nullptr uses the real filesystem.
   Status Checkpoint(const std::string& path, store::Env* env = nullptr);
 
+  /// Visits the in-flight tail of every live object on `shard` (see
+  /// TailSnapshotVisitor): each live simplifier state is serialized,
+  /// deserialized into a scratch state of the same spec and
+  /// clone-finished, so the visited segments are bit-identical to what
+  /// FinishObject would emit — without perturbing the live state. The
+  /// snapshot request rides the shard's own FIFO ring (staged updates
+  /// for the shard are flushed first), making it a read-your-writes
+  /// barrier for everything pushed before the call while staying
+  /// drain-free: no other shard is touched, no global barrier is taken.
+  /// Producer-thread only, like Push(). Blocks until the worker has run
+  /// the visitor (bounded by the shard's queue depth). InvalidArgument
+  /// on a closed engine, a shard out of range, an empty visitor, or
+  /// when options.track_segment_times is off.
+  Status SnapshotShardTails(std::size_t shard,
+                            const TailSnapshotVisitor& visitor);
+
+  /// SnapshotShardTails restricted to one object: only `id`'s tail is
+  /// cloned and visited (no call when the object is not live). The
+  /// cheap form behind single-object queries.
+  Status SnapshotObjectTail(traj::ObjectId id,
+                            const TailSnapshotVisitor& visitor);
+
+  /// Live objects right now — a relaxed read of the cross-shard census,
+  /// no drain barrier (unlike stats(), which requires Close()).
+  std::uint64_t LiveObjectCount() const {
+    return live_objects_.load(std::memory_order_relaxed);
+  }
+
+  /// Updates handed to `shard`'s ring and not yet consumed — the
+  /// flow-control signal (server BUSY admission). Drain-free and
+  /// approximate by nature: producer-staged updates are not counted
+  /// until FlushShard hands them off, and the consumer count is a
+  /// moment-in-time read. Precondition: shard < options().num_shards.
+  std::uint64_t RingOccupancy(std::size_t shard) const;
+
+  /// Actual per-shard ring capacity (options.ring_capacity rounded up
+  /// to a power of two) — the denominator for RingOccupancy thresholds.
+  std::size_t RingCapacity() const;
+
   /// Finishes every live object, drains all rings, stops the workers and
   /// joins them. Idempotent. After Close() the engine only serves
   /// stats().
@@ -208,13 +283,20 @@ class StreamEngine {
   const StreamEngineOptions& options() const { return options_; }
 
  private:
-  enum class Kind : std::uint8_t { kPoint, kFinish, kTick, kCloseAll };
+  enum class Kind : std::uint8_t { kPoint, kFinish, kTick, kCloseAll,
+                                   kSnapshot };
 
-  /// One ring entry. For kTick, point.t carries the watermark.
+  struct TailSnapshotRequest;
+
+  /// One ring entry. For kTick, point.t carries the watermark; for
+  /// kSnapshot, `snap` points at the producer-owned request (the
+  /// producer blocks on its done flag, so the pointer outlives the
+  /// worker's use).
   struct Update {
     traj::ObjectId id = 0;
     geo::Point point;
     Kind kind = Kind::kPoint;
+    TailSnapshotRequest* snap = nullptr;
   };
 
   class Shard;
@@ -236,12 +318,20 @@ class StreamEngine {
   /// Blocks until every shard has consumed everything handed to it.
   void WaitDrained();
   void WorkerLoop(std::size_t worker_index);
+  /// Common body of the two tail-snapshot entry points: flushes the
+  /// shard's staging, enqueues the request, waits for the worker.
+  Status SnapshotImpl(std::size_t shard, const traj::ObjectId* only,
+                      const TailSnapshotVisitor& visitor);
 
   StreamEngineOptions options_;
   TaggedSegmentSink sink_;
+  TimedSegmentSink timed_sink_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::vector<Update>> staging_;  ///< producer-side, per shard
-  std::vector<std::uint64_t> pushed_;         ///< per shard, producer-side
+  /// Per-shard hand-off counts. Written by the producer only; atomic so
+  /// RingOccupancy can subtract the consumer's processed count from any
+  /// thread without the drain barrier.
+  std::vector<std::atomic<std::uint64_t>> pushed_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stop_{false};
   /// Cross-shard live-object census, updated by workers on object

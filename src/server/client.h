@@ -1,0 +1,90 @@
+#ifndef OPERB_SERVER_CLIENT_H_
+#define OPERB_SERVER_CLIENT_H_
+
+/// \file
+/// Blocking client of the operb trajectory daemon: one TCP connection,
+/// one request/response frame pair per call (server/protocol.h). Every
+/// method maps the wire status back onto the library's Status classes,
+/// so callers keep the exact error contract (and CLI exit codes) of the
+/// offline query path.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "server/protocol.h"
+#include "server/socket.h"
+#include "traj/multi_object.h"
+
+namespace operb::server {
+
+/// What one TryIngest attempt came back with.
+struct IngestAck {
+  bool accepted = false;       ///< false: BUSY, nothing was ingested
+  std::uint64_t points = 0;    ///< points accepted (= batch size)
+  std::uint32_t retry_after_ms = 0;  ///< BUSY hint; 0 when accepted
+};
+
+/// A connected daemon client. Not thread-safe (one request in flight at
+/// a time — callers wanting concurrency open more connections, which is
+/// also how the hammer test and the bench drive the server).
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, std::uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// One ingest attempt; a BUSY response is returned as an
+  /// unaccepted ack, not an error.
+  Result<IngestAck> TryIngest(std::span<const traj::ObjectUpdate> updates);
+
+  /// TryIngest with bounded blocking retry: sleeps the server's
+  /// retry-after hint between attempts, up to `max_attempts`. Errors on
+  /// a still-BUSY final attempt (the caller's flow control gave up).
+  Status Ingest(std::span<const traj::ObjectUpdate> updates,
+                int max_attempts = 200);
+
+  Status FinishObject(traj::ObjectId id);
+
+  Result<std::vector<traj::TimedSegment>> QueryObject(traj::ObjectId id,
+                                                      double t_min,
+                                                      double t_max);
+  Result<std::vector<traj::TimedSegment>> QueryWindow(
+      const geo::BoundingBox& window, double t_min, double t_max,
+      bool flat_scan = false);
+  Result<geo::Point> PositionAt(traj::ObjectId id, double t);
+
+  Result<StatsBody> Stats();
+
+  /// Server-side artifact writes (paths are the server's filesystem).
+  Status Checkpoint(const std::string& path);
+  Status MetricsSnapshot(const std::string& path);
+
+  /// Forces a seal; returns the sealed-segment total.
+  Result<std::uint64_t> Seal();
+
+  /// Asks the daemon to stop; the connection is closed afterwards.
+  Status Shutdown();
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  /// Sends `verb` + `body`, receives one reply. kOk: reply body in
+  /// `*reply`. kBusy: Unavailable-like — surfaced only through
+  /// TryIngest; everywhere else it becomes an error Status.
+  Status RoundTrip(Verb verb, const std::vector<std::uint8_t>& body,
+                   std::vector<std::uint8_t>* reply);
+
+  Socket sock_;
+};
+
+}  // namespace operb::server
+
+#endif  // OPERB_SERVER_CLIENT_H_

@@ -1,0 +1,214 @@
+#include "server/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/serial.h"
+#include "server/protocol.h"
+
+namespace operb::server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Request/response round trips are small; Nagle only adds latency.
+void DisableNagle(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Socket::SendAll(const void* data, std::size_t n) {
+  if (fd_ < 0) return Status::IOError("send on a closed socket");
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, std::size_t n) {
+  if (fd_ < 0) return Status::IOError("recv on a closed socket");
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return Status::NotFound("connection closed by peer");
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::OK();
+}
+
+Result<Socket> Socket::Connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IOError("cannot resolve " + host + ": " +
+                           ::gai_strerror(rc));
+  }
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      DisableNagle(fd);
+      return Socket(fd);
+    }
+    last = Errno("connect to " + host + ":" + service);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Listener> Listener::Bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("bind 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+Result<Socket> Listener::AcceptWithTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::IOError("accept on a closed listener");
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Socket();  // treat as timeout, poll again
+    return Errno("poll");
+  }
+  if (ready == 0) return Socket();  // timeout
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return Socket();
+    return Errno("accept");
+  }
+  DisableNagle(conn);
+  return Socket(conn);
+}
+
+Status SendFrame(Socket& sock, std::uint8_t tag,
+                 std::span<const std::uint8_t> body) {
+  if (body.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame body exceeds the protocol cap");
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + 1 + body.size());
+  serial::PutU32(static_cast<std::uint32_t>(1 + body.size()), &frame);
+  serial::PutU8(tag, &frame);
+  frame.insert(frame.end(), body.begin(), body.end());
+  return sock.SendAll(frame.data(), frame.size());
+}
+
+Status RecvFrame(Socket& sock, std::uint8_t* tag,
+                 std::vector<std::uint8_t>* body) {
+  std::uint8_t header[4];
+  OPERB_RETURN_IF_ERROR(sock.RecvAll(header, sizeof(header)));
+  std::size_t pos = 0;
+  std::uint32_t len = 0;
+  (void)serial::GetU32(std::span<const std::uint8_t>(header, 4), &pos, &len);
+  if (len < 1 || len > 1 + kMaxFrameBytes) {
+    return Status::IOError("malformed frame length " + std::to_string(len));
+  }
+  OPERB_RETURN_IF_ERROR(sock.RecvAll(tag, 1));
+  body->resize(len - 1);
+  if (!body->empty()) {
+    OPERB_RETURN_IF_ERROR(sock.RecvAll(body->data(), body->size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace operb::server

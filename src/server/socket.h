@@ -1,0 +1,108 @@
+#ifndef OPERB_SERVER_SOCKET_H_
+#define OPERB_SERVER_SOCKET_H_
+
+/// \file
+/// Minimal RAII TCP wrappers (POSIX) and the length-prefixed frame
+/// transport of the daemon protocol (server/protocol.h). This is the
+/// only file in the library that touches the socket API; everything
+/// above it speaks Status and byte vectors.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace operb::server {
+
+/// A connected TCP stream socket. Movable, not copyable; the
+/// destructor closes. ShutdownBoth() may be called from another thread
+/// to wake a blocked RecvAll (the graceful-drain path).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+
+  /// shutdown(2) both directions without closing the descriptor — a
+  /// blocked reader on any thread returns immediately with EOF. Safe
+  /// to call concurrently with RecvAll/SendAll on another thread (the
+  /// descriptor itself stays valid until Close()).
+  void ShutdownBoth();
+
+  /// Writes all `n` bytes (retrying short writes/EINTR). IOError on
+  /// failure or a closed socket.
+  Status SendAll(const void* data, std::size_t n);
+
+  /// Reads exactly `n` bytes. NotFound on a clean EOF before the first
+  /// byte (the peer closed between frames — the normal end of a
+  /// connection); IOError on mid-read EOF or any other failure.
+  Status RecvAll(void* data, std::size_t n);
+
+  /// Connects to `host:port` (numeric or resolvable host). IOError on
+  /// failure.
+  static Result<Socket> Connect(const std::string& host,
+                                std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (the daemon is
+/// loopback-only; fronting it with real network exposure is a
+/// deployment concern, not this library's). Movable, not copyable.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`; 0 picks an ephemeral port
+  /// (read it back via port()).
+  static Result<Listener> Bind(std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  void Close();
+
+  /// Waits up to `timeout_ms` for a connection. Returns an invalid
+  /// Socket on timeout (poll again), IOError when the listener broke.
+  Result<Socket> AcceptWithTimeout(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Sends one protocol frame: u32 LE length (1 + body size), tag, body.
+Status SendFrame(Socket& sock, std::uint8_t tag,
+                 std::span<const std::uint8_t> body);
+
+/// Receives one frame into `*tag` and `*body`. NotFound on a clean
+/// close between frames; IOError on transport failure or a frame
+/// exceeding kMaxFrameBytes.
+Status RecvFrame(Socket& sock, std::uint8_t* tag,
+                 std::vector<std::uint8_t>* body);
+
+}  // namespace operb::server
+
+#endif  // OPERB_SERVER_SOCKET_H_

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "store/manifest.h"
+#include "store/query_filter.h"
 
 namespace operb::store {
 
@@ -85,53 +86,10 @@ void OpenRetrySleep(std::chrono::microseconds d) {
   }
 }
 
-bool IntervalsOverlap(double a_min, double a_max, double b_min,
-                      double b_max) {
-  return a_min <= b_max && b_min <= a_max;
-}
-
-geo::BoundingBox Inflate(const geo::BoundingBox& box, double margin) {
-  geo::BoundingBox out;
-  if (box.IsEmpty()) return out;
-  out.min_x = box.min_x - margin;
-  out.min_y = box.min_y - margin;
-  out.max_x = box.max_x + margin;
-  out.max_y = box.max_y + margin;
-  return out;
-}
-
-bool BoxesOverlap(const geo::BoundingBox& a, const geo::BoundingBox& b) {
-  return !a.IsEmpty() && !b.IsEmpty() && a.min_x <= b.max_x &&
-         b.min_x <= a.max_x && a.min_y <= b.max_y && b.min_y <= a.max_y;
-}
-
-/// Liang-Barsky segment/axis-aligned-box intersection test. Degenerate
-/// segments degrade to a containment check.
-bool SegmentIntersectsBox(geo::Vec2 a, geo::Vec2 b,
-                          const geo::BoundingBox& box) {
-  if (box.IsEmpty()) return false;
-  double t0 = 0.0, t1 = 1.0;
-  const double dx = b.x - a.x;
-  const double dy = b.y - a.y;
-  const double p[4] = {-dx, dx, -dy, dy};
-  const double q[4] = {a.x - box.min_x, box.max_x - a.x, a.y - box.min_y,
-                       box.max_y - a.y};
-  for (int i = 0; i < 4; ++i) {
-    if (p[i] == 0.0) {
-      if (q[i] < 0.0) return false;  // parallel and outside this slab
-      continue;
-    }
-    const double r = q[i] / p[i];
-    if (p[i] < 0.0) {
-      if (r > t1) return false;
-      if (r > t0) t0 = r;
-    } else {
-      if (r < t0) return false;
-      if (r < t1) t1 = r;
-    }
-  }
-  return t0 <= t1;
-}
+// The query predicates themselves (IntervalsOverlap, Inflate,
+// BoxesOverlap, SegmentIntersectsBox, InterpolateOnSegment) live in
+// store/query_filter.h — shared with the server's read-your-writes
+// merge so both halves of a merged answer filter identically.
 
 }  // namespace
 
@@ -329,8 +287,7 @@ Result<std::vector<traj::TimedSegment>> StoreReader::QueryWindow(
                            ReadBlock(ordinal));
     local.segments_scanned += segments.size();
     for (const traj::TimedSegment& s : segments) {
-      if (IntervalsOverlap(s.t_start, s.t_end, t_min, t_max) &&
-          SegmentIntersectsBox(s.segment.start, s.segment.end, inflated)) {
+      if (SegmentMatchesWindow(s, inflated, t_min, t_max)) {
         out.push_back(s);
         ++local.segments_matched;
       }
@@ -361,10 +318,7 @@ Result<geo::Point> StoreReader::PositionAt(traj::ObjectId object_id,
                          ReconstructObject(object_id, t, t, stats));
   for (const traj::TimedSegment& s : covering) {
     if (s.t_start <= t && t <= s.t_end) {
-      const double span = s.t_end - s.t_start;
-      const double u = span > 0.0 ? (t - s.t_start) / span : 0.0;
-      const geo::Vec2 pos = s.segment.AsSegment().At(u);
-      return geo::Point{pos.x, pos.y, t};
+      return InterpolateOnSegment(s, t);
     }
   }
   return Status::NotFound("object " + std::to_string(object_id) +

@@ -793,5 +793,260 @@ TEST(EngineTest, PeriodicCheckpointsDuringConcurrentIngest) {
   }
 }
 
+/// Timed-sink collector keyed by object (the tracking-engine analogue
+/// of Collector above).
+class TimedCollector {
+ public:
+  engine::TimedSegmentSink Sink() {
+    return [this](const traj::TimedSegment& s) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      by_object_[s.object_id].push_back(s);
+    };
+  }
+
+  std::vector<traj::TimedSegment> Snapshot(traj::ObjectId id) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_object_.find(id);
+    return it == by_object_.end() ? std::vector<traj::TimedSegment>{}
+                                  : it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<traj::ObjectId, std::vector<traj::TimedSegment>> by_object_;
+};
+
+void ExpectTimedEqual(const std::vector<traj::TimedSegment>& got,
+                      const std::vector<traj::TimedSegment>& want,
+                      const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE(label + " segment " + std::to_string(i));
+    EXPECT_EQ(got[i].object_id, want[i].object_id);
+    EXPECT_EQ(got[i].segment.first_index, want[i].segment.first_index);
+    EXPECT_EQ(got[i].segment.last_index, want[i].segment.last_index);
+    EXPECT_EQ(got[i].segment.start.x, want[i].segment.start.x);
+    EXPECT_EQ(got[i].segment.start.y, want[i].segment.start.y);
+    EXPECT_EQ(got[i].segment.end.x, want[i].segment.end.x);
+    EXPECT_EQ(got[i].segment.end.y, want[i].segment.end.y);
+    EXPECT_EQ(got[i].t_start, want[i].t_start);
+    EXPECT_EQ(got[i].t_end, want[i].t_end);
+  }
+}
+
+engine::StreamEngineOptions TrackingOptions(std::size_t shards) {
+  engine::StreamEngineOptions opts;
+  opts.spec = api::SpecFor(baselines::Algorithm::kOPERBA, kGoldenZeta);
+  opts.num_shards = shards;
+  opts.track_segment_times = true;
+  return opts;
+}
+
+TEST(EngineTailSnapshotTest, ObjectTailMatchesFinishBitExactly) {
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kTaxi, 300, 21);
+  engine::StreamEngine eng(TrackingOptions(4), nullptr);
+  TimedCollector sink;
+  eng.SetTimedSink(sink.Sink());
+  for (std::size_t i = 0; i < t.size(); ++i) eng.Push(42, t[i]);
+
+  std::vector<traj::TimedSegment> tail;
+  std::size_t visits = 0;
+  ASSERT_TRUE(eng.SnapshotObjectTail(
+                     42,
+                     [&](traj::ObjectId id,
+                         std::span<const traj::TimedSegment> s) {
+                       EXPECT_EQ(id, 42u);
+                       tail.assign(s.begin(), s.end());
+                       ++visits;
+                     })
+                  .ok());
+  EXPECT_EQ(visits, 1u);
+
+  // No points were pushed after the snapshot, so finishing the object
+  // must emit exactly the visited tail — the snapshot is "what
+  // FinishObject would emit right now", bit for bit.
+  const std::vector<traj::TimedSegment> before = sink.Snapshot(42);
+  eng.FinishObject(42);
+  eng.Close();
+  const std::vector<traj::TimedSegment> after = sink.Snapshot(42);
+  ASSERT_GE(after.size(), before.size());
+  const std::vector<traj::TimedSegment> finish_tail(
+      after.begin() + static_cast<std::ptrdiff_t>(before.size()),
+      after.end());
+  ExpectTimedEqual(tail, finish_tail, "snapshot vs finish");
+  EXPECT_FALSE(tail.empty());
+
+  // An unknown object is visited zero times, successfully.
+  engine::StreamEngine empty(TrackingOptions(2), nullptr);
+  std::size_t ghost_visits = 0;
+  EXPECT_TRUE(empty
+                  .SnapshotObjectTail(
+                      7, [&](traj::ObjectId,
+                             std::span<const traj::TimedSegment>) {
+                        ++ghost_visits;
+                      })
+                  .ok());
+  EXPECT_EQ(ghost_visits, 0u);
+  empty.Close();
+}
+
+TEST(EngineTailSnapshotTest, ShardTailsVisitAscendingIdsAndMatchFinish) {
+  // One shard so every object lands in the same snapshot.
+  engine::StreamEngine eng(TrackingOptions(1), nullptr);
+  TimedCollector sink;
+  eng.SetTimedSink(sink.Sink());
+  const std::vector<traj::ObjectId> ids = {9, 2, 300, 41};
+  for (const traj::ObjectId id : ids) {
+    const traj::Trajectory t =
+        testutil::Generated(datagen::DatasetKind::kSerCar, 120, id);
+    for (std::size_t i = 0; i < t.size(); ++i) eng.Push(id, t[i]);
+  }
+
+  std::vector<traj::ObjectId> visited;
+  std::map<traj::ObjectId, std::vector<traj::TimedSegment>> tails;
+  ASSERT_TRUE(eng.SnapshotShardTails(
+                     0,
+                     [&](traj::ObjectId id,
+                         std::span<const traj::TimedSegment> s) {
+                       visited.push_back(id);
+                       tails[id].assign(s.begin(), s.end());
+                     })
+                  .ok());
+  ASSERT_EQ(visited.size(), ids.size());
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()))
+      << "visitor order is not ascending object id";
+
+  std::map<traj::ObjectId, std::vector<traj::TimedSegment>> before;
+  for (const traj::ObjectId id : ids) before[id] = sink.Snapshot(id);
+  eng.Close();  // finishes every live object
+  for (const traj::ObjectId id : ids) {
+    const std::vector<traj::TimedSegment> after = sink.Snapshot(id);
+    const std::vector<traj::TimedSegment> finish_tail(
+        after.begin() + static_cast<std::ptrdiff_t>(before[id].size()),
+        after.end());
+    ExpectTimedEqual(tails[id], finish_tail,
+                     "object " + std::to_string(id));
+  }
+}
+
+TEST(EngineTailSnapshotTest, SnapshotStatusContract) {
+  const auto visitor = [](traj::ObjectId,
+                          std::span<const traj::TimedSegment>) {};
+
+  // Tracking off: the tail clocks the snapshot needs do not exist.
+  engine::StreamEngineOptions untracked;
+  untracked.spec = api::SpecFor(baselines::Algorithm::kOPERB, kGoldenZeta);
+  engine::StreamEngine plain(untracked, nullptr);
+  EXPECT_EQ(plain.SnapshotShardTails(0, visitor).code(),
+            StatusCode::kInvalidArgument);
+  plain.Close();
+
+  engine::StreamEngine eng(TrackingOptions(2), nullptr);
+  EXPECT_EQ(eng.SnapshotShardTails(2, visitor).code(),
+            StatusCode::kInvalidArgument);  // shard out of range
+  EXPECT_EQ(eng.SnapshotShardTails(0, nullptr).code(),
+            StatusCode::kInvalidArgument);  // empty visitor
+  EXPECT_TRUE(eng.SnapshotShardTails(0, visitor).ok());
+  eng.Close();
+  EXPECT_EQ(eng.SnapshotShardTails(0, visitor).code(),
+            StatusCode::kInvalidArgument);  // closed engine
+}
+
+TEST(EngineTest, LiveObjectCountAndRingAccessorsTrackTheCensus) {
+  engine::StreamEngineOptions opts;
+  opts.spec = api::SpecFor(baselines::Algorithm::kOPERB, kGoldenZeta);
+  opts.num_shards = 4;
+  opts.ring_capacity = 100;  // rounds up to 128
+  engine::StreamEngine eng(opts, nullptr);
+
+  EXPECT_EQ(eng.LiveObjectCount(), 0u);
+  EXPECT_EQ(eng.RingCapacity(), 128u);
+  const std::size_t cap = eng.RingCapacity();
+  EXPECT_EQ(cap & (cap - 1), 0u) << "capacity not a power of two";
+
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kTruck, 50, 1);
+  for (traj::ObjectId id = 0; id < 3; ++id) {
+    for (std::size_t i = 0; i < t.size(); ++i) eng.Push(id, t[i]);
+  }
+  // Checkpoint is a drain barrier: afterwards the census is exact and
+  // every ring has been consumed down to empty.
+  const std::string path = TempPath("engine_census.ckpt");
+  ASSERT_TRUE(eng.Checkpoint(path).ok());
+  EXPECT_EQ(eng.LiveObjectCount(), 3u);
+  for (std::size_t s = 0; s < opts.num_shards; ++s) {
+    EXPECT_EQ(eng.RingOccupancy(s), 0u) << "shard " << s;
+  }
+
+  eng.FinishObject(1);
+  ASSERT_TRUE(eng.Checkpoint(path).ok());
+  EXPECT_EQ(eng.LiveObjectCount(), 2u);
+
+  eng.Close();
+  EXPECT_EQ(eng.LiveObjectCount(), 0u);
+}
+
+TEST(EngineTest, CheckpointVersionsSeparateTrackingModes) {
+  const traj::Trajectory t =
+      testutil::Generated(datagen::DatasetKind::kGeoLife, 400, 13);
+  const std::size_t cut = 250;
+
+  // A tracking engine checkpoints as format v2; restoring it into a
+  // non-tracking engine (and vice versa) is a version mismatch, not
+  // corruption — the tail clocks are state, present or absent.
+  const std::string v2_path = TempPath("engine_v2.ckpt");
+  engine::StreamEngineOptions tracked = TrackingOptions(4);
+  TimedCollector full_sink;
+  engine::StreamEngine full(tracked, nullptr);
+  full.SetTimedSink(full_sink.Sink());
+  for (std::size_t i = 0; i < cut; ++i) full.Push(5, t[i]);
+  ASSERT_TRUE(full.Checkpoint(v2_path).ok());
+  // The checkpoint's drain barrier makes this exactly the prefix output.
+  const std::vector<traj::TimedSegment> at_cut = full_sink.Snapshot(5);
+
+  engine::StreamEngineOptions untracked = tracked;
+  untracked.track_segment_times = false;
+  EXPECT_EQ(engine::StreamEngine::CreateFromCheckpoint(v2_path, untracked,
+                                                       nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  const std::string v1_path = TempPath("engine_v1.ckpt");
+  {
+    engine::StreamEngine plain(untracked, nullptr);
+    for (std::size_t i = 0; i < cut; ++i) plain.Push(5, t[i]);
+    ASSERT_TRUE(plain.Checkpoint(v1_path).ok());
+    plain.Close();
+  }
+  EXPECT_EQ(engine::StreamEngine::CreateFromCheckpoint(v1_path, tracked,
+                                                       nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // The v2 round trip restores the tail clocks: the resumed engine's
+  // remaining timed output is bit-identical to the uninterrupted run —
+  // t_start/t_end included, which only works if the clock survived.
+  auto resumed = engine::StreamEngine::CreateFromCheckpoint(
+      v2_path, tracked, nullptr);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  TimedCollector resumed_sink;
+  resumed.value()->SetTimedSink(resumed_sink.Sink());
+  for (std::size_t i = cut; i < t.size(); ++i) {
+    full.Push(5, t[i]);
+    resumed.value()->Push(5, t[i]);
+  }
+  full.Close();
+  resumed.value()->Close();
+  const std::vector<traj::TimedSegment> want = full_sink.Snapshot(5);
+  const std::vector<traj::TimedSegment> rest = resumed_sink.Snapshot(5);
+  std::vector<traj::TimedSegment> got = at_cut;
+  got.insert(got.end(), rest.begin(), rest.end());
+  ExpectTimedEqual(got, want, "v2 resumed timed output");
+  EXPECT_FALSE(rest.empty());
+}
+
 }  // namespace
 }  // namespace operb

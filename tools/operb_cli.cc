@@ -45,6 +45,7 @@
 // Exit codes: 0 success (bound verified or --no-verify), 1 bound violation
 // (or: --at time not covered by the store), 2 usage error, 3 I/O error.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +65,7 @@
 #include "engine/stream_engine.h"
 #include "eval/metrics.h"
 #include "obs/snapshot.h"
+#include "server/client.h"
 #include "store/compactor.h"
 #include "store/writer.h"
 #include "traj/io.h"
@@ -118,6 +120,18 @@ struct CliOptions {
   // Admin mode (--compact PATH): compacts an existing store in place.
   bool compact_mode = false;
   std::string compact_path;
+
+  // Server client mode (--connect HOST:PORT): speaks the daemon
+  // protocol instead of touching local stores. Reuses the input flags
+  // for ingest and the query flags (without --query) for queries.
+  bool connect_mode = false;
+  std::string connect_spec;  ///< HOST:PORT
+  bool finish_objects = false;      ///< FINISH every ingested object
+  bool server_stats = false;        ///< print the daemon's STATS reply
+  bool server_shutdown = false;     ///< ask the daemon to stop
+  bool server_seal = false;         ///< force a seal now
+  std::string server_checkpoint_path;  ///< server-side engine checkpoint
+  std::string server_metrics_path;     ///< server-side metrics snapshot
 };
 
 void PrintUsage(std::FILE* out) {
@@ -256,6 +270,28 @@ void PrintUsage(std::FILE* out) {
                "--group-by-id; a\n"
                "                        failed periodic write is logged and "
                "counted, never fatal)\n"
+               "\n"
+               "Server client mode (speaks to a running operb_server):\n"
+               "  --connect HOST:PORT   connect to a daemon instead of "
+               "touching local stores.\n"
+               "                        --input/--generate/--objects then "
+               "ingest over the\n"
+               "                        connection; --object/--from/--to/"
+               "--at/--window/\n"
+               "                        --flat-scan/--output query it (the "
+               "answer merges the\n"
+               "                        sealed store with in-flight "
+               "trajectory tails)\n"
+               "  --finish-objects      declare end-of-stream for every "
+               "ingested object\n"
+               "  --server-seal         force the daemon to seal the "
+               "overlay to its store\n"
+               "  --server-checkpoint PATH  daemon writes an engine "
+               "checkpoint to PATH\n"
+               "  --server-metrics PATH daemon writes a metrics snapshot "
+               "to PATH\n"
+               "  --stats               print the daemon's counters\n"
+               "  --shutdown            ask the daemon to stop gracefully\n"
                "  --help                this text\n",
                algorithms.c_str());
 }
@@ -369,6 +405,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
   bool checkpoint_flag_seen = false;  // --checkpoint-out/-every/--resume
   bool checkpoint_every_seen = false;
   bool metrics_every_seen = false;
+  bool thread_flags_seen = false;  // --threads/--shards (not --objects)
+  bool server_flag_seen = false;   // the --connect-only companions
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -384,6 +422,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
                arg == "--resume" ||
                arg == "--metrics-out" || arg == "--metrics-every" ||
                arg == "--query" || arg == "--compact" ||
+               arg == "--connect" || arg == "--server-checkpoint" ||
+               arg == "--server-metrics" ||
                arg == "--object" || arg == "--from" || arg == "--to" ||
                arg == "--at" || arg == "--window") {
       const char* value = need_value(i, arg);
@@ -499,6 +539,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
       } else if (arg == "--compact") {
         options->compact_mode = true;
         options->compact_path = value;
+      } else if (arg == "--connect") {
+        options->connect_mode = true;
+        options->connect_spec = value;
+      } else if (arg == "--server-checkpoint") {
+        server_flag_seen = true;
+        options->server_checkpoint_path = value;
+      } else if (arg == "--server-metrics") {
+        server_flag_seen = true;
+        options->server_metrics_path = value;
       } else if (arg == "--object") {
         query_flag_seen = true;
         std::uint64_t id = 0;
@@ -556,6 +605,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
       } else if (arg == "--threads" || arg == "--shards" ||
                  arg == "--objects") {
         engine_flag_seen = true;
+        if (arg != "--objects") thread_flags_seen = true;
         // Tight per-flag ceilings so a typo fails as a usage error, not
         // as a massive allocation or thread spawn (every shard owns a
         // pre-sized ring; every thread is a real std::thread).
@@ -591,6 +641,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
     } else if (arg == "--flat-scan") {
       query_flag_seen = true;
       options->query.use_flat_scan = true;
+    } else if (arg == "--finish-objects") {
+      server_flag_seen = true;
+      options->finish_objects = true;
+    } else if (arg == "--stats") {
+      server_flag_seen = true;
+      options->server_stats = true;
+    } else if (arg == "--shutdown") {
+      server_flag_seen = true;
+      options->server_shutdown = true;
+    } else if (arg == "--server-seal") {
+      server_flag_seen = true;
+      options->server_seal = true;
     } else if (arg == "--clean") {
       options->clean = true;
     } else if (arg == "--no-verify") {
@@ -608,6 +670,54 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* wants_help) {
   const int inputs = (options->csv_path.empty() ? 0 : 1) +
                      (options->plt_path.empty() ? 0 : 1) +
                      (options->generate_spec.empty() ? 0 : 1);
+  if (options->connect_mode) {
+    // Client mode talks to a daemon: every local-store, simplification
+    // and engine flag is a contradiction (the server owns the spec, the
+    // engine and the store). Ingest input and query flags pass through.
+    if (options->compact_mode || options->query_mode ||
+        !options->store_out_path.empty() || store_shards_seen ||
+        options->group_by_id || options->clean || spec_flag_seen ||
+        thread_flags_seen || no_verify_seen || checkpoint_flag_seen ||
+        metrics_every_seen || !options->plt_path.empty() ||
+        !options->save_input_path.empty()) {
+      std::fprintf(stderr,
+                   "operb_cli: --connect speaks to a running operb_server "
+                   "and cannot be combined with local store, "
+                   "simplification or engine flags\n");
+      return false;
+    }
+    // Same shape rules api::StoreQuery::Validate enforces offline, so
+    // the two paths share one usage contract (and exit code).
+    if (options->query.has_at && !options->query.has_object) {
+      std::fprintf(stderr,
+                   "operb_cli: --at needs --object (position-at-time)\n");
+      return false;
+    }
+    if (options->query.has_object && options->query.has_window) {
+      std::fprintf(stderr,
+                   "operb_cli: --object and --window are separate queries; "
+                   "issue two\n");
+      return false;
+    }
+    if (options->query.t_min > options->query.t_max) {
+      std::fprintf(stderr, "operb_cli: --from is later than --to\n");
+      return false;
+    }
+    if (options->finish_objects && inputs == 0) {
+      std::fprintf(stderr,
+                   "operb_cli: --finish-objects finishes the objects this "
+                   "invocation ingests; give --input or --generate\n");
+      return false;
+    }
+    return true;
+  }
+  if (server_flag_seen) {
+    std::fprintf(stderr,
+                 "operb_cli: --finish-objects/--stats/--shutdown/"
+                 "--server-seal/--server-checkpoint/--server-metrics "
+                 "require --connect HOST:PORT\n");
+    return false;
+  }
   if (options->compact_mode) {
     // Admin verb: it rewrites an existing store in place; combining it
     // with any other mode or flag is a contradiction.
@@ -867,6 +977,180 @@ int RunQuery(const CliOptions& options) {
       return kExitIo;
     }
     std::printf("wrote:     %s\n", options.output_path.c_str());
+  }
+  return kExitOk;
+}
+
+/// Maps a Status from the server onto the CLI exit-code contract —
+/// the same mapping RunQuery applies to offline query failures.
+int ServerStatusExit(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kCorruption:
+      return kExitIo;
+    case StatusCode::kNotFound:
+      return kExitBoundViolation;
+    default:
+      return kExitUsage;
+  }
+}
+
+/// The --connect client flow: ingest, admin verbs, one query, stats,
+/// shutdown — in that order, over one connection. Query answers are
+/// written with the same CSV path as the offline --query flow, which is
+/// what makes the two byte-comparable.
+int RunConnect(const CliOptions& options) {
+  const std::size_t colon = options.connect_spec.rfind(':');
+  std::uint64_t port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseU64(options.connect_spec.substr(colon + 1), &port) || port == 0 ||
+      port > 65535) {
+    std::fprintf(stderr,
+                 "operb_cli: --connect expects HOST:PORT, got '%s'\n",
+                 options.connect_spec.c_str());
+    return kExitUsage;
+  }
+  const std::string host = options.connect_spec.substr(0, colon);
+  Result<server::Client> client =
+      server::Client::Connect(host, static_cast<std::uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "operb_cli: %s\n",
+                 client.status().ToString().c_str());
+    return kExitIo;
+  }
+  std::printf("connected: %s\n", options.connect_spec.c_str());
+
+  if (!options.csv_path.empty() || !options.generate_spec.empty()) {
+    std::string source_label;
+    int error_exit = kExitUsage;
+    std::optional<std::vector<traj::ObjectUpdate>> updates =
+        LoadUpdates(options, &source_label, &error_exit);
+    if (!updates) return error_exit;
+    // Batched so the daemon's per-request flow control (BUSY + retry,
+    // handled inside Client::Ingest) sees bounded requests.
+    constexpr std::size_t kIngestBatch = 512;
+    const std::span<const traj::ObjectUpdate> all(*updates);
+    for (std::size_t i = 0; i < all.size(); i += kIngestBatch) {
+      const std::size_t n = std::min(kIngestBatch, all.size() - i);
+      if (const Status s = client->Ingest(all.subspan(i, n)); !s.ok()) {
+        std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+        return kExitIo;
+      }
+    }
+    std::printf("ingested:  %zu point(s) from %s\n", updates->size(),
+                source_label.c_str());
+    if (options.finish_objects) {
+      std::vector<traj::ObjectId> ids;
+      ids.reserve(options.objects);
+      for (const traj::ObjectUpdate& u : *updates) ids.push_back(u.object_id);
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      for (const traj::ObjectId id : ids) {
+        if (const Status s = client->FinishObject(id); !s.ok()) {
+          std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+          return kExitIo;
+        }
+      }
+      std::printf("finished:  %zu object(s)\n", ids.size());
+    }
+  }
+
+  if (options.server_seal) {
+    Result<std::uint64_t> sealed = client->Seal();
+    if (!sealed.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n",
+                   sealed.status().ToString().c_str());
+      return ServerStatusExit(sealed.status());
+    }
+    std::printf("sealed:    %llu segment(s) now in the daemon's store\n",
+                static_cast<unsigned long long>(*sealed));
+  }
+  if (!options.server_checkpoint_path.empty()) {
+    if (const Status s = client->Checkpoint(options.server_checkpoint_path);
+        !s.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+      return ServerStatusExit(s);
+    }
+    std::printf("checkpoint: %s  (written server-side)\n",
+                options.server_checkpoint_path.c_str());
+  }
+  if (!options.server_metrics_path.empty()) {
+    if (const Status s =
+            client->MetricsSnapshot(options.server_metrics_path);
+        !s.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+      return ServerStatusExit(s);
+    }
+    std::printf("metrics:   %s  (written server-side)\n",
+                options.server_metrics_path.c_str());
+  }
+
+  if (options.query.has_at) {
+    Result<geo::Point> p =
+        client->PositionAt(options.query.object_id, options.query.at_time);
+    if (!p.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", p.status().ToString().c_str());
+      return ServerStatusExit(p.status());
+    }
+    std::printf("position:  %.3f, %.3f at t=%g  (server merge of the "
+                "sealed store and the in-flight tail)\n",
+                p->x, p->y, options.query.at_time);
+  } else if (options.query.has_object || options.query.has_window) {
+    Result<std::vector<traj::TimedSegment>> r =
+        options.query.has_object
+            ? client->QueryObject(options.query.object_id,
+                                  options.query.t_min, options.query.t_max)
+            : client->QueryWindow(options.query.window, options.query.t_min,
+                                  options.query.t_max,
+                                  options.query.use_flat_scan);
+    if (!r.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", r.status().ToString().c_str());
+      return ServerStatusExit(r.status());
+    }
+    std::printf("matched:   %zu segment(s)\n", r->size());
+    if (!options.output_path.empty()) {
+      // Byte-for-byte the offline RunQuery output path: id-tagged
+      // segment rows through traj::WriteTaggedSegmentsCsv.
+      std::vector<traj::TaggedSegment> tagged;
+      tagged.reserve(r->size());
+      for (const traj::TimedSegment& s : *r) {
+        tagged.push_back({s.object_id, s.segment});
+      }
+      if (const Status s = traj::WriteTaggedSegmentsCsv(
+              std::span<const traj::TaggedSegment>(tagged),
+              options.output_path);
+          !s.ok()) {
+        std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+        return kExitIo;
+      }
+      std::printf("wrote:     %s\n", options.output_path.c_str());
+    }
+  }
+
+  if (options.server_stats) {
+    Result<server::StatsBody> stats = client->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n",
+                   stats.status().ToString().c_str());
+      return kExitIo;
+    }
+    std::printf("stats:     %llu live object(s), %llu point(s) ingested, "
+                "%llu segment(s) emitted, %llu sealed, %llu busy "
+                "reject(s), %llu seal(s), %llu connection(s)\n",
+                static_cast<unsigned long long>(stats->live_objects),
+                static_cast<unsigned long long>(stats->ingest_points),
+                static_cast<unsigned long long>(stats->segments_emitted),
+                static_cast<unsigned long long>(stats->sealed_segments),
+                static_cast<unsigned long long>(stats->backpressure_rejects),
+                static_cast<unsigned long long>(stats->seals),
+                static_cast<unsigned long long>(stats->connections));
+  }
+  if (options.server_shutdown) {
+    if (const Status s = client->Shutdown(); !s.ok()) {
+      std::fprintf(stderr, "operb_cli: %s\n", s.ToString().c_str());
+      return kExitIo;
+    }
+    std::printf("shutdown:  requested\n");
   }
   return kExitOk;
 }
@@ -1214,6 +1498,9 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     std::fclose(probe);
+  }
+  if (options.connect_mode) {
+    return WriteFinalMetricsSnapshot(options, RunConnect(options));
   }
   if (options.compact_mode) return RunCompact(options);
   if (options.query_mode) {

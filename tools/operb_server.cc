@@ -1,0 +1,270 @@
+// operb_server: long-running trajectory daemon (DESIGN.md §11).
+//
+// Owns a live StreamEngine (any registered algorithm spec) and a sealed
+// trajectory store, accepts concurrent client connections over the
+// length-prefixed TCP protocol (loopback only), ingests interleaved
+// (id,t,x,y) streams, seals finished segments to the store in the
+// background, and answers window / per-object / position-at-time
+// queries with a read-your-writes merge of the sealed store and the
+// in-flight per-object tails. `operb_cli --connect HOST:PORT` is the
+// matching client.
+//
+// The daemon runs until SIGINT/SIGTERM or a client's --shutdown, then
+// drains connections, checkpoints the engine (--checkpoint-out), seals
+// everything to the store and writes a final metrics snapshot
+// (--metrics-out).
+//
+// Exit codes: 0 clean shutdown, 2 usage error, 3 startup or shutdown
+// I/O failure.
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "api/spec.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace operb;  // NOLINT: single-file tool
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int sig) { g_signal = sig; }
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "operb_server — concurrent ingest+query trajectory daemon "
+      "(loopback TCP)\n"
+      "\n"
+      "Required:\n"
+      "  --store PATH          store directory the daemon owns (created "
+      "fresh)\n"
+      "\n"
+      "Optional:\n"
+      "  --port N              TCP port on 127.0.0.1 (default 0 = "
+      "ephemeral)\n"
+      "  --port-file PATH      write the bound port to PATH (atomic "
+      "temp+rename;\n"
+      "                        how scripts find an ephemeral port)\n"
+      "  --spec SPEC           simplifier spec, ALGORITHM[:key=value,...] "
+      "(default\n"
+      "                        OPERB:zeta=40; the spec's zeta is the "
+      "store's zeta)\n"
+      "  --threads N           engine worker threads (default 2)\n"
+      "  --shards N            engine state-table shards (default 4 * "
+      "threads)\n"
+      "  --store-shards N      store shard count (default 4)\n"
+      "  --ring-capacity N     per-shard ring capacity (default 8192); "
+      "the BUSY\n"
+      "                        flow-control threshold is 75%% of it\n"
+      "  --seal-interval SEC   background seal period (default 0.5; 0 "
+      "seals only\n"
+      "                        on demand and at shutdown)\n"
+      "  --checkpoint-out PATH write a final engine checkpoint at "
+      "shutdown\n"
+      "  --metrics-out PATH    write a final metrics snapshot at "
+      "shutdown\n"
+      "  --help                this text\n");
+}
+
+bool ParseU64Flag(const char* value, std::uint64_t max, std::uint64_t* out) {
+  if (value == nullptr || *value == '\0' ||
+      std::string(value).find_first_not_of("0123456789") !=
+          std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoull(value, &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0' && *out <= max;
+}
+
+/// Atomic write of the bound port — readers either see nothing or a
+/// complete port line, never a torn file (the smoke script polls it).
+bool WritePortFile(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fprintf(f, "%u\n", static_cast<unsigned>(port)) > 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions options;
+  options.engine.num_threads = 2;
+  options.engine.num_shards = 0;  // 0 = auto (4 * threads), resolved below
+  std::uint64_t port = 0;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "operb_server: %s requires a value\n",
+                     arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return kExitOk;
+    } else if (arg == "--store") {
+      const char* v = value();
+      if (v == nullptr) return kExitUsage;
+      options.store_path = v;
+    } else if (arg == "--port") {
+      const char* v = value();
+      if (v == nullptr || !ParseU64Flag(v, 65535, &port)) {
+        std::fprintf(stderr, "operb_server: --port must be 0..65535\n");
+        return kExitUsage;
+      }
+    } else if (arg == "--port-file") {
+      const char* v = value();
+      if (v == nullptr) return kExitUsage;
+      port_file = v;
+    } else if (arg == "--spec") {
+      const char* v = value();
+      if (v == nullptr) return kExitUsage;
+      Result<api::SimplifierSpec> spec = api::SimplifierSpec::Parse(v);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "operb_server: %s\n",
+                     spec.status().ToString().c_str());
+        return kExitUsage;
+      }
+      options.engine.spec = std::move(spec).value();
+    } else if (arg == "--threads" || arg == "--shards" ||
+               arg == "--store-shards" || arg == "--ring-capacity") {
+      const char* v = value();
+      std::uint64_t n = 0;
+      const std::uint64_t max = arg == "--threads"        ? 1024
+                                : arg == "--shards"       ? 65536
+                                : arg == "--store-shards" ? 65536
+                                                          : (1u << 24);
+      const bool zero_ok = arg == "--shards";  // 0 = auto
+      if (v == nullptr || !ParseU64Flag(v, max, &n) || (!zero_ok && n == 0)) {
+        std::fprintf(stderr,
+                     "operb_server: %s must be an integer in %c..%llu\n",
+                     arg.c_str(), zero_ok ? '0' : '1',
+                     static_cast<unsigned long long>(max));
+        return kExitUsage;
+      }
+      if (arg == "--threads") {
+        options.engine.num_threads = n;
+      } else if (arg == "--shards") {
+        options.engine.num_shards = n;
+      } else if (arg == "--store-shards") {
+        options.store_shards = n;
+      } else {
+        options.engine.ring_capacity = n;
+      }
+    } else if (arg == "--seal-interval") {
+      const char* v = value();
+      char* end = nullptr;
+      options.seal_interval_seconds =
+          v == nullptr ? -1.0 : std::strtod(v, &end);
+      if (v == nullptr || end == v || *end != '\0' ||
+          options.seal_interval_seconds < 0.0) {
+        std::fprintf(stderr,
+                     "operb_server: --seal-interval must be a "
+                     "non-negative number of seconds\n");
+        return kExitUsage;
+      }
+    } else if (arg == "--checkpoint-out") {
+      const char* v = value();
+      if (v == nullptr) return kExitUsage;
+      options.final_checkpoint_path = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return kExitUsage;
+      options.final_metrics_path = v;
+    } else {
+      std::fprintf(stderr, "operb_server: unknown argument '%s'\n",
+                   arg.c_str());
+      std::fprintf(stderr, "Run 'operb_server --help' for usage.\n");
+      return kExitUsage;
+    }
+  }
+  if (options.store_path.empty()) {
+    std::fprintf(stderr, "operb_server: --store PATH is required\n");
+    return kExitUsage;
+  }
+  if (options.engine.num_shards == 0) {
+    options.engine.num_shards = 4 * options.engine.num_threads;
+  }
+
+  Result<std::unique_ptr<server::TrajectoryServer>> started =
+      server::TrajectoryServer::Start(options,
+                                      static_cast<std::uint16_t>(port));
+  if (!started.ok()) {
+    std::fprintf(stderr, "operb_server: %s\n",
+                 started.status().ToString().c_str());
+    return started.status().code() == StatusCode::kInvalidArgument
+               ? kExitUsage
+               : kExitIo;
+  }
+  server::TrajectoryServer& daemon = **started;
+
+  if (!port_file.empty() && !WritePortFile(port_file, daemon.port())) {
+    std::fprintf(stderr, "operb_server: cannot write --port-file %s\n",
+                 port_file.c_str());
+    return kExitIo;
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSignal;
+  (void)sigaction(SIGINT, &sa, nullptr);
+  (void)sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("operb_server: listening on 127.0.0.1:%u  (store %s, spec "
+              "%s, %llu thread(s), %llu shard(s))\n",
+              static_cast<unsigned>(daemon.port()),
+              options.store_path.c_str(),
+              options.engine.spec.ToString().c_str(),
+              static_cast<unsigned long long>(options.engine.num_threads),
+              static_cast<unsigned long long>(options.engine.num_shards));
+  std::fflush(stdout);
+
+  // Wait for either a client's --shutdown verb or a signal. The sleep
+  // keeps signal latency at ~50 ms without busy-waiting.
+  while (g_signal == 0 && !daemon.ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const char* why = g_signal == SIGINT    ? "SIGINT"
+                    : g_signal == SIGTERM ? "SIGTERM"
+                                          : "client shutdown";
+  std::printf("operb_server: %s — draining and sealing\n", why);
+  std::fflush(stdout);
+
+  const Status stopped = daemon.Stop();
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "operb_server: shutdown error: %s\n",
+                 stopped.ToString().c_str());
+    return kExitIo;
+  }
+  std::printf("operb_server: stopped cleanly\n");
+  return kExitOk;
+}
