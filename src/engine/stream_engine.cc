@@ -142,13 +142,52 @@ class StreamEngine::Shard {
         timed_sink_(timed_sink),
         live_census_(live),
         peak_census_(peak),
-        slots_(kInitialSlots) {}
+        slots_(kInitialSlots) {
+    run_points_.reserve(kConsumerBatch);
+  }
 
   SpscRing<Update> ring;
   /// Updates consumed, released after each processed batch; the producer
   /// compares it against its hand-off count to implement Close()'s drain
   /// barrier.
   std::atomic<std::uint64_t> processed{0};
+
+  /// Processes one consumer batch, coalescing consecutive kPoint updates
+  /// for the same object into a single span Push. Interleaved streams
+  /// (different ids, or control updates between points) degrade to the
+  /// point-wise path; a single producer replaying one trajectory gets
+  /// runs the length of the ring batch, which is what lets the batched
+  /// SIMD staging inside OperbStream::Push(span) see real windows
+  /// instead of singletons.
+  void ProcessBatch(const Update* updates, std::size_t n) {
+    std::size_t i = 0;
+    while (i < n) {
+      const Update& u = updates[i];
+      if (u.kind != Kind::kPoint) {
+        Process(u);
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < n && updates[j].kind == Kind::kPoint &&
+             updates[j].id == u.id) {
+        ++j;
+      }
+      if (j - i == 1) {
+        Process(u);
+      } else {
+        // Ring entries are strided Updates; the span path needs
+        // contiguous points. run_points_ is reused across batches, so
+        // this copy allocates nothing once warm.
+        run_points_.clear();
+        for (std::size_t k = i; k < j; ++k) {
+          run_points_.push_back(updates[k].point);
+        }
+        ProcessPointRun(u.id, run_points_.data(), j - i);
+      }
+      i = j;
+    }
+  }
 
   void Process(const Update& u) {
     switch (u.kind) {
@@ -192,6 +231,27 @@ class StreamEngine::Shard {
         break;
       }
     }
+  }
+
+  /// Span-path mirror of the kPoint case in Process(): one slot lookup
+  /// and one state Push for the whole same-id run. All of the run's
+  /// timestamps are appended to the tail clock BEFORE the Push — the
+  /// state may emit mid-span, and TailClock::At addresses by absolute
+  /// point index, so entries past the emitted segment are simply not
+  /// read yet. Side effects (current_id_/current_state_, last_time,
+  /// clock contents at every emission point) match the point-wise path
+  /// exactly.
+  void ProcessPointRun(traj::ObjectId id, const geo::Point* pts,
+                       std::size_t n) {
+    Slot& s = FindOrCreate(id);
+    current_id_ = id;
+    current_state_ = s.state;
+    if (options_.track_segment_times) {
+      TailClock& clock = clocks_[s.state];
+      for (std::size_t k = 0; k < n; ++k) clock.Append(pts[k].t);
+    }
+    states_[s.state]->Push(std::span<const geo::Point>(pts, n));
+    s.last_time = pts[n - 1].t;
   }
 
   /// Runs a tail snapshot on this worker thread: every live (and
@@ -551,6 +611,9 @@ class StreamEngine::Shard {
   /// Parallel to states_ when track_segment_times is on (else empty).
   std::vector<TailClock> clocks_;
   std::vector<std::uint32_t> free_states_;
+  /// Contiguous staging for ProcessBatch's same-id point runs (ring
+  /// entries are strided Updates). Capacity-stable once warm.
+  std::vector<geo::Point> run_points_;
   traj::ObjectId current_id_ = 0;
   std::uint32_t current_state_ = 0;
 
@@ -998,7 +1061,7 @@ void StreamEngine::WorkerLoop(std::size_t worker_index) {
       for (int rounds = 0; rounds < kMaxBatchesPerShard; ++rounds) {
         const std::size_t n = shard.ring.Pop(batch.data(), batch.size());
         if (n == 0) break;
-        for (std::size_t i = 0; i < n; ++i) shard.Process(batch[i]);
+        shard.ProcessBatch(batch.data(), n);
         shard.processed.fetch_add(n, std::memory_order_release);
         did_work = true;
         if (n < batch.size()) break;

@@ -1,0 +1,222 @@
+// AVX2 bodies of the geo::simd batch kernels: 4 x f64 per vector. This TU
+// is the only one compiled with -mavx2 (a per-source-file property in
+// src/geo/CMakeLists.txt); the dispatcher guarantees its functions are
+// only ever called after __builtin_cpu_supports("avx2") succeeds. The
+// build deliberately does NOT enable -mfma here: contraction into FMA
+// would change per-element rounding and break the bit-identity contract
+// with the scalar oracle (DESIGN.md §12).
+
+#include "geo/distance.h"
+#include "geo/simd_internal.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace operb::geo::simd::internal {
+namespace {
+
+void SignedOffsetsAvx2(const double* xs, const double* ys, std::size_t n,
+                       Vec2 anchor, Vec2 unit_dir, double* out) {
+  const __m256d ax = _mm256_set1_pd(anchor.x);
+  const __m256d ay = _mm256_set1_pd(anchor.y);
+  const __m256d ux = _mm256_set1_pd(unit_dir.x);
+  const __m256d uy = _mm256_set1_pd(unit_dir.y);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d rx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), ax);
+    const __m256d ry = _mm256_sub_pd(_mm256_loadu_pd(ys + i), ay);
+    const __m256d cross =
+        _mm256_sub_pd(_mm256_mul_pd(ux, ry), _mm256_mul_pd(uy, rx));
+    _mm256_storeu_pd(out + i, cross);
+  }
+  for (; i < n; ++i) {
+    out[i] = SignedPointToLineOffsetDir({xs[i], ys[i]}, anchor, unit_dir);
+  }
+}
+
+void RadiiAvx2(const double* xs, const double* ys, std::size_t n, Vec2 anchor,
+               double* out) {
+  const __m256d ax = _mm256_set1_pd(anchor.x);
+  const __m256d ay = _mm256_set1_pd(anchor.y);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d rx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), ax);
+    const __m256d ry = _mm256_sub_pd(_mm256_loadu_pd(ys + i), ay);
+    const __m256d sq =
+        _mm256_add_pd(_mm256_mul_pd(rx, rx), _mm256_mul_pd(ry, ry));
+    _mm256_storeu_pd(out + i, _mm256_sqrt_pd(sq));
+  }
+  for (; i < n; ++i) {
+    out[i] = Distance({xs[i], ys[i]}, anchor);
+  }
+}
+
+void DotsAvx2(const double* xs, const double* ys, std::size_t n, Vec2 anchor,
+              Vec2 unit_dir, double* out) {
+  const __m256d ax = _mm256_set1_pd(anchor.x);
+  const __m256d ay = _mm256_set1_pd(anchor.y);
+  const __m256d ux = _mm256_set1_pd(unit_dir.x);
+  const __m256d uy = _mm256_set1_pd(unit_dir.y);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d rx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), ax);
+    const __m256d ry = _mm256_sub_pd(_mm256_loadu_pd(ys + i), ay);
+    const __m256d dot =
+        _mm256_add_pd(_mm256_mul_pd(ux, rx), _mm256_mul_pd(uy, ry));
+    _mm256_storeu_pd(out + i, dot);
+  }
+  for (; i < n; ++i) {
+    out[i] = unit_dir.Dot(Vec2{xs[i], ys[i]} - anchor);
+  }
+}
+
+void StageExtendAvx2(const double* xs, const double* ys, std::size_t n,
+                     Vec2 anchor, Vec2 unit_dir, Vec2 ra_unit, bool want_dot,
+                     double* r, double* off, double* ra, double* dot) {
+  const __m256d ax = _mm256_set1_pd(anchor.x);
+  const __m256d ay = _mm256_set1_pd(anchor.y);
+  const __m256d ux = _mm256_set1_pd(unit_dir.x);
+  const __m256d uy = _mm256_set1_pd(unit_dir.y);
+  const __m256d rax = _mm256_set1_pd(ra_unit.x);
+  const __m256d ray = _mm256_set1_pd(ra_unit.y);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d rx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), ax);
+    const __m256d ry = _mm256_sub_pd(_mm256_loadu_pd(ys + i), ay);
+    _mm256_storeu_pd(r + i,
+                     _mm256_sqrt_pd(_mm256_add_pd(_mm256_mul_pd(rx, rx),
+                                                  _mm256_mul_pd(ry, ry))));
+    _mm256_storeu_pd(
+        off + i, _mm256_sub_pd(_mm256_mul_pd(ux, ry), _mm256_mul_pd(uy, rx)));
+    _mm256_storeu_pd(
+        ra + i,
+        _mm256_sub_pd(_mm256_mul_pd(rax, ry), _mm256_mul_pd(ray, rx)));
+    if (want_dot) {
+      _mm256_storeu_pd(
+          dot + i,
+          _mm256_add_pd(_mm256_mul_pd(ux, rx), _mm256_mul_pd(uy, ry)));
+    }
+  }
+  for (; i < n; ++i) {
+    const Vec2 p{xs[i], ys[i]};
+    r[i] = Distance(p, anchor);
+    off[i] = SignedPointToLineOffsetDir(p, anchor, unit_dir);
+    ra[i] = SignedPointToLineOffsetDir(p, anchor, ra_unit);
+    if (want_dot) dot[i] = unit_dir.Dot(p - anchor);
+  }
+}
+
+std::size_t CountWithinAvx2(const double* xs, const double* ys, std::size_t n,
+                            Vec2 anchor, Vec2 unit_dir, double bound) {
+  const __m256d ax = _mm256_set1_pd(anchor.x);
+  const __m256d ay = _mm256_set1_pd(anchor.y);
+  const __m256d ux = _mm256_set1_pd(unit_dir.x);
+  const __m256d uy = _mm256_set1_pd(unit_dir.y);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d vbound = _mm256_set1_pd(bound);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d rx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), ax);
+    const __m256d ry = _mm256_sub_pd(_mm256_loadu_pd(ys + i), ay);
+    const __m256d cross =
+        _mm256_sub_pd(_mm256_mul_pd(ux, ry), _mm256_mul_pd(uy, rx));
+    const __m256d dist = _mm256_andnot_pd(sign_mask, cross);  // fabs
+    // Ordered quiet <=: NaN lanes compare false, like the scalar test.
+    const int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(dist, vbound, _CMP_LE_OQ));
+    if (mask != 0xF) {
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(~mask & 0xF)));
+    }
+  }
+  for (; i < n; ++i) {
+    const double d = PointToLineDistanceDir({xs[i], ys[i]}, anchor, unit_dir);
+    if (!(d <= bound)) return i;
+  }
+  return n;
+}
+
+std::size_t CountExtendAcceptAvx2(const double* r, const double* off,
+                                  const double* ra, const double* dot,
+                                  std::size_t n,
+                                  const ExtendAcceptParams& p) {
+  if (!p.sum_ok) return 0;
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d len = _mm256_set1_pd(p.length);
+  const __m256d slack = _mm256_set1_pd(p.slack);
+  const __m256d dpm = _mm256_set1_pd(p.d_plus_max);
+  const __m256d dmm = _mm256_set1_pd(p.d_minus_max);
+  const __m256d zeta = _mm256_set1_pd(p.zeta);
+  const __m256d dr_plus = _mm256_set1_pd(p.drift_plus);
+  const __m256d dr_minus = _mm256_set1_pd(p.drift_minus);
+  const __m256d dr_back = _mm256_set1_pd(p.drift_back);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vr = _mm256_loadu_pd(r + i);
+    const __m256d vo = _mm256_loadu_pd(off + i);
+    const __m256d vra = _mm256_loadu_pd(ra + i);
+    // All compares are ordered quiet (_OQ): NaN lanes fail, like the
+    // scalar comparisons they mirror.
+    const __m256d inactive =
+        _mm256_cmp_pd(_mm256_sub_pd(vr, len), slack, _CMP_LE_OQ);
+    const __m256d pos = _mm256_cmp_pd(vo, zero, _CMP_GE_OQ);
+    const __m256d neg_off = _mm256_xor_pd(vo, sign_mask);
+    const __m256d off_ok = _mm256_or_pd(
+        _mm256_and_pd(pos, _mm256_cmp_pd(vo, dpm, _CMP_LE_OQ)),
+        _mm256_andnot_pd(pos, _mm256_cmp_pd(neg_off, dmm, _CMP_LE_OQ)));
+    const __m256d ra_ok = _mm256_cmp_pd(
+        _mm256_andnot_pd(sign_mask, vra), zeta, _CMP_LE_OQ);
+    __m256d accept = _mm256_and_pd(inactive, _mm256_and_pd(off_ok, ra_ok));
+    if (p.guard) {
+      const __m256d vd = _mm256_loadu_pd(dot + i);
+      const __m256d ahead = _mm256_cmp_pd(vd, zero, _CMP_GE_OQ);
+      const __m256d fwd_ok = _mm256_or_pd(
+          _mm256_and_pd(pos, _mm256_cmp_pd(vo, dr_plus, _CMP_LE_OQ)),
+          _mm256_andnot_pd(pos,
+                           _mm256_cmp_pd(neg_off, dr_minus, _CMP_LE_OQ)));
+      const __m256d drift_ok = _mm256_or_pd(
+          _mm256_and_pd(ahead, fwd_ok),
+          _mm256_andnot_pd(ahead, _mm256_cmp_pd(vr, dr_back, _CMP_LE_OQ)));
+      accept = _mm256_and_pd(accept, drift_ok);
+    }
+    const int mask = _mm256_movemask_pd(accept);
+    if (mask != 0xF) {
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(~mask & 0xF)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (!(r[i] - p.length <= p.slack)) return i;
+    const double o = off[i];
+    const bool off_ok =
+        o >= 0.0 ? o <= p.d_plus_max : -o <= p.d_minus_max;
+    if (!off_ok) return i;
+    if (!(std::fabs(ra[i]) <= p.zeta)) return i;
+    if (p.guard) {
+      const double d = dot[i];
+      const bool drift_ok =
+          d >= 0.0 ? (o >= 0.0 ? o <= p.drift_plus : -o <= p.drift_minus)
+                   : r[i] <= p.drift_back;
+      if (!drift_ok) return i;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const KernelTable kAvx2Table = {SignedOffsetsAvx2,    RadiiAvx2,
+                                DotsAvx2,             StageExtendAvx2,
+                                CountWithinAvx2,      CountExtendAcceptAvx2};
+
+}  // namespace operb::geo::simd::internal
+
+#else  // !__AVX2__
+
+namespace operb::geo::simd::internal {
+const KernelTable kAvx2Table = {};
+}  // namespace operb::geo::simd::internal
+
+#endif

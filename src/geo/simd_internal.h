@@ -1,0 +1,52 @@
+#ifndef OPERB_GEO_SIMD_INTERNAL_H_
+#define OPERB_GEO_SIMD_INTERNAL_H_
+
+#include <cstddef>
+
+#include "geo/point.h"
+#include "geo/simd.h"
+
+namespace operb::geo::simd::internal {
+
+/// One implementation of the batch-kernel set. Each per-ISA translation
+/// unit (simd_sse2.cc, simd_avx2.cc, simd_neon.cc) exports exactly one
+/// table; on platforms where the ISA cannot be compiled the table's
+/// pointers are null and the dispatcher treats the level as unsupported.
+/// Keeping the intrinsics behind this table is what lets simd_avx2.cc
+/// carry its own -mavx2 flag without AVX2 code leaking into TUs that run
+/// on pre-AVX2 machines.
+struct KernelTable {
+  void (*signed_offsets)(const double* xs, const double* ys, std::size_t n,
+                         Vec2 anchor, Vec2 unit_dir, double* out) = nullptr;
+  void (*radii)(const double* xs, const double* ys, std::size_t n, Vec2 anchor,
+                double* out) = nullptr;
+  void (*dots)(const double* xs, const double* ys, std::size_t n, Vec2 anchor,
+               Vec2 unit_dir, double* out) = nullptr;
+  void (*stage_extend)(const double* xs, const double* ys, std::size_t n,
+                       Vec2 anchor, Vec2 unit_dir, Vec2 ra_unit, bool want_dot,
+                       double* r, double* off, double* ra,
+                       double* dot) = nullptr;
+  std::size_t (*count_within)(const double* xs, const double* ys,
+                              std::size_t n, Vec2 anchor, Vec2 unit_dir,
+                              double bound) = nullptr;
+  std::size_t (*count_extend_accept)(const double* r, const double* off,
+                                     const double* ra, const double* dot,
+                                     std::size_t n,
+                                     const ExtendAcceptParams& params) =
+      nullptr;
+
+  bool complete() const {
+    return signed_offsets != nullptr && radii != nullptr && dots != nullptr &&
+           stage_extend != nullptr && count_within != nullptr &&
+           count_extend_accept != nullptr;
+  }
+};
+
+extern const KernelTable kScalarTable;  // simd.cc (the oracle)
+extern const KernelTable kSse2Table;    // simd_sse2.cc
+extern const KernelTable kAvx2Table;    // simd_avx2.cc
+extern const KernelTable kNeonTable;    // simd_neon.cc
+
+}  // namespace operb::geo::simd::internal
+
+#endif  // OPERB_GEO_SIMD_INTERNAL_H_

@@ -1,0 +1,207 @@
+// NEON bodies of the geo::simd batch kernels: 2 x f64 per vector.
+// Advanced SIMD with double-precision arithmetic is part of the aarch64
+// baseline, so no special compile flags are needed. vsqrtq_f64 is IEEE
+// correctly rounded and the arithmetic mirrors the scalar kernels
+// operand-for-operand; vfmaq is deliberately NOT used (fused rounding
+// would break bit-identity with the scalar oracle, DESIGN.md §12).
+
+#include "geo/distance.h"
+#include "geo/simd_internal.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace operb::geo::simd::internal {
+namespace {
+
+void SignedOffsetsNeon(const double* xs, const double* ys, std::size_t n,
+                       Vec2 anchor, Vec2 unit_dir, double* out) {
+  const float64x2_t ax = vdupq_n_f64(anchor.x);
+  const float64x2_t ay = vdupq_n_f64(anchor.y);
+  const float64x2_t ux = vdupq_n_f64(unit_dir.x);
+  const float64x2_t uy = vdupq_n_f64(unit_dir.y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t rx = vsubq_f64(vld1q_f64(xs + i), ax);
+    const float64x2_t ry = vsubq_f64(vld1q_f64(ys + i), ay);
+    const float64x2_t cross =
+        vsubq_f64(vmulq_f64(ux, ry), vmulq_f64(uy, rx));
+    vst1q_f64(out + i, cross);
+  }
+  for (; i < n; ++i) {
+    out[i] = SignedPointToLineOffsetDir({xs[i], ys[i]}, anchor, unit_dir);
+  }
+}
+
+void RadiiNeon(const double* xs, const double* ys, std::size_t n, Vec2 anchor,
+               double* out) {
+  const float64x2_t ax = vdupq_n_f64(anchor.x);
+  const float64x2_t ay = vdupq_n_f64(anchor.y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t rx = vsubq_f64(vld1q_f64(xs + i), ax);
+    const float64x2_t ry = vsubq_f64(vld1q_f64(ys + i), ay);
+    const float64x2_t sq =
+        vaddq_f64(vmulq_f64(rx, rx), vmulq_f64(ry, ry));
+    vst1q_f64(out + i, vsqrtq_f64(sq));
+  }
+  for (; i < n; ++i) {
+    out[i] = Distance({xs[i], ys[i]}, anchor);
+  }
+}
+
+void DotsNeon(const double* xs, const double* ys, std::size_t n, Vec2 anchor,
+              Vec2 unit_dir, double* out) {
+  const float64x2_t ax = vdupq_n_f64(anchor.x);
+  const float64x2_t ay = vdupq_n_f64(anchor.y);
+  const float64x2_t ux = vdupq_n_f64(unit_dir.x);
+  const float64x2_t uy = vdupq_n_f64(unit_dir.y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t rx = vsubq_f64(vld1q_f64(xs + i), ax);
+    const float64x2_t ry = vsubq_f64(vld1q_f64(ys + i), ay);
+    const float64x2_t dot =
+        vaddq_f64(vmulq_f64(ux, rx), vmulq_f64(uy, ry));
+    vst1q_f64(out + i, dot);
+  }
+  for (; i < n; ++i) {
+    out[i] = unit_dir.Dot(Vec2{xs[i], ys[i]} - anchor);
+  }
+}
+
+void StageExtendNeon(const double* xs, const double* ys, std::size_t n,
+                     Vec2 anchor, Vec2 unit_dir, Vec2 ra_unit, bool want_dot,
+                     double* r, double* off, double* ra, double* dot) {
+  const float64x2_t ax = vdupq_n_f64(anchor.x);
+  const float64x2_t ay = vdupq_n_f64(anchor.y);
+  const float64x2_t ux = vdupq_n_f64(unit_dir.x);
+  const float64x2_t uy = vdupq_n_f64(unit_dir.y);
+  const float64x2_t rax = vdupq_n_f64(ra_unit.x);
+  const float64x2_t ray = vdupq_n_f64(ra_unit.y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t rx = vsubq_f64(vld1q_f64(xs + i), ax);
+    const float64x2_t ry = vsubq_f64(vld1q_f64(ys + i), ay);
+    vst1q_f64(r + i, vsqrtq_f64(vaddq_f64(vmulq_f64(rx, rx),
+                                          vmulq_f64(ry, ry))));
+    vst1q_f64(off + i, vsubq_f64(vmulq_f64(ux, ry), vmulq_f64(uy, rx)));
+    vst1q_f64(ra + i, vsubq_f64(vmulq_f64(rax, ry), vmulq_f64(ray, rx)));
+    if (want_dot) {
+      vst1q_f64(dot + i, vaddq_f64(vmulq_f64(ux, rx), vmulq_f64(uy, ry)));
+    }
+  }
+  for (; i < n; ++i) {
+    const Vec2 p{xs[i], ys[i]};
+    r[i] = Distance(p, anchor);
+    off[i] = SignedPointToLineOffsetDir(p, anchor, unit_dir);
+    ra[i] = SignedPointToLineOffsetDir(p, anchor, ra_unit);
+    if (want_dot) dot[i] = unit_dir.Dot(p - anchor);
+  }
+}
+
+std::size_t CountWithinNeon(const double* xs, const double* ys, std::size_t n,
+                            Vec2 anchor, Vec2 unit_dir, double bound) {
+  const float64x2_t ax = vdupq_n_f64(anchor.x);
+  const float64x2_t ay = vdupq_n_f64(anchor.y);
+  const float64x2_t ux = vdupq_n_f64(unit_dir.x);
+  const float64x2_t uy = vdupq_n_f64(unit_dir.y);
+  const float64x2_t vbound = vdupq_n_f64(bound);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t rx = vsubq_f64(vld1q_f64(xs + i), ax);
+    const float64x2_t ry = vsubq_f64(vld1q_f64(ys + i), ay);
+    const float64x2_t cross =
+        vsubq_f64(vmulq_f64(ux, ry), vmulq_f64(uy, rx));
+    const float64x2_t dist = vabsq_f64(cross);
+    // vcleq is an ordered compare: NaN lanes produce 0 (fail), matching
+    // the scalar `d <= zeta` test.
+    const uint64x2_t le = vcleq_f64(dist, vbound);
+    const std::uint64_t lane0 = vgetq_lane_u64(le, 0);
+    const std::uint64_t lane1 = vgetq_lane_u64(le, 1);
+    if (lane0 == 0) return i;
+    if (lane1 == 0) return i + 1;
+  }
+  for (; i < n; ++i) {
+    const double d = PointToLineDistanceDir({xs[i], ys[i]}, anchor, unit_dir);
+    if (!(d <= bound)) return i;
+  }
+  return n;
+}
+
+std::size_t CountExtendAcceptNeon(const double* r, const double* off,
+                                  const double* ra, const double* dot,
+                                  std::size_t n,
+                                  const ExtendAcceptParams& p) {
+  if (!p.sum_ok) return 0;
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t len = vdupq_n_f64(p.length);
+  const float64x2_t slack = vdupq_n_f64(p.slack);
+  const float64x2_t dpm = vdupq_n_f64(p.d_plus_max);
+  const float64x2_t dmm = vdupq_n_f64(p.d_minus_max);
+  const float64x2_t zeta = vdupq_n_f64(p.zeta);
+  const float64x2_t dr_plus = vdupq_n_f64(p.drift_plus);
+  const float64x2_t dr_minus = vdupq_n_f64(p.drift_minus);
+  const float64x2_t dr_back = vdupq_n_f64(p.drift_back);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t vr = vld1q_f64(r + i);
+    const float64x2_t vo = vld1q_f64(off + i);
+    const float64x2_t vra = vld1q_f64(ra + i);
+    // Ordered compares: NaN lanes produce 0 (fail), like the scalar
+    // comparisons they mirror.
+    const uint64x2_t inactive = vcleq_f64(vsubq_f64(vr, len), slack);
+    const uint64x2_t pos = vcgeq_f64(vo, zero);
+    const float64x2_t neg_off = vnegq_f64(vo);
+    const uint64x2_t off_ok =
+        vorrq_u64(vandq_u64(pos, vcleq_f64(vo, dpm)),
+                  vbicq_u64(vcleq_f64(neg_off, dmm), pos));
+    const uint64x2_t ra_ok = vcleq_f64(vabsq_f64(vra), zeta);
+    uint64x2_t accept = vandq_u64(inactive, vandq_u64(off_ok, ra_ok));
+    if (p.guard) {
+      const float64x2_t vd = vld1q_f64(dot + i);
+      const uint64x2_t ahead = vcgeq_f64(vd, zero);
+      const uint64x2_t fwd_ok =
+          vorrq_u64(vandq_u64(pos, vcleq_f64(vo, dr_plus)),
+                    vbicq_u64(vcleq_f64(neg_off, dr_minus), pos));
+      const uint64x2_t drift_ok =
+          vorrq_u64(vandq_u64(ahead, fwd_ok),
+                    vbicq_u64(vcleq_f64(vr, dr_back), ahead));
+      accept = vandq_u64(accept, drift_ok);
+    }
+    if (vgetq_lane_u64(accept, 0) == 0) return i;
+    if (vgetq_lane_u64(accept, 1) == 0) return i + 1;
+  }
+  for (; i < n; ++i) {
+    if (!(r[i] - p.length <= p.slack)) return i;
+    const double o = off[i];
+    const bool off_ok =
+        o >= 0.0 ? o <= p.d_plus_max : -o <= p.d_minus_max;
+    if (!off_ok) return i;
+    if (!(std::fabs(ra[i]) <= p.zeta)) return i;
+    if (p.guard) {
+      const double d = dot[i];
+      const bool drift_ok =
+          d >= 0.0 ? (o >= 0.0 ? o <= p.drift_plus : -o <= p.drift_minus)
+                   : r[i] <= p.drift_back;
+      if (!drift_ok) return i;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const KernelTable kNeonTable = {SignedOffsetsNeon,    RadiiNeon,
+                                DotsNeon,             StageExtendNeon,
+                                CountWithinNeon,      CountExtendAcceptNeon};
+
+}  // namespace operb::geo::simd::internal
+
+#else  // !__aarch64__
+
+namespace operb::geo::simd::internal {
+const KernelTable kNeonTable = {};
+}  // namespace operb::geo::simd::internal
+
+#endif

@@ -1,0 +1,215 @@
+// SSE2 bodies of the geo::simd batch kernels: 2 x f64 per vector. SSE2 is
+// part of the x86-64 baseline ISA, so this TU needs no special compile
+// flags — the #if below only excludes non-x86 builds. Every arithmetic
+// step mirrors the scalar kernel operand-for-operand (sub, mul, sub/add,
+// sqrt — no reassociation, no FMA), so each lane rounds exactly like the
+// scalar oracle; see DESIGN.md §12 for the argument.
+
+#include "geo/distance.h"
+#include "geo/simd_internal.h"
+
+#if defined(__SSE2__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+namespace operb::geo::simd::internal {
+namespace {
+
+void SignedOffsetsSse2(const double* xs, const double* ys, std::size_t n,
+                       Vec2 anchor, Vec2 unit_dir, double* out) {
+  const __m128d ax = _mm_set1_pd(anchor.x);
+  const __m128d ay = _mm_set1_pd(anchor.y);
+  const __m128d ux = _mm_set1_pd(unit_dir.x);
+  const __m128d uy = _mm_set1_pd(unit_dir.y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d rx = _mm_sub_pd(_mm_loadu_pd(xs + i), ax);
+    const __m128d ry = _mm_sub_pd(_mm_loadu_pd(ys + i), ay);
+    const __m128d cross =
+        _mm_sub_pd(_mm_mul_pd(ux, ry), _mm_mul_pd(uy, rx));
+    _mm_storeu_pd(out + i, cross);
+  }
+  for (; i < n; ++i) {
+    out[i] = SignedPointToLineOffsetDir({xs[i], ys[i]}, anchor, unit_dir);
+  }
+}
+
+void RadiiSse2(const double* xs, const double* ys, std::size_t n, Vec2 anchor,
+               double* out) {
+  const __m128d ax = _mm_set1_pd(anchor.x);
+  const __m128d ay = _mm_set1_pd(anchor.y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d rx = _mm_sub_pd(_mm_loadu_pd(xs + i), ax);
+    const __m128d ry = _mm_sub_pd(_mm_loadu_pd(ys + i), ay);
+    const __m128d sq =
+        _mm_add_pd(_mm_mul_pd(rx, rx), _mm_mul_pd(ry, ry));
+    _mm_storeu_pd(out + i, _mm_sqrt_pd(sq));
+  }
+  for (; i < n; ++i) {
+    out[i] = Distance({xs[i], ys[i]}, anchor);
+  }
+}
+
+void DotsSse2(const double* xs, const double* ys, std::size_t n, Vec2 anchor,
+              Vec2 unit_dir, double* out) {
+  const __m128d ax = _mm_set1_pd(anchor.x);
+  const __m128d ay = _mm_set1_pd(anchor.y);
+  const __m128d ux = _mm_set1_pd(unit_dir.x);
+  const __m128d uy = _mm_set1_pd(unit_dir.y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d rx = _mm_sub_pd(_mm_loadu_pd(xs + i), ax);
+    const __m128d ry = _mm_sub_pd(_mm_loadu_pd(ys + i), ay);
+    const __m128d dot = _mm_add_pd(_mm_mul_pd(ux, rx), _mm_mul_pd(uy, ry));
+    _mm_storeu_pd(out + i, dot);
+  }
+  for (; i < n; ++i) {
+    out[i] = unit_dir.Dot(Vec2{xs[i], ys[i]} - anchor);
+  }
+}
+
+void StageExtendSse2(const double* xs, const double* ys, std::size_t n,
+                     Vec2 anchor, Vec2 unit_dir, Vec2 ra_unit, bool want_dot,
+                     double* r, double* off, double* ra, double* dot) {
+  const __m128d ax = _mm_set1_pd(anchor.x);
+  const __m128d ay = _mm_set1_pd(anchor.y);
+  const __m128d ux = _mm_set1_pd(unit_dir.x);
+  const __m128d uy = _mm_set1_pd(unit_dir.y);
+  const __m128d rax = _mm_set1_pd(ra_unit.x);
+  const __m128d ray = _mm_set1_pd(ra_unit.y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d rx = _mm_sub_pd(_mm_loadu_pd(xs + i), ax);
+    const __m128d ry = _mm_sub_pd(_mm_loadu_pd(ys + i), ay);
+    _mm_storeu_pd(r + i,
+                  _mm_sqrt_pd(_mm_add_pd(_mm_mul_pd(rx, rx),
+                                         _mm_mul_pd(ry, ry))));
+    _mm_storeu_pd(off + i,
+                  _mm_sub_pd(_mm_mul_pd(ux, ry), _mm_mul_pd(uy, rx)));
+    _mm_storeu_pd(ra + i,
+                  _mm_sub_pd(_mm_mul_pd(rax, ry), _mm_mul_pd(ray, rx)));
+    if (want_dot) {
+      _mm_storeu_pd(dot + i,
+                    _mm_add_pd(_mm_mul_pd(ux, rx), _mm_mul_pd(uy, ry)));
+    }
+  }
+  for (; i < n; ++i) {
+    const Vec2 p{xs[i], ys[i]};
+    r[i] = Distance(p, anchor);
+    off[i] = SignedPointToLineOffsetDir(p, anchor, unit_dir);
+    ra[i] = SignedPointToLineOffsetDir(p, anchor, ra_unit);
+    if (want_dot) dot[i] = unit_dir.Dot(p - anchor);
+  }
+}
+
+std::size_t CountWithinSse2(const double* xs, const double* ys, std::size_t n,
+                            Vec2 anchor, Vec2 unit_dir, double bound) {
+  const __m128d ax = _mm_set1_pd(anchor.x);
+  const __m128d ay = _mm_set1_pd(anchor.y);
+  const __m128d ux = _mm_set1_pd(unit_dir.x);
+  const __m128d uy = _mm_set1_pd(unit_dir.y);
+  const __m128d sign_mask = _mm_set1_pd(-0.0);
+  const __m128d vbound = _mm_set1_pd(bound);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d rx = _mm_sub_pd(_mm_loadu_pd(xs + i), ax);
+    const __m128d ry = _mm_sub_pd(_mm_loadu_pd(ys + i), ay);
+    const __m128d cross =
+        _mm_sub_pd(_mm_mul_pd(ux, ry), _mm_mul_pd(uy, rx));
+    const __m128d dist = _mm_andnot_pd(sign_mask, cross);  // fabs
+    // Ordered quiet <=: NaN lanes compare false, like the scalar test.
+    const int mask = _mm_movemask_pd(_mm_cmple_pd(dist, vbound));
+    if (mask != 0x3) {
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(~mask & 0x3)));
+    }
+  }
+  for (; i < n; ++i) {
+    const double d = PointToLineDistanceDir({xs[i], ys[i]}, anchor, unit_dir);
+    if (!(d <= bound)) return i;
+  }
+  return n;
+}
+
+std::size_t CountExtendAcceptSse2(const double* r, const double* off,
+                                  const double* ra, const double* dot,
+                                  std::size_t n,
+                                  const ExtendAcceptParams& p) {
+  if (!p.sum_ok) return 0;
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d sign_mask = _mm_set1_pd(-0.0);
+  const __m128d len = _mm_set1_pd(p.length);
+  const __m128d slack = _mm_set1_pd(p.slack);
+  const __m128d dpm = _mm_set1_pd(p.d_plus_max);
+  const __m128d dmm = _mm_set1_pd(p.d_minus_max);
+  const __m128d zeta = _mm_set1_pd(p.zeta);
+  const __m128d dr_plus = _mm_set1_pd(p.drift_plus);
+  const __m128d dr_minus = _mm_set1_pd(p.drift_minus);
+  const __m128d dr_back = _mm_set1_pd(p.drift_back);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d vr = _mm_loadu_pd(r + i);
+    const __m128d vo = _mm_loadu_pd(off + i);
+    const __m128d vra = _mm_loadu_pd(ra + i);
+    // All compares are ordered quiet: NaN lanes fail, like the scalar
+    // comparisons they mirror.
+    const __m128d inactive = _mm_cmple_pd(_mm_sub_pd(vr, len), slack);
+    const __m128d pos = _mm_cmpge_pd(vo, zero);
+    const __m128d neg_off = _mm_xor_pd(vo, sign_mask);
+    const __m128d off_ok =
+        _mm_or_pd(_mm_and_pd(pos, _mm_cmple_pd(vo, dpm)),
+                  _mm_andnot_pd(pos, _mm_cmple_pd(neg_off, dmm)));
+    const __m128d ra_ok =
+        _mm_cmple_pd(_mm_andnot_pd(sign_mask, vra), zeta);
+    __m128d accept = _mm_and_pd(inactive, _mm_and_pd(off_ok, ra_ok));
+    if (p.guard) {
+      const __m128d vd = _mm_loadu_pd(dot + i);
+      const __m128d ahead = _mm_cmpge_pd(vd, zero);
+      const __m128d fwd_ok =
+          _mm_or_pd(_mm_and_pd(pos, _mm_cmple_pd(vo, dr_plus)),
+                    _mm_andnot_pd(pos, _mm_cmple_pd(neg_off, dr_minus)));
+      const __m128d drift_ok =
+          _mm_or_pd(_mm_and_pd(ahead, fwd_ok),
+                    _mm_andnot_pd(ahead, _mm_cmple_pd(vr, dr_back)));
+      accept = _mm_and_pd(accept, drift_ok);
+    }
+    const int mask = _mm_movemask_pd(accept);
+    if (mask != 0x3) {
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(~mask & 0x3)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (!(r[i] - p.length <= p.slack)) return i;
+    const double o = off[i];
+    const bool off_ok =
+        o >= 0.0 ? o <= p.d_plus_max : -o <= p.d_minus_max;
+    if (!off_ok) return i;
+    if (!(std::fabs(ra[i]) <= p.zeta)) return i;
+    if (p.guard) {
+      const double d = dot[i];
+      const bool drift_ok =
+          d >= 0.0 ? (o >= 0.0 ? o <= p.drift_plus : -o <= p.drift_minus)
+                   : r[i] <= p.drift_back;
+      if (!drift_ok) return i;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const KernelTable kSse2Table = {SignedOffsetsSse2,    RadiiSse2,
+                                DotsSse2,             StageExtendSse2,
+                                CountWithinSse2,      CountExtendAcceptSse2};
+
+}  // namespace operb::geo::simd::internal
+
+#else  // !__SSE2__
+
+namespace operb::geo::simd::internal {
+const KernelTable kSse2Table = {};
+}  // namespace operb::geo::simd::internal
+
+#endif

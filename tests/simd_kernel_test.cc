@@ -1,0 +1,540 @@
+// Differential tests for the geo::simd batch kernels: every dispatch
+// target the host can run (sse2 / avx2 / neon) is compared against the
+// scalar oracle table bit-for-bit, across a seeded fuzz sweep of batch
+// lengths 0 .. 4*lane_width+3 (every vector-body/tail split shape) and an
+// adversarial-geometry corpus (collinear runs, duplicate points,
+// near-zero anchor directions, denormals, +-huge coordinates, NaN/Inf).
+//
+// "Bit-for-bit" is literal: outputs are compared as the raw 64-bit
+// payloads, so +0.0 vs -0.0 and differing NaN bit patterns fail. On
+// failure the assertion message is a self-contained repro: the seed, the
+// batch length, and every input as a hex double (%a plus raw bits).
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/simd.h"
+
+namespace operb::geo::simd {
+namespace {
+
+// Largest lane width across targets is 4 (avx2), so n in [0, 19] covers
+// every full-vector count and every tail length for every target.
+constexpr std::size_t kMaxBatch = 4 * 4 + 3;
+
+std::uint64_t Bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+double FromBits(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof d);
+  return d;
+}
+
+std::string Hex(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a (0x%016llx)", d,
+                static_cast<unsigned long long>(Bits(d)));
+  return buf;
+}
+
+// Deterministic fuzz source; fully specified, unlike the standard
+// library's distributions, so a printed seed reproduces exactly.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  std::uint64_t Next() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  double Uniform(double lo, double hi) {
+    const double u = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+    return lo + (hi - lo) * u;
+  }
+
+  bool Chance(double p) { return Uniform(0.0, 1.0) < p; }
+};
+
+/// One kernel input batch plus the line parameters every kernel shares.
+struct Batch {
+  std::size_t n = 0;
+  std::array<double, kMaxBatch> xs{};
+  std::array<double, kMaxBatch> ys{};
+  Vec2 anchor{0.0, 0.0};
+  Vec2 unit_dir{1.0, 0.0};
+  Vec2 ra_unit{0.0, 1.0};
+  double bound = 20.0;
+};
+
+std::string Describe(const Batch& b, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "seed=" << seed << " n=" << b.n << "\n";
+  os << "  anchor=(" << Hex(b.anchor.x) << ", " << Hex(b.anchor.y) << ")\n";
+  os << "  unit_dir=(" << Hex(b.unit_dir.x) << ", " << Hex(b.unit_dir.y)
+     << ")\n";
+  os << "  ra_unit=(" << Hex(b.ra_unit.x) << ", " << Hex(b.ra_unit.y)
+     << ")\n";
+  os << "  bound=" << Hex(b.bound) << "\n";
+  for (std::size_t i = 0; i < b.n; ++i) {
+    os << "  p[" << i << "]=(" << Hex(b.xs[i]) << ", " << Hex(b.ys[i])
+       << ")\n";
+  }
+  return os.str();
+}
+
+std::vector<Level> NonScalarTargets() {
+  std::vector<Level> out;
+  for (Level level : {Level::kSse2, Level::kAvx2, Level::kNeon}) {
+    if (Supported(level)) out.push_back(level);
+  }
+  return out;
+}
+
+/// Scoped ForceLevel so a failing ASSERT cannot leak a pinned level into
+/// another test sharing the process.
+struct ScopedLevel {
+  explicit ScopedLevel(Level level) { ForceLevel(level); }
+  ~ScopedLevel() { ClearForcedLevel(); }
+};
+
+constexpr std::uint64_t kPoison = 0x7ff8dead7ff8deadull;  // a quiet NaN
+
+void FillPoison(double* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) p[i] = FromBits(kPoison);
+}
+
+/// Runs all four value/count point kernels at `level` and compares each
+/// output element (and each count) bitwise against the scalar oracle.
+void ExpectPointKernelsMatch(const Batch& b, std::uint64_t seed) {
+  std::array<double, kMaxBatch> ref_off, ref_r, ref_dot;
+  std::array<double, kMaxBatch> ref_sr, ref_soff, ref_sra, ref_sdot;
+  std::size_t ref_within;
+  {
+    ScopedLevel pin(Level::kScalar);
+    SignedOffsets(b.xs.data(), b.ys.data(), b.n, b.anchor, b.unit_dir,
+                  ref_off.data());
+    Radii(b.xs.data(), b.ys.data(), b.n, b.anchor, ref_r.data());
+    Dots(b.xs.data(), b.ys.data(), b.n, b.anchor, b.unit_dir,
+         ref_dot.data());
+    StageExtend(b.xs.data(), b.ys.data(), b.n, b.anchor, b.unit_dir,
+                b.ra_unit, /*want_dot=*/true, ref_sr.data(),
+                ref_soff.data(), ref_sra.data(), ref_sdot.data());
+    ref_within = CountWithin(b.xs.data(), b.ys.data(), b.n, b.anchor,
+                             b.unit_dir, b.bound);
+  }
+
+  for (Level level : NonScalarTargets()) {
+    SCOPED_TRACE(std::string("level=") + std::string(LevelName(level)) +
+                 "\n" + Describe(b, seed));
+    ScopedLevel pin(level);
+
+    std::array<double, kMaxBatch> out;
+    FillPoison(out.data(), b.n);
+    SignedOffsets(b.xs.data(), b.ys.data(), b.n, b.anchor, b.unit_dir,
+                  out.data());
+    for (std::size_t i = 0; i < b.n; ++i) {
+      ASSERT_EQ(Bits(ref_off[i]), Bits(out[i]))
+          << "SignedOffsets[" << i << "]: scalar=" << Hex(ref_off[i])
+          << " vector=" << Hex(out[i]);
+    }
+
+    FillPoison(out.data(), b.n);
+    Radii(b.xs.data(), b.ys.data(), b.n, b.anchor, out.data());
+    for (std::size_t i = 0; i < b.n; ++i) {
+      ASSERT_EQ(Bits(ref_r[i]), Bits(out[i]))
+          << "Radii[" << i << "]: scalar=" << Hex(ref_r[i])
+          << " vector=" << Hex(out[i]);
+    }
+
+    FillPoison(out.data(), b.n);
+    Dots(b.xs.data(), b.ys.data(), b.n, b.anchor, b.unit_dir, out.data());
+    for (std::size_t i = 0; i < b.n; ++i) {
+      ASSERT_EQ(Bits(ref_dot[i]), Bits(out[i]))
+          << "Dots[" << i << "]: scalar=" << Hex(ref_dot[i])
+          << " vector=" << Hex(out[i]);
+    }
+
+    for (bool want_dot : {false, true}) {
+      std::array<double, kMaxBatch> sr, soff, sra, sdot;
+      FillPoison(sr.data(), b.n);
+      FillPoison(soff.data(), b.n);
+      FillPoison(sra.data(), b.n);
+      FillPoison(sdot.data(), b.n);
+      StageExtend(b.xs.data(), b.ys.data(), b.n, b.anchor, b.unit_dir,
+                  b.ra_unit, want_dot, sr.data(), soff.data(), sra.data(),
+                  sdot.data());
+      for (std::size_t i = 0; i < b.n; ++i) {
+        ASSERT_EQ(Bits(ref_sr[i]), Bits(sr[i]))
+            << "StageExtend r[" << i << "] want_dot=" << want_dot
+            << ": scalar=" << Hex(ref_sr[i]) << " vector=" << Hex(sr[i]);
+        ASSERT_EQ(Bits(ref_soff[i]), Bits(soff[i]))
+            << "StageExtend off[" << i << "] want_dot=" << want_dot
+            << ": scalar=" << Hex(ref_soff[i])
+            << " vector=" << Hex(soff[i]);
+        ASSERT_EQ(Bits(ref_sra[i]), Bits(sra[i]))
+            << "StageExtend ra[" << i << "] want_dot=" << want_dot
+            << ": scalar=" << Hex(ref_sra[i]) << " vector=" << Hex(sra[i]);
+        if (want_dot) {
+          ASSERT_EQ(Bits(ref_sdot[i]), Bits(sdot[i]))
+              << "StageExtend dot[" << i << "]: scalar=" << Hex(ref_sdot[i])
+              << " vector=" << Hex(sdot[i]);
+        } else {
+          ASSERT_EQ(kPoison, Bits(sdot[i]))
+              << "StageExtend wrote dot[" << i << "] with want_dot=false";
+        }
+      }
+    }
+
+    const std::size_t within = CountWithin(b.xs.data(), b.ys.data(), b.n,
+                                           b.anchor, b.unit_dir, b.bound);
+    ASSERT_EQ(ref_within, within) << "CountWithin: scalar=" << ref_within
+                                  << " vector=" << within;
+  }
+}
+
+std::string Describe(const ExtendAcceptParams& p) {
+  std::ostringstream os;
+  os << "  params: length=" << Hex(p.length) << " slack=" << Hex(p.slack)
+     << "\n    d_plus_max=" << Hex(p.d_plus_max)
+     << " d_minus_max=" << Hex(p.d_minus_max) << " zeta=" << Hex(p.zeta)
+     << "\n    drift_plus=" << Hex(p.drift_plus)
+     << " drift_minus=" << Hex(p.drift_minus)
+     << " drift_back=" << Hex(p.drift_back) << "\n    guard=" << p.guard
+     << " sum_ok=" << p.sum_ok << "\n";
+  return os.str();
+}
+
+/// Compares CountExtendAccept at every target against the scalar oracle
+/// for one precomputed (r, off, ra, dot) batch.
+void ExpectExtendAcceptMatches(const double* r, const double* off,
+                               const double* ra, const double* dot,
+                               std::size_t n, const ExtendAcceptParams& p,
+                               std::uint64_t seed) {
+  std::size_t ref;
+  {
+    ScopedLevel pin(Level::kScalar);
+    ref = CountExtendAccept(r, off, ra, dot, n, p);
+  }
+  for (Level level : NonScalarTargets()) {
+    ScopedLevel pin(level);
+    const std::size_t got = CountExtendAccept(r, off, ra, dot, n, p);
+    if (got == ref) continue;
+    std::ostringstream os;
+    os << "CountExtendAccept mismatch at level=" << LevelName(level)
+       << ": scalar=" << ref << " vector=" << got << " seed=" << seed
+       << " n=" << n << "\n" << Describe(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      os << "  [" << i << "] r=" << Hex(r[i]) << " off=" << Hex(off[i])
+         << " ra=" << Hex(ra[i]) << " dot=" << Hex(dot[i]) << "\n";
+    }
+    FAIL() << os.str();
+  }
+}
+
+Batch RandomBatch(SplitMix64* rng, std::size_t n) {
+  Batch b;
+  b.n = n;
+  const double theta = rng->Uniform(0.0, 6.283185307179586);
+  b.unit_dir = {std::cos(theta), std::sin(theta)};
+  const double phi = rng->Uniform(0.0, 6.283185307179586);
+  b.ra_unit = {std::cos(phi), std::sin(phi)};
+  b.anchor = {rng->Uniform(-1e5, 1e5), rng->Uniform(-1e5, 1e5)};
+  b.bound = rng->Uniform(0.0, 100.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mostly near the line (so count kernels see long accept prefixes),
+    // with occasional far outliers and exact-anchor duplicates.
+    if (rng->Chance(0.05)) {
+      b.xs[i] = b.anchor.x;
+      b.ys[i] = b.anchor.y;
+    } else {
+      const double along = rng->Uniform(-1e3, 1e3);
+      const double across = rng->Chance(0.15)
+                                ? rng->Uniform(-1e4, 1e4)
+                                : rng->Uniform(-b.bound, b.bound);
+      b.xs[i] = b.anchor.x + along * b.unit_dir.x - across * b.unit_dir.y;
+      b.ys[i] = b.anchor.y + along * b.unit_dir.y + across * b.unit_dir.x;
+    }
+  }
+  return b;
+}
+
+TEST(SimdKernelDifferentialTest, FuzzSweepAllBatchLengthsAllTargets) {
+  if (NonScalarTargets().empty()) {
+    GTEST_SKIP() << "host supports only the scalar target";
+  }
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    SplitMix64 rng{seed * 0x9e3779b97f4a7c15ull};
+    for (std::size_t n = 0; n <= kMaxBatch; ++n) {
+      ExpectPointKernelsMatch(RandomBatch(&rng, n), seed);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(SimdKernelDifferentialTest, FuzzExtendAcceptAllBatchLengths) {
+  if (NonScalarTargets().empty()) {
+    GTEST_SKIP() << "host supports only the scalar target";
+  }
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    SplitMix64 rng{seed * 0xbf58476d1ce4e5b9ull};
+    for (std::size_t n = 0; n <= kMaxBatch; ++n) {
+      ExtendAcceptParams p;
+      p.length = rng.Uniform(0.0, 500.0);
+      p.slack = rng.Uniform(0.0, 50.0);
+      p.d_plus_max = rng.Uniform(0.0, 20.0);
+      p.d_minus_max = rng.Uniform(0.0, 20.0);
+      p.zeta = rng.Uniform(1.0, 40.0);
+      p.drift_plus = rng.Uniform(0.0, 30.0);
+      p.drift_minus = rng.Uniform(0.0, 30.0);
+      p.drift_back = rng.Uniform(0.0, 500.0);
+      p.guard = rng.Chance(0.5);
+      p.sum_ok = !rng.Chance(0.1);
+      std::array<double, kMaxBatch> r, off, ra, dot;
+      for (std::size_t i = 0; i < n; ++i) {
+        r[i] = p.length + rng.Uniform(-10.0, p.slack * 1.5);
+        // Exact-threshold values with some probability: <= boundaries
+        // are where a lane-predicate bug would hide.
+        off[i] = rng.Chance(0.1)
+                     ? (rng.Chance(0.5) ? p.d_plus_max : -p.d_minus_max)
+                     : rng.Uniform(-1.5 * p.d_minus_max,
+                                    1.5 * p.d_plus_max);
+        ra[i] = rng.Chance(0.1) ? -p.zeta
+                                 : rng.Uniform(-1.2 * p.zeta,
+                                                1.2 * p.zeta);
+        dot[i] = rng.Uniform(-100.0, 1000.0);
+      }
+      ExpectExtendAcceptMatches(r.data(), off.data(), ra.data(),
+                                dot.data(), n, p, seed);
+      if (HasFatalFailure() || HasFailure()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial geometry corpus. Each case runs through every kernel at
+// every target; several also pin down exact expected behavior (signed
+// zeros, NaN rejection index parity).
+
+TEST(SimdKernelAdversarialTest, CollinearRunProducesIdenticalSignedZeros) {
+  Batch b;
+  b.n = kMaxBatch;
+  b.anchor = {0.0, 0.0};
+  b.unit_dir = {1.0, 0.0};
+  b.ra_unit = {0.0, 1.0};
+  b.bound = 1.0;
+  for (std::size_t i = 0; i < b.n; ++i) {
+    b.xs[i] = static_cast<double>(i) * 7.5;
+    b.ys[i] = 0.0;
+  }
+  ExpectPointKernelsMatch(b, /*seed=*/0);
+}
+
+TEST(SimdKernelAdversarialTest, DuplicatePointsAtTheAnchor) {
+  Batch b;
+  b.n = kMaxBatch;
+  b.anchor = {123.456, -789.012};
+  b.unit_dir = {0.6, 0.8};
+  b.ra_unit = {-0.8, 0.6};
+  b.bound = 0.0;  // exact-zero distances must still pass <= 0
+  for (std::size_t i = 0; i < b.n; ++i) {
+    b.xs[i] = b.anchor.x;
+    b.ys[i] = b.anchor.y;
+  }
+  ExpectPointKernelsMatch(b, /*seed=*/0);
+}
+
+TEST(SimdKernelAdversarialTest, NegativeZeroCoordinates) {
+  Batch b;
+  b.n = 8;
+  b.anchor = {0.0, -0.0};
+  b.unit_dir = {-0.0, 1.0};
+  b.ra_unit = {1.0, -0.0};
+  b.bound = 10.0;
+  for (std::size_t i = 0; i < b.n; ++i) {
+    b.xs[i] = (i % 2 == 0) ? -0.0 : 0.0;
+    b.ys[i] = (i % 3 == 0) ? -0.0 : 0.0;
+  }
+  ExpectPointKernelsMatch(b, /*seed=*/0);
+}
+
+TEST(SimdKernelAdversarialTest, NearZeroAnchorDirection) {
+  Batch b;
+  b.n = kMaxBatch;
+  b.anchor = {1.0, 1.0};
+  // A degenerate "unit" direction, as produced by an almost-zero-length
+  // chord before normalization guards kick in.
+  b.unit_dir = {1e-308, -1e-308};
+  b.ra_unit = {-1e-308, 1e-308};
+  b.bound = 1e-300;
+  SplitMix64 rng{42};
+  for (std::size_t i = 0; i < b.n; ++i) {
+    b.xs[i] = rng.Uniform(-10.0, 10.0);
+    b.ys[i] = rng.Uniform(-10.0, 10.0);
+  }
+  ExpectPointKernelsMatch(b, /*seed=*/42);
+}
+
+TEST(SimdKernelAdversarialTest, DenormalCoordinates) {
+  constexpr double kMinDenorm = 4.9406564584124654e-324;
+  constexpr double kMaxDenorm = 2.2250738585072009e-308;
+  Batch b;
+  b.n = 12;
+  b.anchor = {kMinDenorm, -kMinDenorm};
+  b.unit_dir = {0.8, -0.6};
+  b.ra_unit = {0.6, 0.8};
+  b.bound = kMaxDenorm;
+  const double vals[] = {kMinDenorm,      -kMinDenorm, kMaxDenorm,
+                         -kMaxDenorm,     1e-310,      -1e-315,
+                         0.0,             -0.0,        1e-320,
+                         -1e-320,         2e-308,      -2e-308};
+  for (std::size_t i = 0; i < b.n; ++i) {
+    b.xs[i] = vals[i];
+    b.ys[i] = vals[(i + 5) % b.n];
+  }
+  ExpectPointKernelsMatch(b, /*seed=*/0);
+}
+
+TEST(SimdKernelAdversarialTest, HugeCoordinatesOverflowingToInf) {
+  constexpr double kMax = std::numeric_limits<double>::max();
+  Batch b;
+  b.n = 10;
+  b.anchor = {-1e300, 1e300};
+  b.unit_dir = {0.6, 0.8};
+  b.ra_unit = {-0.8, 0.6};
+  b.bound = 1e305;
+  const double vals[] = {1e300, -1e300, kMax, -kMax, 1e308,
+                         -1e308, 5e307, -5e307, 1e150, -1e150};
+  for (std::size_t i = 0; i < b.n; ++i) {
+    b.xs[i] = vals[i];
+    b.ys[i] = vals[(i + 3) % b.n];
+  }
+  ExpectPointKernelsMatch(b, /*seed=*/0);
+}
+
+TEST(SimdKernelAdversarialTest, NanAndInfRejectionParity) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // A NaN planted at every position: the count kernels must stop at the
+  // same index at every level (NaN fails every ordered compare), and the
+  // value kernels must produce bitwise-identical NaN payloads.
+  for (std::size_t bad = 0; bad < 8; ++bad) {
+    for (double poison : {kNan, kInf, -kInf}) {
+      Batch b;
+      b.n = 8;
+      b.anchor = {10.0, 20.0};
+      b.unit_dir = {1.0, 0.0};
+      b.ra_unit = {0.0, 1.0};
+      b.bound = 5.0;
+      for (std::size_t i = 0; i < b.n; ++i) {
+        b.xs[i] = b.anchor.x + static_cast<double>(i);
+        b.ys[i] = b.anchor.y + 1.0;
+      }
+      b.ys[bad] = poison;
+      SCOPED_TRACE("bad index " + std::to_string(bad) + " poison " +
+                   Hex(poison));
+      ExpectPointKernelsMatch(b, /*seed=*/0);
+
+      // Count parity, pinned: a non-finite offset must reject at `bad`
+      // (infinite offsets exceed any bound; NaN fails the compare).
+      std::size_t counts[2];
+      int k = 0;
+      for (Level level : {Level::kScalar, Detect()}) {
+        ScopedLevel pin(level);
+        counts[k++] = CountWithin(b.xs.data(), b.ys.data(), b.n, b.anchor,
+                                  b.unit_dir, b.bound);
+      }
+      EXPECT_EQ(counts[0], counts[1]);
+      EXPECT_LE(counts[0], bad);
+    }
+  }
+}
+
+TEST(SimdKernelAdversarialTest, ExtendAcceptNanLanesAndSignedZeroOffsets) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  ExtendAcceptParams p;
+  p.length = 100.0;
+  p.slack = 5.0;
+  p.d_plus_max = 3.0;
+  p.d_minus_max = 2.0;
+  p.zeta = 40.0;
+  p.drift_plus = 10.0;
+  p.drift_minus = 10.0;
+  p.drift_back = 120.0;
+  p.sum_ok = true;
+  for (bool guard : {false, true}) {
+    p.guard = guard;
+    for (std::size_t bad = 0; bad < 6; ++bad) {
+      double r[6], off[6], ra[6], dot[6];
+      for (std::size_t i = 0; i < 6; ++i) {
+        r[i] = 101.0;
+        // Signed zeros exercise the o >= 0.0 branch split exactly.
+        off[i] = (i % 2 == 0) ? 0.0 : -0.0;
+        ra[i] = (i % 2 == 0) ? -0.0 : 0.0;
+        dot[i] = (i % 3 == 0) ? 0.0 : -0.0;
+      }
+      r[bad] = kNan;  // NaN radius: `r - length <= slack` is false
+      ExpectExtendAcceptMatches(r, off, ra, dot, 6, p, /*seed=*/bad);
+      {
+        ScopedLevel pin(Level::kScalar);
+        EXPECT_EQ(bad, CountExtendAccept(r, off, ra, dot, 6, p));
+      }
+    }
+  }
+}
+
+TEST(SimdKernelAdversarialTest, ExtendAcceptSumNotOkShortCircuits) {
+  ExtendAcceptParams p;
+  p.length = 0.0;
+  p.slack = 1e9;
+  p.d_plus_max = 1e9;
+  p.d_minus_max = 1e9;
+  p.zeta = 1e9;
+  p.guard = false;
+  p.sum_ok = false;  // adjusted-distance sum already over budget
+  double r[4] = {1.0, 1.0, 1.0, 1.0};
+  double zero[4] = {0.0, 0.0, 0.0, 0.0};
+  for (Level level : NonScalarTargets()) {
+    ScopedLevel pin(level);
+    EXPECT_EQ(0u, CountExtendAccept(r, zero, zero, zero, 4, p))
+        << LevelName(level);
+  }
+  ScopedLevel pin(Level::kScalar);
+  EXPECT_EQ(0u, CountExtendAccept(r, zero, zero, zero, 4, p));
+}
+
+// The dispatch plumbing itself: every supported level reports a sane
+// lane width and ParseLevel round-trips through LevelName.
+TEST(SimdDispatchTest, LevelNamesRoundTripAndLaneWidthsAreSane) {
+  for (Level level :
+       {Level::kScalar, Level::kSse2, Level::kAvx2, Level::kNeon}) {
+    Level parsed;
+    ASSERT_TRUE(ParseLevel(LevelName(level), &parsed));
+    EXPECT_EQ(level, parsed);
+    EXPECT_GE(LaneWidth(level), 1u);
+    EXPECT_LE(LaneWidth(level), 4u);
+  }
+  Level native;
+  ASSERT_TRUE(ParseLevel("native", &native));
+  EXPECT_EQ(Detect(), native);
+  EXPECT_FALSE(ParseLevel("avx512", &native));
+  EXPECT_TRUE(Supported(Level::kScalar));
+}
+
+}  // namespace
+}  // namespace operb::geo::simd
